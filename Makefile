@@ -1,0 +1,31 @@
+.PHONY: all build test bench bench-quick examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure of the paper (plus extensions).
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+# Dump the curve figures as CSV next to the textual tables.
+bench-csv:
+	dune exec bench/main.exe -- --csv _figures
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/operator_defence.exe
+	dune exec examples/developer_debugging.exe
+	dune exec examples/allocator_choice.exe
+	dune exec examples/chain_composition.exe
+	dune exec examples/ci_workflow.exe
+
+clean:
+	dune clean
