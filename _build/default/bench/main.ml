@@ -1,0 +1,405 @@
+(* Regenerates every table and figure of the paper's evaluation (§5).
+
+   Usage:
+     dune exec bench/main.exe                 — everything
+     dune exec bench/main.exe -- figure1      — one artifact
+     dune exec bench/main.exe -- --quick      — smaller workloads
+     dune exec bench/main.exe -- --csv DIR    — also dump figure series as CSV
+     dune exec bench/main.exe -- bechamel     — micro-benchmarks only *)
+
+let quick = ref false
+let csv_dir : string option ref = ref None
+
+let section title = Fmt.pr "@.==== %s ====@.@." title
+
+(* Optionally dump a figure's series as CSV for plotting. *)
+let write_csv name header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (header ^ "\n");
+          List.iter (fun row -> output_string oc (row ^ "\n")) rows);
+      Fmt.pr "  [wrote %s]@." path
+
+(* ---- Artifacts -------------------------------------------------------- *)
+
+let table1 () =
+  section "Table 1 — stylised contract for the example LPM router";
+  Experiments.Exhibits.table1 Fmt.stdout
+
+let table2 () =
+  section "Table 2 — performance contract for lpmGet";
+  Experiments.Exhibits.table2 Fmt.stdout
+
+let figure1_table3 () =
+  section
+    "Figure 1 + Table 3 — predicted vs measured IC, MA and cycles for 14 \
+     NF/class scenarios";
+  let params =
+    if !quick then Experiments.Scenarios.quick_params
+    else Experiments.Scenarios.default_params
+  in
+  let rows = Experiments.Scenarios.figure1_table3 ~params () in
+  Experiments.Harness.pp_rows
+    ~title:
+      (Printf.sprintf
+         "(pathological tables: %d entries; typical scenarios: %d flows)"
+         params.Experiments.Scenarios.patho_capacity
+         params.Experiments.Scenarios.flows)
+    Fmt.stdout rows;
+  let max_ic, max_ma =
+    List.fold_left
+      (fun (ic, ma) (r : Experiments.Harness.row) ->
+        ( Float.max ic
+            (Experiments.Harness.over_estimate_pct
+               ~predicted:r.Experiments.Harness.predicted.Experiments.Harness.ic
+               ~measured:r.Experiments.Harness.measured.Experiments.Harness.ic),
+          Float.max ma
+            (Experiments.Harness.over_estimate_pct
+               ~predicted:r.Experiments.Harness.predicted.Experiments.Harness.ma
+               ~measured:r.Experiments.Harness.measured.Experiments.Harness.ma) ))
+      (0., 0.) rows
+  in
+  Fmt.pr "@.maximum over-estimation: IC %.1f%%, MA %.1f%% (paper: 7.5%% / \
+          7.6%%)@."
+    max_ic max_ma
+
+let p123 () =
+  section "P1/P2/P3 — hardware-model validation microbenchmarks (§5.1)";
+  Experiments.Microbench.print Fmt.stdout
+    (Experiments.Microbench.run ~nodes:(if !quick then 1024 else 8192) ())
+
+let table4 () =
+  section "Table 4 — bridge contract (rehash defence cliff)";
+  Experiments.Exhibits.table4 Fmt.stdout
+
+let figure2 () =
+  section
+    "Figure 2 — CCDF of bucket traversals vs predicted IC (threshold \
+     choice)";
+  let points =
+    Experiments.Attack.figure2 ~packets:(if !quick then 4_000 else 20_000) ()
+  in
+  Experiments.Attack.print Fmt.stdout points;
+  write_csv "figure2" "traversals,ccdf,predicted_ic"
+    (List.map
+       (fun (p : Experiments.Attack.point) ->
+         Printf.sprintf "%d,%f,%d" p.Experiments.Attack.traversals
+           p.Experiments.Attack.ccdf p.Experiments.Attack.predicted_ic)
+       points)
+
+let table5 () =
+  section "Table 5 — firewall, static router and chain contracts";
+  Experiments.Exhibits.table5 Fmt.stdout
+
+let figure3 () =
+  section "Figure 3 — composite firewall+router vs naive addition";
+  Experiments.Exhibits.figure3
+    ~packets:(if !quick then 128 else 512)
+    Fmt.stdout
+
+let table6 () =
+  section "Table 6 — VigNAT performance contract";
+  Experiments.Exhibits.table6 Fmt.stdout
+
+let tables7_8_figure4 () =
+  section
+    "Tables 7/8 + Figure 4 — the VigNAT expiry-batching bug and its fix";
+  let packets = if !quick then 6_000 else 24_000 in
+  let t7, t8 = Experiments.Vignat.tables7_8 ~packets () in
+  Experiments.Vignat.print_report
+    ~label:"Table 7 — second granularity (original)" Fmt.stdout t7;
+  Experiments.Vignat.print_report
+    ~label:"Table 8 — millisecond granularity (fixed)" Fmt.stdout t8;
+  let tail r k =
+    List.filter (fun (_, p) -> p > 0.) r.Experiments.Vignat.latency_ccdf
+    |> fun l ->
+    let n = List.length l in
+    List.filteri (fun i _ -> i >= n - k) l
+  in
+  Fmt.pr "@.Figure 4 — latency CCDF tails (cycles, last 5 points with \
+          mass):@.";
+  Fmt.pr "  second granularity:      %a@."
+    Fmt.(list ~sep:(any "  ") (pair ~sep:(any ":") int float))
+    (tail t7 5);
+  Fmt.pr "  millisecond granularity: %a@."
+    Fmt.(list ~sep:(any "  ") (pair ~sep:(any ":") int float))
+    (tail t8 5);
+  let dump name r =
+    write_csv name "latency_cycles,ccdf"
+      (List.map
+         (fun (v, p) -> Printf.sprintf "%d,%f" v p)
+         r.Experiments.Vignat.latency_ccdf)
+  in
+  dump "figure4_second_granularity" t7;
+  dump "figure4_millisecond_granularity" t8
+
+let figures5_6_7 () =
+  section
+    "Figures 5/6/7 — allocator A (dll) vs allocator B (array) under churn";
+  let packets = if !quick then 6_000 else 20_000 in
+  let low, high = Experiments.Allocators.figure5_6_7 ~packets () in
+  Experiments.Allocators.print Fmt.stdout low;
+  Experiments.Allocators.print Fmt.stdout high;
+  let dump name (r : Experiments.Allocators.result) =
+    let line cdf = List.map (fun (v, p) -> Printf.sprintf "%d,%f" v p) cdf in
+    write_csv (name ^ "_alloc_a") "latency_cycles,cdf"
+      (line r.Experiments.Allocators.cdf_a);
+    write_csv (name ^ "_alloc_b") "latency_cycles,cdf"
+      (line r.Experiments.Allocators.cdf_b)
+  in
+  dump "figure6_low_churn" low;
+  dump "figure7_high_churn" high
+
+(* ---- Extensions and ablations ------------------------------------------ *)
+
+let conntrack () =
+  section
+    "Extension — connection-tracking firewall, predicted vs measured";
+  let params =
+    if !quick then Experiments.Scenarios.quick_params
+    else Experiments.Scenarios.default_params
+  in
+  Experiments.Harness.pp_rows ~title:"CT1-CT5 (same harness as Figure 1)"
+    Fmt.stdout
+    (Experiments.Scenarios.conntrack_rows ~params ())
+
+let throughput () =
+  section "Extension — guaranteed throughput floors (paper §6 future work)";
+  Experiments.Extensions.throughput_table Fmt.stdout
+
+let chain3 () =
+  section "Extension — three-NF chain, jointly analysed";
+  Experiments.Extensions.chain3 Fmt.stdout
+
+let ablations () =
+  section "Ablation — class coalescing";
+  Experiments.Extensions.ablation_coalescing Fmt.stdout;
+  section "Ablation — conservative hardware model's L1 tracking";
+  Experiments.Extensions.ablation_hw_model Fmt.stdout;
+  section "Ablation — exact linearization in the symbolic engine";
+  Experiments.Extensions.ablation_linearization Fmt.stdout
+
+(* ---- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let bechamel_suite () =
+  section "Bechamel micro-benchmarks (one per artifact family)";
+  let open Bechamel in
+  let quiet () = Exec.Meter.create (Hw.Model.null ()) in
+  let alloc = Dslib.Layout.allocator () in
+  let trie = Dslib.Lpm_trie.create ~base:(Dslib.Layout.region alloc)
+      ~default_port:0 in
+  Dslib.Lpm_trie.add_route trie ~prefix:0x0a000000 ~len:16 ~port:3;
+  let map = Dslib.Hash_map.create ~base:(Dslib.Layout.region alloc)
+      ~key_len:5 ~capacity:1024 ~buckets:1024 () in
+  let key = [| 1; 2; 3; 4; 5 |] in
+  ignore (Dslib.Hash_map.put map (quiet ()) key 9);
+  let ft = Dslib.Flow_table.create ~base:(Dslib.Layout.region alloc)
+      ~key_len:5 ~capacity:1024 ~buckets:1024 ~timeout:1000 () in
+  let alloc_a = Dslib.Port_alloc.dll ~base:(Dslib.Layout.region alloc)
+      ~port_lo:0 ~port_hi:1023 in
+  let alloc_b = Dslib.Port_alloc.array ~base:(Dslib.Layout.region alloc)
+      ~port_lo:0 ~port_hi:1023 in
+  let ring = Dslib.Hash_ring.create ~base:(Dslib.Layout.region alloc)
+      ~table_size:4099 ~backends:[ 0; 1; 2; 3 ] in
+  let mac = Dslib.Mac_table.create ~base:(Dslib.Layout.region alloc)
+      ~capacity:1024 ~buckets:1024 ~timeout:1_000_000 ~threshold:6 () in
+  let nat_dss, _ = Nf.Nat.setup (Dslib.Layout.allocator ()) in
+  let nat_packet =
+    Net.Build.udp ~src_ip:0x0a000001 ~dst_ip:0x5db8d822 ~src_port:5000
+      ~dst_port:80 ()
+  in
+  let nat_meter = Exec.Meter.create (Hw.Model.realistic ()) in
+  let counter = ref 0 in
+  let tests =
+    [
+      (* Tables 1/2: the running example's data structure *)
+      Test.make ~name:"table1_2/lpm_trie.lookup"
+        (Staged.stage (fun () ->
+             ignore (Dslib.Lpm_trie.lookup trie (quiet ()) 0x0a0000ff)));
+      (* Figure 1: a production NAT packet *)
+      Test.make ~name:"figure1/nat.production_packet"
+        (Staged.stage (fun () ->
+             ignore
+               (Exec.Interp.run ~meter:nat_meter
+                  ~mode:(Exec.Interp.Production nat_dss) ~in_port:0
+                  ~now:1_000_000 Nf.Nat.program nat_packet)));
+      (* Table 3: cycle models *)
+      Test.make ~name:"table3/realistic_model_access"
+        (Staged.stage
+           (let m = Hw.Realistic.create () in
+            fun () ->
+              incr counter;
+              Hw.Realistic.mem m ~addr:(!counter * 64) ~write:false
+                ~dependent:false));
+      (* Table 4 / Figure 2: MAC learning *)
+      Test.make ~name:"table4/mac_table.learn"
+        (Staged.stage (fun () ->
+             incr counter;
+             Dslib.Mac_table.learn mac (quiet ())
+               ~mac:(0x020000000000 lor (!counter land 0x3ff))
+               ~port:1 ~now:1_000_000));
+      (* Tables 5/Figure 3: symbolic execution of a stateless NF *)
+      Test.make ~name:"table5/symbex.firewall"
+        (Staged.stage (fun () ->
+             ignore
+               (Symbex.Engine.explore ~models:Bolt.Ds_models.default
+                  Nf.Firewall.program)));
+      (* Table 6: the NAT's hash-map probe *)
+      Test.make ~name:"table6/hash_map.get_hit"
+        (Staged.stage (fun () ->
+             ignore (Dslib.Hash_map.get map (quiet ()) key)));
+      (* Tables 7/8 / Figure 4: flow-table stamp + expiry machinery *)
+      Test.make ~name:"table7_8/flow_table.put_get"
+        (Staged.stage (fun () ->
+             incr counter;
+             let k = [| !counter land 0xff; 2; 3; 4; 5 |] in
+             ignore (Dslib.Flow_table.put ft (quiet ()) k ~value:1
+                       ~now:1_000_000);
+             ignore (Dslib.Flow_table.get ft (quiet ()) k ~now:1_000_001)));
+      (* Figures 5/6/7: the two allocators *)
+      Test.make ~name:"figure5/port_alloc.dll"
+        (Staged.stage (fun () ->
+             let p = Dslib.Port_alloc.alloc alloc_a (quiet ()) in
+             if p >= 0 then Dslib.Port_alloc.free alloc_a (quiet ()) p));
+      Test.make ~name:"figure5/port_alloc.array"
+        (Staged.stage (fun () ->
+             let p = Dslib.Port_alloc.alloc alloc_b (quiet ()) in
+             if p >= 0 then Dslib.Port_alloc.free alloc_b (quiet ()) p));
+      (* P1/P2/P3: Maglev ring lookup as the array-access kernel *)
+      Test.make ~name:"p123/hash_ring.backend_for"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Dslib.Hash_ring.backend_for ring (quiet ()) !counter)));
+      (* extensions *)
+      Test.make ~name:"ext/count_min.update"
+        (Staged.stage
+           (let cm =
+              Dslib.Count_min.create ~base:(Dslib.Layout.region alloc)
+                ~rows:4 ~width:1024
+            in
+            fun () ->
+              incr counter;
+              ignore
+                (Dslib.Count_min.update cm (quiet ())
+                   ~key:[| !counter land 0xffff; 0; 0; 0; 17 |])));
+      Test.make ~name:"ext/token_bucket.conform"
+        (Staged.stage
+           (let tb =
+              Dslib.Token_bucket.create ~base:(Dslib.Layout.region alloc)
+                ~rate:100 ~burst:100_000 ()
+            in
+            fun () ->
+              incr counter;
+              ignore
+                (Dslib.Token_bucket.conform tb (quiet ()) ~bytes:60
+                   ~now:!counter)));
+      Test.make ~name:"ext/conntrack.production_packet"
+        (Staged.stage
+           (let dss, _ = Nf.Conntrack.setup (Dslib.Layout.allocator ()) in
+            let meter = Exec.Meter.create (Hw.Model.realistic ()) in
+            fun () ->
+              incr counter;
+              ignore
+                (Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss)
+                   ~in_port:0 ~now:(1_000_000 + !counter)
+                   Nf.Conntrack.program nat_packet)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.1 else 0.4))
+      ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped
+        ~name:"" [ test ]) in
+      let analysed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Fmt.pr "  %-36s %12.1f ns/run@." name ns
+          | _ -> Fmt.pr "  %-36s (no estimate)@." name)
+        analysed)
+    tests
+
+(* ---- Driver ------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("figure1", figure1_table3);
+    ("table3", figure1_table3);
+    ("p123", p123);
+    ("table4", table4);
+    ("figure2", figure2);
+    ("table5", table5);
+    ("figure3", figure3);
+    ("table6", table6);
+    ("table7", tables7_8_figure4);
+    ("table8", tables7_8_figure4);
+    ("figure4", tables7_8_figure4);
+    ("figure5", figures5_6_7);
+    ("figure6_7", figures5_6_7);
+    ("conntrack", conntrack);
+    ("throughput", throughput);
+    ("chain3", chain3);
+    ("ablations", ablations);
+    ("bechamel", bechamel_suite);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec absorb = function
+    | "--quick" :: rest ->
+        quick := true;
+        absorb rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        absorb rest
+    | a :: rest -> a :: absorb rest
+    | [] -> []
+  in
+  let args = absorb args in
+  match args with
+  | [] ->
+      (* everything, deduplicated, in paper order *)
+      table1 ();
+      table2 ();
+      figure1_table3 ();
+      p123 ();
+      table4 ();
+      figure2 ();
+      table5 ();
+      figure3 ();
+      table6 ();
+      tables7_8_figure4 ();
+      figures5_6_7 ();
+      conntrack ();
+      throughput ();
+      chain3 ();
+      ablations ();
+      bechamel_suite ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name artifacts with
+          | Some run -> run ()
+          | None ->
+              Fmt.epr "unknown artifact %S; known: %a@." name
+                Fmt.(list ~sep:(any ", ") string)
+                (List.map fst artifacts);
+              exit 1)
+        names

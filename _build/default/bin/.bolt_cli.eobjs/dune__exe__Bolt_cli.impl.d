@@ -1,0 +1,1 @@
+bin/bolt_cli.ml: Arg Bolt Cmd Cmdliner Dslib Experiments Fmt Ir List Net Nf_registry Perf Printf String Symbex Term Workload

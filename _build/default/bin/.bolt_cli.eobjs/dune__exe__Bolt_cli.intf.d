@@ -1,0 +1,1 @@
+bin/bolt_cli.mli:

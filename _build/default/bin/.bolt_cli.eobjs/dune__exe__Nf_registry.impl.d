@@ -1,0 +1,1 @@
+bin/nf_registry.ml: Dslib Exec Ir List Net Nf Perf Printf String Symbex

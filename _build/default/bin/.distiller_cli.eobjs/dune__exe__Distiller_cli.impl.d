@@ -1,0 +1,1 @@
+bin/distiller_cli.ml: Arg Cmd Cmdliner Distiller Dslib Fmt List Nf_registry Perf Term

@@ -1,0 +1,1 @@
+bin/distiller_cli.mli:

@@ -1,0 +1,219 @@
+(* The BOLT command-line tool: derive and print performance contracts. *)
+
+let analyze (entry : Nf_registry.entry) =
+  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
+    ~contracts:entry.Nf_registry.contracts entry.Nf_registry.program
+
+let contract_cmd nf_name metric json_path =
+  let entry = Nf_registry.find nf_name in
+  let t = analyze entry in
+  let contract = Bolt.Pipeline.contract t ~classes:entry.Nf_registry.classes in
+  (match json_path with
+  | Some path ->
+      Perf.Contract_io.write_contract ~path contract;
+      Fmt.pr "wrote %s@." path
+  | None -> ());
+  Fmt.pr "analysed %d feasible paths (%d forks pruned)@.@."
+    (Bolt.Pipeline.path_count t)
+    t.Bolt.Pipeline.engine.Symbex.Engine.infeasible_pruned;
+  (match metric with
+  | None -> Fmt.pr "%a@." Perf.Contract.pp contract
+  | Some m -> Fmt.pr "%a@." (Perf.Contract.pp_metric m) contract);
+  Fmt.pr "@.concrete bounds at each class's PCV bindings:@.";
+  List.iter
+    (fun (cls : Symbex.Iclass.t) ->
+      let row metric =
+        match Bolt.Pipeline.predict t cls metric with
+        | Ok n -> string_of_int n
+        | Error pcv -> "unbound PCV " ^ Perf.Pcv.name pcv
+      in
+      Fmt.pr "  %-6s IC <= %-14s MA <= %-12s cycles <= %s@."
+        cls.Symbex.Iclass.name
+        (row Perf.Metric.Instructions)
+        (row Perf.Metric.Memory_accesses)
+        (row Perf.Metric.Cycles))
+    entry.Nf_registry.classes
+
+let paths_cmd nf_name =
+  let entry = Nf_registry.find nf_name in
+  let t = analyze entry in
+  Fmt.pr "%a" (Bolt.Report.pp_paths ~witnesses:true) t
+
+let report_cmd nf_name =
+  let entry = Nf_registry.find nf_name in
+  let t = analyze entry in
+  Fmt.pr "%a" (Bolt.Report.pp_full ~classes:entry.Nf_registry.classes) t
+
+let program_cmd nf_name =
+  let entry = Nf_registry.find nf_name in
+  Fmt.pr "%a@." Ir.Program.pp entry.Nf_registry.program
+
+let validate_cmd nf_name pcap_path in_port =
+  let entry = Nf_registry.find nf_name in
+  let t = analyze entry in
+  let worst = Bolt.Pipeline.worst_case t in
+  let dss = entry.Nf_registry.setup (Dslib.Layout.allocator ()) in
+  let stream =
+    Workload.Stream.of_pcap ~in_port (Net.Pcap.read_file pcap_path)
+  in
+  let report =
+    Experiments.Validate.run ~worst ~dss entry.Nf_registry.program stream
+  in
+  Fmt.pr "%a" Experiments.Validate.pp report;
+  if report.Experiments.Validate.violations <> [] then exit 2
+
+open Cmdliner
+
+let nf_arg =
+  let doc =
+    Printf.sprintf "Network function to analyse: %s."
+      (String.concat ", " (Nf_registry.names ()))
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+
+let metric_arg =
+  let parse = function
+    | "ic" -> Ok (Some Perf.Metric.Instructions)
+    | "ma" -> Ok (Some Perf.Metric.Memory_accesses)
+    | "cycles" -> Ok (Some Perf.Metric.Cycles)
+    | s -> Error (`Msg ("unknown metric " ^ s))
+  in
+  let print ppf = function
+    | None -> Fmt.string ppf "all"
+    | Some m -> Perf.Metric.pp ppf m
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "metric" ] ~docv:"METRIC" ~doc:"Only print ic, ma or cycles.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the contract as JSON to $(docv).")
+
+let predict_cmd nf_name json_path bindings_raw metric_name =
+  (* evaluate a previously exported contract without re-running BOLT *)
+  ignore nf_name;
+  match Perf.Contract_io.read_contract ~path:json_path with
+  | Error msg ->
+      Fmt.epr "cannot read %s: %s@." json_path msg;
+      exit 1
+  | Ok contract ->
+      let bindings =
+        List.map
+          (fun kv ->
+            match String.split_on_char '=' kv with
+            | [ name; value ] -> (Perf.Pcv.v name, int_of_string value)
+            | _ -> invalid_arg ("bad binding " ^ kv))
+          bindings_raw
+      in
+      let metric =
+        match metric_name with
+        | "ic" -> Perf.Metric.Instructions
+        | "ma" -> Perf.Metric.Memory_accesses
+        | "cycles" -> Perf.Metric.Cycles
+        | other -> invalid_arg ("unknown metric " ^ other)
+      in
+      List.iter
+        (fun class_name ->
+          match
+            Perf.Contract.predict contract ~class_name bindings metric
+          with
+          | Ok n -> Fmt.pr "  %-40s %a <= %d@." class_name Perf.Metric.pp metric n
+          | Error pcv ->
+              Fmt.pr "  %-40s (bind PCV %a to evaluate)@." class_name
+                Perf.Pcv.pp pcv)
+        (Perf.Contract.class_names contract)
+
+let diff_cmd before_path after_path =
+  match
+    ( Perf.Contract_io.read_contract ~path:before_path,
+      Perf.Contract_io.read_contract ~path:after_path )
+  with
+  | Error msg, _ | _, Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 1
+  | Ok before, Ok after ->
+      let d = Perf.Contract_diff.diff before after in
+      Fmt.pr "%a@." Perf.Contract_diff.pp d;
+      if Perf.Contract_diff.regressions d <> [] then begin
+        Fmt.pr "@.performance regressions detected.@.";
+        exit 2
+      end
+
+let contract_t =
+  Cmd.v
+    (Cmd.info "contract" ~doc:"Derive an NF's performance contract")
+    Term.(const contract_cmd $ nf_arg $ metric_arg $ json_arg)
+
+let diff_t =
+  let pos n doc =
+    Arg.(required & Arg.pos n (some file) None & info [] ~docv:"CONTRACT.json" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Diff two exported contracts; exits 2 when a bound can have \
+          regressed")
+    Term.(const diff_cmd $ pos 0 "Baseline contract." $ pos 1 "New contract.")
+
+let predict_t =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONTRACT.json"
+         ~doc:"Contract previously exported with --json.")
+  in
+  let bindings_arg =
+    Arg.(value & opt_all string [] & info [ "bind"; "b" ] ~docv:"PCV=VALUE"
+         ~doc:"Bind a PCV, e.g. -b e=0 -b t=1 (repeatable).")
+  in
+  let metric_arg =
+    Arg.(value & opt string "ic" & info [ "metric" ] ~docv:"METRIC"
+         ~doc:"ic, ma or cycles.")
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Evaluate an exported contract at concrete PCV values")
+    Term.(const predict_cmd $ const "" $ file_arg $ bindings_arg $ metric_arg)
+
+let paths_t =
+  Cmd.v
+    (Cmd.info "paths" ~doc:"List the feasible paths and per-path costs")
+    Term.(const paths_cmd $ nf_arg)
+
+let report_t =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Full analysis report: summary, classes, per-path witnesses")
+    Term.(const report_cmd $ nf_arg)
+
+let program_t =
+  Cmd.v
+    (Cmd.info "program" ~doc:"Print the NF's IR")
+    Term.(const program_cmd $ nf_arg)
+
+let validate_t =
+  let pcap_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"PCAP"
+         ~doc:"Traffic sample to check against the contract.")
+  in
+  let in_port_arg =
+    Arg.(value & opt int 0 & info [ "in-port" ] ~doc:"Ingress port.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Replay a pcap through the production build and check every \
+          packet against the derived contract (exit 2 on violation)")
+    Term.(const validate_cmd $ nf_arg $ pcap_arg $ in_port_arg)
+
+let () =
+  let info =
+    Cmd.info "bolt" ~version:"1.0.0"
+      ~doc:"Performance contracts for software network functions"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ contract_t; predict_t; diff_t; validate_t; paths_t; report_t; program_t ]))

@@ -1,0 +1,49 @@
+(* The Distiller CLI: replay a pcap through an NF's production build and
+   report the induced PCV distributions (paper §4). *)
+
+let distill nf_name pcap_path in_port =
+  let entry = Nf_registry.find nf_name in
+  let alloc = Dslib.Layout.allocator () in
+  let dss = entry.Nf_registry.setup alloc in
+  let result =
+    Distiller.Run.run_pcap ~dss entry.Nf_registry.program ~path:pcap_path
+      ~in_port ()
+  in
+  Fmt.pr "replayed %d packets@.@." (List.length result.Distiller.Run.reports);
+  let interesting =
+    Perf.Pcv.[ expired; collisions; traversals; occupancy; scan ]
+  in
+  List.iter
+    (fun pcv ->
+      let values = Distiller.Run.pcv_values result pcv in
+      if List.exists (fun v -> v > 0) values then begin
+        Fmt.pr "PCV %a — per-packet density:@." Perf.Pcv.pp pcv;
+        Fmt.pr "%a@." Distiller.Stats.pp_density
+          (Distiller.Stats.density values)
+      end)
+    interesting;
+  Fmt.pr "latency (cycles): mean %.0f, p99 %d, max %d@."
+    (Distiller.Stats.mean (Distiller.Run.latencies result))
+    (Distiller.Stats.percentile (Distiller.Run.latencies result) 0.99)
+    (Distiller.Run.max_cycles result)
+
+open Cmdliner
+
+let nf_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF"
+       ~doc:"Network function name.")
+
+let pcap_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"PCAP"
+       ~doc:"Traffic sample to replay.")
+
+let in_port_arg =
+  Arg.(value & opt int 0 & info [ "in-port" ] ~doc:"Ingress port.")
+
+let () =
+  let info =
+    Cmd.info "bolt-distill" ~version:"1.0.0"
+      ~doc:"Compute PCV values induced by a packet trace"
+  in
+  exit
+    (Cmd.eval (Cmd.v info Term.(const distill $ nf_arg $ pcap_arg $ in_port_arg)))

@@ -1,0 +1,109 @@
+(* Shared CLI glue: look NFs up by name and bundle their analysis
+   ingredients. *)
+
+type entry = {
+  name : string;
+  program : Ir.Program.t;
+  contracts : Perf.Ds_contract.library;
+  classes : Symbex.Iclass.t list;
+  setup : Dslib.Layout.allocator -> Exec.Ds.env;
+}
+
+let all () =
+  [
+    {
+      name = "bridge";
+      program = Nf.Bridge.program;
+      contracts = Nf.Bridge.contracts ();
+      classes = Nf.Bridge.classes ();
+      setup = (fun alloc -> fst (Nf.Bridge.setup alloc));
+    };
+    {
+      name = "nat";
+      program = Nf.Nat.program;
+      contracts = Nf.Nat.contracts ();
+      classes = Nf.Nat.classes ();
+      setup = (fun alloc -> fst (Nf.Nat.setup alloc));
+    };
+    {
+      name = "maglev";
+      program = Nf.Maglev.program;
+      contracts = Nf.Maglev.contracts ();
+      classes = Nf.Maglev.classes ();
+      setup = (fun alloc -> fst (Nf.Maglev.setup alloc));
+    };
+    {
+      name = "lpm_router";
+      program = Nf.Router_lpm.program;
+      contracts = Nf.Router_lpm.contracts ();
+      classes = Nf.Router_lpm.classes ();
+      setup =
+        (fun alloc ->
+          fst
+            (Nf.Router_lpm.setup alloc
+               ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
+    };
+    {
+      name = "trie_router";
+      program = Nf.Router_trie.program;
+      contracts = Nf.Router_trie.contracts ();
+      classes = Nf.Router_trie.classes ();
+      setup =
+        (fun alloc ->
+          fst
+            (Nf.Router_trie.setup alloc
+               ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
+    };
+    {
+      name = "conntrack";
+      program = Nf.Conntrack.program;
+      contracts = Nf.Conntrack.contracts ();
+      classes = Nf.Conntrack.classes ();
+      setup = (fun alloc -> fst (Nf.Conntrack.setup alloc));
+    };
+    {
+      name = "limiter";
+      program = Nf.Limiter.program;
+      contracts = Nf.Limiter.contracts ();
+      classes = Nf.Limiter.classes ();
+      setup = (fun alloc -> fst (Nf.Limiter.setup alloc));
+    };
+    {
+      name = "policer";
+      program = Nf.Policer.program;
+      contracts = Nf.Policer.contracts ();
+      classes = Nf.Policer.classes ();
+      setup = (fun alloc -> fst (Nf.Policer.setup alloc));
+    };
+    {
+      name = "responder";
+      program = Nf.Responder.program;
+      contracts = Perf.Ds_contract.library [];
+      classes = Nf.Responder.classes ();
+      setup = (fun _ -> []);
+    };
+    {
+      name = "firewall";
+      program = Nf.Firewall.program;
+      contracts = Perf.Ds_contract.library [];
+      classes = Nf.Firewall.classes ();
+      setup = (fun _ -> []);
+    };
+    {
+      name = "static_router";
+      program = Nf.Static_router.program;
+      contracts = Perf.Ds_contract.library [];
+      classes = Nf.Static_router.classes ();
+      setup = (fun _ -> []);
+    };
+  ]
+
+let names () = List.map (fun e -> e.name) (all ())
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) (all ()) with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown NF %S (try: %s)" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,1 @@
+examples/allocator_choice.ml: Dslib Experiments Fmt Perf

@@ -1,0 +1,1 @@
+examples/chain_composition.mli:

@@ -1,0 +1,1 @@
+examples/ci_workflow.ml: Bolt Dslib Experiments Filename Fmt List Nf Perf Result Sys Workload

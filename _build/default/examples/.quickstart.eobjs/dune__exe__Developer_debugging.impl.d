@@ -1,0 +1,1 @@
+examples/developer_debugging.ml: Experiments Fmt

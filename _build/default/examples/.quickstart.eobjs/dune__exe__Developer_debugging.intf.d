@@ -1,0 +1,1 @@
+examples/developer_debugging.mli:

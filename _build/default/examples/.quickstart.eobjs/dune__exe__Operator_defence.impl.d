@@ -1,0 +1,1 @@
+examples/operator_defence.ml: Experiments Fmt List

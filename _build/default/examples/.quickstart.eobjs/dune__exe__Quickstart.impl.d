@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bolt Dslib Exec Expr Fmt Hw Iclass Ir Net Perf Program Stmt Symbex

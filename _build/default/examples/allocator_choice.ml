@@ -1,0 +1,37 @@
+(* Developer use-case (paper §5.3, Figures 5-7): choosing between two
+   port-allocator implementations with contracts instead of A/B testing.
+
+   Both allocators are O(1) "in the common case", so big-O does not
+   decide; the contracts do.  Allocator A (doubly-linked free list) has
+   occupancy-independent constants; allocator B (lowest-free bitmap) has
+   a scan term that grows with occupancy but smaller constants.
+
+     dune exec examples/allocator_choice.exe *)
+
+let () =
+  Fmt.pr "Method contracts for the two allocators:@.@.";
+  Fmt.pr "  A (dll)   alloc: %a@." Perf.Cost_vec.pp
+    Dslib.Port_alloc.Recipe.alloc_dll;
+  Fmt.pr "@.  B (array) alloc: %a@.@." Perf.Cost_vec.pp
+    Dslib.Port_alloc.Recipe.alloc_array;
+  Fmt.pr
+    "B's cost depends on PCV s (full bitmap words skipped).  Whether B \
+     wins@.depends on the traffic: the Distiller binds s for each \
+     scenario.@.@.";
+
+  let low, high = Experiments.Allocators.figure5_6_7 ~packets:12_000 () in
+  Experiments.Allocators.print Fmt.stdout low;
+  Fmt.pr "@.";
+  Experiments.Allocators.print Fmt.stdout high;
+
+  let verdict (r : Experiments.Allocators.result) =
+    if r.Experiments.Allocators.predicted_cycles_a
+       <= r.Experiments.Allocators.predicted_cycles_b
+    then "A"
+    else "B"
+  in
+  Fmt.pr
+    "@.=> contracts pick %s for the low-churn deployment and %s for the \
+     high-churn one,@.   without running a single A/B test in \
+     production.@."
+    (verdict low) (verdict high)

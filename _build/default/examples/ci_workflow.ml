@@ -1,0 +1,93 @@
+(* Performance contracts as a CI gate.
+
+   Contracts are serialisable artifacts, so performance review works like
+   code review: derive a contract per commit, diff against the baseline,
+   and fail the build on a regression — with the diff naming the input
+   class and the PCV coefficient that got worse, not just "the benchmark
+   got slower".
+
+   This example simulates a developer "improving" the NAT's hash function
+   by making key comparison cost one extra word, and shows the machinery
+   catching it:
+
+     dune exec examples/ci_workflow.exe *)
+
+let derive () =
+  let t =
+    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
+      ~contracts:(Nf.Nat.contracts ()) Nf.Nat.program
+  in
+  Bolt.Pipeline.contract t ~classes:(Nf.Nat.table6_classes ())
+
+let () =
+  (* --- commit 1: derive and export the baseline ----------------------- *)
+  let baseline = derive () in
+  let path = Filename.temp_file "nat_contract" ".json" in
+  Perf.Contract_io.write_contract ~path baseline;
+  Fmt.pr "baseline contract exported to %s (%d classes)@.@." path
+    (List.length (Perf.Contract.class_names baseline));
+
+  (* --- an operator consumes the artifact without running BOLT --------- *)
+  (match Perf.Contract_io.read_contract ~path with
+  | Error msg -> failwith msg
+  | Ok c ->
+      let bound =
+        Result.get_ok
+          (Perf.Contract.predict c ~class_name:"Known flows (forwarded)"
+             Perf.Pcv.[ (expired, 1); (collisions, 0); (traversals, 1) ]
+             Perf.Metric.Instructions)
+      in
+      Fmt.pr
+        "operator reads it back: established flows with one expiry cost \
+         at most %d instructions@.@."
+        bound);
+
+  (* --- commit 2: simulate a regression -------------------------------- *)
+  let regressed =
+    (* bump the e-coefficient of every class: what a sloppier expiry loop
+       would do to the derived contract *)
+    Perf.Contract.make ~nf:baseline.Perf.Contract.nf
+      (List.map
+         (fun (e : Perf.Contract.entry) ->
+           let bump expr =
+             Perf.Perf_expr.add expr (Perf.Perf_expr.term 25 [ Perf.Pcv.expired ])
+           in
+           {
+             e with
+             Perf.Contract.cost =
+               Perf.Cost_vec.make
+                 ~ic:(bump (Perf.Cost_vec.get e.Perf.Contract.cost
+                              Perf.Metric.Instructions))
+                 ~ma:(Perf.Cost_vec.get e.Perf.Contract.cost
+                        Perf.Metric.Memory_accesses)
+                 ~cycles:(Perf.Cost_vec.get e.Perf.Contract.cost
+                            Perf.Metric.Cycles);
+           })
+         baseline.Perf.Contract.entries)
+  in
+  let diff = Perf.Contract_diff.diff baseline regressed in
+  Fmt.pr "the gate diffs the new contract against the baseline:@.@.%a@."
+    Perf.Contract_diff.pp diff;
+  (match Perf.Contract_diff.regressions diff with
+  | [] -> Fmt.pr "no regressions — merge away@."
+  | r ->
+      Fmt.pr
+        "=> %d regressed entries: CI fails the merge, pointing at the \
+         per-expiry cost@."
+        (List.length r));
+
+  (* --- and the contract is continuously validated in staging ---------- *)
+  let dss, _ = Nf.Nat.setup (Dslib.Layout.allocator ()) in
+  let rng = Workload.Prng.create ~seed:99 in
+  let stream =
+    Workload.Gen.churn rng ~pool:128 ~packets:2_000 ~new_flow_prob:0.1
+      ~gap:200 ~start:1_000_000
+  in
+  let worst =
+    Bolt.Pipeline.worst_case
+      (Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
+         ~contracts:(Nf.Nat.contracts ()) Nf.Nat.program)
+  in
+  let report = Experiments.Validate.run ~worst ~dss Nf.Nat.program stream in
+  Fmt.pr "@.staging validation: %a" Experiments.Validate.pp report;
+  Sys.remove path

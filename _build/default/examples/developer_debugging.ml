@@ -1,0 +1,36 @@
+(* Developer use-case (paper §5.3): finding the VigNAT expiry-batching
+   bug with a contract and the Distiller, then verifying the fix.
+
+   The NAT's contract is dominated by the expired-flows PCV [e]
+   (Table 6).  If production latency shows a rare heavy tail, the
+   contract says: look at what makes [e] large.  The Distiller confirms
+   that with second-granularity timestamps, expirations arrive in batches
+   — and that millisecond stamps fix it (Tables 7/8, Figure 4).
+
+     dune exec examples/developer_debugging.exe *)
+
+let () =
+  Fmt.pr "1. The contract points at the dominant PCV:@.@.";
+  Experiments.Exhibits.table6 Fmt.stdout;
+  Fmt.pr
+    "@.   Every row is dominated by e-terms: a packet that triggers many@.\
+    \   expirations is slow, whatever else it does.@.";
+
+  Fmt.pr "@.2. Distil a churny workload at second granularity:@.@.";
+  let before = Experiments.Vignat.run ~granularity:1_000_000 ~packets:12_000 () in
+  Experiments.Vignat.print_report ~label:"   (original)" Fmt.stdout before;
+
+  Fmt.pr "@.3. The fix — millisecond timestamps — spreads expiry out:@.@.";
+  let after = Experiments.Vignat.run ~granularity:1_000 ~packets:12_000 () in
+  Experiments.Vignat.print_report ~label:"   (fixed)" Fmt.stdout after;
+
+  let speedup =
+    float_of_int before.Experiments.Vignat.max_latency
+    /. float_of_int (max 1 after.Experiments.Vignat.max_latency)
+  in
+  Fmt.pr
+    "@.=> worst-case packet latency improved %.0fx; the median is \
+     unchanged@.   (%d vs %d cycles) because expiry work is now spread \
+     across packets@.   instead of batching on the second boundary — \
+     exactly the paper's Figure 4.@."
+    speedup before.Experiments.Vignat.p50 after.Experiments.Vignat.p50

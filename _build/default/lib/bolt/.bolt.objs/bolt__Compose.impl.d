@@ -1,0 +1,1 @@
+lib/bolt/compose.ml: Cost_vec Ds_contract Exec Hw Ir List Net Perf Pipeline Solver String Symbex

@@ -1,0 +1,1 @@
+lib/bolt/compose.mli: Ir Perf Solver Symbex

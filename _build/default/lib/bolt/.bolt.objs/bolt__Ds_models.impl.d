@@ -1,0 +1,1 @@
+lib/bolt/ds_models.ml: Model Symbex

@@ -1,0 +1,1 @@
+lib/bolt/pipeline.ml: Contract Cost_vec Ds_contract Exec Hw Ir List Net Pcv Perf Perf_expr Printf Solver Symbex

@@ -1,0 +1,1 @@
+lib/bolt/pipeline.mli: Exec Hw Ir Net Perf Symbex

@@ -1,0 +1,1 @@
+lib/bolt/report.ml: Buffer Contract Cost_vec Fmt Ir List Metric Net Pcv Perf Pipeline Printf Symbex

@@ -1,0 +1,1 @@
+lib/bolt/report.mli: Format Net Pipeline Symbex

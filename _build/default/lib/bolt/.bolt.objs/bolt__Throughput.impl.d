@@ -1,0 +1,1 @@
+lib/bolt/throughput.ml: Exec Fmt Hw Ir List Net Perf Pipeline Symbex

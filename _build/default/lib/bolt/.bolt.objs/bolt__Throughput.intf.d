@@ -1,0 +1,1 @@
+lib/bolt/throughput.mli: Format Perf Pipeline Symbex

@@ -1,0 +1,253 @@
+open Perf
+
+type pair = { up : Symbex.Path.t; down : Symbex.Path.t; cost : Cost_vec.t }
+
+type t = {
+  pairs : pair list;
+  up_only : (Symbex.Path.t * Cost_vec.t) list;
+  unsolved : int;
+  up_engine : Symbex.Engine.result;
+}
+
+let engine_up t = t.up_engine
+
+let replay_cost ~contracts ~program ~path ~packet ~stubs ~in_port ~now =
+  let meter = Exec.Meter.create ~trace:true (Hw.Model.conservative ()) in
+  let _run =
+    Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs) ~in_port ~now
+      program packet
+  in
+  Pipeline.analyze_replay ~contracts ~path ~meter (Exec.Meter.events meter)
+
+let stub_values model (path : Symbex.Path.t) =
+  List.map
+    (fun c -> Solver.Model.eval model c.Symbex.Path.ret)
+    path.Symbex.Path.calls
+
+let concretize_packet model (input : Symbex.Spacket.input) =
+  let len = Solver.Model.value model (Symbex.Spacket.len_sym input) in
+  let packet = Net.Packet.create len in
+  List.iter
+    (fun (off, sym) ->
+      if off < len then
+        Net.Packet.set_u8 packet off (Solver.Model.value model sym land 0xff))
+    (Symbex.Spacket.known_bytes input);
+  packet
+
+let analyze ?max_paths ~models ~up:(up_program, up_contracts)
+    ~down:(down_program, down_contracts) () =
+  let up_engine = Symbex.Engine.explore ?max_paths ~models up_program in
+  let unsolved = ref 0 in
+  let pairs = ref [] in
+  let up_only = ref [] in
+  List.iter
+    (fun (up_path : Symbex.Path.t) ->
+      match up_path.Symbex.Path.action with
+      | Symbex.Path.Drop | Symbex.Path.Flood -> (
+          match Pipeline.witness up_engine up_path with
+          | None -> incr unsolved
+          | Some (packet, stubs, in_port, now) ->
+              let cost =
+                replay_cost ~contracts:up_contracts ~program:up_program
+                  ~path:up_path ~packet ~stubs ~in_port ~now
+              in
+              up_only := (up_path, cost) :: !up_only)
+      | Symbex.Path.Forward _ ->
+          let down_engine =
+            Symbex.Engine.explore ?max_paths
+              ~shared:(up_engine.Symbex.Engine.gen, up_path.Symbex.Path.view)
+              ~initial:up_path.Symbex.Path.constraints ~models down_program
+          in
+          List.iter
+            (fun (down_path : Symbex.Path.t) ->
+              match
+                Solver.Solve.check down_path.Symbex.Path.constraints
+              with
+              | Solver.Solve.Unsat | Solver.Solve.Unknown -> incr unsolved
+              | Solver.Solve.Sat model -> (
+                  let packet =
+                    concretize_packet model up_engine.Symbex.Engine.input
+                  in
+                  let up_cost =
+                    replay_cost ~contracts:up_contracts ~program:up_program
+                      ~path:up_path ~packet
+                      ~stubs:(stub_values model up_path)
+                      ~in_port:
+                        (Solver.Model.value model
+                           up_engine.Symbex.Engine.in_port)
+                      ~now:
+                        (Solver.Model.value model up_engine.Symbex.Engine.now)
+                  in
+                  (* the upstream replay mutated [packet] in place: it is
+                     now the downstream NF's input *)
+                  match
+                    replay_cost ~contracts:down_contracts
+                      ~program:down_program ~path:down_path ~packet
+                      ~stubs:(stub_values model down_path)
+                      ~in_port:
+                        (Solver.Model.value model
+                           down_engine.Symbex.Engine.in_port)
+                      ~now:
+                        (Solver.Model.value model
+                           down_engine.Symbex.Engine.now)
+                  with
+                  | down_cost ->
+                      pairs :=
+                        {
+                          up = up_path;
+                          down = down_path;
+                          cost = Cost_vec.add up_cost down_cost;
+                        }
+                        :: !pairs
+                  | exception Failure _ ->
+                      (* replay diverged (over-approximated rewrite read
+                         back by the downstream NF): drop the pair but
+                         count it *)
+                      incr unsolved))
+            down_engine.Symbex.Engine.paths)
+    up_engine.Symbex.Engine.paths;
+  {
+    pairs = List.rev !pairs;
+    up_only = List.rev !up_only;
+    unsolved = !unsolved;
+    up_engine;
+  }
+
+let worst_case t =
+  Cost_vec.max_upper_list
+    (List.map (fun p -> p.cost) t.pairs @ List.map snd t.up_only)
+
+let naive_add ~up ~down = Cost_vec.add up down
+
+(* ---- Chains of arbitrary length --------------------------------------- *)
+
+type stage = { program : Ir.Program.t; contracts : Ds_contract.library }
+type tuple = { segments : Symbex.Path.t list; cost : Cost_vec.t }
+
+type chain = {
+  tuples : tuple list;
+  chain_unsolved : int;
+  input : Symbex.Spacket.input;
+}
+
+(* One traversed segment: the path plus everything needed to replay it. *)
+type segment = {
+  seg_path : Symbex.Path.t;
+  seg_engine : Symbex.Engine.result;
+  seg_stage : stage;
+}
+
+let analyze_chain ?max_paths ~models stages =
+  if stages = [] then invalid_arg "Compose.analyze_chain: empty chain";
+  let gen = Solver.Sym.gen () in
+  let input = Symbex.Spacket.input gen () in
+  let view0 = Symbex.Spacket.view input in
+  let tuples = ref [] in
+  let unsolved = ref 0 in
+  let finalize (segments_rev : segment list) =
+    let segments = List.rev segments_rev in
+    let joint_constraints =
+      match segments_rev with
+      | [] -> assert false
+      | last :: _ -> last.seg_path.Symbex.Path.constraints
+    in
+    match Solver.Solve.check joint_constraints with
+    | Solver.Solve.Unsat | Solver.Solve.Unknown -> incr unsolved
+    | Solver.Solve.Sat model -> (
+        let packet = concretize_packet model input in
+        match
+          List.fold_left
+            (fun acc seg ->
+              let cost =
+                replay_cost ~contracts:seg.seg_stage.contracts
+                  ~program:seg.seg_stage.program ~path:seg.seg_path ~packet
+                  ~stubs:(stub_values model seg.seg_path)
+                  ~in_port:
+                    (Solver.Model.value model
+                       seg.seg_engine.Symbex.Engine.in_port)
+                  ~now:
+                    (Solver.Model.value model
+                       seg.seg_engine.Symbex.Engine.now)
+              in
+              Cost_vec.add acc cost)
+            Cost_vec.zero segments
+        with
+        | cost ->
+            tuples :=
+              { segments = List.map (fun s -> s.seg_path) segments; cost }
+              :: !tuples
+        | exception Failure _ -> incr unsolved)
+  in
+  let rec descend segments_rev view constraints remaining =
+    match remaining with
+    | [] -> finalize segments_rev
+    | stage :: rest ->
+        let engine =
+          Symbex.Engine.explore ?max_paths ~shared:(gen, view)
+            ~initial:constraints ~models stage.program
+        in
+        List.iter
+          (fun (path : Symbex.Path.t) ->
+            let seg = { seg_path = path; seg_engine = engine; seg_stage = stage } in
+            match path.Symbex.Path.action with
+            | Symbex.Path.Forward _ ->
+                descend (seg :: segments_rev) path.Symbex.Path.view
+                  path.Symbex.Path.constraints rest
+            | Symbex.Path.Drop | Symbex.Path.Flood ->
+                finalize (seg :: segments_rev))
+          engine.Symbex.Engine.paths
+  in
+  descend [] view0 [] stages;
+  { tuples = List.rev !tuples; chain_unsolved = !unsolved; input }
+
+let chain_worst chain =
+  Cost_vec.max_upper_list (List.map (fun t -> t.cost) chain.tuples)
+
+let chain_class_cost chain predicate =
+  let pred = predicate chain.input in
+  let members =
+    List.filter
+      (fun t ->
+        match List.rev t.segments with
+        | [] -> false
+        | last :: _ ->
+            Solver.Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000
+              (pred @ last.Symbex.Path.constraints))
+      chain.tuples
+  in
+  ( Cost_vec.max_upper_list (List.map (fun t -> t.cost) members),
+    List.length members )
+
+let class_cost t ~up_result (cls : Symbex.Iclass.t) =
+  let pred = cls.Symbex.Iclass.predicate up_result in
+  let matches_joint constraints (path_for_tags : Symbex.Path.t) =
+    List.for_all
+      (fun (r : Symbex.Iclass.requirement) ->
+        match
+          Symbex.Path.tags_of path_for_tags ~instance:r.Symbex.Iclass.instance
+            ~meth:r.Symbex.Iclass.meth
+        with
+        | [] -> false
+        | tags -> List.for_all (String.equal r.Symbex.Iclass.tag) tags)
+      cls.Symbex.Iclass.requires
+    && List.for_all
+         (fun (instance, meth) ->
+           Symbex.Path.tags_of path_for_tags ~instance ~meth = [])
+         cls.Symbex.Iclass.forbids
+    && Solver.Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000
+         (pred @ constraints)
+  in
+  let member_costs =
+    List.filter_map
+      (fun p ->
+        if matches_joint p.down.Symbex.Path.constraints p.up then
+          Some p.cost
+        else None)
+      t.pairs
+    @ List.filter_map
+        (fun (path, cost) ->
+          if matches_joint path.Symbex.Path.constraints path then Some cost
+          else None)
+        t.up_only
+  in
+  (Cost_vec.max_upper_list member_costs, List.length member_costs)

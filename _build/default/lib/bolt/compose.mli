@@ -1,0 +1,88 @@
+(** Joint analysis of NF chains (paper §3.4).
+
+    For every path of the upstream NF that forwards its packet, the
+    downstream NF is symbolically executed {e on the upstream path's
+    symbolic output packet} under the upstream path's constraints — so
+    downstream branches react to upstream rewrites, and incompatible path
+    pairs are pruned by the solver rather than summed.  This is what makes
+    the composed contract tighter than adding the two NFs' worst cases
+    (Figure 3). *)
+
+type pair = {
+  up : Symbex.Path.t;
+  down : Symbex.Path.t;
+  cost : Perf.Cost_vec.t;  (** joint cost of the compatible pair *)
+}
+
+type t = {
+  pairs : pair list;
+  up_only : (Symbex.Path.t * Perf.Cost_vec.t) list;
+      (** upstream paths that drop/flood — the chain ends there *)
+  unsolved : int;
+  up_engine : Symbex.Engine.result;
+}
+
+val analyze :
+  ?max_paths:int ->
+  models:Symbex.Model.registry ->
+  up:Ir.Program.t * Perf.Ds_contract.library ->
+  down:Ir.Program.t * Perf.Ds_contract.library ->
+  unit ->
+  t
+
+val worst_case : t -> Perf.Cost_vec.t
+(** Conservative cost of the chain over all compatible pairs and
+    upstream-terminated paths. *)
+
+val naive_add :
+  up:Perf.Cost_vec.t -> down:Perf.Cost_vec.t -> Perf.Cost_vec.t
+(** The baseline the paper compares against: add the two NFs' individual
+    worst cases. *)
+
+val class_cost :
+  t ->
+  up_result:Symbex.Engine.result ->
+  Symbex.Iclass.t ->
+  Perf.Cost_vec.t * int
+(** Chain cost for an input class of the upstream NF. *)
+
+val engine_up : t -> Symbex.Engine.result
+
+(** {1 Chains of arbitrary length}
+
+    The paper (§3.4) notes that longer chains should be pieced together
+    one NF at a time rather than by enumerating the full combinatorial
+    product — which is what this does: each stage is symbolically
+    executed on the previous stage's symbolic output packet, under the
+    accumulated constraints, so infeasible tuples die as early as
+    possible. *)
+
+type stage = {
+  program : Ir.Program.t;
+  contracts : Perf.Ds_contract.library;
+}
+
+type tuple = {
+  segments : Symbex.Path.t list;
+      (** one path per traversed NF; shorter than the chain when an
+          early NF dropped the packet *)
+  cost : Perf.Cost_vec.t;
+}
+
+type chain = {
+  tuples : tuple list;
+  chain_unsolved : int;
+  input : Symbex.Spacket.input;  (** shared input packet symbols *)
+}
+
+val analyze_chain :
+  ?max_paths:int -> models:Symbex.Model.registry -> stage list -> chain
+(** Raises [Invalid_argument] on an empty chain. *)
+
+val chain_worst : chain -> Perf.Cost_vec.t
+
+val chain_class_cost :
+  chain -> (Symbex.Spacket.input -> Solver.Constr.t list) ->
+  Perf.Cost_vec.t * int
+(** Conservative chain cost over input packets satisfying the predicate
+    (expressed over the shared input symbols). *)

@@ -1,0 +1,103 @@
+open Symbex
+
+let hit_miss ~kind ~meth ~hit_lo ~hit_hi =
+  Model.make ~kind ~meth (fun ctx ~args:_ ->
+      [
+        Model.fresh_ret_branch ctx ~tag:"hit" ~lo:hit_lo ~hi:hit_hi
+          (meth ^ "_hit");
+        Model.const_branch ~tag:"miss" (-1);
+      ])
+
+let single ~kind ~meth ~tag ~lo ~hi =
+  Model.make ~kind ~meth (fun ctx ~args:_ ->
+      [ Model.fresh_ret_branch ctx ~tag ~lo ~hi meth ])
+
+let flow_table =
+  [
+    single ~kind:"flow_table" ~meth:"expire" ~tag:"expire" ~lo:0
+      ~hi:(1 lsl 22);
+    hit_miss ~kind:"flow_table" ~meth:"get" ~hit_lo:0 ~hit_hi:((1 lsl 31) - 1);
+    Model.make ~kind:"flow_table" ~meth:"put" (fun ctx ~args:_ ->
+        [
+          Model.fresh_ret_branch ctx ~tag:"ok" ~lo:0 ~hi:(1 lsl 22) "put_idx";
+          Model.const_branch ~tag:"full" (-1);
+        ]);
+    single ~kind:"flow_table" ~meth:"size" ~tag:"ok" ~lo:0 ~hi:(1 lsl 22);
+  ]
+
+let nat_table =
+  [
+    single ~kind:"nat_table" ~meth:"expire" ~tag:"expire" ~lo:0
+      ~hi:(1 lsl 22);
+    hit_miss ~kind:"nat_table" ~meth:"lookup_int" ~hit_lo:0 ~hit_hi:65535;
+    Model.make ~kind:"nat_table" ~meth:"add_int" (fun ctx ~args:_ ->
+        [
+          Model.fresh_ret_branch ctx ~tag:"ok" ~lo:0 ~hi:65535 "new_port";
+          Model.const_branch ~tag:"full" (-1);
+          Model.const_branch ~tag:"no_port" (-1);
+        ]);
+    hit_miss ~kind:"nat_table" ~meth:"lookup_ext" ~hit_lo:0
+      ~hit_hi:(1 lsl 22);
+    single ~kind:"nat_table" ~meth:"int_field" ~tag:"ok" ~lo:0
+      ~hi:((1 lsl 32) - 1);
+  ]
+
+let mac_table =
+  [
+    single ~kind:"mac_table" ~meth:"expire" ~tag:"expire" ~lo:0
+      ~hi:(1 lsl 22);
+    Model.make ~kind:"mac_table" ~meth:"learn" (fun _ctx ~args:_ ->
+        [
+          Model.const_branch ~tag:"known" 0;
+          Model.const_branch ~tag:"learned" 0;
+          Model.const_branch ~tag:"rehash" 0;
+          Model.const_branch ~tag:"full" 0;
+        ]);
+    hit_miss ~kind:"mac_table" ~meth:"lookup" ~hit_lo:0 ~hit_hi:7;
+  ]
+
+let lpm =
+  [
+    Model.make ~kind:"lpm" ~meth:"lookup" (fun ctx ~args:_ ->
+        [
+          Model.fresh_ret_branch ctx ~tag:"short" ~lo:0 ~hi:255 "port24";
+          Model.fresh_ret_branch ctx ~tag:"long" ~lo:0 ~hi:255 "port32";
+        ]);
+  ]
+
+let lpm_trie =
+  [ single ~kind:"lpm_trie" ~meth:"lookup" ~tag:"ok" ~lo:0 ~hi:255 ]
+
+let hash_ring =
+  [ single ~kind:"hash_ring" ~meth:"backend_for" ~tag:"ok" ~lo:0 ~hi:1023 ]
+
+let backend_pool =
+  [
+    Model.make ~kind:"backend_pool" ~meth:"heartbeat" (fun _ctx ~args:_ ->
+        [ Model.const_branch ~tag:"ok" 1 ]);
+    Model.make ~kind:"backend_pool" ~meth:"is_alive" (fun _ctx ~args:_ ->
+        [
+          Model.const_branch ~tag:"alive" 1;
+          Model.const_branch ~tag:"dead" 0;
+        ]);
+  ]
+
+let token_bucket =
+  [
+    Model.make ~kind:"token_bucket" ~meth:"conform" (fun _ctx ~args:_ ->
+        [
+          Model.const_branch ~tag:"conform" 1;
+          Model.const_branch ~tag:"exceed" 0;
+        ]);
+  ]
+
+let count_min =
+  [
+    single ~kind:"count_min" ~meth:"update" ~tag:"ok" ~lo:1 ~hi:(1 lsl 30);
+    single ~kind:"count_min" ~meth:"estimate" ~tag:"ok" ~lo:0 ~hi:(1 lsl 30);
+  ]
+
+let default =
+  Model.registry
+    (flow_table @ nat_table @ mac_table @ lpm @ lpm_trie @ hash_ring
+   @ backend_pool @ token_bucket @ count_min)

@@ -1,0 +1,10 @@
+(** Symbolic models for every data-structure kind in the library
+    (paper §3.3, Algorithm 3).
+
+    Each model's branch tags match the branch tags of the kind's
+    performance contract, which is the hinge of Algorithm 2 line 11: the
+    tag recorded on the path selects the contract formula. *)
+
+val default : Symbex.Model.registry
+(** Models for: [flow_table], [nat_table], [mac_table], [lpm],
+    [lpm_trie], [hash_ring], [backend_pool], [token_bucket], [count_min]. *)

@@ -1,0 +1,75 @@
+(** The BOLT pipeline (paper Algorithm 2).
+
+    [analyze] substitutes symbolic models for the stateful calls, explores
+    every feasible path, solves each path's constraints for a concrete
+    witness packet, replays it through the analysis build to obtain the
+    instruction trace, and walks the trace pricing instructions with the
+    conservative hardware model — splicing in the matching performance-
+    contract branch at every stateful call, and parameterising PCV loops
+    by their trip count. *)
+
+type path_analysis = {
+  path : Symbex.Path.t;
+  cost : Perf.Cost_vec.t;
+      (** conservative cost of this path, over PCVs *)
+  replay : Exec.Interp.run;
+  packet : Net.Packet.t;  (** the witness packet *)
+  stubs : int list;
+  in_port : int;
+  now : int;
+}
+
+type t = {
+  program : Ir.Program.t;
+  engine : Symbex.Engine.result;
+  analyses : path_analysis list;
+  unsolved : int;
+      (** paths whose constraints the solver could not produce a witness
+          for (kept out of the contract; 0 in all our NFs) *)
+}
+
+val analyze :
+  ?max_paths:int ->
+  ?cycle_model:(unit -> Hw.Model.t) ->
+  models:Symbex.Model.registry ->
+  contracts:Perf.Ds_contract.library ->
+  Ir.Program.t ->
+  t
+(** [cycle_model] prices the stateless trace (default
+    {!Hw.Model.conservative}; {!Hw.Model.dram_only} for the hardware-model
+    ablation). *)
+
+val path_count : t -> int
+
+val class_members : t -> Symbex.Iclass.t -> path_analysis list
+
+val class_cost : t -> Symbex.Iclass.t -> Perf.Cost_vec.t * int
+(** Conservative (monomial-wise max) cost over the class's member paths,
+    and the member count. *)
+
+val contract : t -> classes:Symbex.Iclass.t list -> Perf.Contract.t
+(** The NF's performance contract, one entry per class. *)
+
+val worst_case : t -> Perf.Cost_vec.t
+(** Max over all paths — the unconstrained-traffic prediction. *)
+
+val predict :
+  t -> Symbex.Iclass.t -> Perf.Metric.t -> (int, Perf.Pcv.t) result
+(** The concrete bound for a class, at the class's PCV bindings. *)
+
+(** {1 Reusable internals} *)
+
+val analyze_replay :
+  ?cycle_model:(unit -> Hw.Model.t) ->
+  contracts:Perf.Ds_contract.library ->
+  path:Symbex.Path.t ->
+  meter:Exec.Meter.t ->
+  Exec.Meter.event list ->
+  Perf.Cost_vec.t
+(** Walk a replay trace into a cost expression (exposed for chain
+    composition). *)
+
+val witness :
+  Symbex.Engine.result -> Symbex.Path.t ->
+  (Net.Packet.t * int list * int * int) option
+(** Solve a path's constraints: [(packet, stubs, in_port, now)]. *)

@@ -1,0 +1,103 @@
+open Perf
+
+let witness_line packet =
+  let len = Net.Packet.length packet in
+  let shown = min len 48 in
+  let buf = Buffer.create (shown * 3) in
+  for i = 0 to shown - 1 do
+    if i > 0 && i mod 16 = 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Printf.sprintf "%02x" (Net.Packet.get_u8 packet i))
+  done;
+  if len > shown then Buffer.add_string buf (Printf.sprintf "… (%dB)" len);
+  Buffer.contents buf
+
+let all_pcvs t =
+  List.concat_map
+    (fun (a : Pipeline.path_analysis) -> Cost_vec.pcvs a.Pipeline.cost)
+    t.Pipeline.analyses
+  |> List.sort_uniq Pcv.compare
+
+let pcv_glossary =
+  [
+    (Pcv.expired, "entries expired while processing the packet");
+    (Pcv.collisions, "hash collisions encountered");
+    (Pcv.traversals, "hash-bucket traversals");
+    (Pcv.occupancy, "entries resident in the table");
+    (Pcv.prefix_len, "matched IP prefix length");
+    (Pcv.ip_options, "IP options carried by the packet");
+    (Pcv.scan, "allocator bitmap words skipped");
+  ]
+
+let pp_summary ppf (t : Pipeline.t) =
+  Fmt.pf ppf
+    "@[<v>%s: %d feasible paths (%d infeasible forks pruned, %d \
+     unsolved)@,"
+    t.Pipeline.program.Ir.Program.name
+    (Pipeline.path_count t)
+    t.Pipeline.engine.Symbex.Engine.infeasible_pruned t.Pipeline.unsolved;
+  let pcvs = all_pcvs t in
+  if pcvs <> [] then begin
+    Fmt.pf ppf "performance-critical variables:@,";
+    List.iter
+      (fun pcv ->
+        let gloss =
+          match List.assoc_opt pcv pcv_glossary with
+          | Some g -> g
+          | None -> "loop trip count"
+        in
+        Fmt.pf ppf "  %a — %s@," Pcv.pp pcv gloss)
+      pcvs
+  end;
+  Fmt.pf ppf "@]"
+
+let pp_action ppf = function
+  | Symbex.Path.Forward v -> Fmt.pf ppf "forward(%a)" Symbex.Value.pp v
+  | Symbex.Path.Drop -> Fmt.string ppf "drop"
+  | Symbex.Path.Flood -> Fmt.string ppf "flood"
+
+let pp_paths ?(witnesses = true) ppf (t : Pipeline.t) =
+  List.iter
+    (fun (a : Pipeline.path_analysis) ->
+      Fmt.pf ppf "path %d: %a@." a.Pipeline.path.Symbex.Path.id pp_action
+        a.Pipeline.path.Symbex.Path.action;
+      (match a.Pipeline.path.Symbex.Path.calls with
+      | [] -> ()
+      | calls ->
+          Fmt.pf ppf "  state: %a@."
+            Fmt.(
+              list ~sep:(any "; ") (fun ppf (c : Symbex.Path.call) ->
+                  pf ppf "%s.%s[%s]" c.Symbex.Path.instance c.Symbex.Path.meth
+                    c.Symbex.Path.tag))
+            calls);
+      Fmt.pf ppf "  cost: @[<v>%a@]@." Cost_vec.pp a.Pipeline.cost;
+      if witnesses then begin
+        Fmt.pf ppf "  witness (in_port %d, now %d): %a@." a.Pipeline.in_port
+          a.Pipeline.now Net.Pp.packet a.Pipeline.packet;
+        Fmt.pf ppf "    %s@." (witness_line a.Pipeline.packet)
+      end;
+      Fmt.pf ppf "@.")
+    t.Pipeline.analyses
+
+let pp_classes ~classes ppf (t : Pipeline.t) =
+  Fmt.pf ppf "%a@." Contract.pp (Pipeline.contract t ~classes);
+  List.iter
+    (fun (cls : Symbex.Iclass.t) ->
+      if cls.Symbex.Iclass.bindings <> [] then
+        match
+          ( Pipeline.predict t cls Metric.Instructions,
+            Pipeline.predict t cls Metric.Memory_accesses,
+            Pipeline.predict t cls Metric.Cycles )
+        with
+        | Ok ic, Ok ma, Ok cy ->
+            Fmt.pf ppf "  %s at %a: IC <= %d, MA <= %d, cycles <= %d@."
+              cls.Symbex.Iclass.name Pcv.pp_binding
+              cls.Symbex.Iclass.bindings ic ma cy
+        | _ -> ())
+    classes
+
+let pp_full ~classes ppf t =
+  pp_summary ppf t;
+  Fmt.pf ppf "@.";
+  pp_classes ~classes ppf t;
+  Fmt.pf ppf "@.per-path detail:@.@.";
+  pp_paths ppf t

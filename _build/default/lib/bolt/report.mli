@@ -1,0 +1,27 @@
+(** Human-facing analysis reports.
+
+    The contract table is what an operator consumes; a developer
+    debugging their NF wants more: every feasible path with its
+    abstract-state tags, its cost expression, and the witness packet the
+    solver produced for it (paper Alg. 2 line 6) — ready to feed back
+    into a test.  This module renders both levels. *)
+
+val pp_summary : Format.formatter -> Pipeline.t -> unit
+(** One paragraph: path counts, pruning, PCVs in play. *)
+
+val pp_paths : ?witnesses:bool -> Format.formatter -> Pipeline.t -> unit
+(** Every analysed path: action, call tags, cost expressions, and (with
+    [witnesses], default true) the concrete packet that exercises it. *)
+
+val pp_classes :
+  classes:Symbex.Iclass.t list -> Format.formatter -> Pipeline.t -> unit
+(** The class table with per-class member counts and, where the class's
+    bindings permit, concrete bounds. *)
+
+val pp_full :
+  classes:Symbex.Iclass.t list -> Format.formatter -> Pipeline.t -> unit
+(** Summary + classes + paths. *)
+
+val witness_line : Net.Packet.t -> string
+(** A compact one-line hex rendering of a witness packet (first 48
+    bytes). *)

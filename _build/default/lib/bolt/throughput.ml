@@ -1,0 +1,61 @@
+type bound = {
+  class_name : string;
+  cycles_per_packet : int;
+  min_pps : float;
+  min_gbps_64 : float;
+}
+
+let default_freq_hz = 3_300_000_000 (* the paper's E5-2667v2 clock *)
+
+(* Price the fixed RX+TX framing exactly as the analysis does: replay the
+   smallest possible program (unconditional drop, then the dearer forward
+   framing) on a cold conservative model and take the worse one. *)
+let framing_cycles =
+  let run action =
+    let meter = Exec.Meter.create (Hw.Model.conservative ()) in
+    let program =
+      Ir.Program.make ~name:"framing" ~state:[] [ Ir.Stmt.Return action ]
+    in
+    let r =
+      Exec.Interp.run ~meter ~mode:(Exec.Interp.Production [])
+        program (Net.Packet.create 64)
+    in
+    r.Exec.Interp.cycles
+  in
+  max (run Ir.Stmt.Drop) (run (Ir.Stmt.Forward (Ir.Expr.Const 0)))
+
+(* 64-byte frames occupy 84 bytes of wire time (preamble + IFG). *)
+let wire_bits_64 = 84 * 8
+
+let of_class ?(freq_hz = default_freq_hz) ?(batch = 1) pipeline cls =
+  if batch < 1 then invalid_arg "Throughput.of_class: batch must be >= 1";
+  match Pipeline.predict pipeline cls Perf.Metric.Cycles with
+  | Error _ as e -> e
+  | Ok cycles ->
+      let amortised =
+        if batch = 1 then cycles
+        else
+          cycles - framing_cycles
+          + ((framing_cycles + batch - 1) / batch)
+      in
+      let amortised = max 1 amortised in
+      let min_pps = float_of_int freq_hz /. float_of_int amortised in
+      Ok
+        {
+          class_name = cls.Symbex.Iclass.name;
+          cycles_per_packet = amortised;
+          min_pps;
+          min_gbps_64 = min_pps *. float_of_int wire_bits_64 /. 1e9;
+        }
+
+let of_classes ?freq_hz ?batch pipeline classes =
+  List.filter_map
+    (fun cls ->
+      match of_class ?freq_hz ?batch pipeline cls with
+      | Ok b -> Some b
+      | Error _ -> None)
+    classes
+
+let pp ppf b =
+  Fmt.pf ppf "%-8s <= %8d cycles/pkt  =>  >= %10.0f pps  (%5.2f Gbps @ 64B)"
+    b.class_name b.cycles_per_packet b.min_pps b.min_gbps_64

@@ -1,0 +1,36 @@
+(** Throughput bounds derived from cycle contracts (paper §6 lists this
+    as future work: "we plan to extend BOLT to reason about more commonly
+    used metrics such as throughput").
+
+    A per-packet cycle bound C on a core running at F Hz guarantees a
+    sustained single-core throughput of at least F/C packets per second
+    for traffic within the class — a floor an operator can provision
+    against, the dual of the latency bound.
+
+    Batched I/O sharpens the floor: the fixed RX/TX framing cost is paid
+    once per batch in a DPDK-style run-to-completion loop, so the
+    amortised per-packet bound is (C − framing + framing/B). *)
+
+type bound = {
+  class_name : string;
+  cycles_per_packet : int;  (** conservative bound at the class bindings *)
+  min_pps : float;  (** guaranteed packets/second at [freq_hz] *)
+  min_gbps_64 : float;  (** line-rate floor for 64-byte frames *)
+}
+
+val framing_cycles : int
+(** Conservative per-packet driver RX+TX cost included in every path
+    (subtractable under batching). *)
+
+val of_class :
+  ?freq_hz:int -> ?batch:int -> Pipeline.t -> Symbex.Iclass.t ->
+  (bound, Perf.Pcv.t) result
+(** [batch] defaults to 1 (no amortisation); [freq_hz] to 3.3 GHz, the
+    paper's testbed clock. *)
+
+val of_classes :
+  ?freq_hz:int -> ?batch:int -> Pipeline.t -> Symbex.Iclass.t list ->
+  bound list
+(** Skips classes with unbound PCVs. *)
+
+val pp : Format.formatter -> bound -> unit

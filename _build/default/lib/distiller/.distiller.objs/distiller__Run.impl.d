@@ -1,0 +1,1 @@
+lib/distiller/run.ml: Exec Hw List Net Perf Workload

@@ -1,0 +1,1 @@
+lib/distiller/run.mli: Exec Hw Ir Perf Workload

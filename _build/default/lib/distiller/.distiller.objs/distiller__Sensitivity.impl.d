@@ -1,0 +1,1 @@
+lib/distiller/sensitivity.ml: Fmt List Perf

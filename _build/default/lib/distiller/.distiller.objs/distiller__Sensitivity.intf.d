@@ -1,0 +1,1 @@
+lib/distiller/sensitivity.mli: Format Perf

@@ -1,0 +1,1 @@
+lib/distiller/stats.ml: Fmt Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/distiller/stats.mli: Format

@@ -1,0 +1,58 @@
+type packet_report = {
+  index : int;
+  outcome : Exec.Interp.outcome;
+  ic : int;
+  ma : int;
+  cycles : int;
+  observations : (Perf.Pcv.t * int) list;
+}
+
+type t = { reports : packet_report list; total_ic : int; total_ma : int }
+
+let run ?hw ~dss program stream =
+  let model = match hw with Some m -> m | None -> Hw.Model.realistic () in
+  let meter = Exec.Meter.create model in
+  let dma_regions =
+    [ (Exec.Interp.packet_base, 2048); (Exec.Interp.rx_ring_base, 256) ]
+  in
+  let reports =
+    List.mapi
+      (fun index { Workload.Stream.packet; now; in_port } ->
+        Exec.Meter.reset_observations meter;
+        model.Hw.Model.boundary dma_regions;
+        let run =
+          Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss) ~in_port
+            ~now program packet
+        in
+        {
+          index;
+          outcome = run.Exec.Interp.outcome;
+          ic = run.Exec.Interp.ic;
+          ma = run.Exec.Interp.ma;
+          cycles = run.Exec.Interp.cycles;
+          observations = Exec.Meter.observations meter;
+        })
+      stream
+  in
+  {
+    reports;
+    total_ic = Exec.Meter.ic meter;
+    total_ma = Exec.Meter.ma meter;
+  }
+
+let run_pcap ?hw ~dss program ~path ?(in_port = 0) () =
+  let records = Net.Pcap.read_file path in
+  run ?hw ~dss program (Workload.Stream.of_pcap ~in_port records)
+
+let fold_pcv combine report pcv =
+  List.fold_left
+    (fun acc (p, v) -> if Perf.Pcv.equal p pcv then combine acc v else acc)
+    0 report.observations
+
+let pcv_values t pcv = List.map (fun r -> fold_pcv max r pcv) t.reports
+let pcv_sums t pcv = List.map (fun r -> fold_pcv ( + ) r pcv) t.reports
+let latencies t = List.map (fun r -> r.cycles) t.reports
+let max_over f t = List.fold_left (fun acc r -> max acc (f r)) 0 t.reports
+let max_ic t = max_over (fun r -> r.ic) t
+let max_ma t = max_over (fun r -> r.ma) t
+let max_cycles t = max_over (fun r -> r.cycles) t

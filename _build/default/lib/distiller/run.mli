@@ -1,0 +1,45 @@
+(** The Distiller's instrumented replay (paper §4).
+
+    Feeds a traffic sample through the production build of the NF, logging
+    the PCV values each packet induced.  The Distiller never changes the
+    contract — it tells the user which contract assumptions held for each
+    packet of the trace. *)
+
+type packet_report = {
+  index : int;
+  outcome : Exec.Interp.outcome;
+  ic : int;
+  ma : int;
+  cycles : int;  (** realistic-model latency of this packet *)
+  observations : (Perf.Pcv.t * int) list;
+      (** per-call PCV observations during this packet *)
+}
+
+type t = {
+  reports : packet_report list;
+  total_ic : int;
+  total_ma : int;
+}
+
+val run :
+  ?hw:Hw.Model.t -> dss:Exec.Ds.env -> Ir.Program.t -> Workload.Stream.t ->
+  t
+(** Replay the stream (warm caches persist across packets; pass [hw] to
+    share a simulator across several runs). *)
+
+val run_pcap :
+  ?hw:Hw.Model.t -> dss:Exec.Ds.env -> Ir.Program.t -> path:string ->
+  ?in_port:int -> unit -> t
+(** Convenience: replay a pcap file. *)
+
+val pcv_values : t -> Perf.Pcv.t -> int list
+(** Per-packet values of one PCV (max over the packet's calls; 0 when the
+    packet never exercised it). *)
+
+val pcv_sums : t -> Perf.Pcv.t -> int list
+(** Per-packet sums (e.g. total expirations each packet triggered). *)
+
+val latencies : t -> int list
+val max_ic : t -> int
+val max_ma : t -> int
+val max_cycles : t -> int

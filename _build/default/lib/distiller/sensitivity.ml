@@ -1,0 +1,38 @@
+type point = { value : int; bound : int; traffic_share : float }
+
+let sweep ~cost ~metric ~pcv ~base ~lo ~hi ?(observed = []) () =
+  if hi < lo then invalid_arg "Sensitivity.sweep: hi < lo";
+  let total = List.length observed in
+  let share v =
+    if total = 0 then 0.
+    else
+      float_of_int (List.length (List.filter (( = ) v) observed))
+      /. float_of_int total
+  in
+  List.init
+    (hi - lo + 1)
+    (fun i ->
+      let value = lo + i in
+      let binding = (pcv, value) :: List.remove_assoc pcv base in
+      {
+        value;
+        bound = Perf.Cost_vec.eval_exn binding cost metric;
+        traffic_share = share value;
+      })
+
+let knee points ~threshold =
+  let rec scan acc = function
+    | [] -> None
+    | p :: rest ->
+        let acc = acc +. p.traffic_share in
+        if acc >= threshold then Some p.value else scan acc rest
+  in
+  scan 0. points
+
+let pp ppf points =
+  Fmt.pf ppf "  %8s %12s %10s@." "value" "bound" "traffic";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %8d %12d %9.3f%%@." p.value p.bound
+        (100. *. p.traffic_share))
+    points

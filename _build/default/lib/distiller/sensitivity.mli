@@ -1,0 +1,34 @@
+(** PCV sensitivity analysis (paper §4).
+
+    "The distiller also enables users to perform a sensitivity analysis"
+    — e.g. how much worse do packets get as the matched prefix grows, and
+    how much traffic is actually affected?  This module sweeps one PCV of
+    a contract entry over a range, evaluating the bound at each point,
+    and pairs it with the distilled frequency of that value in a traffic
+    sample. *)
+
+type point = {
+  value : int;  (** the swept PCV's value *)
+  bound : int;  (** contract bound at that value *)
+  traffic_share : float;
+      (** fraction of sampled packets that induced exactly this value
+          (0 when no sample was provided) *)
+}
+
+val sweep :
+  cost:Perf.Cost_vec.t ->
+  metric:Perf.Metric.t ->
+  pcv:Perf.Pcv.t ->
+  base:Perf.Pcv.binding ->
+  lo:int -> hi:int ->
+  ?observed:int list ->
+  unit ->
+  point list
+(** Evaluate [cost] with [pcv] swept from [lo] to [hi] (other PCVs from
+    [base]); [observed] are per-packet distilled values of the PCV. *)
+
+val knee : point list -> threshold:float -> int option
+(** Smallest swept value whose cumulative traffic share reaches
+    [threshold] (e.g. 0.99): "99% of traffic is at or below this". *)
+
+val pp : Format.formatter -> point list -> unit

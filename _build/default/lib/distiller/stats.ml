@@ -1,0 +1,71 @@
+let density samples =
+  let n = List.length samples in
+  if n = 0 then []
+  else
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun v ->
+        Hashtbl.replace tbl v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+      samples;
+    Hashtbl.fold (fun v c acc -> (v, float_of_int c /. float_of_int n) :: acc)
+      tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let density_binned ~bins samples =
+  let n = List.length samples in
+  if n = 0 then List.map (fun (_, _, label) -> (label, 0.)) bins
+  else
+    List.map
+      (fun (lo, hi, label) ->
+        let c = List.length (List.filter (fun v -> v >= lo && v <= hi) samples) in
+        (label, float_of_int c /. float_of_int n))
+      bins
+
+let sorted samples = List.sort Int.compare samples
+
+let ccdf samples =
+  let n = List.length samples in
+  if n = 0 then []
+  else
+    let s = sorted samples in
+    let distinct = List.sort_uniq Int.compare s in
+    List.map
+      (fun v ->
+        let above = List.length (List.filter (fun x -> x > v) s) in
+        (v, float_of_int above /. float_of_int n))
+      distinct
+
+let cdf samples =
+  let n = List.length samples in
+  if n = 0 then []
+  else
+    let s = sorted samples in
+    let distinct = List.sort_uniq Int.compare s in
+    List.map
+      (fun v ->
+        let upto = List.length (List.filter (fun x -> x <= v) s) in
+        (v, float_of_int upto /. float_of_int n))
+      distinct
+
+let percentile samples p =
+  match sorted samples with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | s ->
+      let n = List.length s in
+      let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      List.nth s (max 0 (min (n - 1) idx))
+
+let mean samples =
+  match samples with
+  | [] -> 0.
+  | _ ->
+      float_of_int (List.fold_left ( + ) 0 samples)
+      /. float_of_int (List.length samples)
+
+let pp_density ppf d =
+  List.iter (fun (v, p) -> Fmt.pf ppf "  %8d  %8.4f%%@\n" v (100. *. p)) d
+
+let pp_curve ~label ppf points =
+  Fmt.pf ppf "  %s@\n" label;
+  List.iter (fun (v, p) -> Fmt.pf ppf "  %10d  %8.5f@\n" v p) points

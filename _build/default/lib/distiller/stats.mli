@@ -1,0 +1,21 @@
+(** Distributions for Distiller reports: the probability-density tables
+    (paper Tables 7–8) and CCDF/CDF curves (Figures 2, 4, 6, 7). *)
+
+val density : int list -> (int * float) list
+(** Value → fraction of samples (sorted by value). *)
+
+val density_binned : bins:(int * int * string) list -> int list ->
+  (string * float) list
+(** Density over labelled inclusive ranges, e.g.
+    [(1, 63, "1-63"); (66, max_int, "66+")]. *)
+
+val ccdf : int list -> (int * float) list
+(** Points (v, P[X > v]) at each distinct sample value. *)
+
+val cdf : int list -> (int * float) list
+val percentile : int list -> float -> int
+(** [percentile xs 0.99]; raises [Invalid_argument] on an empty list. *)
+
+val mean : int list -> float
+val pp_density : Format.formatter -> (int * float) list -> unit
+val pp_curve : label:string -> Format.formatter -> (int * float) list -> unit

@@ -1,0 +1,1 @@
+lib/dslib/backend_pool.ml: Array Cost_vec Costing Ds_contract Exec Perf Perf_expr

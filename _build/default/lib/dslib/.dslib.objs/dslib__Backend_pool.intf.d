@@ -1,0 +1,1 @@
+lib/dslib/backend_pool.mli: Exec Perf

@@ -1,0 +1,1 @@
+lib/dslib/costing.ml: Exec Hw Perf

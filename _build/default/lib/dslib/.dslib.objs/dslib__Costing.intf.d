@@ -1,0 +1,1 @@
+lib/dslib/costing.mli: Exec Perf

@@ -1,0 +1,1 @@
+lib/dslib/count_min.ml: Array Cost_vec Costing Ds_contract Exec Hw Perf Perf_expr

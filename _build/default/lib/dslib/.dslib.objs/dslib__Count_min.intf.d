@@ -1,0 +1,1 @@
+lib/dslib/count_min.mli: Exec Perf

@@ -1,0 +1,1 @@
+lib/dslib/flow_table.ml: Array Cost_vec Costing Ds_contract Exec Hash_map Hw List Metric Option Pcv Perf Perf_expr

@@ -1,0 +1,1 @@
+lib/dslib/flow_table.mli: Exec Hash_map Perf

@@ -1,0 +1,1 @@
+lib/dslib/hash_map.ml: Array Cost_vec Costing Exec Pcv Perf Perf_expr

@@ -1,0 +1,1 @@
+lib/dslib/hash_map.mli: Exec Perf

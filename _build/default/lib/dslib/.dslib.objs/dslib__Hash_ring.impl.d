@@ -1,0 +1,1 @@
+lib/dslib/hash_ring.ml: Array Cost_vec Costing Ds_contract Exec Hw List Perf Perf_expr

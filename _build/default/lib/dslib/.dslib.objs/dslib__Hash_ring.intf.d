@@ -1,0 +1,1 @@
+lib/dslib/hash_ring.mli: Exec Perf

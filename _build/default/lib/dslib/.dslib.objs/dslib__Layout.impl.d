@@ -1,0 +1,1 @@
+lib/dslib/layout.ml:

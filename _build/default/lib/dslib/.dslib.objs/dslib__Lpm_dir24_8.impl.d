@@ -1,0 +1,1 @@
+lib/dslib/lpm_dir24_8.ml: Array Cost_vec Costing Ds_contract Exec Hashtbl Hw Perf Perf_expr

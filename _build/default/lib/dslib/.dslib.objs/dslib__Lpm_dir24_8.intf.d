@@ -1,0 +1,1 @@
+lib/dslib/lpm_dir24_8.mli: Exec Perf

@@ -1,0 +1,1 @@
+lib/dslib/lpm_trie.ml: Array Cost_vec Costing Ds_contract Exec Hw Pcv Perf Perf_expr

@@ -1,0 +1,1 @@
+lib/dslib/lpm_trie.mli: Exec Perf

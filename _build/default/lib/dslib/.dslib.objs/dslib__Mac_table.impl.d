@@ -1,0 +1,1 @@
+lib/dslib/mac_table.ml: Array Cost_vec Costing Ds_contract Exec Flow_table Hash_map Hw Pcv Perf Perf_expr

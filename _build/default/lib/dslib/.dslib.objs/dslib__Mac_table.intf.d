@@ -1,0 +1,1 @@
+lib/dslib/mac_table.mli: Exec Perf

@@ -1,0 +1,1 @@
+lib/dslib/nat_table.ml: Array Cost_vec Costing Ds_contract Exec Flow_table Perf Perf_expr Port_alloc

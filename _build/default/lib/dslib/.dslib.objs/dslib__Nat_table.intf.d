@@ -1,0 +1,1 @@
+lib/dslib/nat_table.mli: Exec Perf Port_alloc

@@ -1,0 +1,1 @@
+lib/dslib/port_alloc.ml: Array Cost_vec Costing Exec Hw Pcv Perf Perf_expr Printf

@@ -1,0 +1,1 @@
+lib/dslib/port_alloc.mli: Exec Perf

@@ -1,0 +1,1 @@
+lib/dslib/token_bucket.ml: Array Cost_vec Costing Ds_contract Exec Perf Perf_expr

@@ -1,0 +1,1 @@
+lib/dslib/token_bucket.mli: Exec Perf

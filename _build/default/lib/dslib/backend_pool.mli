@@ -1,0 +1,27 @@
+(** Backend liveness tracking for the load balancer.
+
+    Backends prove liveness with heartbeat packets (paper class LB5); a
+    backend with no heartbeat for [timeout] is considered dead (LB3). *)
+
+type t
+
+val create : base:int -> count:int -> timeout:int -> t
+val count : t -> int
+
+val heartbeat : t -> Exec.Meter.t -> backend:int -> now:int -> int
+(** Record a heartbeat; returns 1, or 0 for an out-of-range backend id. *)
+
+val is_alive : t -> Exec.Meter.t -> backend:int -> now:int -> int
+(** 1 when the backend heartbeated within [timeout]. *)
+
+val set_last_heartbeat : t -> backend:int -> int -> unit
+(** Test/scenario setup (uncharged). *)
+
+val to_ds : t -> Exec.Ds.t
+(** Methods: [heartbeat(backend, now)], [is_alive(backend, now)]. *)
+
+val kind : string
+
+module Recipe : sig
+  val contract : Perf.Ds_contract.t list
+end

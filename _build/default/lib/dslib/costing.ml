@@ -1,0 +1,26 @@
+let charge_alu meter n = Exec.Meter.instr meter Hw.Cost.Alu n
+let charge_branch meter n = Exec.Meter.instr meter Hw.Cost.Branch n
+let charge_move meter n = Exec.Meter.instr meter Hw.Cost.Move n
+let charge_mul meter n = Exec.Meter.instr meter Hw.Cost.Mul n
+
+let charge_load meter ?(dependent = false) ~addr () =
+  Exec.Meter.instr meter Hw.Cost.Load 1;
+  Exec.Meter.mem meter ~dependent addr
+
+let charge_store meter ~addr () =
+  Exec.Meter.instr meter Hw.Cost.Store 1;
+  Exec.Meter.mem meter ~write:true addr
+
+let charge_hash meter ~key_len =
+  charge_mul meter key_len;
+  charge_alu meter ((2 * key_len) + 1)
+
+let ic_hash ~key_len = (3 * key_len) + 1
+let ma_hash ~key_len:_ = 0
+
+let cycles_instr_factor = 6
+
+let cycles_upper ~ic ~ma =
+  Perf.Perf_expr.add
+    (Perf.Perf_expr.scale cycles_instr_factor ic)
+    (Perf.Perf_expr.scale Hw.Cost.dram_cycles ma)

@@ -1,0 +1,31 @@
+(** Shared cost conventions for the data-structure library.
+
+    Implementations charge the meter through these helpers, and the
+    hand-written contracts use the [ic_*]/[ma_*] mirrors of the same
+    recipes — so a contract coefficient and the code it covers can only
+    drift if someone edits one side, which the contract-validation
+    property tests catch. *)
+
+val charge_alu : Exec.Meter.t -> int -> unit
+val charge_branch : Exec.Meter.t -> int -> unit
+val charge_move : Exec.Meter.t -> int -> unit
+val charge_mul : Exec.Meter.t -> int -> unit
+
+val charge_load :
+  Exec.Meter.t -> ?dependent:bool -> addr:int -> unit -> unit
+val charge_store : Exec.Meter.t -> addr:int -> unit -> unit
+
+val charge_hash : Exec.Meter.t -> key_len:int -> unit
+(** Multiplicative word-by-word hash of a register-resident key. *)
+
+val ic_hash : key_len:int -> int
+val ma_hash : key_len:int -> int
+
+val cycles_upper : ic:Perf.Perf_expr.t -> ma:Perf.Perf_expr.t ->
+  Perf.Perf_expr.t
+(** The conservative cycles expression used by all library contracts:
+    every instruction at a blended worst-case latency, every memory access
+    from DRAM — exactly the stance of the paper's hardware model
+    (§3.5). *)
+
+val cycles_instr_factor : int

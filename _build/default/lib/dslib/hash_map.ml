@@ -1,0 +1,332 @@
+(* Node layout: node [i] is one 64-byte line at [entries_base + 64*i],
+   holding the key words, the value and the chain link.  Buckets are an
+   array of 8-byte heads at [base]. *)
+
+type t = {
+  key_len : int;
+  capacity : int;
+  buckets : int;
+  bucket_base : int;
+  entries_base : int;
+  keys : int array;  (** capacity * key_len, flattened *)
+  values : int array;
+  next : int array;  (** chain link, or -1 *)
+  head : int array;  (** bucket heads, node index or -1 *)
+  occupied : bool array;
+  mutable free : int;  (** free-list head through [next] *)
+  mutable size : int;
+  mutable seed : int;
+}
+
+let node_size = 64
+
+let create ?(seed = 17) ~base ~key_len ~capacity ~buckets () =
+  if key_len < 1 || key_len > 6 then
+    invalid_arg "Hash_map.create: key_len must be in 1..6";
+  if capacity < 1 || buckets < 1 then
+    invalid_arg "Hash_map.create: bad geometry";
+  let next = Array.init capacity (fun i -> i + 1) in
+  next.(capacity - 1) <- -1;
+  {
+    key_len;
+    capacity;
+    buckets;
+    bucket_base = base;
+    entries_base = base + (8 * buckets);
+    keys = Array.make (capacity * key_len) 0;
+    values = Array.make capacity 0;
+    next;
+    head = Array.make buckets (-1);
+    occupied = Array.make capacity false;
+    free = 0;
+    size = 0;
+    seed;
+  }
+
+let capacity t = t.capacity
+let size t = t.size
+let key_len t = t.key_len
+let node_addr t i = t.entries_base + (node_size * i)
+let bucket_addr t b = t.bucket_base + (8 * b)
+
+let seed t = t.seed
+let buckets t = t.buckets
+
+let hash_of_key t key =
+  let h =
+    Array.fold_left
+      (fun acc w -> ((acc * 0x9e3779b1) + w) land max_int)
+      (t.seed * 0x85ebca77 land max_int)
+      key
+  in
+  h mod t.buckets
+
+type probe = { result : int; collisions : int; traversals : int }
+
+let observe t meter ~collisions ~traversals =
+  ignore t;
+  Exec.Meter.observe meter Perf.Pcv.collisions collisions;
+  Exec.Meter.observe meter Perf.Pcv.traversals traversals
+
+(* Charge the shared probe prologue: entry setup, hash, bucket head. *)
+let charge_prologue t meter b =
+  Costing.charge_alu meter 2;
+  Costing.charge_hash meter ~key_len:t.key_len;
+  Costing.charge_alu meter 1;
+  Costing.charge_load meter ~addr:(bucket_addr t b) ()
+
+let charge_epilogue meter =
+  Costing.charge_alu meter 1;
+  Costing.charge_branch meter 1
+
+(* Branchless fixed-length key compare (as a C memcmp over a fixed-size
+   struct compiles to): every word is loaded and xor-accumulated, one
+   branch at the end. *)
+let compare_key t meter key i =
+  let addr = node_addr t i in
+  let diff = ref 0 in
+  for w = 0 to t.key_len - 1 do
+    Costing.charge_load meter ~addr:(addr + (8 * w)) ();
+    Costing.charge_alu meter 1;
+    diff := !diff lor (t.keys.((i * t.key_len) + w) lxor key.(w))
+  done;
+  Costing.charge_branch meter 1;
+  !diff = 0
+
+let charge_visit t meter i =
+  Costing.charge_load meter ~dependent:true ~addr:(node_addr t i) ();
+  Costing.charge_alu meter 1;
+  Costing.charge_branch meter 1
+
+(* Walk the chain of bucket [b] looking for [key].  Returns the node, its
+   predecessor, and the probe counters. *)
+let walk t meter key b =
+  let rec loop i pred collisions traversals =
+    if i < 0 then (-1, pred, collisions, traversals)
+    else begin
+      charge_visit t meter i;
+      if compare_key t meter key i then (i, pred, collisions, traversals + 1)
+      else loop t.next.(i) i (collisions + 1) (traversals + 1)
+    end
+  in
+  loop t.head.(b) (-1) 0 0
+
+let check_key t key =
+  if Array.length key <> t.key_len then
+    invalid_arg "Hash_map: key length mismatch"
+
+let get t meter key =
+  check_key t key;
+  let b = hash_of_key t key in
+  charge_prologue t meter b;
+  let node, _pred, collisions, traversals = walk t meter key b in
+  charge_epilogue meter;
+  observe t meter ~collisions ~traversals;
+  { result = (if node >= 0 then node else -1); collisions; traversals }
+
+let value_of t meter i =
+  Costing.charge_load meter ~addr:(node_addr t i + 56) ();
+  t.values.(i)
+
+let set_value t meter i v =
+  Costing.charge_store meter ~addr:(node_addr t i + 56) ();
+  t.values.(i) <- v
+
+let put t meter key value =
+  check_key t key;
+  let b = hash_of_key t key in
+  charge_prologue t meter b;
+  let node, _pred, collisions, traversals = walk t meter key b in
+  let result =
+    if node >= 0 then begin
+      (* update in place *)
+      Costing.charge_store meter ~addr:(node_addr t node + 56) ();
+      Costing.charge_alu meter 1;
+      t.values.(node) <- value;
+      node
+    end
+    else begin
+      Costing.charge_branch meter 1;
+      Costing.charge_alu meter 1;
+      if t.free < 0 then -1
+      else begin
+        let i = t.free in
+        Costing.charge_load meter ~addr:(node_addr t i) ();
+        t.free <- t.next.(i);
+        Costing.charge_move meter 2;
+        let addr = node_addr t i in
+        for w = 0 to t.key_len - 1 do
+          Costing.charge_store meter ~addr:(addr + (8 * w)) ();
+          t.keys.((i * t.key_len) + w) <- key.(w)
+        done;
+        Costing.charge_store meter ~addr:(addr + 56) ();
+        t.values.(i) <- value;
+        Costing.charge_store meter ~addr:(addr + 48) ();
+        t.next.(i) <- t.head.(b);
+        Costing.charge_store meter ~addr:(bucket_addr t b) ();
+        t.head.(b) <- i;
+        t.occupied.(i) <- true;
+        Costing.charge_alu meter 1;
+        t.size <- t.size + 1;
+        i
+      end
+    end
+  in
+  charge_epilogue meter;
+  observe t meter ~collisions ~traversals;
+  { result; collisions; traversals }
+
+let remove t meter key =
+  check_key t key;
+  let b = hash_of_key t key in
+  charge_prologue t meter b;
+  (* pred tracking costs one extra move per visited node *)
+  let rec loop i pred collisions traversals =
+    if i < 0 then (-1, pred, collisions, traversals)
+    else begin
+      charge_visit t meter i;
+      Costing.charge_move meter 1;
+      if compare_key t meter key i then (i, pred, collisions, traversals + 1)
+      else loop t.next.(i) i (collisions + 1) (traversals + 1)
+    end
+  in
+  let node, pred, collisions, traversals = loop t.head.(b) (-1) 0 0 in
+  if node >= 0 then begin
+    (if pred < 0 then begin
+       Costing.charge_store meter ~addr:(bucket_addr t b) ();
+       t.head.(b) <- t.next.(node)
+     end
+     else begin
+       Costing.charge_store meter ~addr:(node_addr t pred + 48) ();
+       t.next.(pred) <- t.next.(node)
+     end);
+    Costing.charge_store meter ~addr:(node_addr t node + 48) ();
+    Costing.charge_move meter 1;
+    t.next.(node) <- t.free;
+    t.free <- node;
+    t.occupied.(node) <- false;
+    Costing.charge_alu meter 1;
+    t.size <- t.size - 1
+  end;
+  charge_epilogue meter;
+  observe t meter ~collisions ~traversals;
+  { result = node; collisions; traversals }
+
+let key_words t i = Array.sub t.keys (i * t.key_len) t.key_len
+
+let reseed t meter ~seed =
+  t.seed <- seed;
+  (* clear every bucket head *)
+  for b = 0 to t.buckets - 1 do
+    Costing.charge_store meter ~addr:(bucket_addr t b) ();
+    t.head.(b) <- -1
+  done;
+  (* re-chain each resident entry; the duplicate-check walk over the new
+     chain is what makes rehashing cost grow with both occupancy and
+     chain length *)
+  for i = 0 to t.capacity - 1 do
+    Costing.charge_branch meter 1;
+    if t.occupied.(i) then begin
+      let key = key_words t i in
+      for w = 0 to t.key_len - 1 do
+        Costing.charge_load meter ~addr:(node_addr t i + (8 * w)) ()
+      done;
+      Costing.charge_hash meter ~key_len:t.key_len;
+      let b = hash_of_key t key in
+      Costing.charge_load meter ~addr:(bucket_addr t b) ();
+      let rec walk j =
+        if j >= 0 then begin
+          charge_visit t meter j;
+          walk t.next.(j)
+        end
+      in
+      walk t.head.(b);
+      Costing.charge_store meter ~addr:(node_addr t i + 48) ();
+      t.next.(i) <- t.head.(b);
+      Costing.charge_store meter ~addr:(bucket_addr t b) ();
+      t.head.(b) <- i
+    end
+  done
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to t.capacity - 1 do
+    if t.occupied.(i) then acc := f i ~acc:!acc
+  done;
+  !acc
+
+module Recipe = struct
+  open Perf
+
+  let c = Pcv.collisions
+  let t_ = Pcv.traversals
+
+  (* IC/MA of the probe shared by get/put/remove:
+     prologue (3k+5 instr, 1 access) + per visit (3 instr, 1 access)
+     + per compare (2k+1 instr, k accesses) + epilogue (2 instr). *)
+  let probe ~key_len ~per_visit_extra =
+    let k = key_len in
+    let ic =
+      Perf_expr.sum
+        [
+          Perf_expr.const ((3 * k) + 7);
+          Perf_expr.term (3 + per_visit_extra) [ t_ ];
+          Perf_expr.term ((2 * k) + 1) [ c ];
+        ]
+    in
+    let ma =
+      Perf_expr.sum
+        [ Perf_expr.const 1; Perf_expr.pcv t_; Perf_expr.term k [ c ] ]
+    in
+    (ic, ma)
+
+  (* Distinct cache lines touched: the bucket head plus one line per
+     visited node, plus [extra] lines for the op's own writes. *)
+  let lines ~extra =
+    Perf_expr.add_const (1 + extra) (Perf_expr.pcv t_)
+
+  let vec ~ic ~ma ~extra_lines =
+    Cost_vec.make ~ic ~ma
+      ~cycles:(Costing.cycles_upper ~ic ~ma:(lines ~extra:extra_lines))
+
+  let get_hit ~key_len =
+    (* successful compare + the caller's value read *)
+    let k = key_len in
+    let ic, ma = probe ~key_len ~per_visit_extra:0 in
+    vec
+      ~ic:(Perf_expr.add_const ((2 * k) + 1 + 1) ic)
+      ~ma:(Perf_expr.add_const (k + 1) ma)
+      ~extra_lines:0
+
+  let get_miss ~key_len =
+    let ic, ma = probe ~key_len ~per_visit_extra:0 in
+    vec ~ic ~ma ~extra_lines:0
+
+  let put_update ~key_len =
+    let k = key_len in
+    let ic, ma = probe ~key_len ~per_visit_extra:0 in
+    vec
+      ~ic:(Perf_expr.add_const ((2 * k) + 1 + 2) ic)
+      ~ma:(Perf_expr.add_const (k + 1) ma)
+      ~extra_lines:0
+
+  let put_new ~key_len =
+    let k = key_len in
+    let ic, ma = probe ~key_len ~per_visit_extra:0 in
+    vec
+      ~ic:(Perf_expr.add_const (2 + 1 + 2 + (k + 2) + 1 + 1) ic)
+      ~ma:(Perf_expr.add_const (1 + (k + 2) + 1) ma)
+      ~extra_lines:2
+
+  let put_full ~key_len =
+    let ic, ma = probe ~key_len ~per_visit_extra:0 in
+    vec ~ic:(Perf_expr.add_const 2 ic) ~ma ~extra_lines:0
+
+  let remove_found ~key_len =
+    let k = key_len in
+    let ic, ma = probe ~key_len ~per_visit_extra:1 in
+    vec
+      ~ic:(Perf_expr.add_const ((2 * k) + 1 + 4) ic)
+      ~ma:(Perf_expr.add_const (k + 2) ma)
+      ~extra_lines:2
+end

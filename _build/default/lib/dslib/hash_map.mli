@@ -1,0 +1,79 @@
+(** Chained hash map with integer-array keys — the workhorse under the
+    flow table and the MAC table.
+
+    The map is backed by flat arrays (a node = one 64-byte line holding the
+    key words, the value and the chain link), so the address stream seen by
+    the cache models is the one a C implementation would produce.
+
+    Every operation reports its two PCVs through the meter:
+    [t] — bucket traversals (nodes visited), and
+    [c] — hash collisions (visited nodes whose key did not match). *)
+
+type t
+
+val create :
+  ?seed:int -> base:int -> key_len:int -> capacity:int -> buckets:int ->
+  unit -> t
+(** [key_len] ≤ 6 words.  [seed] keys the hash (collision-attack defence).
+    Raises [Invalid_argument] on bad geometry. *)
+
+val seed : t -> int
+val buckets : t -> int
+
+val reseed : t -> Exec.Meter.t -> seed:int -> unit
+(** Re-key the hash and re-chain every entry — the bridge's rehash
+    defence.  Cost: one store per bucket to clear the heads, then for each
+    resident entry a key read, a hash and an insertion that walks its new
+    chain checking for duplicates (this walk is the [t·o] term of the
+    paper's Table 4 contract). *)
+
+val capacity : t -> int
+val size : t -> int
+val key_len : t -> int
+
+type probe = { result : int; collisions : int; traversals : int }
+(** [result] is the node index, or [-1]. *)
+
+val get : t -> Exec.Meter.t -> int array -> probe
+(** Look the key up; on a hit, [result] is the node index.  Observes
+    [c]/[t]. *)
+
+val value_of : t -> Exec.Meter.t -> int -> int
+(** [value_of t meter idx] reads the value stored at node [idx]. *)
+
+val set_value : t -> Exec.Meter.t -> int -> int -> unit
+
+val put : t -> Exec.Meter.t -> int array -> int -> probe
+(** Insert or update.  [result] is the node index, or [-1] when the map is
+    full.  Observes [c]/[t]. *)
+
+val remove : t -> Exec.Meter.t -> int array -> probe
+(** Remove the key, returning its former node index in [result] (or -1).
+    Observes [c]/[t]. *)
+
+val key_words : t -> int -> int array
+(** Copy of the key stored at a node index (no charges — debug/test). *)
+
+val fold : (int -> acc:'a -> 'a) -> t -> 'a -> 'a
+(** Fold over occupied node indices (no charges — used by rehash and
+    tests). *)
+
+val node_addr : t -> int -> int
+val hash_of_key : t -> int array -> int
+(** The bucket the key chains into (no charges — used by tests and
+    adversarial workload synthesis). *)
+
+(** {1 Contract recipes}
+
+    Conservative per-method costs over the PCVs [c] and [t], mirroring the
+    charging code above.  The flow-table and MAC-table contracts are built
+    from these. *)
+
+module Recipe : sig
+  val get_hit : key_len:int -> Perf.Cost_vec.t
+  val get_miss : key_len:int -> Perf.Cost_vec.t
+  val put_update : key_len:int -> Perf.Cost_vec.t
+  val put_new : key_len:int -> Perf.Cost_vec.t
+  val put_full : key_len:int -> Perf.Cost_vec.t
+  val remove_found : key_len:int -> Perf.Cost_vec.t
+end

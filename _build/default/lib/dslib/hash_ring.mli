@@ -1,0 +1,34 @@
+(** Maglev consistent-hashing ring (Eisenbud et al., NSDI'16) — the load
+    balancer's backend selector.
+
+    The lookup table is built with Maglev's permutation-filling algorithm,
+    so backend shares stay balanced and mostly stable across backend
+    changes; a lookup is a single table read. *)
+
+type t
+
+val create : base:int -> table_size:int -> backends:int list -> t
+(** [table_size] should be prime (65537 in the paper; tests use smaller).
+    [backends] are backend ids; must be non-empty.  Raises
+    [Invalid_argument] otherwise. *)
+
+val table_size : t -> int
+val backends : t -> int list
+val rebuild : t -> backends:int list -> unit
+(** Configuration-time (uncharged). *)
+
+val backend_for : t -> Exec.Meter.t -> int -> int
+(** [backend_for t meter h] selects the backend for flow-hash [h]. *)
+
+val backend_for_quiet : t -> int -> int
+val share : t -> int -> float
+(** Fraction of the table owned by a backend (tests). *)
+
+val to_ds : t -> Exec.Ds.t
+(** Method: [backend_for(hash)]. *)
+
+val kind : string
+
+module Recipe : sig
+  val contract : Perf.Ds_contract.t list
+end

@@ -1,0 +1,10 @@
+type allocator = { mutable next : int }
+
+let region_size = 16 * 1024 * 1024
+let base = 0x4000_0000
+let allocator () = { next = base }
+
+let region t =
+  let r = t.next in
+  t.next <- r + region_size;
+  r

@@ -1,0 +1,14 @@
+(** Address-space layout for data-structure instances.
+
+    Every instance lives in its own region so that the cache models see
+    realistic, non-overlapping address streams.  Regions are 16 MiB. *)
+
+type allocator
+
+val allocator : unit -> allocator
+(** A fresh address space (per scenario). *)
+
+val region : allocator -> int
+(** Next region base address. *)
+
+val region_size : int

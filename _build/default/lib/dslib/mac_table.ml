@@ -1,0 +1,166 @@
+let kind = "mac_table"
+let key_len = 1
+
+type t = {
+  ft : Flow_table.t;
+  threshold : int;
+  mutable rehashes : int;
+  mutable seed_state : int;
+  mutable last_traversals : int;
+}
+
+let create ?seed ~base ~capacity ~buckets ~timeout ~threshold () =
+  if threshold < 1 then invalid_arg "Mac_table.create: threshold must be >= 1";
+  {
+    ft =
+      Flow_table.create ?seed ~base ~key_len ~capacity ~buckets ~timeout ();
+    threshold;
+    rehashes = 0;
+    seed_state = (match seed with Some s -> s | None -> 17);
+    last_traversals = 0;
+  }
+
+let size t = Flow_table.size t.ft
+let capacity t = Flow_table.capacity t.ft
+let threshold t = t.threshold
+let rehash_count t = t.rehashes
+let expire t meter ~now = Flow_table.expire t.ft meter ~now
+let hash_of_mac t mac = Flow_table.hash_of_key t.ft [| mac |]
+
+let install_quiet t ~mac ~port ~now =
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  if Flow_table.put t.ft meter [| mac |] ~value:port ~now < 0 then
+    invalid_arg "Mac_table.install_quiet: table full"
+let last_learn_traversals t = t.last_traversals
+
+(* Deterministic LCG so runs are reproducible. *)
+let next_seed t =
+  t.seed_state <- ((t.seed_state * 6364136223) + 1442695041) land max_int;
+  t.seed_state
+
+let learn t meter ~mac ~port ~now =
+  let key = [| mac |] in
+  let value, probe = Flow_table.get_probe t.ft meter key ~now in
+  t.last_traversals <- probe.Hash_map.traversals;
+  Exec.Meter.observe meter Perf.Pcv.occupancy (Flow_table.size t.ft);
+  Costing.charge_branch meter 1;
+  match value with
+  | Some old_port ->
+      Costing.charge_branch meter 1;
+      if old_port <> port then begin
+        let map = Flow_table.map t.ft in
+        Hash_map.set_value map meter probe.Hash_map.result port
+      end
+  | None ->
+      Costing.charge_alu meter 1;
+      Costing.charge_branch meter 1;
+      if probe.Hash_map.traversals > t.threshold then begin
+        t.rehashes <- t.rehashes + 1;
+        Hash_map.reseed (Flow_table.map t.ft) meter ~seed:(next_seed t)
+      end;
+      ignore (Flow_table.put t.ft meter key ~value:port ~now)
+
+let lookup t meter ~mac =
+  let map = Flow_table.map t.ft in
+  let probe = Hash_map.get map meter [| mac |] in
+  if probe.Hash_map.result < 0 then -1
+  else Hash_map.value_of map meter probe.Hash_map.result
+
+let to_ds t =
+  let call meter meth (args : int array) =
+    match meth with
+    | "expire" -> expire t meter ~now:args.(0)
+    | "learn" ->
+        learn t meter ~mac:args.(0) ~port:args.(1) ~now:args.(2);
+        0
+    | "lookup" -> lookup t meter ~mac:args.(0)
+    | other -> invalid_arg ("mac_table: unknown method " ^ other)
+  in
+  { Exec.Ds.kind; call }
+
+module Recipe = struct
+  open Perf
+
+  let const_vec ~ic ~ma ~lines =
+    Cost_vec.make ~ic:(Perf_expr.const ic) ~ma:(Perf_expr.const ma)
+      ~cycles:(Costing.cycles_upper ~ic:(Perf_expr.const ic)
+                 ~ma:(Perf_expr.const lines))
+
+  let learn_known =
+    Cost_vec.add (Flow_table.Recipe.get_hit ~key_len)
+      (const_vec ~ic:4 ~ma:1 ~lines:1)
+
+  let learn_new =
+    Cost_vec.sum
+      [
+        Flow_table.Recipe.get_miss ~key_len;
+        Flow_table.Recipe.put_new ~key_len;
+        const_vec ~ic:4 ~ma:0 ~lines:0;
+      ]
+
+  let learn_full =
+    Cost_vec.sum
+      [
+        Flow_table.Recipe.get_miss ~key_len;
+        Flow_table.Recipe.put_full ~key_len;
+        const_vec ~ic:4 ~ma:0 ~lines:0;
+      ]
+
+  (* Rehash: clear every bucket, then per resident entry a key read, hash,
+     two stores and a duplicate-check walk of its new chain (≤ t). *)
+  let rehash_extra ~buckets ~capacity =
+    let o = Pcv.occupancy and t_ = Pcv.traversals in
+    let ic =
+      Perf_expr.sum
+        [
+          Perf_expr.const (buckets + capacity + 4);
+          Perf_expr.term 12 [ o ];
+          Perf_expr.term 4 [ t_; o ];
+        ]
+    in
+    let ma =
+      Perf_expr.sum
+        [
+          Perf_expr.const buckets;
+          Perf_expr.term 5 [ o ];
+          Perf_expr.term 1 [ t_; o ];
+        ]
+    in
+    let lines =
+      Perf_expr.sum
+        [
+          Perf_expr.const ((buckets / 8) + 2);
+          Perf_expr.term 2 [ o ];
+          Perf_expr.term 1 [ t_; o ];
+        ]
+    in
+    Cost_vec.make ~ic ~ma ~cycles:(Costing.cycles_upper ~ic ~ma:lines)
+
+  let contract ~buckets ~capacity =
+    let open Ds_contract in
+    [
+      make ~ds_kind:kind ~meth:"expire"
+        [
+          branch ~tag:"expire" ~note:"e MAC entries past their timeout"
+            (Flow_table.Recipe.expire ~key_len
+               ~per_entry_extra:Cost_vec.zero);
+        ];
+      make ~ds_kind:kind ~meth:"learn"
+        [
+          branch ~tag:"known" ~note:"source MAC already present" learn_known;
+          branch ~tag:"learned" ~note:"unknown source MAC, no rehashing"
+            learn_new;
+          branch ~tag:"rehash"
+            ~note:"unknown source MAC, probe exceeded threshold"
+            (Cost_vec.add learn_new (rehash_extra ~buckets ~capacity));
+          branch ~tag:"full" ~note:"table full, MAC not learned" learn_full;
+        ];
+      make ~ds_kind:kind ~meth:"lookup"
+        [
+          branch ~tag:"hit" ~note:"destination MAC known"
+            (Hash_map.Recipe.get_hit ~key_len);
+          branch ~tag:"miss" ~note:"destination MAC unknown (flood)"
+            (Hash_map.Recipe.get_miss ~key_len);
+        ];
+    ]
+end

@@ -1,0 +1,48 @@
+(** MAC learning table with a collision-attack defence (paper §5.2).
+
+    A {!Flow_table} keyed by 48-bit MAC (one word) whose hash is keyed by a
+    random seed.  If a [learn] probe traverses more than [threshold]
+    buckets, the table assumes an algorithmic-complexity attack, draws a
+    new seed and rehashes — an expensive cliff (Table 4) whose threshold
+    the operator tunes with the Distiller (Figure 2). *)
+
+type t
+
+val create :
+  ?seed:int -> base:int -> capacity:int -> buckets:int -> timeout:int ->
+  threshold:int -> unit -> t
+
+val size : t -> int
+val capacity : t -> int
+val threshold : t -> int
+val rehash_count : t -> int
+(** How many times the defence has fired. *)
+
+val expire : t -> Exec.Meter.t -> now:int -> int
+val learn : t -> Exec.Meter.t -> mac:int -> port:int -> now:int -> unit
+(** Learn the source MAC.  Known MACs are refreshed; unknown ones are
+    inserted — rehashing first when the probe exceeded the threshold. *)
+
+val lookup : t -> Exec.Meter.t -> mac:int -> int
+(** Destination lookup: output port, or [-1] (flood). *)
+
+val hash_of_mac : t -> int -> int
+
+val install_quiet : t -> mac:int -> port:int -> now:int -> unit
+(** Insert without charges and without the rehash defence — state
+    synthesis for the pathological-workload experiments. *)
+
+val last_learn_traversals : t -> int
+(** Probe length of the most recent [learn] (uncharged — tests and the
+    Distiller read it). *)
+
+val to_ds : t -> Exec.Ds.t
+(** Methods: [expire(now)], [learn(mac, port, now)], [lookup(mac)]. *)
+
+val kind : string
+
+module Recipe : sig
+  val contract : buckets:int -> capacity:int -> Perf.Ds_contract.t list
+  (** Method contracts; the rehash branch's fixed part covers the bucket
+      sweep, hence the [buckets]/[capacity] parameters. *)
+end

@@ -1,0 +1,179 @@
+type impl =
+  | Dll of {
+      prev : int array;
+      next : int array;
+      taken : bool array;
+      mutable head : int;  (** free-list head index, -1 when exhausted *)
+    }
+  | Arr of { busy : bool array }
+      (** lowest-free policy: allocation scans from port 0 upward *)
+
+type t = {
+  impl : impl;
+  base : int;
+  port_lo : int;
+  mutable allocated : int;
+  cap : int;
+}
+
+let check_range ~port_lo ~port_hi =
+  if port_lo < 0 || port_hi < port_lo then
+    invalid_arg "Port_alloc: bad port range";
+  port_hi - port_lo + 1
+
+let dll ~base ~port_lo ~port_hi =
+  let cap = check_range ~port_lo ~port_hi in
+  let prev = Array.init cap (fun i -> i - 1) in
+  let next = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1) in
+  {
+    impl = Dll { prev; next; taken = Array.make cap false; head = 0 };
+    base;
+    port_lo;
+    allocated = 0;
+    cap;
+  }
+
+let array ~base ~port_lo ~port_hi =
+  let cap = check_range ~port_lo ~port_hi in
+  { impl = Arr { busy = Array.make cap false }; base; port_lo;
+    allocated = 0; cap }
+
+let name t = match t.impl with Dll _ -> "dll" | Arr _ -> "array"
+let allocated t = t.allocated
+let capacity t = t.cap
+
+let is_allocated t port =
+  let i = port - t.port_lo in
+  if i < 0 || i >= t.cap then false
+  else
+    match t.impl with Dll d -> d.taken.(i) | Arr a -> a.busy.(i)
+
+let node_addr t i = t.base + (16 * i)
+let word_addr t w = t.base + (8 * w)
+
+let alloc t meter =
+  match t.impl with
+  | Dll d ->
+      Costing.charge_load meter ~dependent:true ~addr:(t.base - 16) ();
+      Costing.charge_branch meter 1;
+      if d.head < 0 then -1
+      else begin
+        let i = d.head in
+        Costing.charge_load meter ~dependent:true ~addr:(node_addr t i) ();
+        let nxt = d.next.(i) in
+        Costing.charge_store meter ~addr:(t.base - 16) ();
+        d.head <- nxt;
+        if nxt >= 0 then begin
+          Costing.charge_store meter ~addr:(node_addr t nxt) ();
+          d.prev.(nxt) <- -1
+        end;
+        Costing.charge_move meter 2;
+        Costing.charge_alu meter 1;
+        d.taken.(i) <- true;
+        t.allocated <- t.allocated + 1;
+        i + t.port_lo
+      end
+  | Arr a ->
+      Costing.charge_alu meter 2;
+      Costing.charge_branch meter 1;
+      if t.allocated >= t.cap then begin
+        Exec.Meter.observe meter Perf.Pcv.scan 0;
+        -1
+      end
+      else begin
+        (* lowest-free policy over a bitmap: skip full 64-slot words from
+           the bottom (one load + compare each), then find-first-zero
+           inside the first word with room.  The scan length [s] is the
+           number of full words skipped — it tracks occupancy when the
+           low ports are densely allocated. *)
+        let words = (t.cap + 63) / 64 in
+        let word_full w =
+          let hi = min t.cap ((w + 1) * 64) - 1 in
+          let rec full i = i > hi || (a.busy.(i) && full (i + 1)) in
+          full (w * 64)
+        in
+        let rec skip w scanned =
+          Costing.charge_load meter ~addr:(word_addr t w) ();
+          Costing.charge_alu meter 1;
+          Costing.charge_branch meter 1;
+          if w < words - 1 && word_full w then skip (w + 1) (scanned + 1)
+          else (w, scanned)
+        in
+        let w, scanned = skip 0 0 in
+        let rec first_free i = if a.busy.(i) then first_free (i + 1) else i in
+        let i = first_free (w * 64) in
+        Costing.charge_alu meter 4 (* find-first-zero bit tricks *);
+        Costing.charge_store meter ~addr:(word_addr t w) ();
+        Costing.charge_alu meter 1;
+        a.busy.(i) <- true;
+        t.allocated <- t.allocated + 1;
+        Exec.Meter.observe meter Perf.Pcv.scan scanned;
+        i + t.port_lo
+      end
+
+let free t meter port =
+  let i = port - t.port_lo in
+  if i < 0 || i >= t.cap || not (is_allocated t port) then
+    invalid_arg (Printf.sprintf "Port_alloc.free: port %d not allocated" port);
+  match t.impl with
+  | Dll d ->
+      (* push back at the head of the free list *)
+      Costing.charge_load meter ~dependent:true ~addr:(t.base - 16) ();
+      Costing.charge_store meter ~addr:(node_addr t i) ();
+      Costing.charge_store meter ~addr:(node_addr t i + 8) ();
+      d.prev.(i) <- -1;
+      d.next.(i) <- d.head;
+      if d.head >= 0 then begin
+        Costing.charge_store meter ~addr:(node_addr t d.head) ();
+        d.prev.(d.head) <- i
+      end;
+      Costing.charge_store meter ~addr:(t.base - 16) ();
+      d.head <- i;
+      Costing.charge_move meter 1;
+      Costing.charge_alu meter 1;
+      d.taken.(i) <- false;
+      t.allocated <- t.allocated - 1
+  | Arr a ->
+      Costing.charge_load meter ~addr:(word_addr t (i / 64)) ();
+      Costing.charge_store meter ~addr:(word_addr t (i / 64)) ();
+      Costing.charge_alu meter 2;
+      a.busy.(i) <- false;
+      t.allocated <- t.allocated - 1
+
+module Recipe = struct
+  open Perf
+
+  let vec ~ic_const ~ma_const ~lines =
+    Cost_vec.make ~ic:(Perf_expr.const ic_const)
+      ~ma:(Perf_expr.const ma_const)
+      ~cycles:(Costing.cycles_upper ~ic:(Perf_expr.const ic_const)
+                 ~ma:(Perf_expr.const lines))
+
+  (* A: a handful of dependent pointer touches, occupancy-independent. *)
+  let alloc_dll = vec ~ic_const:9 ~ma_const:4 ~lines:4
+  let free_dll = vec ~ic_const:8 ~ma_const:5 ~lines:4
+
+  (* B: 3 instructions and one bitmap word per skipped full word, plus a
+     constant find-first-zero tail.  Words pack 8 to a cache line. *)
+  let alloc_array =
+    let s = Perf_expr.pcv Pcv.scan in
+    let ic = Perf_expr.add_const 12 (Perf_expr.scale 3 s) in
+    let ma = Perf_expr.add_const 2 (Perf_expr.scale 1 s) in
+    Cost_vec.make ~ic ~ma
+      ~cycles:
+        (Perf_expr.add
+           (Costing.cycles_upper ~ic:(Perf_expr.const 12)
+              ~ma:(Perf_expr.const 2))
+           (Perf_expr.scale
+              ((3 * Costing.cycles_instr_factor)
+              + (Hw.Cost.dram_cycles / 8))
+              s))
+
+  let free_array = vec ~ic_const:4 ~ma_const:2 ~lines:1
+
+  let alloc_cost t =
+    match t.impl with Dll _ -> alloc_dll | Arr _ -> alloc_array
+
+  let free_cost t =
+    match t.impl with Dll _ -> free_dll | Arr _ -> free_array
+end

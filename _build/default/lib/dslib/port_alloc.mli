@@ -1,0 +1,47 @@
+(** Port allocators for the NAT (paper §5.3, "picking the appropriate data
+    structure implementation").
+
+    Two implementations of the same interface with deliberately different
+    constant factors — both O(1) in the common case:
+
+    - {b Allocator A} ({!dll}): a doubly-linked free list.  Allocation and
+      deallocation cost the same handful of dependent pointer accesses
+      regardless of churn or occupancy.
+    - {b Allocator B} ({!array}): a flag array scanned from a rotating
+      hint.  Allocation is very cheap when the table is nearly empty (the
+      first probe usually succeeds) and degrades as occupancy grows; the
+      scan length is exposed as PCV [s]. *)
+
+type t
+
+val dll : base:int -> port_lo:int -> port_hi:int -> t
+(** Allocator A. *)
+
+val array : base:int -> port_lo:int -> port_hi:int -> t
+(** Allocator B. *)
+
+val name : t -> string
+(** ["dll"] or ["array"]. *)
+
+val alloc : t -> Exec.Meter.t -> int
+(** A free port, or [-1] when exhausted.  Allocator B observes PCV [s]. *)
+
+val free : t -> Exec.Meter.t -> int -> unit
+(** Raises [Invalid_argument] if the port is not currently allocated. *)
+
+val allocated : t -> int
+val capacity : t -> int
+val is_allocated : t -> int -> bool
+
+(** {1 Contract recipes} *)
+
+module Recipe : sig
+  val alloc_dll : Perf.Cost_vec.t
+  val free_dll : Perf.Cost_vec.t
+  val alloc_array : Perf.Cost_vec.t
+  (** Over PCV [s]. *)
+
+  val free_array : Perf.Cost_vec.t
+  val alloc_cost : t -> Perf.Cost_vec.t
+  val free_cost : t -> Perf.Cost_vec.t
+end

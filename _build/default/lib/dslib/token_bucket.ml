@@ -1,0 +1,71 @@
+let kind = "token_bucket"
+
+type t = {
+  rate : int;
+  burst : int;
+  base : int;
+  mutable level : int;
+  mutable last : int;
+}
+
+let create ~base ~rate ~burst ?(now = 0) () =
+  if rate < 1 || burst < 1 then invalid_arg "Token_bucket.create";
+  { rate; burst; base; level = burst; last = now }
+
+let refill t now =
+  if now > t.last then begin
+    t.level <- min t.burst (t.level + (t.rate * (now - t.last)));
+    t.last <- now
+  end
+
+let tokens t ~now =
+  refill t now;
+  t.level
+
+(* The whole bucket state lives on one cache line: one load, one store. *)
+let conform t meter ~bytes ~now =
+  Costing.charge_load meter ~addr:t.base ();
+  Costing.charge_alu meter 4 (* delta, scale, add, clamp *);
+  Costing.charge_branch meter 1;
+  refill t now;
+  Costing.charge_alu meter 1;
+  Costing.charge_branch meter 1;
+  if bytes <= t.level then begin
+    t.level <- t.level - bytes;
+    Costing.charge_store meter ~addr:t.base ();
+    Costing.charge_alu meter 1;
+    1
+  end
+  else begin
+    Costing.charge_store meter ~addr:(t.base + 8) ();
+    0
+  end
+
+let to_ds t =
+  let call meter meth (args : int array) =
+    match meth with
+    | "conform" -> conform t meter ~bytes:args.(0) ~now:args.(1)
+    | other -> invalid_arg ("token_bucket: unknown method " ^ other)
+  in
+  { Exec.Ds.kind; call }
+
+module Recipe = struct
+  open Perf
+
+  let vec ic ma =
+    Cost_vec.make ~ic:(Perf_expr.const ic) ~ma:(Perf_expr.const ma)
+      ~cycles:(Costing.cycles_upper ~ic:(Perf_expr.const ic)
+                 ~ma:(Perf_expr.const ma))
+
+  let contract =
+    let open Ds_contract in
+    [
+      make ~ds_kind:kind ~meth:"conform"
+        [
+          branch ~tag:"conform" ~note:"tokens available, consumed"
+            (vec 10 2);
+          branch ~tag:"exceed" ~note:"bucket too low, packet out of profile"
+            (vec 9 2);
+        ];
+    ]
+end

@@ -1,0 +1,28 @@
+(** Token-bucket rate limiter — the stateful core of a traffic policer.
+
+    A classic single-rate policer: tokens accrue at [rate] per time unit
+    up to [burst]; a packet conforms when the bucket holds at least its
+    size.  Constant-time on every path, so its contract is two constant
+    branches — a useful contrast to the PCV-rich flow-table contracts. *)
+
+type t
+
+val create : base:int -> rate:int -> burst:int -> ?now:int -> unit -> t
+(** [rate] is tokens per time unit (bytes per microsecond by convention),
+    [burst] the bucket depth in tokens. *)
+
+val tokens : t -> now:int -> int
+(** Current level after refill (uncharged — tests). *)
+
+val conform : t -> Exec.Meter.t -> bytes:int -> now:int -> int
+(** Refill, then try to spend [bytes] tokens: 1 = conformant (tokens
+    consumed), 0 = excess (bucket untouched). *)
+
+val to_ds : t -> Exec.Ds.t
+(** Method: [conform(bytes, now)]. *)
+
+val kind : string
+
+module Recipe : sig
+  val contract : Perf.Ds_contract.t list
+end

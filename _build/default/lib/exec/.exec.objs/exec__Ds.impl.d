@@ -1,0 +1,1 @@
+lib/exec/ds.ml: List Meter

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Ds Expr Format Hashtbl Hw Ir List Meter Net Option Perf Program Semantics Stmt

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Ds Ir Meter Net

@@ -1,0 +1,1 @@
+lib/exec/meter.ml: Hw List Perf

@@ -1,0 +1,1 @@
+lib/exec/meter.mli: Hw Perf

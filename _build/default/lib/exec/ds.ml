@@ -1,0 +1,7 @@
+type t = { kind : string; call : Meter.t -> string -> int array -> int }
+type env = (string * t) list
+
+let find env instance =
+  match List.assoc_opt instance env with
+  | Some ds -> ds
+  | None -> invalid_arg ("Ds.find: instance not linked: " ^ instance)

@@ -1,0 +1,20 @@
+(** Concrete stateful data-structure instances.
+
+    The production build of an NF links its stateless code against real
+    data structures; this record is the linking interface.  A call charges
+    its own costs (instructions, memory accesses at the instance's
+    addresses, PCV observations) into the meter it is handed. *)
+
+type t = {
+  kind : string;  (** must match the program's state declaration *)
+  call : Meter.t -> string -> int array -> int;
+      (** [call meter meth args] executes the method and returns its
+          result.  Raises [Invalid_argument] on unknown methods or
+          malformed arguments — those are NF programming errors. *)
+}
+
+type env = (string * t) list
+(** Instance name → implementation, the "link map" for a program. *)
+
+val find : env -> string -> t
+(** Raises [Invalid_argument] when the instance is not linked. *)

@@ -1,0 +1,59 @@
+(** Concrete interpreter for NF programs.
+
+    Two modes:
+
+    - {b Production} — stateful calls dispatch to real data structures
+      ({!Ds.t}); this is the "measured" run, the analogue of the paper's
+      instrumented testbed executions.
+    - {b Analysis} — stateful calls return pre-solved stub values (from the
+      solver's model of a symbolic path) and emit [E_call] trace events;
+      this is the replay step of paper Alg. 2, line 7.  An extra
+      call-overhead charge stands in for the disabled link-time
+      optimisations of the analysis build (paper §3.5).
+
+    Both modes charge the stateless code through the exact same cost
+    recipe, including the fixed driver/DPDK RX and TX framing segments. *)
+
+type mode =
+  | Production of Ds.env
+  | Analysis of int list
+      (** Return values for the stateful calls, in call order. *)
+
+type outcome =
+  | Sent of int  (** forwarded out of the given port *)
+  | Dropped
+  | Flooded
+
+type run = {
+  outcome : outcome;
+  ic : int;  (** instructions charged during this packet *)
+  ma : int;
+  cycles : int;
+}
+
+exception Stuck of string
+(** Raised when the program violates the IR's runtime contract: an
+    [Unroll] loop exceeding its bound, a negative packet offset, an
+    analysis stub list running dry. *)
+
+val packet_base : int
+(** Byte address the packet buffer is modelled at. *)
+
+val rx_ring_base : int
+(** Byte address of the RX/TX descriptor rings. *)
+
+val run :
+  meter:Meter.t -> mode:mode -> ?in_port:int -> ?now:int ->
+  Ir.Program.t -> Net.Packet.t -> run
+(** Process one packet.  Costs accumulate into [meter] (whose hardware
+    model may be warm from previous packets); the [run] reports the deltas
+    for this packet. *)
+
+val run_batch :
+  meter:Meter.t -> mode:mode ->
+  Ir.Program.t -> (Net.Packet.t * int * int) list -> run list
+(** DPDK-style run-to-completion batch: the RX descriptor sweep and the TX
+    doorbell are charged once for the whole [(packet, in_port, now)]
+    batch instead of per packet — the amortisation
+    [Bolt.Throughput.of_class ~batch] models.  Per-packet header work is
+    unchanged. *)

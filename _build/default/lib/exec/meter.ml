@@ -1,0 +1,56 @@
+type event =
+  | E_instr of Hw.Cost.kind * int
+  | E_mem of { addr : int; write : bool; dependent : bool }
+  | E_call of { instance : string; meth : string; args : int array; ret : int }
+  | E_loop_head of string
+  | E_loop_iter of string
+  | E_loop_exit of string
+
+type t = {
+  model : Hw.Model.t;
+  tracing : bool;
+  mutable events : event list;  (** reversed *)
+  mutable obs : (Perf.Pcv.t * int) list;  (** reversed *)
+}
+
+let create ?(trace = false) model =
+  { model; tracing = trace; events = []; obs = [] }
+
+let push t e = if t.tracing then t.events <- e :: t.events
+
+let instr t kind n =
+  t.model.Hw.Model.instr kind n;
+  push t (E_instr (kind, n))
+
+let mem t ?(write = false) ?(dependent = false) addr =
+  t.model.Hw.Model.mem ~addr ~write ~dependent;
+  push t (E_mem { addr; write; dependent })
+
+let call_event t ~instance ~meth ~args ~ret =
+  push t (E_call { instance; meth; args; ret })
+
+let loop_head t pcv = push t (E_loop_head pcv)
+let loop_iter t pcv = push t (E_loop_iter pcv)
+let loop_exit t pcv = push t (E_loop_exit pcv)
+let observe t pcv value = t.obs <- (pcv, value) :: t.obs
+let ic t = t.model.Hw.Model.instr_count ()
+let ma t = t.model.Hw.Model.mem_count ()
+let cycles t = t.model.Hw.Model.cycles ()
+let events t = List.rev t.events
+let observations t = List.rev t.obs
+
+let fold_binding combine t =
+  List.fold_left
+    (fun acc (pcv, v) ->
+      match List.assoc_opt pcv acc with
+      | None -> (pcv, v) :: acc
+      | Some v' -> (pcv, combine v v') :: List.remove_assoc pcv acc)
+    [] t.obs
+  |> List.sort (fun (a, _) (b, _) -> Perf.Pcv.compare a b)
+
+let pcv_max t = fold_binding max t
+let pcv_sum t = fold_binding ( + ) t
+
+let reset_observations t =
+  t.obs <- [];
+  t.events <- []

@@ -1,0 +1,1 @@
+lib/experiments/allocators.ml: Array Bolt Distiller Dslib Fmt List Net Nf Perf Symbex Workload

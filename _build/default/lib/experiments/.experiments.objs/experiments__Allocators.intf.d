@@ -1,0 +1,1 @@
+lib/experiments/allocators.mli: Format

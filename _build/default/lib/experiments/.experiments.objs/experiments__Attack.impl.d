@@ -1,0 +1,1 @@
+lib/experiments/attack.ml: Bolt Distiller Dslib Fmt Hw List Net Nf Perf Workload

@@ -1,0 +1,1 @@
+lib/experiments/attack.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/exhibits.ml: Bolt Contract Cost_vec Ds_contract Dslib Exec Fmt Harness Hw List Metric Net Nf Pcv Perf Perf_expr Symbex Workload

@@ -1,0 +1,1 @@
+lib/experiments/exhibits.mli: Format Harness Perf

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Bolt Cost_vec Distiller Ds_contract Dslib Exec Fmt Hw List Metric Nf Pcv Perf Perf_expr Solver Symbex Workload

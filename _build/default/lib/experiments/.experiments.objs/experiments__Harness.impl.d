@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Bolt Distiller Float Fmt Hw List Perf Printf Symbex

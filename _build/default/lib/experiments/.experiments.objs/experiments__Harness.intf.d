@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Bolt Distiller Exec Format Ir Symbex Workload

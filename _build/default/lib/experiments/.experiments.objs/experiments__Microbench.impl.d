@@ -1,0 +1,1 @@
+lib/experiments/microbench.ml: Array Fmt Hw List Workload

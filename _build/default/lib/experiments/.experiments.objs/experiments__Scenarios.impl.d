@@ -1,0 +1,1 @@
+lib/experiments/scenarios.ml: Bolt Dslib Harness Hashtbl List Net Nf Symbex Workload

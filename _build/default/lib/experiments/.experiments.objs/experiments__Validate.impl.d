@@ -1,0 +1,1 @@
+lib/experiments/validate.ml: Distiller Float Fmt Hw List Perf

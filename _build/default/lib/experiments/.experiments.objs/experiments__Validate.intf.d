@@ -1,0 +1,1 @@
+lib/experiments/validate.mli: Exec Format Ir Perf Workload

@@ -1,0 +1,1 @@
+lib/experiments/vignat.ml: Distiller Dslib Fmt List Nf Perf Workload

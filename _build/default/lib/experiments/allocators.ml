@@ -1,0 +1,178 @@
+type scenario = Low_churn | High_churn
+
+type result = {
+  scenario : scenario;
+  predicted_cycles_a : int;
+  predicted_cycles_b : int;
+  measured_p50_a : int;
+  measured_p50_b : int;
+  measured_p95_a : int;
+  measured_p95_b : int;
+  cdf_a : (int * float) list;
+  cdf_b : (int * float) list;
+  distilled_scan_p95 : int;
+}
+
+let capacity = 4096
+
+(* Short-lived flows call for a short timeout; long-lived ones keep the
+   table full.  The timeout is what makes "few, short-lived flows" also
+   mean "nearly empty table". *)
+let config_for scenario allocator =
+  {
+    Nf.Nat.capacity;
+    buckets = capacity;
+    timeout =
+      (match scenario with
+      | Low_churn -> 2_500_000
+      | High_churn -> 120_000);
+    granularity = 1_000;
+    port_lo = 1024;
+    port_hi = 1024 + capacity - 1;
+    allocator;
+  }
+
+(* Like Workload.Gen.churn, but also flags which packets open a new flow —
+   those are the packets whose latency the allocator shapes. *)
+let churn_with_flags rng ~pool ~packets ~new_flow_prob ~gap ~start =
+  let live = Array.init pool (fun _ -> Workload.Gen.flow rng ()) in
+  List.init packets (fun i ->
+      let is_new = Workload.Prng.bool rng new_flow_prob in
+      let f =
+        if is_new then begin
+          let slot = Workload.Prng.below rng pool in
+          let f = Workload.Gen.flow rng () in
+          live.(slot) <- f;
+          f
+        end
+        else live.(Workload.Prng.below rng pool)
+      in
+      ( {
+          Workload.Stream.packet = Net.Build.udp_of_flow f;
+          now = start + (i * gap);
+          in_port = 0;
+        },
+        is_new ))
+
+let scenario_pool ~packets = function
+  | Low_churn -> min 3968 (packets / 4) (* ~95% occupancy when warm *)
+  | High_churn -> min 100 (max 32 (packets / 64))
+
+let scenario_prob = function Low_churn -> 0.02 | High_churn -> 0.5
+
+let run_one scenario allocator (stream, new_flags) =
+  let config = config_for scenario allocator in
+  let dss, _ = Nf.Nat.setup ~config (Dslib.Layout.allocator ()) in
+  let result = Distiller.Run.run ~dss Nf.Nat.program stream in
+  let reports = result.Distiller.Run.reports in
+  let n = List.length reports in
+  let steady i = i > n / 2 in
+  (* latencies of steady-state new-flow packets (Figures 6/7) *)
+  let new_flow_latencies =
+    List.filteri (fun i _ -> steady i && List.nth new_flags i) reports
+    |> List.map (fun (r : Distiller.Run.packet_report) ->
+           r.Distiller.Run.cycles)
+  in
+  (* distill s over the allocations themselves *)
+  let scans =
+    List.concat_map
+      (fun (r : Distiller.Run.packet_report) ->
+        List.filter_map
+          (fun (p, v) ->
+            if Perf.Pcv.equal p Perf.Pcv.scan then Some v else None)
+          r.Distiller.Run.observations)
+      (List.filteri (fun i _ -> steady i) reports)
+  in
+  let scan_p95 =
+    match scans with [] -> 0 | _ -> Distiller.Stats.percentile scans 0.95
+  in
+  let traversal_p95 =
+    let ts =
+      List.filteri (fun i _ -> steady i) reports
+      |> List.concat_map (fun (r : Distiller.Run.packet_report) ->
+             List.filter_map
+               (fun (p, v) ->
+                 if Perf.Pcv.equal p Perf.Pcv.traversals then Some v else None)
+               r.Distiller.Run.observations)
+    in
+    match ts with [] -> 1 | _ -> max 1 (Distiller.Stats.percentile ts 0.95)
+  in
+  (* Figure 5: the new-flow bound with the allocator's contract, at the
+     distilled PCVs (expiry excluded — the comparison is about the
+     allocator) *)
+  let bindings =
+    Perf.Pcv.
+      [
+        (expired, 0);
+        (collisions, max 0 (traversal_p95 - 1));
+        (traversals, traversal_p95);
+        (scan, scan_p95);
+      ]
+  in
+  let pipeline =
+    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
+      ~contracts:(Nf.Nat.contracts ~config ())
+      Nf.Nat.program
+  in
+  let new_flow_class =
+    Symbex.Iclass.make ~name:"new flow"
+      ~requires:[ Symbex.Iclass.req Nf.Nat.instance "add_int" "ok" ]
+      ~bindings ()
+  in
+  let predicted =
+    match
+      Bolt.Pipeline.predict pipeline new_flow_class Perf.Metric.Cycles
+    with
+    | Ok v -> v
+    | Error pcv ->
+        invalid_arg ("allocators: unbound PCV " ^ Perf.Pcv.name pcv)
+  in
+  (predicted, new_flow_latencies, scan_p95)
+
+let run scenario ?(packets = 20_000) () =
+  let rng = Workload.Prng.create ~seed:43 in
+  let pool = scenario_pool ~packets scenario in
+  let pairs =
+    churn_with_flags rng ~pool ~packets
+      ~new_flow_prob:(scenario_prob scenario) ~gap:300 ~start:1_000_000
+  in
+  let stream = List.map fst pairs and new_flags = List.map snd pairs in
+  let pa, lat_a, _ = run_one scenario `Dll (stream, new_flags) in
+  let pb, lat_b, scan95 = run_one scenario `Array (stream, new_flags) in
+  let pc l p =
+    match l with [] -> 0 | _ -> Distiller.Stats.percentile l p
+  in
+  {
+    scenario;
+    predicted_cycles_a = pa;
+    predicted_cycles_b = pb;
+    measured_p50_a = pc lat_a 0.5;
+    measured_p50_b = pc lat_b 0.5;
+    measured_p95_a = pc lat_a 0.95;
+    measured_p95_b = pc lat_b 0.95;
+    cdf_a = Distiller.Stats.cdf lat_a;
+    cdf_b = Distiller.Stats.cdf lat_b;
+    distilled_scan_p95 = scan95;
+  }
+
+let figure5_6_7 ?packets () =
+  (run Low_churn ?packets (), run High_churn ?packets ())
+
+let scenario_name = function
+  | Low_churn -> "low churn (long-lived flows, table nearly full)"
+  | High_churn -> "high churn (short-lived flows, table nearly empty)"
+
+let print ppf r =
+  Fmt.pf ppf "%s@." (scenario_name r.scenario);
+  Fmt.pf ppf
+    "  predicted new-flow cycles: A %d, B %d (B/A %.2f); distilled scan \
+     p95 = %d@."
+    r.predicted_cycles_a r.predicted_cycles_b
+    (float_of_int r.predicted_cycles_b
+    /. float_of_int (max 1 r.predicted_cycles_a))
+    r.distilled_scan_p95;
+  Fmt.pf ppf
+    "  measured new-flow latency: A p50 %d / p95 %d;  B p50 %d / p95 %d \
+     (B/A p50 %.2f)@."
+    r.measured_p50_a r.measured_p95_a r.measured_p50_b r.measured_p95_b
+    (float_of_int r.measured_p50_b /. float_of_int (max 1 r.measured_p50_a))

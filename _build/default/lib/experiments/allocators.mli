@@ -1,0 +1,26 @@
+(** The data-structure-selection use-case (paper §5.3, Figures 5–7):
+    allocator A (doubly-linked free list) vs allocator B (flag array with
+    a rotating scan hint) inside the NAT, under low and high churn.
+
+    Low churn keeps the flow table nearly full, so B's scans get long;
+    high churn keeps it nearly empty, so B's first probe usually wins and
+    A pays for its extra pointer chasing. *)
+
+type scenario = Low_churn | High_churn
+
+type result = {
+  scenario : scenario;
+  predicted_cycles_a : int;  (** new-flow packet bound, allocator A *)
+  predicted_cycles_b : int;
+  measured_p50_a : int;
+  measured_p50_b : int;
+  measured_p95_a : int;
+  measured_p95_b : int;
+  cdf_a : (int * float) list;
+  cdf_b : (int * float) list;
+  distilled_scan_p95 : int;  (** PCV s under allocator B *)
+}
+
+val run : scenario -> ?packets:int -> unit -> result
+val figure5_6_7 : ?packets:int -> unit -> result * result
+val print : Format.formatter -> result -> unit

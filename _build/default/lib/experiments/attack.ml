@@ -1,0 +1,63 @@
+type point = { traversals : int; ccdf : float; predicted_ic : int }
+
+let figure2 ?(packets = 20_000) ?(capacity = 8192) ?(buckets = 2048) () =
+  (* a high threshold so the defence never fires during the calibration
+     run — the operator is deciding where to put it *)
+  let config =
+    {
+      Nf.Bridge.default_config with
+      Nf.Bridge.capacity;
+      buckets;
+      threshold = 64;
+    }
+  in
+  let dss, _table = Nf.Bridge.setup ~config (Dslib.Layout.allocator ()) in
+  let rng = Workload.Prng.create ~seed:23 in
+  (* uniform random sources: every packet is a fresh learn *)
+  let frames =
+    List.init packets (fun _ ->
+        Net.Build.eth
+          ~src_mac:(Workload.Gen.mac rng)
+          ~dst_mac:(Workload.Gen.mac rng)
+          ~ethertype:Net.Ethernet.ethertype_ipv4 ())
+  in
+  let stream =
+    Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:50 frames
+  in
+  let result = Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss Nf.Bridge.program stream in
+  let traversal_samples =
+    Distiller.Run.pcv_values result Perf.Pcv.traversals
+  in
+  let ccdf = Distiller.Stats.ccdf traversal_samples in
+  (* the contract's unknown-source (no rehash) branch as a function of t *)
+  let pipeline =
+    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
+      ~contracts:(Nf.Bridge.contracts ~config ())
+      Nf.Bridge.program
+  in
+  let unknown_class = List.nth (Nf.Bridge.table4_classes ()) 1 in
+  let cost, _ = Bolt.Pipeline.class_cost pipeline unknown_class in
+  let ic_expr = Perf.Cost_vec.get cost Perf.Metric.Instructions in
+  List.map
+    (fun (tv, p) ->
+      let binding =
+        [
+          (Perf.Pcv.expired, 0);
+          (Perf.Pcv.collisions, max 0 (tv - 1));
+          (Perf.Pcv.traversals, tv);
+          (Perf.Pcv.occupancy, 0);
+        ]
+      in
+      {
+        traversals = tv;
+        ccdf = p;
+        predicted_ic = Perf.Perf_expr.eval_exn binding ic_expr;
+      })
+    ccdf
+
+let print ppf points =
+  Fmt.pf ppf "  %-12s %-12s %s@." "traversals" "CCDF" "predicted IC";
+  List.iter
+    (fun { traversals; ccdf; predicted_ic } ->
+      Fmt.pf ppf "  %-12d %-12.5f %d@." traversals ccdf predicted_ic)
+    points

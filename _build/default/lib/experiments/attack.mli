@@ -1,0 +1,14 @@
+(** The operator use-case (paper §5.2, Figure 2): picking the rehash
+    threshold for the bridge's collision-attack defence.
+
+    A uniform random workload is distilled for the bucket-traversal PCV;
+    the CCDF tells the operator how often a benign workload would cross a
+    candidate threshold, and the contract (evaluated as a function of [t])
+    gives the instruction-count consequence. *)
+
+type point = { traversals : int; ccdf : float; predicted_ic : int }
+
+val figure2 :
+  ?packets:int -> ?capacity:int -> ?buckets:int -> unit -> point list
+
+val print : Format.formatter -> point list -> unit

@@ -1,0 +1,197 @@
+open Perf
+
+let analyze program contracts =
+  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+
+let table1 ppf =
+  Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Instructions)
+    Nf.Router_trie.stylized_contract;
+  Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Memory_accesses)
+    Nf.Router_trie.stylized_contract;
+  let t = analyze Nf.Router_trie.program (Nf.Router_trie.contracts ()) in
+  let full = Bolt.Pipeline.contract t ~classes:(Nf.Router_trie.classes ()) in
+  Fmt.pf ppf
+    "@.full-stack contract derived by BOLT (driver + framework included):@.";
+  Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Instructions) full;
+  Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Memory_accesses) full
+
+let table2 ppf =
+  List.iter
+    (fun c -> Fmt.pf ppf "%a@." Ds_contract.pp c)
+    Dslib.Lpm_trie.Recipe.contract
+
+let table4 ppf =
+  let t = analyze Nf.Bridge.program (Nf.Bridge.contracts ()) in
+  let contract =
+    Bolt.Pipeline.contract t ~classes:(Nf.Bridge.table4_classes ())
+  in
+  Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Instructions) contract
+
+let table6 ppf =
+  let t = analyze Nf.Nat.program (Nf.Nat.contracts ()) in
+  let contract =
+    Bolt.Pipeline.contract t ~classes:(Nf.Nat.table6_classes ())
+  in
+  Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Instructions) contract
+
+(* ---- Firewall + router chain (Table 5, Figure 3) --------------------- *)
+
+type chain = {
+  firewall_worst : Cost_vec.t;
+  router_worst : Cost_vec.t;
+  naive_add : Cost_vec.t;
+  composite : Cost_vec.t;
+  measured_firewall : Harness.measurement;
+  measured_router : Harness.measurement;
+  measured_chain : Harness.measurement;
+}
+
+let no_contracts = Ds_contract.library []
+
+let chain_mix ~packets rng =
+  List.init packets (fun i ->
+      let src_ip = Net.Ipv4.addr_of_parts 10 0 0 ((i mod 200) + 1) in
+      let dst_ip = Net.Ipv4.addr_of_parts 93 184 (i mod 256) 7 in
+      let options =
+        if Workload.Prng.bool rng 0.3 then 1 + Workload.Prng.below rng 3
+        else 0
+      in
+      if options = 0 then
+        Net.Build.udp ~src_ip ~dst_ip ~src_port:5000 ~dst_port:80 ()
+      else Net.Build.ipv4_with_options ~options ~src_ip ~dst_ip ())
+
+(* Run the chain in production: each packet through the firewall, and on
+   through the router when forwarded.  Returns per-packet (fw, router,
+   total) measurements. *)
+let run_chain packets =
+  let hw = Hw.Model.realistic () in
+  let meter = Exec.Meter.create hw in
+  List.map
+    (fun packet ->
+      hw.Hw.Model.boundary [ (Exec.Interp.packet_base, 2048) ];
+      let fw =
+        Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~in_port:0
+          ~now:1_000_000 Nf.Firewall.program packet
+      in
+      match fw.Exec.Interp.outcome with
+      | Exec.Interp.Sent _ ->
+          let rt =
+            Exec.Interp.run ~meter ~mode:(Exec.Interp.Production [])
+              ~in_port:0 ~now:1_000_000 Nf.Static_router.program packet
+          in
+          (fw, Some rt)
+      | Exec.Interp.Dropped | Exec.Interp.Flooded -> (fw, None))
+    packets
+
+let max_measure f runs =
+  List.fold_left
+    (fun (acc : Harness.measurement) r ->
+      match f r with
+      | None -> acc
+      | Some (run : Exec.Interp.run) ->
+          {
+            Harness.ic = max acc.Harness.ic run.Exec.Interp.ic;
+            ma = max acc.Harness.ma run.Exec.Interp.ma;
+            cycles = max acc.Harness.cycles run.Exec.Interp.cycles;
+          })
+    { Harness.ic = 0; ma = 0; cycles = 0 }
+    runs
+
+let chain_experiment ?(packets = 512) () =
+  let fw = analyze Nf.Firewall.program no_contracts in
+  let rt = analyze Nf.Static_router.program no_contracts in
+  let composition =
+    Bolt.Compose.analyze ~models:Bolt.Ds_models.default
+      ~up:(Nf.Firewall.program, no_contracts)
+      ~down:(Nf.Static_router.program, no_contracts)
+      ()
+  in
+  let firewall_worst = Bolt.Pipeline.worst_case fw in
+  let router_worst = Bolt.Pipeline.worst_case rt in
+  let rng = Workload.Prng.create ~seed:11 in
+  let mix = chain_mix ~packets rng in
+  let runs = run_chain mix in
+  (* the router measured alone sees the raw mix (including options) *)
+  let router_alone =
+    let hw = Hw.Model.realistic () in
+    let meter = Exec.Meter.create hw in
+    List.map
+      (fun packet ->
+        hw.Hw.Model.boundary [ (Exec.Interp.packet_base, 2048) ];
+        Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~in_port:0
+          ~now:1_000_000 Nf.Static_router.program packet)
+      mix
+  in
+  {
+    firewall_worst;
+    router_worst;
+    naive_add = Bolt.Compose.naive_add ~up:firewall_worst ~down:router_worst;
+    composite = Bolt.Compose.worst_case composition;
+    measured_firewall = max_measure (fun (fw, _) -> Some fw) runs;
+    measured_router =
+      max_measure (fun r -> Some r) (List.map (fun r -> r) router_alone);
+    measured_chain =
+      max_measure
+        (fun (fw, rt) ->
+          match rt with
+          | None -> Some fw
+          | Some rt ->
+              Some
+                {
+                  Exec.Interp.outcome = rt.Exec.Interp.outcome;
+                  ic = fw.Exec.Interp.ic + rt.Exec.Interp.ic;
+                  ma = fw.Exec.Interp.ma + rt.Exec.Interp.ma;
+                  cycles = fw.Exec.Interp.cycles + rt.Exec.Interp.cycles;
+                })
+        runs;
+  }
+
+let table5 ppf =
+  let fw = analyze Nf.Firewall.program no_contracts in
+  let rt = analyze Nf.Static_router.program no_contracts in
+  let fw_contract =
+    Bolt.Pipeline.contract fw ~classes:(Nf.Firewall.classes ())
+  in
+  let rt_contract =
+    Bolt.Pipeline.contract rt ~classes:(Nf.Static_router.classes ())
+  in
+  Fmt.pf ppf "(a) %a@." (Contract.pp_metric Metric.Instructions) fw_contract;
+  Fmt.pf ppf "(b) %a@." (Contract.pp_metric Metric.Instructions) rt_contract;
+  let composition =
+    Bolt.Compose.analyze ~models:Bolt.Ds_models.default
+      ~up:(Nf.Firewall.program, no_contracts)
+      ~down:(Nf.Static_router.program, no_contracts)
+      ()
+  in
+  Fmt.pf ppf "(c) firewall+router chain — instruction count@.";
+  List.iter
+    (fun cls ->
+      let cost, n =
+        Bolt.Compose.class_cost composition
+          ~up_result:(Bolt.Compose.engine_up composition)
+          cls
+      in
+      Fmt.pf ppf "  %-16s  %a  (%d compatible path pairs)@."
+        cls.Symbex.Iclass.name Perf_expr.pp
+        (Cost_vec.get cost Metric.Instructions)
+        n)
+    (Nf.Firewall.classes ())
+
+let bind_n = [ (Pcv.ip_options, 3) ]
+
+let figure3 ?packets ppf =
+  let c = chain_experiment ?packets () in
+  let ev vec metric = Perf_expr.eval_exn bind_n (Cost_vec.get vec metric) in
+  let line label vec (m : Harness.measurement) =
+    Fmt.pf ppf "  %-16s  predicted IC %5d  measured IC %5d   predicted MA \
+                %4d  measured MA %4d@."
+      label
+      (ev vec Metric.Instructions)
+      m.Harness.ic
+      (ev vec Metric.Memory_accesses)
+      m.Harness.ma
+  in
+  line "Firewall" c.firewall_worst c.measured_firewall;
+  line "Router" c.router_worst c.measured_router;
+  line "Naive-Add" c.naive_add c.measured_chain;
+  line "Composite-Bolt" c.composite c.measured_chain

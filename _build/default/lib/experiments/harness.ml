@@ -1,0 +1,56 @@
+type prediction = { ic : int; ma : int; cycles : int }
+type measurement = { ic : int; ma : int; cycles : int }
+type row = { label : string; predicted : prediction; measured : measurement }
+
+let over_estimate_pct ~predicted ~measured =
+  if measured = 0 then 0.
+  else 100. *. float_of_int (predicted - measured) /. float_of_int measured
+
+let ratio ~predicted ~measured =
+  if measured = 0 then Float.infinity
+  else float_of_int predicted /. float_of_int measured
+
+let predict_exn t cls : prediction =
+  let get metric =
+    match Bolt.Pipeline.predict t cls metric with
+    | Ok n -> n
+    | Error pcv ->
+        invalid_arg
+          (Printf.sprintf "scenario %s: PCV %s unbound"
+             cls.Symbex.Iclass.name (Perf.Pcv.name pcv))
+  in
+  {
+    ic = get Perf.Metric.Instructions;
+    ma = get Perf.Metric.Memory_accesses;
+    cycles = get Perf.Metric.Cycles;
+  }
+
+let measure_reports ~dss program ~warmup ~measured =
+  let hw = Hw.Model.realistic () in
+  let (_ : Distiller.Run.t) = Distiller.Run.run ~hw ~dss program warmup in
+  Distiller.Run.run ~hw ~dss program measured
+
+let measure ~dss program ~warmup ~measured =
+  let result = measure_reports ~dss program ~warmup ~measured in
+  {
+    ic = Distiller.Run.max_ic result;
+    ma = Distiller.Run.max_ma result;
+    cycles = Distiller.Run.max_cycles result;
+  }
+
+let pp_fig_row ppf { label; predicted; measured } =
+  Fmt.pf ppf
+    "  %-6s  IC %9d / %9d (+%5.1f%%)   MA %8d / %8d (+%5.1f%%)   cyc %12d \
+     / %10d (x%.2f)"
+    label predicted.ic measured.ic
+    (over_estimate_pct ~predicted:predicted.ic ~measured:measured.ic)
+    predicted.ma measured.ma
+    (over_estimate_pct ~predicted:predicted.ma ~measured:measured.ma)
+    predicted.cycles measured.cycles
+    (ratio ~predicted:predicted.cycles ~measured:measured.cycles)
+
+let pp_rows ~title ppf rows =
+  Fmt.pf ppf "%s@." title;
+  Fmt.pf ppf "  %-6s  %-35s  %-30s  %s@." "class" "IC predicted/measured"
+    "MA predicted/measured" "cycles predicted/measured";
+  List.iter (fun row -> Fmt.pf ppf "%a@." pp_fig_row row) rows

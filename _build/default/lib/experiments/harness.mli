@@ -1,0 +1,34 @@
+(** Shared plumbing for the experiment reproductions. *)
+
+type prediction = { ic : int; ma : int; cycles : int }
+
+type measurement = { ic : int; ma : int; cycles : int }
+
+type row = {
+  label : string;
+  predicted : prediction;
+  measured : measurement;
+}
+
+val over_estimate_pct : predicted:int -> measured:int -> float
+(** [(predicted - measured) / measured], in percent. *)
+
+val ratio : predicted:int -> measured:int -> float
+
+val predict_exn :
+  Bolt.Pipeline.t -> Symbex.Iclass.t -> prediction
+(** All three metric bounds at the class's bindings; raises on an unbound
+    PCV (a scenario-definition bug). *)
+
+val measure :
+  dss:Exec.Ds.env -> Ir.Program.t -> warmup:Workload.Stream.t ->
+  measured:Workload.Stream.t -> measurement
+(** Run warmup then the measured phase on one warm realistic simulator;
+    report the per-packet maxima of the measured phase. *)
+
+val measure_reports :
+  dss:Exec.Ds.env -> Ir.Program.t -> warmup:Workload.Stream.t ->
+  measured:Workload.Stream.t -> Distiller.Run.t
+
+val pp_fig_row : Format.formatter -> row -> unit
+val pp_rows : title:string -> Format.formatter -> row list -> unit

@@ -1,0 +1,73 @@
+type row = {
+  name : string;
+  predicted_cycles : int;
+  measured_cycles : int;
+  ratio : float;
+}
+
+let node_bytes = 64
+let base = 0x7000_0000
+
+(* Per-node work: a load (charged via mem) plus a little arithmetic and a
+   loop branch — the same mix for all three programs. *)
+let charge_node (model : Hw.Model.t) ~addr ~dependent =
+  model.Hw.Model.instr Hw.Cost.Load 1;
+  model.Hw.Model.mem ~addr ~write:false ~dependent;
+  model.Hw.Model.instr Hw.Cost.Alu 2;
+  model.Hw.Model.instr Hw.Cost.Branch 1
+
+let traverse model addrs ~dependent =
+  List.iter (fun addr -> charge_node model ~addr ~dependent) addrs
+
+let shuffled_addrs rng nodes =
+  let order = Array.init nodes (fun i -> i) in
+  for i = nodes - 1 downto 1 do
+    let j = Workload.Prng.below rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  Array.to_list (Array.map (fun i -> base + (i * node_bytes)) order)
+
+let sequential_addrs nodes =
+  List.init nodes (fun i -> base + (i * node_bytes))
+
+(* The array is scanned element by element: 8 ints per line. *)
+let array_addrs nodes =
+  List.init (nodes * 8) (fun i -> base + (i * 8))
+
+let programs rng nodes =
+  [
+    ("P1 (non-contiguous list)", shuffled_addrs rng nodes, true);
+    ("P2 (contiguous list)", sequential_addrs nodes, true);
+    ("P3 (array)", array_addrs nodes, false);
+  ]
+
+let run ?(nodes = 4096) () =
+  let rng = Workload.Prng.create ~seed:5 in
+  List.map
+    (fun (name, addrs, dependent) ->
+      let conservative = Hw.Model.conservative () in
+      traverse conservative addrs ~dependent;
+      let realistic = Hw.Model.realistic () in
+      traverse realistic addrs ~dependent;
+      let predicted_cycles = conservative.Hw.Model.cycles () in
+      let measured_cycles = realistic.Hw.Model.cycles () in
+      {
+        name;
+        predicted_cycles;
+        measured_cycles;
+        ratio =
+          float_of_int predicted_cycles
+          /. float_of_int (max 1 measured_cycles);
+      })
+    (programs rng nodes)
+
+let print ppf rows =
+  Fmt.pf ppf "  %-26s %14s %14s %8s@." "program" "predicted cyc"
+    "measured cyc" "ratio";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-26s %14d %14d %8.2f@." r.name r.predicted_cycles
+        r.measured_cycles r.ratio)
+    rows

@@ -1,0 +1,20 @@
+(** The hardware-model validation microbenchmarks (paper §5.1, P1/P2/P3).
+
+    Three traversal programs with identical instruction mixes but
+    different memory behaviour: P1 chases pointers through a shuffled
+    (non-contiguous) linked list — no prefetching, no memory-level
+    parallelism; P2 walks a list allocated contiguously — the next-line
+    prefetcher helps but the loads are still dependent; P3 scans an array
+    — both prefetching and MLP apply.  The closer the hardware behaves to
+    the conservative model's assumptions (P1), the tighter BOLT's cycles
+    bound. *)
+
+type row = {
+  name : string;
+  predicted_cycles : int;
+  measured_cycles : int;
+  ratio : float;
+}
+
+val run : ?nodes:int -> unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,29 @@
+(** The 14 NF/packet-class scenarios of paper Figure 1 and Table 3.
+
+    For each scenario the BOLT prediction (contract evaluated at the
+    class's PCV bindings) is compared against a measured run of the
+    production build: per-packet maxima of IC and MA, and realistic-
+    simulator cycles.  The three pathological scenarios (NAT1, Br1, LB1)
+    synthesize their mass-expiry state directly, as the paper did. *)
+
+type params = {
+  patho_capacity : int;  (** table size for the mass-expiry scenarios *)
+  flows : int;  (** flows per typical scenario *)
+  seed : int;
+}
+
+val default_params : params
+val quick_params : params
+(** Small sizes for the test suite. *)
+
+val nat_rows : ?params:params -> unit -> Harness.row list
+val bridge_rows : ?params:params -> unit -> Harness.row list
+val lb_rows : ?params:params -> unit -> Harness.row list
+val lpm_rows : ?params:params -> unit -> Harness.row list
+
+val figure1_table3 : ?params:params -> unit -> Harness.row list
+(** All 14 rows, in the paper's order: NAT1–4, Br1–3, LB1–5, LPM1–2. *)
+
+val conntrack_rows : ?params:params -> unit -> Harness.row list
+(** The same predicted-vs-measured comparison for the (non-paper)
+    connection-tracking firewall: CT1–CT5. *)

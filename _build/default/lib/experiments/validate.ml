@@ -1,0 +1,77 @@
+type violation = {
+  packet_index : int;
+  metric : Perf.Metric.t;
+  bound : int;
+  measured : int;
+  binding : Perf.Pcv.binding;
+}
+
+type report = {
+  packets : int;
+  violations : violation list;
+  worst_headroom_pct : float;
+}
+
+let tracked_pcvs =
+  Perf.Pcv.[ expired; collisions; traversals; occupancy; scan; ip_options ]
+
+let binding_of (r : Distiller.Run.packet_report) extra_pcvs =
+  List.map
+    (fun pcv ->
+      ( pcv,
+        List.fold_left
+          (fun acc (p, v) -> if Perf.Pcv.equal p pcv then max acc v else acc)
+          0 r.Distiller.Run.observations ))
+    (List.sort_uniq Perf.Pcv.compare (tracked_pcvs @ extra_pcvs))
+
+let run ~worst ~dss program stream =
+  let extra_pcvs = Perf.Cost_vec.pcvs worst in
+  let result =
+    Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss program stream
+  in
+  let violations = ref [] in
+  let headroom = ref 100. in
+  List.iter
+    (fun (r : Distiller.Run.packet_report) ->
+      let binding = binding_of r extra_pcvs in
+      let check metric measured =
+        let bound = Perf.Cost_vec.eval_exn binding worst metric in
+        if bound < measured then
+          violations :=
+            {
+              packet_index = r.Distiller.Run.index;
+              metric;
+              bound;
+              measured;
+              binding;
+            }
+            :: !violations
+        else if bound > 0 then
+          headroom :=
+            Float.min !headroom
+              (100. *. float_of_int (bound - measured) /. float_of_int bound)
+      in
+      check Perf.Metric.Instructions r.Distiller.Run.ic;
+      check Perf.Metric.Memory_accesses r.Distiller.Run.ma)
+    result.Distiller.Run.reports;
+  {
+    packets = List.length result.Distiller.Run.reports;
+    violations = List.rev !violations;
+    worst_headroom_pct = !headroom;
+  }
+
+let pp ppf r =
+  if r.violations = [] then
+    Fmt.pf ppf
+      "OK: %d packets within the contract (tightest headroom: %.1f%%)@."
+      r.packets r.worst_headroom_pct
+  else begin
+    Fmt.pf ppf "CONTRACT VIOLATED on %d of %d packets:@."
+      (List.length r.violations) r.packets;
+    List.iter
+      (fun v ->
+        Fmt.pf ppf "  packet %d: %a bound %d < measured %d at %a@."
+          v.packet_index Perf.Metric.pp v.metric v.bound v.measured
+          Perf.Pcv.pp_binding v.binding)
+      r.violations
+  end

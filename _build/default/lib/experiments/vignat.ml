@@ -1,0 +1,72 @@
+type report = {
+  expiry_density : (string * float) list;
+  latency_ccdf : (int * float) list;
+  p50 : int;
+  p999 : int;
+  max_latency : int;
+}
+
+let run ~granularity ?(packets = 20_000) ?(pool = 1024) () =
+  let config =
+    {
+      Nf.Nat.default_config with
+      Nf.Nat.granularity;
+      timeout = 2_000_000;
+      capacity = 4096;
+      buckets = 4096;
+    }
+  in
+  let dss, _ = Nf.Nat.setup ~config (Dslib.Layout.allocator ()) in
+  let rng = Workload.Prng.create ~seed:31 in
+  (* uniform random traffic with churn: replaced flows stop being
+     refreshed and expire [timeout] later *)
+  let stream =
+    Workload.Gen.churn rng ~pool ~packets ~new_flow_prob:0.08 ~gap:500
+      ~start:1_000_000
+  in
+  let result = Distiller.Run.run ~dss Nf.Nat.program stream in
+  (* skip the first portion: the table is still filling *)
+  let steady =
+    let n = List.length result.Distiller.Run.reports in
+    List.filteri (fun i _ -> i > n / 4) result.Distiller.Run.reports
+  in
+  let expired_per_packet =
+    List.map
+      (fun (r : Distiller.Run.packet_report) ->
+        List.fold_left
+          (fun acc (p, v) ->
+            if Perf.Pcv.equal p Perf.Pcv.expired then acc + v else acc)
+          0 r.Distiller.Run.observations)
+      steady
+  in
+  let latencies =
+    List.map (fun (r : Distiller.Run.packet_report) -> r.Distiller.Run.cycles)
+      steady
+  in
+  {
+    expiry_density =
+      Distiller.Stats.density_binned
+        ~bins:
+          [
+            (0, 0, "0"); (1, 1, "1"); (2, 3, "2-3"); (4, 15, "4-15");
+            (16, 63, "16-63"); (64, max_int, "64+");
+          ]
+        expired_per_packet;
+    latency_ccdf = Distiller.Stats.ccdf latencies;
+    p50 = Distiller.Stats.percentile latencies 0.5;
+    p999 = Distiller.Stats.percentile latencies 0.999;
+    max_latency = Distiller.Stats.percentile latencies 1.0;
+  }
+
+let tables7_8 ?packets () =
+  ( run ~granularity:1_000_000 ?packets (),
+    run ~granularity:1_000 ?packets () )
+
+let print_report ~label ppf r =
+  Fmt.pf ppf "%s@." label;
+  Fmt.pf ppf "  expired flows per packet (probability density):@.";
+  List.iter
+    (fun (bin, p) -> Fmt.pf ppf "    %-6s %8.3f%%@." bin (100. *. p))
+    r.expiry_density;
+  Fmt.pf ppf "  latency: p50 %d cycles, p99.9 %d, max %d@." r.p50 r.p999
+    r.max_latency

@@ -1,0 +1,24 @@
+(** The developer use-case (paper §5.3): the VigNAT expiry-batching bug.
+
+    With second-granularity timestamps every flow that should have expired
+    during the previous second expires in one batch at the tick, giving
+    ~1.5% of packets a long latency tail (paper Figure 4, Table 7).
+    Millisecond granularity spreads the expirations out (Table 8). *)
+
+type report = {
+  expiry_density : (string * float) list;
+      (** binned per-packet expired-flow counts (paper Tables 7/8) *)
+  latency_ccdf : (int * float) list;  (** paper Figure 4 *)
+  p50 : int;
+  p999 : int;
+  max_latency : int;
+}
+
+val run : granularity:int -> ?packets:int -> ?pool:int -> unit -> report
+(** [granularity] in microseconds: 1_000_000 reproduces the bug,
+    1_000 the fix. *)
+
+val tables7_8 : ?packets:int -> unit -> report * report
+(** (second granularity, millisecond granularity). *)
+
+val print_report : label:string -> Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/hw/conservative.ml: Cache Cost

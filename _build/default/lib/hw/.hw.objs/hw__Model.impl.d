@@ -1,0 +1,1 @@
+lib/hw/model.ml: Conservative Cost Realistic

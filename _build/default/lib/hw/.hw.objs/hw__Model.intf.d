@@ -1,0 +1,1 @@
+lib/hw/model.mli: Cost Realistic

@@ -1,0 +1,1 @@
+lib/hw/realistic.ml: Cache Cost Hashtbl List

@@ -1,0 +1,1 @@
+lib/hw/realistic.mli: Cost

@@ -1,0 +1,92 @@
+type t = {
+  sets : int array array;  (** [sets.(i)] holds line tags, LRU order *)
+  fill : int array;  (** number of valid ways per set *)
+  set_count : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let line_of_addr addr = addr / Cost.line_size
+
+let create ~size_bytes ~assoc =
+  let lines = size_bytes / Cost.line_size in
+  if lines = 0 || lines mod assoc <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of assoc * line_size";
+  let set_count = lines / assoc in
+  {
+    sets = Array.init set_count (fun _ -> Array.make assoc (-1));
+    fill = Array.make set_count 0;
+    set_count;
+    hits = 0;
+    misses = 0;
+  }
+
+let l1d () = create ~size_bytes:(32 * 1024) ~assoc:8
+let l2 () = create ~size_bytes:(256 * 1024) ~assoc:8
+let l3 () = create ~size_bytes:(2560 * 1024) ~assoc:20
+
+let find_way set fill tag =
+  let rec loop i = if i >= fill then None else
+    if set.(i) = tag then Some i else loop (i + 1)
+  in
+  loop 0
+
+(* Move way [i] to the front (most-recently-used position). *)
+let promote set i =
+  let tag = set.(i) in
+  Array.blit set 0 set 1 i;
+  set.(0) <- tag
+
+let insert_line t line =
+  let idx = line mod t.set_count in
+  let set = t.sets.(idx) in
+  let fill = t.fill.(idx) in
+  match find_way set fill line with
+  | Some i -> promote set i
+  | None ->
+      let assoc = Array.length set in
+      let n = min fill (assoc - 1) in
+      Array.blit set 0 set 1 n;
+      set.(0) <- line;
+      if fill < assoc then t.fill.(idx) <- fill + 1
+
+let access t addr =
+  let line = line_of_addr addr in
+  let idx = line mod t.set_count in
+  let set = t.sets.(idx) in
+  match find_way set t.fill.(idx) line with
+  | Some i ->
+      promote set i;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      insert_line t line;
+      t.misses <- t.misses + 1;
+      false
+
+let probe t addr =
+  let line = line_of_addr addr in
+  let idx = line mod t.set_count in
+  find_way t.sets.(idx) t.fill.(idx) line <> None
+
+let insert t addr = insert_line t (line_of_addr addr)
+
+let remove t addr =
+  let line = line_of_addr addr in
+  let idx = line mod t.set_count in
+  let set = t.sets.(idx) in
+  let fill = t.fill.(idx) in
+  match find_way set fill line with
+  | None -> ()
+  | Some i ->
+      Array.blit set (i + 1) set i (fill - i - 1);
+      set.(fill - 1) <- -1;
+      t.fill.(idx) <- fill - 1
+
+let clear t =
+  Array.iter (fun set -> Array.fill set 0 (Array.length set) (-1)) t.sets;
+  Array.fill t.fill 0 t.set_count 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,24 @@
+type t = {
+  l1 : Cache.t;
+  mutable cycles : int;
+  mutable instrs : int;
+  mutable mems : int;
+}
+
+let create () = { l1 = Cache.l1d (); cycles = 0; instrs = 0; mems = 0 }
+
+let instr t kind n =
+  t.instrs <- t.instrs + n;
+  t.cycles <- t.cycles + (n * Cost.worst_case_cycles kind)
+
+let mem t ~addr ~write:_ ~dependent:_ =
+  t.mems <- t.mems + 1;
+  let hit = Cache.access t.l1 addr in
+  t.cycles <-
+    t.cycles + (if hit then Cost.l1_hit_cycles else Cost.dram_cycles)
+
+let cycles t = t.cycles
+let instr_count t = t.instrs
+let mem_count t = t.mems
+let mem_cost_upper = Cost.dram_cycles
+let mem_cost_l1 = Cost.l1_hit_cycles

@@ -1,0 +1,31 @@
+(** BOLT's conservative hardware model (paper §3.5).
+
+    Compute instructions are charged their worst-case latency from the
+    cost table.  Memory accesses are assumed to be served from main memory
+    unless the model can definitively prove an L1D hit — which it can only
+    do by tracking the spatial and temporal locality of the accesses of
+    the path itself, starting from a cold cache.  Out-of-order scheduling,
+    memory-level parallelism and prefetching are proprietary and therefore
+    not modelled; this makes every estimate a sound upper bound. *)
+
+type t
+
+val create : unit -> t
+(** A fresh model with a cold L1D, to be used for one execution path. *)
+
+val instr : t -> Cost.kind -> int -> unit
+(** [instr t kind n] charges [n] instructions of [kind]. *)
+
+val mem : t -> addr:int -> write:bool -> dependent:bool -> unit
+(** Charge one memory access.  [dependent] is ignored — the conservative
+    model never overlaps misses. *)
+
+val cycles : t -> int
+val instr_count : t -> int
+val mem_count : t -> int
+
+val mem_cost_upper : int
+(** The per-access cost the model charges when it cannot prove an L1 hit
+    (DRAM latency).  Used by hand-written data-structure contracts. *)
+
+val mem_cost_l1 : int

@@ -1,0 +1,45 @@
+type kind = Alu | Mul | Div | Move | Branch | Load | Store | Call | Ret
+
+let all_kinds = [ Alu; Mul; Div; Move; Branch; Load; Store; Call; Ret ]
+
+let kind_to_string = function
+  | Alu -> "alu"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Move -> "move"
+  | Branch -> "branch"
+  | Load -> "load"
+  | Store -> "store"
+  | Call -> "call"
+  | Ret -> "ret"
+
+let worst_case_cycles = function
+  | Alu -> 1
+  | Mul -> 5
+  | Div -> 90
+  | Move -> 1
+  | Branch -> 17 (* assume mispredicted: pipeline-flush worst case *)
+  | Load -> 1 (* address generation; the access is charged separately *)
+  | Store -> 1
+  | Call -> 3
+  | Ret -> 3
+
+let line_size = 64
+let l1_hit_cycles = 4
+let l2_hit_cycles = 12
+let l3_hit_cycles = 42
+let dram_cycles = 200
+let prefetched_hit_cycles = 30
+let mlp_max = 4
+let ipc = 3
+
+let cost_assign = 1
+let cost_binop_alu = 1
+let cost_binop_mul = 1
+let cost_binop_div = 1
+let cost_unop = 1
+let cost_branch = 1
+let cost_load = 1
+let cost_store = 1
+let cost_call_overhead = 2
+let cost_return = 1

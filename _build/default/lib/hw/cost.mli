@@ -1,0 +1,70 @@
+(** The shared cost table.
+
+    Both the production ("measured") interpreter and the BOLT analysis
+    ("predicted") charge instructions through this single table, mirroring
+    the paper's setup where Pin-observed traces and contract expressions
+    both count x86 instructions.  Keeping one table guarantees that the
+    prediction gap comes only from the paper's real gap sources — contract
+    coalescing and model-vs-production build differences — not from
+    accounting skew. *)
+
+(** Instruction kinds, a coarse x86-like classification. *)
+type kind =
+  | Alu  (** add/sub/logic/compare *)
+  | Mul
+  | Div
+  | Move  (** register moves, immediates *)
+  | Branch  (** conditional and unconditional jumps *)
+  | Load  (** memory read (the access itself is a separate event) *)
+  | Store  (** memory write *)
+  | Call
+  | Ret
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+val worst_case_cycles : kind -> int
+(** Conservative per-instruction latency, as BOLT takes from the Intel
+    optimisation manual's worst cases (paper §3.5). *)
+
+(** {1 Memory-hierarchy constants} *)
+
+val line_size : int
+(** Cache line size in bytes (64). *)
+
+val l1_hit_cycles : int
+val l2_hit_cycles : int
+val l3_hit_cycles : int
+val dram_cycles : int
+
+val prefetched_hit_cycles : int
+(** Cost of an access caught by the next-line prefetcher: the prefetch is
+    in flight, so part of the DRAM latency is hidden. *)
+
+val mlp_max : int
+(** Maximum memory-level parallelism: how many independent misses the
+    realistic model lets overlap. *)
+
+val ipc : int
+(** Superscalar retire width assumed by the realistic model. *)
+
+(** {1 Stateless-code charging conventions}
+
+    How many instructions each NF IR construct costs.  Used by both the
+    concrete interpreter and the trace analysis. *)
+
+val cost_assign : int
+val cost_binop_alu : int
+val cost_binop_mul : int
+val cost_binop_div : int
+val cost_unop : int
+val cost_branch : int
+val cost_load : int
+val cost_store : int
+val cost_call_overhead : int
+(** Call/return bookkeeping charged around every stateful-method call.
+    The analysis build charges one extra {!cost_call_overhead} per call —
+    the stand-in for the paper's disabled link-time optimisation, its
+    second source of (deliberate, conservative) over-estimation. *)
+
+val cost_return : int

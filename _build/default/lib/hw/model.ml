@@ -1,0 +1,64 @@
+type t = {
+  name : string;
+  instr : Cost.kind -> int -> unit;
+  mem : addr:int -> write:bool -> dependent:bool -> unit;
+  cycles : unit -> int;
+  instr_count : unit -> int;
+  mem_count : unit -> int;
+  boundary : (int * int) list -> unit;
+}
+
+let conservative () =
+  let m = Conservative.create () in
+  {
+    name = "conservative";
+    instr = Conservative.instr m;
+    mem = Conservative.mem m;
+    cycles = (fun () -> Conservative.cycles m);
+    instr_count = (fun () -> Conservative.instr_count m);
+    mem_count = (fun () -> Conservative.mem_count m);
+    boundary = (fun _ -> ());
+  }
+
+let of_realistic m =
+  {
+    name = "realistic";
+    instr = Realistic.instr m;
+    mem = Realistic.mem m;
+    cycles = (fun () -> Realistic.cycles m);
+    instr_count = (fun () -> Realistic.instr_count m);
+    mem_count = (fun () -> Realistic.mem_count m);
+    boundary = (fun regions -> Realistic.packet_boundary m ~regions);
+  }
+
+let realistic () = of_realistic (Realistic.create ())
+
+let dram_only () =
+  let instrs = ref 0 and mems = ref 0 and cycles = ref 0 in
+  {
+    name = "dram_only";
+    instr =
+      (fun kind n ->
+        instrs := !instrs + n;
+        cycles := !cycles + (n * Cost.worst_case_cycles kind));
+    mem =
+      (fun ~addr:_ ~write:_ ~dependent:_ ->
+        incr mems;
+        cycles := !cycles + Cost.dram_cycles);
+    cycles = (fun () -> !cycles);
+    instr_count = (fun () -> !instrs);
+    mem_count = (fun () -> !mems);
+    boundary = (fun _ -> ());
+  }
+
+let null () =
+  let instrs = ref 0 and mems = ref 0 in
+  {
+    name = "null";
+    instr = (fun _ n -> instrs := !instrs + n);
+    mem = (fun ~addr:_ ~write:_ ~dependent:_ -> incr mems);
+    cycles = (fun () -> 0);
+    instr_count = (fun () -> !instrs);
+    mem_count = (fun () -> !mems);
+    boundary = (fun _ -> ());
+  }

@@ -1,0 +1,37 @@
+(** First-class hardware models.
+
+    The interpreter and the trace analysis are parametric in the cycle
+    model; this record packages {!Conservative} and {!Realistic} behind
+    one interface. *)
+
+type t = {
+  name : string;
+  instr : Cost.kind -> int -> unit;
+  mem : addr:int -> write:bool -> dependent:bool -> unit;
+  cycles : unit -> int;
+  instr_count : unit -> int;
+  mem_count : unit -> int;
+  boundary : (int * int) list -> unit;
+      (** Per-packet hook: the given [(base, size)] regions were rewritten
+          by DMA.  No-op except in the realistic simulator. *)
+}
+
+val conservative : unit -> t
+(** Fresh cold conservative model (one per analysed path). *)
+
+val realistic : unit -> t
+(** Fresh realistic simulator (one per scenario; stays warm). *)
+
+val of_realistic : Realistic.t -> t
+(** Wrap an existing simulator so its warm state is shared across
+    packets. *)
+
+val null : unit -> t
+(** A fresh counter-only model: counts instructions and accesses but
+    charges no cycles — for runs where only IC/MA matter. *)
+
+val dram_only : unit -> t
+(** An even more conservative model than {!conservative}: every memory
+    access is priced at DRAM latency, with no attempt to prove L1 hits.
+    Exists for the hardware-model ablation — it quantifies how much the
+    paper's L1 locality tracking (§3.5) buys. *)

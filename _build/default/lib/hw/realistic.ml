@@ -1,0 +1,114 @@
+type t = {
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dtlb : Cache.t;  (** 64-entry, 4 KiB pages, modelled as a tiny cache *)
+  predicted : (int, unit) Hashtbl.t;  (** lines the prefetcher has in flight *)
+  mutable last_miss_line : int;
+  mutable last_miss_instr : int;  (** instr count at the last DRAM miss *)
+  mutable overlap : int;  (** current memory-level parallelism degree *)
+  mutable instrs : int;
+  mutable mems : int;
+  mutable mem_cycles : int;
+  mutable branches : int;
+}
+
+let create () =
+  {
+    l1 = Cache.l1d ();
+    l2 = Cache.l2 ();
+    l3 = Cache.l3 ();
+    (* 64 page-table entries of one "line" each: reuse the cache machinery
+       by mapping a 4 KiB page to a 64-byte pseudo-line *)
+    dtlb = Cache.create ~size_bytes:(64 * 64) ~assoc:4;
+    predicted = Hashtbl.create 256;
+    last_miss_line = min_int;
+    last_miss_instr = min_int;
+    overlap = 1;
+    instrs = 0;
+    mems = 0;
+    mem_cycles = 0;
+    branches = 0;
+  }
+
+(* One in [mispredict_rate] branches misses in the predictor. *)
+let mispredict_rate = 32
+let mispredict_penalty = 15
+
+let instr t kind n =
+  t.instrs <- t.instrs + n;
+  if kind = Cost.Branch then begin
+    t.branches <- t.branches + n;
+    let mispredicts =
+      (t.branches / mispredict_rate) - ((t.branches - n) / mispredict_rate)
+    in
+    t.mem_cycles <- t.mem_cycles + (mispredicts * mispredict_penalty)
+  end
+
+(* DMA delivered a fresh packet: its buffer (and the descriptor ring
+   entry) leave the core caches; DDIO parks the lines in L3. *)
+let packet_boundary t ~regions =
+  List.iter
+    (fun (base, size) ->
+      let lines = (size + Cost.line_size - 1) / Cost.line_size in
+      for i = 0 to lines - 1 do
+        let addr = base + (i * Cost.line_size) in
+        Cache.remove t.l1 addr;
+        Cache.remove t.l2 addr;
+        Cache.insert t.l3 addr
+      done)
+    regions
+
+(* Misses closer together than this many instructions may overlap. *)
+let burst_window = 48
+
+let train_prefetcher t line =
+  if line = t.last_miss_line + 1 then begin
+    if Hashtbl.length t.predicted > 4096 then Hashtbl.reset t.predicted;
+    Hashtbl.replace t.predicted (line + 1) ();
+    Hashtbl.replace t.predicted (line + 2) ()
+  end
+
+let tlb_miss_penalty = 7
+
+let mem t ~addr ~write:_ ~dependent =
+  t.mems <- t.mems + 1;
+  (* address translation first: a DTLB miss costs a (mostly cached)
+     page walk *)
+  let page_pseudo_addr = addr / 4096 * Cost.line_size in
+  if not (Cache.access t.dtlb page_pseudo_addr) then
+    t.mem_cycles <- t.mem_cycles + tlb_miss_penalty;
+  let line = Cache.line_of_addr addr in
+  let cost =
+    if Cache.access t.l1 addr then Cost.l1_hit_cycles
+    else if Hashtbl.mem t.predicted line then begin
+      (* The prefetch is in flight.  A dependent access still waits for
+         part of the fill; an independent one overlaps it entirely. *)
+      Hashtbl.remove t.predicted line;
+      Hashtbl.replace t.predicted (line + 1) ();
+      Cache.insert t.l2 addr;
+      if dependent then Cost.prefetched_hit_cycles else Cost.l1_hit_cycles
+    end
+    else if Cache.access t.l2 addr then Cost.l2_hit_cycles
+    else if Cache.access t.l3 addr then Cost.l3_hit_cycles
+    else begin
+      (* DRAM.  Independent misses inside a burst overlap up to mlp_max. *)
+      let in_burst = t.instrs - t.last_miss_instr < burst_window in
+      let overlap =
+        if dependent || not in_burst then 1
+        else min Cost.mlp_max (t.overlap + 1)
+      in
+      t.overlap <- overlap;
+      t.last_miss_instr <- t.instrs;
+      Cost.dram_cycles / overlap
+    end
+  in
+  train_prefetcher t line;
+  if not (Cache.probe t.l1 addr) then Cache.insert t.l1 addr;
+  t.last_miss_line <- (if cost >= Cost.l2_hit_cycles then line
+                       else t.last_miss_line);
+  t.mem_cycles <- t.mem_cycles + cost
+
+let cycles t = (t.instrs / Cost.ipc) + t.mem_cycles
+let instr_count t = t.instrs
+let mem_count t = t.mems

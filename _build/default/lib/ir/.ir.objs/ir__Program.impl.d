@@ -1,0 +1,1 @@
+lib/ir/program.ml: Expr Fmt Format List Option Result Set Stmt String

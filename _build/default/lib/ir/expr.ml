@@ -1,0 +1,76 @@
+type width = W8 | W16 | W32 | W48
+
+let bytes_of_width = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W48 -> 6
+
+let max_of_width = function
+  | W8 -> 0xff
+  | W16 -> 0xffff
+  | W32 -> 0xffff_ffff
+  | W48 -> 0xffff_ffff_ffff
+
+type unop = Bnot | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type t =
+  | Const of int
+  | Var of string
+  | Pkt_load of width * t
+  | Pkt_len
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+let int n = Const n
+let var name = Var name
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( == ) a b = Binop (Eq, a, b)
+let ( != ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( && ) a b = Binop (Land, a, b)
+let ( || ) a b = Binop (Lor, a, b)
+let not_ e = Unop (Lnot, e)
+let load8 off = Pkt_load (W8, off)
+let load16 off = Pkt_load (W16, off)
+let load32 off = Pkt_load (W32, off)
+let load48 off = Pkt_load (W48, off)
+let is_binop_div = function Div | Rem -> true | _ -> false
+let is_binop_mul = function Mul -> true | _ -> false
+
+let unop_to_string = function Bnot -> "~" | Lnot -> "!"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+  | Ge -> ">=" | Land -> "&&" | Lor -> "||"
+
+let width_to_string = function
+  | W8 -> "u8" | W16 -> "u16" | W32 -> "u32" | W48 -> "u48"
+
+let rec pp ppf = function
+  | Const n -> Fmt.int ppf n
+  | Var v -> Fmt.string ppf v
+  | Pkt_load (w, off) ->
+      Fmt.pf ppf "pkt.%s[%a]" (width_to_string w) pp off
+  | Pkt_len -> Fmt.string ppf "pkt.len"
+  | Unop (op, e) -> Fmt.pf ppf "%s(%a)" (unop_to_string op) pp e
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp a (binop_to_string op) pp b
+
+let rec collect_vars acc = function
+  | Const _ | Pkt_len -> acc
+  | Var v -> v :: acc
+  | Pkt_load (_, e) | Unop (_, e) -> collect_vars acc e
+  | Binop (_, a, b) -> collect_vars (collect_vars acc a) b
+
+let vars e = List.sort_uniq String.compare (collect_vars [] e)

@@ -1,0 +1,63 @@
+(** Expressions of the NF intermediate representation.
+
+    The IR is the stand-in for the paper's C NF code: a small, first-order
+    imperative language over unsigned machine integers.  Local variables
+    live in registers; the only memory the *stateless* code touches is the
+    packet buffer — all other state is behind stateful data-structure
+    calls, exactly the Vigor discipline BOLT assumes (paper §3.1).
+
+    Values are non-negative OCaml ints; widths matter only for packet
+    loads/stores and for the bounds given to fresh symbols during symbolic
+    execution.  Arithmetic is expected to stay within 62 bits — the
+    validator rejects shifts that could overflow. *)
+
+type width = W8 | W16 | W32 | W48
+
+val bytes_of_width : width -> int
+val max_of_width : width -> int
+
+type unop =
+  | Bnot  (** bitwise complement (within 32 bits) *)
+  | Lnot  (** logical negation: 0 ↦ 1, non-zero ↦ 0 *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge  (** comparisons yield 0 or 1 *)
+  | Land | Lor  (** logical, non-short-circuiting *)
+
+type t =
+  | Const of int
+  | Var of string
+  | Pkt_load of width * t  (** big-endian load at byte offset *)
+  | Pkt_len
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+(** {1 Convenience constructors} *)
+
+val int : int -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( == ) : t -> t -> t
+val ( != ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val not_ : t -> t
+val load8 : t -> t
+val load16 : t -> t
+val load32 : t -> t
+val load48 : t -> t
+
+val is_binop_div : binop -> bool
+val is_binop_mul : binop -> bool
+val pp : Format.formatter -> t -> unit
+val vars : t -> string list
+(** Variables read, sorted, without duplicates. *)

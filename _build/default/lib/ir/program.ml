@@ -1,0 +1,124 @@
+type state_decl = { instance : string; kind : string }
+type t = { name : string; state : state_decl list; body : Stmt.block }
+
+let input_vars = [ "in_port"; "now" ]
+
+module SS = Set.Make (String)
+
+(* A block "returns" when every control path through it ends in Return. *)
+let rec block_returns block =
+  match block with
+  | [] -> false
+  | Stmt.Return _ :: _ -> true
+  | Stmt.If (_, then_, else_) :: rest ->
+      (block_returns then_ && block_returns else_) || block_returns rest
+  | _ :: rest -> block_returns rest
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let* () =
+    let names = List.map (fun d -> d.instance) t.state in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then err "%s: duplicate state instance names" t.name
+    else Ok ()
+  in
+  (* Collect PCV loop names and check calls/loop bounds/defined vars. *)
+  let pcv_names = ref [] in
+  let instances = List.map (fun d -> d.instance) t.state in
+  (* check_block returns (defined-after, always-returns) *)
+  let rec check_block defined block =
+    match block with
+    | [] -> Ok (defined, false)
+    | stmt :: rest ->
+        let* defined, returns = check_stmt defined stmt in
+        if returns then Ok (defined, true)
+        else check_block defined rest
+  and check_expr defined e =
+    match
+      List.find_opt (fun v -> not (SS.mem v defined)) (Expr.vars e)
+    with
+    | Some v -> err "%s: variable %s read before assignment" t.name v
+    | None -> Ok ()
+  and check_stmt defined stmt =
+    match stmt with
+    | Stmt.Assign (v, e) ->
+        let* () = check_expr defined e in
+        Ok (SS.add v defined, false)
+    | Stmt.Pkt_store (_, off, value) ->
+        let* () = check_expr defined off in
+        let* () = check_expr defined value in
+        Ok (defined, false)
+    | Stmt.If (cond, then_, else_) ->
+        let* () = check_expr defined cond in
+        let* d1, r1 = check_block defined then_ in
+        let* d2, r2 = check_block defined else_ in
+        (* A branch that always returns does not constrain the join. *)
+        let after =
+          match (r1, r2) with
+          | true, true -> defined
+          | true, false -> d2
+          | false, true -> d1
+          | false, false -> SS.inter d1 d2
+        in
+        Ok (after, r1 && r2)
+    | Stmt.While (kind, cond, body) ->
+        let* () =
+          match kind with
+          | Stmt.Unroll bound when bound <= 0 ->
+              err "%s: non-positive loop bound" t.name
+          | Stmt.Pcv_loop (pcv, bound) ->
+              if bound <= 0 then err "%s: non-positive loop bound" t.name
+              else if List.mem pcv !pcv_names then
+                err "%s: duplicate PCV loop name %s" t.name pcv
+              else begin
+                pcv_names := pcv :: !pcv_names;
+                Ok ()
+              end
+          | Stmt.Unroll _ -> Ok ()
+        in
+        let* () = check_expr defined cond in
+        let* _ = check_block defined body in
+        (* Loop may run zero times: body assignments don't escape. *)
+        Ok (defined, false)
+    | Stmt.Call { ret; instance; meth = _; args } ->
+        let* () =
+          if List.mem instance instances then Ok ()
+          else err "%s: call to undeclared instance %s" t.name instance
+        in
+        let* () =
+          List.fold_left
+            (fun acc arg ->
+              let* () = acc in
+              check_expr defined arg)
+            (Ok ()) args
+        in
+        Ok
+          ( (match ret with None -> defined | Some v -> SS.add v defined),
+            false )
+    | Stmt.Return (Stmt.Forward port) ->
+        let* () = check_expr defined port in
+        Ok (defined, true)
+    | Stmt.Return (Stmt.Drop | Stmt.Flood) -> Ok (defined, true)
+    | Stmt.Comment _ -> Ok (defined, false)
+  in
+  let defined = SS.of_list input_vars in
+  let* _ = check_block defined t.body in
+  if block_returns t.body then Ok ()
+  else err "%s: not all control paths end in return" t.name
+
+let make ~name ~state body =
+  let t = { name; state; body } in
+  match validate t with Ok () -> t | Error msg -> invalid_arg msg
+
+let kind_of_instance t instance =
+  List.find_opt (fun d -> d.instance = instance) t.state
+  |> Option.map (fun d -> d.kind)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>nf %s@," t.name;
+  List.iter
+    (fun d -> Fmt.pf ppf "state %s : %s@," d.instance d.kind)
+    t.state;
+  Fmt.pf ppf "@[<v 2>process(pkt, in_port, now) {@,%a@]@,}@]" Stmt.pp_block
+    t.body

@@ -1,0 +1,34 @@
+(** NF programs.
+
+    A program is the per-packet handler of a network function: a block of
+    stateless IR code plus declarations of the stateful data-structure
+    instances it may call.  The implicit inputs of the handler are the
+    packet buffer, the input port (variable ["in_port"]) and the current
+    time (variable ["now"]). *)
+
+type state_decl = {
+  instance : string;  (** name used in [Call] statements *)
+  kind : string;  (** data-structure kind, e.g. ["flow_table"] *)
+}
+
+type t = {
+  name : string;
+  state : state_decl list;
+  body : Stmt.block;
+}
+
+val make : name:string -> state:state_decl list -> Stmt.block -> t
+(** Validates the program (see {!validate}); raises [Invalid_argument] on
+    the first error. *)
+
+val input_vars : string list
+(** The implicit handler inputs: [["in_port"; "now"]]. *)
+
+val validate : t -> (unit, string) result
+(** Checks that: state instance names are distinct; every [Call] targets a
+    declared instance; every variable is assigned (or an input) before
+    being read; loop bounds are positive; PCV-loop names are distinct; and
+    every control path ends in [Return]. *)
+
+val kind_of_instance : t -> string -> string option
+val pp : Format.formatter -> t -> unit

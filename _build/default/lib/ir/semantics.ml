@@ -1,0 +1,31 @@
+exception Undefined of string
+
+let bool_to_int b = if b then 1 else 0
+
+let apply_unop op v =
+  match op with
+  | Expr.Bnot -> lnot v land 0xffff_ffff
+  | Expr.Lnot -> bool_to_int (v = 0)
+
+let apply_binop op a b =
+  match op with
+  | Expr.Add -> a + b
+  | Expr.Sub -> a - b
+  | Expr.Mul -> a * b
+  | Expr.Div ->
+      if b = 0 then raise (Undefined "division by zero") else a / b
+  | Expr.Rem ->
+      if b = 0 then raise (Undefined "remainder by zero") else a mod b
+  | Expr.And -> a land b
+  | Expr.Or -> a lor b
+  | Expr.Xor -> a lxor b
+  | Expr.Shl -> a lsl (b land 63)
+  | Expr.Shr -> a lsr (b land 63)
+  | Expr.Eq -> bool_to_int (a = b)
+  | Expr.Ne -> bool_to_int (a <> b)
+  | Expr.Lt -> bool_to_int (a < b)
+  | Expr.Le -> bool_to_int (a <= b)
+  | Expr.Gt -> bool_to_int (a > b)
+  | Expr.Ge -> bool_to_int (a >= b)
+  | Expr.Land -> bool_to_int (a <> 0 && b <> 0)
+  | Expr.Lor -> bool_to_int (a <> 0 || b <> 0)

@@ -1,0 +1,10 @@
+(** Concrete semantics of IR operators, shared by the interpreter and the
+    symbolic engine (which uses it to fold constant subterms) so the two
+    can never disagree. *)
+
+exception Undefined of string
+(** Raised on division or remainder by zero. *)
+
+val apply_unop : Expr.unop -> int -> int
+val apply_binop : Expr.binop -> int -> int -> int
+val bool_to_int : bool -> int

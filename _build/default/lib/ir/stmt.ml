@@ -1,0 +1,72 @@
+type loop_kind = Unroll of int | Pcv_loop of string * int
+type action = Forward of Expr.t | Drop | Flood
+
+type t =
+  | Assign of string * Expr.t
+  | Pkt_store of Expr.width * Expr.t * Expr.t
+  | If of Expr.t * block * block
+  | While of loop_kind * Expr.t * block
+  | Call of call
+  | Return of action
+
+  | Comment of string
+
+and call = {
+  ret : string option;
+  instance : string;
+  meth : string;
+  args : Expr.t list;
+}
+
+and block = t list
+
+let assign name e = Assign (name, e)
+let store8 off v = Pkt_store (Expr.W8, off, v)
+let store16 off v = Pkt_store (Expr.W16, off, v)
+let store32 off v = Pkt_store (Expr.W32, off, v)
+let store48 off v = Pkt_store (Expr.W48, off, v)
+let if_ cond then_ else_ = If (cond, then_, else_)
+let when_ cond then_ = If (cond, then_, [])
+let call ?ret instance meth args = Call { ret; instance; meth; args }
+let forward port = Return (Forward port)
+let forward_port port = Return (Forward (Expr.Const port))
+let drop = Return Drop
+let flood = Return Flood
+
+let pp_action ppf = function
+  | Forward e -> Fmt.pf ppf "forward(%a)" Expr.pp e
+  | Drop -> Fmt.string ppf "drop"
+  | Flood -> Fmt.string ppf "flood"
+
+let rec pp ppf = function
+  | Assign (v, e) -> Fmt.pf ppf "%s := %a" v Expr.pp e
+  | Pkt_store (w, off, v) ->
+      let ws =
+        match w with
+        | Expr.W8 -> "u8" | Expr.W16 -> "u16"
+        | Expr.W32 -> "u32" | Expr.W48 -> "u48"
+      in
+      Fmt.pf ppf "pkt.%s[%a] := %a" ws Expr.pp off Expr.pp v
+  | If (cond, then_, []) ->
+      Fmt.pf ppf "@[<v 2>if %a {@,%a@]@,}" Expr.pp cond pp_block then_
+  | If (cond, then_, else_) ->
+      Fmt.pf ppf "@[<v 2>if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}" Expr.pp
+        cond pp_block then_ pp_block else_
+  | While (Unroll bound, cond, body) ->
+      Fmt.pf ppf "@[<v 2>while[<=%d] %a {@,%a@]@,}" bound Expr.pp cond
+        pp_block body
+  | While (Pcv_loop (pcv, bound), cond, body) ->
+      Fmt.pf ppf "@[<v 2>while[pcv %s <= %d] %a {@,%a@]@,}" pcv bound
+        Expr.pp cond pp_block body
+  | Call { ret; instance; meth; args } ->
+      let pp_ret ppf = function
+        | None -> ()
+        | Some v -> Fmt.pf ppf "%s := " v
+      in
+      Fmt.pf ppf "%a%s.%s(%a)" pp_ret ret instance meth
+        Fmt.(list ~sep:(any ", ") Expr.pp)
+        args
+  | Return action -> Fmt.pf ppf "return %a" pp_action action
+  | Comment text -> Fmt.pf ppf "// %s" text
+
+and pp_block ppf block = Fmt.(list ~sep:cut pp) ppf block

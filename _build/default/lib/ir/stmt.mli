@@ -1,0 +1,55 @@
+(** Statements of the NF intermediate representation. *)
+
+(** How the symbolic engine treats a loop. *)
+type loop_kind =
+  | Unroll of int
+      (** Fork per iteration, up to the given static bound; each feasible
+          trip count becomes its own execution path. *)
+  | Pcv_loop of string * int
+      (** The trip count is exposed as a PCV with the given name (bounded
+          by the int).  The engine executes the body once symbolically and
+          the analysis renders the cost as [per-iteration · pcv + exit],
+          producing paper-style contracts such as the static router's
+          [79·n + 646] (Table 5b). *)
+
+(** What the NF does with the packet. *)
+type action =
+  | Forward of Expr.t  (** send out of the given port *)
+  | Drop
+  | Flood  (** broadcast to all ports but the input one *)
+
+type t =
+  | Assign of string * Expr.t
+  | Pkt_store of Expr.width * Expr.t * Expr.t  (** width, offset, value *)
+  | If of Expr.t * block * block
+  | While of loop_kind * Expr.t * block
+  | Call of call
+  | Return of action
+  | Comment of string  (** zero-cost marker, kept in traces *)
+
+and call = {
+  ret : string option;  (** variable receiving the method's return value *)
+  instance : string;  (** declared state instance, e.g. ["flows"] *)
+  meth : string;  (** method name, e.g. ["get"] *)
+  args : Expr.t list;
+}
+
+and block = t list
+
+(** {1 Convenience constructors} *)
+
+val assign : string -> Expr.t -> t
+val store8 : Expr.t -> Expr.t -> t
+val store16 : Expr.t -> Expr.t -> t
+val store32 : Expr.t -> Expr.t -> t
+val store48 : Expr.t -> Expr.t -> t
+val if_ : Expr.t -> block -> block -> t
+val when_ : Expr.t -> block -> t
+val call : ?ret:string -> string -> string -> Expr.t list -> t
+val forward : Expr.t -> t
+val forward_port : int -> t
+val drop : t
+val flood : t
+val pp : Format.formatter -> t -> unit
+val pp_block : Format.formatter -> block -> unit
+val pp_action : Format.formatter -> action -> unit

@@ -1,0 +1,1 @@
+lib/net/build.ml: Ethernet Flow Ipv4 L4 Packet

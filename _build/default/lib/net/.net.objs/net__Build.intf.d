@@ -1,0 +1,1 @@
+lib/net/build.mli: Flow Packet

@@ -1,0 +1,1 @@
+lib/net/flow.ml: Ethernet Fmt Ipv4 L4 Packet Stdlib

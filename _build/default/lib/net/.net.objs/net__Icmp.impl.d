@@ -1,0 +1,1 @@
+lib/net/icmp.ml: Build Checksum Ethernet Ipv4 Packet

@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Checksum Ethernet Packet Printf

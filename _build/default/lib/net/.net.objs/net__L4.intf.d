@@ -1,0 +1,1 @@
+lib/net/l4.mli: Packet

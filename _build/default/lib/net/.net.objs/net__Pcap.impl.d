@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Buffer Bytes Char Fun List Packet String

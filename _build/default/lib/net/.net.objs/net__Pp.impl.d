@@ -1,0 +1,1 @@
+lib/net/pp.ml: Ethernet Fmt Icmp Ipv4 L4 Packet Printf

@@ -1,0 +1,1 @@
+lib/net/pp.mli: Format Packet

@@ -1,0 +1,41 @@
+let default_len = 60
+let default_src_mac = Ethernet.mac_of_parts [| 2; 0; 0; 0; 0; 1 |]
+let default_dst_mac = Ethernet.mac_of_parts [| 2; 0; 0; 0; 0; 2 |]
+
+let eth ?(len = default_len) ?(src_mac = default_src_mac)
+    ?(dst_mac = default_dst_mac) ~ethertype () =
+  let pkt = Packet.create len in
+  Ethernet.set_dst pkt dst_mac;
+  Ethernet.set_src pkt src_mac;
+  Ethernet.set_ethertype pkt ethertype;
+  pkt
+
+let udp ?len ?src_mac ?dst_mac ?ttl ~src_ip ~dst_ip ~src_port ~dst_port () =
+  let pkt = eth ?len ?src_mac ?dst_mac ~ethertype:Ethernet.ethertype_ipv4 () in
+  Ipv4.init pkt ?ttl ~proto:Ipv4.proto_udp ~src:src_ip ~dst:dst_ip ();
+  L4.set_src_port pkt src_port;
+  L4.set_dst_port pkt dst_port;
+  pkt
+
+let tcp ?len ?src_mac ?dst_mac ?ttl ~src_ip ~dst_ip ~src_port ~dst_port () =
+  let pkt = eth ?len ?src_mac ?dst_mac ~ethertype:Ethernet.ethertype_ipv4 () in
+  Ipv4.init pkt ?ttl ~proto:Ipv4.proto_tcp ~src:src_ip ~dst:dst_ip ();
+  L4.set_src_port pkt src_port;
+  L4.set_dst_port pkt dst_port;
+  pkt
+
+let udp_of_flow ?len (flow : Flow.t) =
+  let build = if flow.proto = Ipv4.proto_tcp then tcp else udp in
+  build ?len ~src_ip:flow.src_ip ~dst_ip:flow.dst_ip ~src_port:flow.src_port
+    ~dst_port:flow.dst_port ()
+
+let ipv4_with_options ?len ~options ~src_ip ~dst_ip () =
+  let min_len = Ethernet.header_len + Ipv4.min_header_len + (4 * options) + 8 in
+  let len =
+    match len with Some l -> max l min_len | None -> max default_len min_len
+  in
+  let pkt = eth ~len ~ethertype:Ethernet.ethertype_ipv4 () in
+  Ipv4.init pkt ~options ~proto:Ipv4.proto_udp ~src:src_ip ~dst:dst_ip ();
+  pkt
+
+let non_ip ?len () = eth ?len ~ethertype:Ethernet.ethertype_arp ()

@@ -1,0 +1,26 @@
+(** Convenience constructors for complete frames. *)
+
+val eth : ?len:int -> ?src_mac:int -> ?dst_mac:int -> ethertype:int -> unit ->
+  Packet.t
+(** A minimal Ethernet frame (default 60 bytes, zero payload). *)
+
+val udp :
+  ?len:int -> ?src_mac:int -> ?dst_mac:int -> ?ttl:int ->
+  src_ip:int -> dst_ip:int -> src_port:int -> dst_port:int -> unit -> Packet.t
+(** Ethernet + option-free IPv4 + UDP, checksummed IP header. *)
+
+val tcp :
+  ?len:int -> ?src_mac:int -> ?dst_mac:int -> ?ttl:int ->
+  src_ip:int -> dst_ip:int -> src_port:int -> dst_port:int -> unit -> Packet.t
+
+val udp_of_flow : ?len:int -> Flow.t -> Packet.t
+(** Frame realising the given 5-tuple (TCP or UDP chosen by its proto). *)
+
+val ipv4_with_options :
+  ?len:int -> options:int -> src_ip:int -> dst_ip:int -> unit -> Packet.t
+(** IPv4 frame declaring [options] 4-byte option slots (the timestamp
+    option), as processed by the static router. *)
+
+val non_ip : ?len:int -> unit -> Packet.t
+(** A frame with a non-IPv4 ethertype (ARP) — the canonical invalid packet
+    for the IPv4 NFs. *)

@@ -1,0 +1,18 @@
+let sum packet ~off ~len =
+  let acc = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + Packet.get_u16 packet !i;
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Packet.get_u8 packet !i lsl 8);
+  while !acc > 0xffff do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  !acc
+
+let ones_complement packet ~off ~len =
+  lnot (sum packet ~off ~len) land 0xffff
+
+let valid packet ~off ~len = sum packet ~off ~len = 0xffff

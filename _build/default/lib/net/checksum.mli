@@ -1,0 +1,10 @@
+(** RFC 1071 Internet checksum. *)
+
+val ones_complement : Packet.t -> off:int -> len:int -> int
+(** 16-bit one's-complement sum of the given byte range, complemented —
+    ready to store in a header checksum field (which must be zero while
+    summing). *)
+
+val valid : Packet.t -> off:int -> len:int -> bool
+(** True when the range (including its checksum field) sums to [0xffff]'s
+    complement, i.e. the stored checksum verifies. *)

@@ -1,0 +1,28 @@
+let header_len = 14
+let off_dst = 0
+let off_src = 6
+let off_ethertype = 12
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let ethertype_ipv6 = 0x86dd
+let broadcast_mac = 0xffffffffffff
+let get_dst pkt = Packet.get_u48 pkt off_dst
+let get_src pkt = Packet.get_u48 pkt off_src
+let get_ethertype pkt = Packet.get_u16 pkt off_ethertype
+let set_dst pkt mac = Packet.set_u48 pkt off_dst mac
+let set_src pkt mac = Packet.set_u48 pkt off_src mac
+let set_ethertype pkt ty = Packet.set_u16 pkt off_ethertype ty
+let is_broadcast pkt = get_dst pkt = broadcast_mac
+
+let mac_to_string mac =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+    ((mac lsr 40) land 0xff)
+    ((mac lsr 32) land 0xff)
+    ((mac lsr 24) land 0xff)
+    ((mac lsr 16) land 0xff)
+    ((mac lsr 8) land 0xff)
+    (mac land 0xff)
+
+let mac_of_parts parts =
+  if Array.length parts <> 6 then invalid_arg "Ethernet.mac_of_parts";
+  Array.fold_left (fun acc b -> (acc lsl 8) lor (b land 0xff)) 0 parts

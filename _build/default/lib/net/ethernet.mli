@@ -1,0 +1,24 @@
+(** Ethernet II framing. *)
+
+val header_len : int
+val off_dst : int
+val off_src : int
+val off_ethertype : int
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+val ethertype_ipv6 : int
+
+val broadcast_mac : int
+(** [ff:ff:ff:ff:ff:ff] as a 48-bit integer. *)
+
+val get_dst : Packet.t -> int
+val get_src : Packet.t -> int
+val get_ethertype : Packet.t -> int
+val set_dst : Packet.t -> int -> unit
+val set_src : Packet.t -> int -> unit
+val set_ethertype : Packet.t -> int -> unit
+val is_broadcast : Packet.t -> bool
+val mac_to_string : int -> string
+val mac_of_parts : int array -> int
+(** Six byte values, most significant first. *)

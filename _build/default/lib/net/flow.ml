@@ -1,0 +1,60 @@
+type t = {
+  src_ip : int;
+  dst_ip : int;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+let make ~src_ip ~dst_ip ~src_port ~dst_port ~proto =
+  { src_ip; dst_ip; src_port; dst_port; proto }
+
+let of_packet pkt =
+  if Packet.length pkt < Ethernet.header_len + Ipv4.min_header_len + 4 then
+    None
+  else if Ethernet.get_ethertype pkt <> Ethernet.ethertype_ipv4 then None
+  else
+    let proto = Ipv4.get_proto pkt in
+    if proto <> Ipv4.proto_tcp && proto <> Ipv4.proto_udp then None
+    else
+      let l4 = Ipv4.l4_offset pkt in
+      if Packet.length pkt < l4 + 4 then None
+      else
+        Some
+          {
+            src_ip = Ipv4.get_src pkt;
+            dst_ip = Ipv4.get_dst pkt;
+            src_port = L4.get_src_port_at pkt ~l4;
+            dst_port = L4.get_dst_port_at pkt ~l4;
+            proto;
+          }
+
+let reverse t =
+  {
+    src_ip = t.dst_ip;
+    dst_ip = t.src_ip;
+    src_port = t.dst_port;
+    dst_port = t.src_port;
+    proto = t.proto;
+  }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let hash_key t =
+  (* A full 5-tuple does not fit in 63 bits, so this is a mixed digest:
+     deterministic and well-spread, for hashing only (not identity). *)
+  let mix acc v = (((acc lsl 13) lxor (acc lsr 7)) lxor v) * 0x9e3779b1 in
+  (mix (mix (mix (mix (mix 0 t.src_ip) t.dst_ip) t.src_port) t.dst_port)
+     t.proto)
+  land max_int
+
+let pp ppf t =
+  Fmt.pf ppf "%s:%d -> %s:%d/%s"
+    (Ipv4.addr_to_string t.src_ip)
+    t.src_port
+    (Ipv4.addr_to_string t.dst_ip)
+    t.dst_port
+    (if t.proto = Ipv4.proto_tcp then "tcp"
+     else if t.proto = Ipv4.proto_udp then "udp"
+     else string_of_int t.proto)

@@ -1,0 +1,24 @@
+(** Flow 5-tuples. *)
+
+type t = {
+  src_ip : int;
+  dst_ip : int;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+val make :
+  src_ip:int -> dst_ip:int -> src_port:int -> dst_port:int -> proto:int -> t
+
+val of_packet : Packet.t -> t option
+(** [None] when the packet is not IPv4 TCP/UDP. *)
+
+val reverse : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash_key : t -> int
+(** A stable 62-bit packing of the 5-tuple, suitable as a hash-map key. *)
+
+val pp : Format.formatter -> t -> unit

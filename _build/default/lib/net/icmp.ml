@@ -1,0 +1,31 @@
+let type_echo_request = 8
+let type_echo_reply = 0
+let base = Ethernet.header_len + Ipv4.min_header_len
+let off_type = base
+let off_code = base + 1
+let off_checksum = base + 2
+let off_ident = base + 4
+let off_seq = base + 6
+let get_type pkt = Packet.get_u8 pkt off_type
+let set_type pkt v = Packet.set_u8 pkt off_type v
+let get_ident pkt = Packet.get_u16 pkt off_ident
+let get_seq pkt = Packet.get_u16 pkt off_seq
+
+let message_len pkt = Packet.length pkt - base
+
+let update_checksum pkt =
+  Packet.set_u16 pkt off_checksum 0;
+  Packet.set_u16 pkt off_checksum
+    (Checksum.ones_complement pkt ~off:base ~len:(message_len pkt))
+
+let checksum_ok pkt = Checksum.valid pkt ~off:base ~len:(message_len pkt)
+
+let echo_request ?(len = 74) ~src_ip ~dst_ip ~ident ~seq () =
+  let pkt = Build.eth ~len ~ethertype:Ethernet.ethertype_ipv4 () in
+  Ipv4.init pkt ~proto:Ipv4.proto_icmp ~src:src_ip ~dst:dst_ip ();
+  Packet.set_u8 pkt off_type type_echo_request;
+  Packet.set_u8 pkt off_code 0;
+  Packet.set_u16 pkt off_ident ident;
+  Packet.set_u16 pkt off_seq seq;
+  update_checksum pkt;
+  pkt

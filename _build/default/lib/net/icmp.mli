@@ -1,0 +1,26 @@
+(** ICMP echo (ping), directly after an option-free IPv4 header. *)
+
+val type_echo_request : int
+val type_echo_reply : int
+val off_type : int
+(** Absolute offset (Ethernet + option-free IPv4). *)
+
+val off_code : int
+val off_checksum : int
+val off_ident : int
+val off_seq : int
+
+val get_type : Packet.t -> int
+val set_type : Packet.t -> int -> unit
+val get_ident : Packet.t -> int
+val get_seq : Packet.t -> int
+
+val update_checksum : Packet.t -> unit
+(** Checksum over the ICMP message (header start to packet end). *)
+
+val checksum_ok : Packet.t -> bool
+
+val echo_request :
+  ?len:int -> src_ip:int -> dst_ip:int -> ident:int -> seq:int -> unit ->
+  Packet.t
+(** A well-formed ping with valid IP and ICMP checksums. *)

@@ -1,0 +1,70 @@
+let min_header_len = 20
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+let base = Ethernet.header_len
+let off_version_ihl = base
+let off_total_len = base + 2
+let off_ttl = base + 8
+let off_proto = base + 9
+let off_checksum = base + 10
+let off_src = base + 12
+let off_dst = base + 16
+let off_options = base + 20
+let get_version pkt = Packet.get_u8 pkt off_version_ihl lsr 4
+let get_ihl pkt = Packet.get_u8 pkt off_version_ihl land 0xf
+let option_count pkt = max 0 (get_ihl pkt - 5)
+let header_len pkt = get_ihl pkt * 4
+let get_total_len pkt = Packet.get_u16 pkt off_total_len
+let get_ttl pkt = Packet.get_u8 pkt off_ttl
+let get_proto pkt = Packet.get_u8 pkt off_proto
+let get_src pkt = Packet.get_u32 pkt off_src
+let get_dst pkt = Packet.get_u32 pkt off_dst
+let get_checksum pkt = Packet.get_u16 pkt off_checksum
+let l4_offset pkt = base + header_len pkt
+let set_ttl pkt v = Packet.set_u8 pkt off_ttl v
+let set_src pkt v = Packet.set_u32 pkt off_src v
+let set_dst pkt v = Packet.set_u32 pkt off_dst v
+let set_checksum pkt v = Packet.set_u16 pkt off_checksum v
+
+let update_checksum pkt =
+  set_checksum pkt 0;
+  set_checksum pkt
+    (Checksum.ones_complement pkt ~off:base ~len:(header_len pkt))
+
+let checksum_ok pkt = Checksum.valid pkt ~off:base ~len:(header_len pkt)
+
+(* IP timestamp option (RFC 781): type 68. *)
+let timestamp_option_type = 68
+
+let init pkt ?(options = 0) ?(ttl = 64) ~proto ~src ~dst () =
+  Ethernet.set_ethertype pkt Ethernet.ethertype_ipv4;
+  let ihl = 5 + options in
+  if ihl > 15 then invalid_arg "Ipv4.init: too many options";
+  Packet.set_u8 pkt off_version_ihl ((4 lsl 4) lor ihl);
+  Packet.set_u8 pkt (base + 1) 0;
+  Packet.set_u16 pkt off_total_len (Packet.length pkt - base);
+  Packet.set_u16 pkt (base + 4) 0 (* id *);
+  Packet.set_u16 pkt (base + 6) 0 (* flags/frag *);
+  set_ttl pkt ttl;
+  Packet.set_u8 pkt off_proto proto;
+  set_src pkt src;
+  set_dst pkt dst;
+  for i = 0 to options - 1 do
+    let off = off_options + (i * 4) in
+    Packet.set_u8 pkt off timestamp_option_type;
+    Packet.set_u8 pkt (off + 1) 4 (* option length *);
+    Packet.set_u16 pkt (off + 2) 0
+  done;
+  update_checksum pkt
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((a lsr 24) land 0xff)
+    ((a lsr 16) land 0xff)
+    ((a lsr 8) land 0xff)
+    (a land 0xff)
+
+let addr_of_parts a b c d =
+  ((a land 0xff) lsl 24) lor ((b land 0xff) lsl 16) lor ((c land 0xff) lsl 8)
+  lor (d land 0xff)

@@ -1,0 +1,61 @@
+(** IPv4 headers, carried directly after the Ethernet header.
+
+    Offsets below are relative to the start of the IP header; the [off_*]
+    accessors taking a {!Packet.t} assume the header starts at
+    {!Ethernet.header_len}. *)
+
+val min_header_len : int
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+(** {1 Absolute field offsets (Ethernet + IP)} *)
+
+val off_version_ihl : int
+val off_total_len : int
+val off_ttl : int
+val off_proto : int
+val off_checksum : int
+val off_src : int
+val off_dst : int
+val off_options : int
+
+(** {1 Accessors} *)
+
+val get_version : Packet.t -> int
+val get_ihl : Packet.t -> int
+(** Header length in 32-bit words; [> 5] means IP options are present. *)
+
+val option_count : Packet.t -> int
+(** Number of 4-byte option slots: [ihl - 5]. *)
+
+val header_len : Packet.t -> int
+val get_total_len : Packet.t -> int
+val get_ttl : Packet.t -> int
+val get_proto : Packet.t -> int
+val get_src : Packet.t -> int
+val get_dst : Packet.t -> int
+val get_checksum : Packet.t -> int
+val l4_offset : Packet.t -> int
+
+val set_ttl : Packet.t -> int -> unit
+val set_src : Packet.t -> int -> unit
+val set_dst : Packet.t -> int -> unit
+val set_checksum : Packet.t -> int -> unit
+val update_checksum : Packet.t -> unit
+(** Recompute and store the header checksum. *)
+
+val checksum_ok : Packet.t -> bool
+
+(** {1 Construction} *)
+
+val init :
+  Packet.t -> ?options:int -> ?ttl:int -> proto:int -> src:int -> dst:int ->
+  unit -> unit
+(** [init pkt ~proto ~src ~dst ()] writes a well-formed IPv4 header (and
+    the Ethernet ethertype) into [pkt].  [options] is the number of 4-byte
+    option slots to declare (default 0); option bytes are filled with the
+    timestamp option type. *)
+
+val addr_to_string : int -> string
+val addr_of_parts : int -> int -> int -> int -> int

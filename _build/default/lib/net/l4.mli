@@ -1,0 +1,18 @@
+(** TCP/UDP port accessors.
+
+    Both protocols put source and destination port in the first four bytes
+    of the L4 header, which is all the NFs in this repository inspect. *)
+
+val get_src_port : Packet.t -> int
+(** Assumes an option-free IP header (L4 at byte 34), the common case for
+    the NAT and load-balancer workloads. *)
+
+val get_dst_port : Packet.t -> int
+val set_src_port : Packet.t -> int -> unit
+val set_dst_port : Packet.t -> int -> unit
+
+val get_src_port_at : Packet.t -> l4:int -> int
+val get_dst_port_at : Packet.t -> l4:int -> int
+
+val udp_header_len : int
+val tcp_min_header_len : int

@@ -1,0 +1,65 @@
+type t = { data : bytes }
+
+let create len =
+  if len < 0 || len > 65535 then invalid_arg "Packet.create: bad length";
+  { data = Bytes.make len '\000' }
+
+let of_bytes b = { data = Bytes.copy b }
+let to_bytes t = Bytes.copy t.data
+let copy t = { data = Bytes.copy t.data }
+let length t = Bytes.length t.data
+
+let check t off width =
+  if off < 0 || off + width > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Packet: offset %d+%d out of bounds (len %d)" off width
+         (Bytes.length t.data))
+
+let get_u8 t off =
+  check t off 1;
+  Char.code (Bytes.get t.data off)
+
+let get_u16 t off =
+  check t off 2;
+  (Char.code (Bytes.get t.data off) lsl 8)
+  lor Char.code (Bytes.get t.data (off + 1))
+
+let get_u32 t off =
+  check t off 4;
+  (get_u16 t off lsl 16) lor get_u16 t (off + 2)
+
+let get_u48 t off =
+  check t off 6;
+  (get_u16 t off lsl 32) lor get_u32 t (off + 2)
+
+let set_u8 t off v =
+  check t off 1;
+  Bytes.set t.data off (Char.chr (v land 0xff))
+
+let set_u16 t off v =
+  check t off 2;
+  set_u8 t off (v lsr 8);
+  set_u8 t (off + 1) v
+
+let set_u32 t off v =
+  check t off 4;
+  set_u16 t off (v lsr 16);
+  set_u16 t (off + 2) v
+
+let set_u48 t off v =
+  check t off 6;
+  set_u16 t off (v lsr 32);
+  set_u32 t (off + 2) v
+
+let blit_string s t off =
+  check t off (String.length s);
+  Bytes.blit_string s 0 t.data off (String.length s)
+
+let equal a b = Bytes.equal a.data b.data
+
+let pp_hex ppf t =
+  Bytes.iteri
+    (fun i c ->
+      if i > 0 && i mod 16 = 0 then Fmt.pf ppf "@\n";
+      Fmt.pf ppf "%02x " (Char.code c))
+    t.data

@@ -1,0 +1,33 @@
+(** Raw packet buffers.
+
+    A packet is a mutable byte buffer with network-byte-order accessors.
+    All multi-byte accessors are big-endian, as on the wire.  Offsets are
+    bounds-checked; accessors raise [Invalid_argument] on overrun. *)
+
+type t
+
+val create : int -> t
+(** [create len] is a zero-filled packet of [len] bytes.  Raises
+    [Invalid_argument] if [len < 0] or [len > 65535]. *)
+
+val of_bytes : bytes -> t
+val to_bytes : t -> bytes
+(** A copy of the packet's contents. *)
+
+val copy : t -> t
+val length : t -> int
+
+val get_u8 : t -> int -> int
+val get_u16 : t -> int -> int
+val get_u32 : t -> int -> int
+val get_u48 : t -> int -> int
+(** 48-bit big-endian load — MAC addresses. *)
+
+val set_u8 : t -> int -> int -> unit
+val set_u16 : t -> int -> int -> unit
+val set_u32 : t -> int -> int -> unit
+val set_u48 : t -> int -> int -> unit
+
+val blit_string : string -> t -> int -> unit
+val equal : t -> t -> bool
+val pp_hex : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type record = { ts_sec : int; ts_usec : int; packet : Packet.t }
+
+let magic = 0xa1b2c3d4
+let version_major = 2
+let version_minor = 4
+let linktype_ethernet = 1
+
+let write_u32_le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let write_u16_le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let write_file path records =
+  let buf = Buffer.create 4096 in
+  write_u32_le buf magic;
+  write_u16_le buf version_major;
+  write_u16_le buf version_minor;
+  write_u32_le buf 0 (* thiszone *);
+  write_u32_le buf 0 (* sigfigs *);
+  write_u32_le buf 65535 (* snaplen *);
+  write_u32_le buf linktype_ethernet;
+  List.iter
+    (fun { ts_sec; ts_usec; packet } ->
+      let data = Packet.to_bytes packet in
+      let len = Bytes.length data in
+      write_u32_le buf ts_sec;
+      write_u32_le buf ts_usec;
+      write_u32_le buf len;
+      write_u32_le buf len;
+      Buffer.add_bytes buf data)
+    records;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let data = really_input_string ic len in
+      if len < 24 then failwith "Pcap.read_file: truncated header";
+      let byte i = Char.code data.[i] in
+      let u32_le i =
+        byte i lor (byte (i + 1) lsl 8) lor (byte (i + 2) lsl 16)
+        lor (byte (i + 3) lsl 24)
+      in
+      let u32_be i =
+        (byte i lsl 24) lor (byte (i + 1) lsl 16) lor (byte (i + 2) lsl 8)
+        lor byte (i + 3)
+      in
+      let u32 =
+        if u32_le 0 = magic then u32_le
+        else if u32_be 0 = magic then u32_be
+        else failwith "Pcap.read_file: bad magic"
+      in
+      let rec read_records off acc =
+        if off >= len then List.rev acc
+        else if off + 16 > len then
+          failwith "Pcap.read_file: truncated record header"
+        else
+          let ts_sec = u32 off in
+          let ts_usec = u32 (off + 4) in
+          let incl_len = u32 (off + 8) in
+          if off + 16 + incl_len > len then
+            failwith "Pcap.read_file: truncated record"
+          else
+            let packet =
+              Packet.of_bytes
+                (Bytes.of_string (String.sub data (off + 16) incl_len))
+            in
+            read_records
+              (off + 16 + incl_len)
+              ({ ts_sec; ts_usec; packet } :: acc)
+      in
+      read_records 24 [])
+
+let records_of_packets ?(usec_gap = 10) packets =
+  List.mapi
+    (fun i packet ->
+      let us = i * usec_gap in
+      { ts_sec = us / 1_000_000; ts_usec = us mod 1_000_000; packet })
+    packets

@@ -1,0 +1,16 @@
+(** Reading and writing libpcap capture files.
+
+    The Distiller consumes real-world traffic "as PCAP files" (paper §4);
+    our workload generators emit the same format, so traces can also be
+    inspected with standard tools. *)
+
+type record = { ts_sec : int; ts_usec : int; packet : Packet.t }
+
+val write_file : string -> record list -> unit
+(** Classic little-endian pcap, linktype Ethernet. *)
+
+val read_file : string -> record list
+(** Raises [Failure] on malformed files; handles both endiannesses. *)
+
+val records_of_packets : ?usec_gap:int -> Packet.t list -> record list
+(** Stamp packets [usec_gap] microseconds apart (default 10). *)

@@ -1,0 +1,44 @@
+let proto_name p =
+  if p = Ipv4.proto_tcp then "tcp"
+  else if p = Ipv4.proto_udp then "udp"
+  else if p = Ipv4.proto_icmp then "icmp"
+  else Printf.sprintf "proto %d" p
+
+let packet ppf pkt =
+  let len = Packet.length pkt in
+  if len < Ethernet.header_len then Fmt.pf ppf "runt frame, %dB" len
+  else if
+    Ethernet.get_ethertype pkt = Ethernet.ethertype_ipv4
+    && len >= Ethernet.header_len + Ipv4.min_header_len
+  then begin
+    let proto = Ipv4.get_proto pkt in
+    let src = Ipv4.addr_to_string (Ipv4.get_src pkt) in
+    let dst = Ipv4.addr_to_string (Ipv4.get_dst pkt) in
+    let opts =
+      if Ipv4.option_count pkt > 0 then
+        Printf.sprintf " +%d opts" (Ipv4.option_count pkt)
+      else ""
+    in
+    if
+      (proto = Ipv4.proto_tcp || proto = Ipv4.proto_udp)
+      && len >= Ipv4.l4_offset pkt + 4
+    then
+      Fmt.pf ppf "IPv4 %s:%d > %s:%d %s%s, %dB" src
+        (L4.get_src_port_at pkt ~l4:(Ipv4.l4_offset pkt))
+        dst
+        (L4.get_dst_port_at pkt ~l4:(Ipv4.l4_offset pkt))
+        (proto_name proto) opts len
+    else if proto = Ipv4.proto_icmp && Ipv4.option_count pkt = 0 && len > Icmp.off_seq + 1
+    then
+      Fmt.pf ppf "IPv4 %s > %s icmp type %d seq %d, %dB" src dst
+        (Icmp.get_type pkt) (Icmp.get_seq pkt) len
+    else Fmt.pf ppf "IPv4 %s > %s %s%s, %dB" src dst (proto_name proto) opts len
+  end
+  else
+    Fmt.pf ppf "eth %s > %s ethertype 0x%04x, %dB"
+      (Ethernet.mac_to_string (Ethernet.get_src pkt))
+      (Ethernet.mac_to_string (Ethernet.get_dst pkt))
+      (Ethernet.get_ethertype pkt)
+      len
+
+let to_string = Fmt.to_to_string packet

@@ -1,0 +1,8 @@
+(** Human-readable packet decoding (tcpdump-style one-liners), used by the
+    analysis reports to make witness packets legible. *)
+
+val packet : Format.formatter -> Packet.t -> unit
+(** e.g. ["IPv4 10.0.0.9:5555 > 93.184.216.34:80 udp, 60B"] or
+    ["eth 02:…:01 > ff:…:ff ethertype 0x0806, 60B"]. *)
+
+val to_string : Packet.t -> string

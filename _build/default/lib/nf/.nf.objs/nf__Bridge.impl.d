@@ -1,0 +1,1 @@
+lib/nf/bridge.ml: Dslib Hdr Iclass Ir Net Perf Stdlib Symbex

@@ -1,0 +1,1 @@
+lib/nf/bridge.mli: Dslib Exec Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/conntrack.ml: Dslib Hdr Iclass Ir Perf Stdlib Symbex

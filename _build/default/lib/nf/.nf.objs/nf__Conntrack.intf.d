@@ -1,0 +1,1 @@
+lib/nf/conntrack.mli: Dslib Exec Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/firewall.ml: Constr Hdr Iclass Ir Linexpr Solver Symbex

@@ -1,0 +1,1 @@
+lib/nf/hdr.mli: Ir

@@ -1,0 +1,1 @@
+lib/nf/limiter.ml: Dslib Hdr Iclass Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/limiter.mli: Dslib Exec Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/maglev.ml: Dslib Hdr Iclass Ir List Perf Stdlib Symbex

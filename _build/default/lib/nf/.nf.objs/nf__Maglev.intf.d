@@ -1,0 +1,1 @@
+lib/nf/maglev.mli: Dslib Exec Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/nat.ml: Dslib Hdr Iclass Ir Net Perf Stdlib Symbex

@@ -1,0 +1,1 @@
+lib/nf/nat.mli: Dslib Exec Ir Perf Symbex

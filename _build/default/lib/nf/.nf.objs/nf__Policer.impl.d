@@ -1,0 +1,1 @@
+lib/nf/policer.ml: Dslib Hdr Iclass Ir Perf Symbex

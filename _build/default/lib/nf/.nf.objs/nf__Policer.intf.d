@@ -1,0 +1,1 @@
+lib/nf/policer.mli: Dslib Exec Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/responder.ml: Hdr Iclass Ir Net Symbex

@@ -1,0 +1,1 @@
+lib/nf/responder.mli: Ir Symbex

@@ -1,0 +1,1 @@
+lib/nf/router_lpm.ml: Dslib Hdr Iclass Ir List Perf Symbex

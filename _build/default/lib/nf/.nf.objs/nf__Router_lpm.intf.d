@@ -1,0 +1,1 @@
+lib/nf/router_lpm.mli: Dslib Exec Ir Perf Symbex

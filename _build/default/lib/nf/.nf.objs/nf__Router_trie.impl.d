@@ -1,0 +1,1 @@
+lib/nf/router_trie.ml: Contract Cost_vec Dslib Hdr Iclass Ir List Metric Perf Perf_expr Symbex

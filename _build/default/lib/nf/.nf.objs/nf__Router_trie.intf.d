@@ -1,0 +1,1 @@
+lib/nf/router_trie.mli: Dslib Exec Ir Perf Symbex

@@ -1,0 +1,1 @@
+lib/nf/static_router.ml: Constr Hdr Iclass Ir Linexpr Perf Solver Symbex

@@ -1,0 +1,1 @@
+lib/nf/static_router.mli: Ir Symbex

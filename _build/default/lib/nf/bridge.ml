@@ -1,0 +1,97 @@
+let instance = "mac"
+
+open Ir.Expr
+open Ir.Stmt
+
+let broadcast = Net.Ethernet.broadcast_mac
+
+let program =
+  Ir.Program.make ~name:"bridge"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Mac_table.kind } ]
+    [
+      call ~ret:"expired" instance "expire" [ var "now" ];
+      assign "src" Hdr.eth_src;
+      assign "dst" Hdr.eth_dst;
+      call instance "learn" [ var "src"; var "in_port"; var "now" ];
+      if_ (var "dst" == int broadcast) [ flood ] [];
+      call ~ret:"port" instance "lookup" [ var "dst" ];
+      if_ (var "port" < int 0) [ flood ] [];
+      if_ (var "port" == var "in_port") [ drop ] [];
+      forward (var "port");
+    ]
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;
+  threshold : int;
+  seed : int;
+}
+
+let default_config =
+  { capacity = 4096; buckets = 4096; timeout = 300_000_000;
+    threshold = 6; seed = 42 }
+
+let setup ?(config = default_config) alloc =
+  let table =
+    Dslib.Mac_table.create ~seed:config.seed
+      ~base:(Dslib.Layout.region alloc)
+      ~capacity:config.capacity ~buckets:config.buckets
+      ~timeout:config.timeout ~threshold:config.threshold ()
+  in
+  ([ (instance, Dslib.Mac_table.to_ds table) ], table)
+
+let contracts ?(config = default_config) () =
+  Perf.Ds_contract.library
+    (Dslib.Mac_table.Recipe.contract ~buckets:config.buckets
+       ~capacity:config.capacity)
+
+open Symbex
+
+let table4_classes () =
+  [
+    Iclass.make ~name:"Known Source MAC"
+      ~requires:[ Iclass.req instance "learn" "known" ]
+      ();
+    Iclass.make ~name:"Unknown Source MAC; No Rehashing"
+      ~requires:[ Iclass.req instance "learn" "learned" ]
+      ();
+    Iclass.make ~name:"Unknown Source MAC; Rehashing"
+      ~requires:[ Iclass.req instance "learn" "rehash" ]
+      ();
+  ]
+
+let classes ?(config = default_config) () =
+  let no_state_stress =
+    [
+      Iclass.req instance "expire" "expire";
+      Iclass.req instance "learn" "known";
+    ]
+  in
+  let quiet = Perf.Pcv.[ (expired, 0); (collisions, 0); (traversals, 1) ] in
+  [
+    (* The mass-expiry packet drains the whole table before the learn
+       runs, so the learn sees occupancy 0 — binding o to the capacity
+       would claim an infeasible combination (full table AND mass
+       expiry in one packet). *)
+    Iclass.make ~name:"Br1"
+      ~description:"unconstrained traffic (absolute worst case)"
+      ~bindings:
+        Perf.Pcv.
+          [
+            (expired, config.capacity);
+            (collisions, Stdlib.((config.capacity - 1) / 2));
+            (traversals, Stdlib.(config.capacity / 2));
+            (occupancy, 0);
+          ]
+      ();
+    Iclass.make ~name:"Br2" ~description:"broadcast frames, known source"
+      ~predicate:(Iclass.field_eq Ir.Expr.W48 0 broadcast)
+      ~requires:no_state_stress ~bindings:quiet ();
+    Iclass.make ~name:"Br3"
+      ~description:"unicast frames, known source and destination"
+      ~predicate:(Iclass.field_ne Ir.Expr.W48 0 broadcast)
+      ~requires:
+        (Iclass.req instance "lookup" "hit" :: no_state_stress)
+      ~bindings:quiet ();
+  ]

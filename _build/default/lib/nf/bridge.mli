@@ -1,0 +1,29 @@
+(** MAC learning bridge (paper's Br).
+
+    State: one {!Dslib.Mac_table} with expiry and the rehash defence.
+    Input classes: Br1 — unconstrained (worst case: mass expiry);
+    Br2 — broadcast frames; Br3 — unicast frames to known MACs. *)
+
+val instance : string
+val program : Ir.Program.t
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;
+  threshold : int;
+  seed : int;
+}
+
+val default_config : config
+
+val setup :
+  ?config:config -> Dslib.Layout.allocator -> Exec.Ds.env * Dslib.Mac_table.t
+
+val contracts : ?config:config -> unit -> Perf.Ds_contract.library
+val classes : ?config:config -> unit -> Symbex.Iclass.t list
+
+val table4_classes : unit -> Symbex.Iclass.t list
+(** The three traffic types of paper Table 4: known source MAC; unknown
+    source without rehashing; unknown source triggering the rehash
+    defence. *)

@@ -1,0 +1,98 @@
+let instance = "flows"
+
+open Ir.Expr
+open Ir.Stmt
+
+let fwd_key =
+  [ var "src_ip"; var "dst_ip"; var "src_port"; var "dst_port"; var "proto" ]
+
+(* Inbound packets are matched against the flow as the inside host opened
+   it, i.e. with the tuple reversed. *)
+let rev_key =
+  [ var "dst_ip"; var "src_ip"; var "dst_port"; var "src_port"; var "proto" ]
+
+let outbound =
+  [
+    Comment "outbound: open or refresh";
+    call ~ret:"known" instance "get" (fwd_key @ [ var "now" ]);
+    if_ (var "known" >= int 0) [ forward_port 1 ] [];
+    call ~ret:"slot" instance "put" (fwd_key @ [ int 1; var "now" ]);
+    if_
+      (var "slot" < int 0)
+      [ Comment "table full: fail closed"; drop ]
+      [ forward_port 1 ];
+  ]
+
+let inbound =
+  [
+    Comment "inbound: only established flows pass";
+    call ~ret:"established" instance "get" (rev_key @ [ var "now" ]);
+    if_ (var "established" < int 0) [ drop ] [];
+    forward_port 0;
+  ]
+
+let program =
+  Ir.Program.make ~name:"conntrack_fw"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Flow_table.kind } ]
+    (Hdr.parse_l4
+    @ [
+        call ~ret:"expired" instance "expire" [ var "now" ];
+        if_ (var "in_port" == int 0) outbound inbound;
+      ])
+
+type config = { capacity : int; buckets : int; timeout : int }
+
+let default_config = { capacity = 4096; buckets = 4096; timeout = 30_000_000 }
+
+let setup ?(config = default_config) alloc =
+  let table =
+    Dslib.Flow_table.create
+      ~base:(Dslib.Layout.region alloc)
+      ~key_len:5 ~capacity:config.capacity ~buckets:config.buckets
+      ~timeout:config.timeout ()
+  in
+  ([ (instance, Dslib.Flow_table.to_ds table) ], table)
+
+let contracts ?(config = default_config) () =
+  ignore config;
+  Perf.Ds_contract.library (Dslib.Flow_table.Recipe.contract ~key_len:5 ())
+
+open Symbex
+
+let classes ?(config = default_config) () =
+  let quiet = Perf.Pcv.[ (expired, 0); (collisions, 0); (traversals, 1) ] in
+  let no_expiry = Iclass.req instance "expire" "expire" in
+  [
+    Iclass.make ~name:"CT1"
+      ~description:"unconstrained traffic (absolute worst case)"
+      ~bindings:
+        Perf.Pcv.
+          [
+            (expired, config.capacity);
+            (collisions, Stdlib.((config.capacity - 1) / 2));
+            (traversals, Stdlib.(config.capacity / 2));
+          ]
+      ();
+    Iclass.make ~name:"CT2" ~description:"outbound packets of new flows"
+      ~predicate:(Iclass.in_port_is 0)
+      ~requires:
+        [
+          no_expiry;
+          Iclass.req instance "get" "miss";
+          Iclass.req instance "put" "ok";
+        ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"CT3" ~description:"outbound packets, flow established"
+      ~predicate:(Iclass.in_port_is 0)
+      ~requires:[ no_expiry; Iclass.req instance "get" "hit" ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"CT4" ~description:"inbound packets, flow established"
+      ~predicate:(Iclass.in_port_is 1)
+      ~requires:[ no_expiry; Iclass.req instance "get" "hit" ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"CT5"
+      ~description:"inbound packets with no matching flow (dropped)"
+      ~predicate:(Iclass.in_port_is 1)
+      ~requires:[ no_expiry; Iclass.req instance "get" "miss" ]
+      ~bindings:quiet ();
+  ]

@@ -1,0 +1,29 @@
+(** Stateful (connection-tracking) firewall.
+
+    Port 0 faces the protected network.  Outbound packets open (or
+    refresh) a flow entry and pass; inbound packets pass only when they
+    match the reverse 5-tuple of an established flow.  A second consumer
+    of {!Dslib.Flow_table} beside the load balancer, with both lookup
+    directions live on the fast path — its contract carries the same
+    e/c/t structure as the paper's NAT (Table 6).
+
+    Input classes: CT1 — unconstrained (worst case); CT2 — outbound new
+    flows; CT3 — outbound established; CT4 — inbound established (the
+    reverse lookup hits); CT5 — inbound with no matching flow (dropped). *)
+
+val instance : string
+val program : Ir.Program.t
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;
+}
+
+val default_config : config
+
+val setup :
+  ?config:config -> Dslib.Layout.allocator -> Exec.Ds.env * Dslib.Flow_table.t
+
+val contracts : ?config:config -> unit -> Perf.Ds_contract.library
+val classes : ?config:config -> unit -> Symbex.Iclass.t list

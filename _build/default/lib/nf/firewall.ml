@@ -1,0 +1,63 @@
+open Ir.Expr
+open Ir.Stmt
+
+(* Header validation beyond the option check: version, total length, TTL,
+   source class — straight-line work that gives the forwarded path its
+   larger constant (paper Table 5a: forwarding costs more than dropping). *)
+let validation =
+  [
+    Comment "header validation";
+    assign "version" (Binop (Shr, Hdr.version_ihl, int 4));
+    if_ (var "version" != int 4) [ drop ] [];
+    assign "total_len" (load16 (int 16));
+    if_ (var "total_len" > Pkt_len - int 14) [ drop ] [];
+    assign "ttl" Hdr.ttl;
+    if_ (var "ttl" == int 0) [ drop ] [];
+    assign "src_ip" Hdr.src_ip;
+    if_ (var "src_ip" == int 0) [ drop ] [];
+    assign "dst_ip" Hdr.dst_ip;
+    if_ (var "dst_ip" == int 0xffffffff) [ drop ] [];
+    assign "frag" (load16 (int 20));
+    if_ (Binop (And, var "frag", int 0x1fff) != int 0) [ drop ] [];
+  ]
+
+let program =
+  Ir.Program.make ~name:"firewall" ~state:[]
+    ([
+       if_ (Pkt_len < int 34) [ drop ] [];
+       assign "ethertype" Hdr.ethertype;
+       if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+       assign "ihl" Hdr.ihl;
+       Comment "policy: drop anything with IP options";
+       if_ (var "ihl" != int 5) [ drop ] [];
+     ]
+    @ validation
+    @ [ forward_port 0 ])
+
+open Symbex
+
+let classes () =
+  [
+    Iclass.make ~name:"No IP options"
+      ~description:"IPv4, ihl = 5: validated and forwarded"
+      ~predicate:(Iclass.field_eq Ir.Expr.W8 14 0x45)
+      ();
+    Iclass.make ~name:"IP Options"
+      ~description:"IPv4 with options: dropped by policy"
+      ~predicate:
+        (Iclass.conj_preds
+           [
+             Iclass.field_eq Ir.Expr.W16 12 Hdr.ipv4_ethertype;
+             (fun result ->
+               let open Solver in
+               [
+                 Constr.ge
+                   (Iclass.field result Ir.Expr.W8 14)
+                   (Linexpr.const 0x46);
+                 Constr.le
+                   (Iclass.field result Ir.Expr.W8 14)
+                   (Linexpr.const 0x4f);
+               ]);
+           ])
+      ();
+  ]

@@ -1,0 +1,9 @@
+(** Stateless firewall for the chain experiment (paper §5.2, Table 5a).
+
+    Drops any packet carrying IP options (and anything that is not
+    well-formed IPv4); everything else is validated and forwarded.  The
+    expensive path of the router behind it is thereby unreachable — the
+    composition insight of Figure 3. *)
+
+val program : Ir.Program.t
+val classes : unit -> Symbex.Iclass.t list

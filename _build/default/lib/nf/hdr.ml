@@ -1,0 +1,54 @@
+open Ir.Expr
+
+let eth_dst = load48 (int 0)
+let eth_src = load48 (int 6)
+let ethertype = load16 (int 12)
+let ipv4_ethertype = Net.Ethernet.ethertype_ipv4
+let version_ihl = load8 (int 14)
+let ihl = Binop (And, version_ihl, int 0xf)
+let ttl_off = 22
+let ttl = load8 (int ttl_off)
+let proto = load8 (int 23)
+let checksum_off = 24
+let src_ip_off = 26
+let dst_ip_off = 30
+let src_port_off = 34
+let dst_port_off = 36
+let options_off = 34
+let src_ip = load32 (int src_ip_off)
+let dst_ip = load32 (int dst_ip_off)
+let src_port = load16 (int src_port_off)
+let dst_port = load16 (int dst_port_off)
+let min_l4_len = 38
+
+open Ir.Stmt
+
+let parse_l4 =
+  [
+    Comment "parse: Ethernet + option-free IPv4 + TCP/UDP ports";
+    if_ (Pkt_len < int min_l4_len) [ drop ] [];
+    assign "ethertype" ethertype;
+    if_ (var "ethertype" != int ipv4_ethertype) [ drop ] [];
+    assign "ihl" ihl;
+    if_ (var "ihl" != int 5) [ drop ] [];
+    assign "proto" proto;
+    if_
+      ((var "proto" != int Net.Ipv4.proto_tcp)
+      && (var "proto" != int Net.Ipv4.proto_udp))
+      [ drop ] [];
+    assign "src_ip" src_ip;
+    assign "dst_ip" dst_ip;
+    assign "src_port" src_port;
+    assign "dst_port" dst_port;
+  ]
+
+let decrement_ttl =
+  [
+    Comment "TTL decrement + incremental checksum update";
+    assign "ttl" ttl;
+    if_ (var "ttl" <= int 1) [ drop ] [];
+    store8 (int ttl_off) (var "ttl" - int 1);
+    assign "csum" (load16 (int checksum_off));
+    store16 (int checksum_off)
+      (Binop (And, var "csum" + int 0x100, int 0xffff));
+  ]

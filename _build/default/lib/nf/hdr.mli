@@ -1,0 +1,38 @@
+(** Shared header-field IR snippets.
+
+    Byte offsets follow the on-wire layout (Ethernet at 0, option-free
+    IPv4 at 14, L4 at 34); see [Net.Ipv4] for the canonical constants. *)
+
+val eth_dst : Ir.Expr.t
+val eth_src : Ir.Expr.t
+val ethertype : Ir.Expr.t
+val ipv4_ethertype : int
+val version_ihl : Ir.Expr.t
+val ihl : Ir.Expr.t
+(** Low nibble of the version/IHL byte. *)
+
+val ttl : Ir.Expr.t
+val proto : Ir.Expr.t
+val src_ip : Ir.Expr.t
+val dst_ip : Ir.Expr.t
+val src_port : Ir.Expr.t
+(** Assumes an option-free IP header. *)
+
+val dst_port : Ir.Expr.t
+val checksum_off : int
+val ttl_off : int
+val src_ip_off : int
+val dst_ip_off : int
+val src_port_off : int
+val dst_port_off : int
+val options_off : int
+val min_l4_len : int
+(** Minimum frame length that makes the L4 ports readable. *)
+
+val parse_l4 : Ir.Stmt.block
+(** Validate Ethernet/IPv4/TCP-or-UDP (option-free) and bind
+    [ethertype, ihl, proto, src_ip, dst_ip, src_port, dst_port]; drops
+    anything else.  Statements end with the bindings in scope. *)
+
+val decrement_ttl : Ir.Stmt.block
+(** TTL decrement plus incremental checksum touch; drops when TTL ≤ 1. *)

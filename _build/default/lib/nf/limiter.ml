@@ -1,0 +1,53 @@
+let instance = "sketch"
+let threshold = 128
+
+open Ir.Expr
+open Ir.Stmt
+
+(* The sketch is keyed by source identity: (src_ip, proto) padded to the
+   5-word key the instance expects. *)
+let src_key =
+  [ var "src_ip"; int 0; int 0; int 0; var "proto" ]
+
+let program =
+  Ir.Program.make ~name:"hh_limiter"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Count_min.kind } ]
+    (Hdr.parse_l4
+    @ [
+        call ~ret:"rate" instance "update" src_key;
+        if_
+          (var "rate" > int threshold)
+          [ Comment "heavy hitter: shed"; drop ]
+          [];
+        forward_port 1;
+      ])
+
+type config = { rows : int; width : int }
+
+let default_config = { rows = 4; width = 1024 }
+
+let setup ?(config = default_config) alloc =
+  let sketch =
+    Dslib.Count_min.create
+      ~base:(Dslib.Layout.region alloc)
+      ~rows:config.rows ~width:config.width
+  in
+  ([ (instance, Dslib.Count_min.to_ds sketch) ], sketch)
+
+let contracts ?(config = default_config) () =
+  Perf.Ds_contract.library (Dslib.Count_min.Recipe.contract ~rows:config.rows)
+
+open Symbex
+
+(* Both verdicts cost the same d-probe fast path (the sketch's point), so
+   there is one metered class — the contract shows the constant cost. *)
+let classes () =
+  [
+    Iclass.make ~name:"Metered IPv4"
+      ~description:"d sketch probes, forward or shed"
+      ~requires:[ Iclass.req instance "update" "ok" ]
+      ();
+    Iclass.make ~name:"Invalid" ~description:"non-IPv4"
+      ~forbids:[ (instance, "update") ]
+      ();
+  ]

@@ -1,0 +1,21 @@
+(** Heavy-hitter limiter: per-source rate policing without per-flow state.
+
+    A count-min sketch tracks an approximate per-source packet count;
+    sources whose estimate exceeds the threshold are dropped.  DDoS
+    scrubbing in a few hundred bytes of state — and, for contract
+    purposes, a fast path whose cost is the same on every packet (the
+    sketch's d probes), with only the verdict branching. *)
+
+val instance : string
+val threshold : int
+val program : Ir.Program.t
+
+type config = { rows : int; width : int }
+
+val default_config : config
+
+val setup :
+  ?config:config -> Dslib.Layout.allocator -> Exec.Ds.env * Dslib.Count_min.t
+
+val contracts : ?config:config -> unit -> Perf.Ds_contract.library
+val classes : unit -> Symbex.Iclass.t list

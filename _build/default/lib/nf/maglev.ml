@@ -1,0 +1,182 @@
+let flows = "flows"
+let ring = "ring"
+let pool = "pool"
+let heartbeat_port = 9999
+
+open Ir.Expr
+open Ir.Stmt
+
+let flow_args =
+  [ var "src_ip"; var "dst_ip"; var "src_port"; var "dst_port"; var "proto" ]
+
+(* A register-only flow hash feeding the ring (non-linear — the symbolic
+   engine over-approximates it with a fresh symbol, which is fine: the
+   ring accepts any hash). *)
+let flow_hash =
+  Binop
+    ( Xor,
+      Binop (Mul, var "src_ip", int 31),
+      Binop (Xor, var "dst_ip", Binop (Mul, var "src_port", int 17)) )
+
+let assign_backend =
+  [
+    assign "hash" flow_hash;
+    call ~ret:"backend" ring "backend_for" [ var "hash" ];
+    call ~ret:"inserted" flows "put"
+      (flow_args @ [ var "backend"; var "now" ]);
+    store32 (int Hdr.dst_ip_off) (int 0x0a000000 + var "backend");
+    forward_port 1;
+  ]
+
+let program =
+  Ir.Program.make ~name:"maglev_lb"
+    ~state:
+      [
+        { Ir.Program.instance = flows; kind = Dslib.Flow_table.kind };
+        { Ir.Program.instance = ring; kind = Dslib.Hash_ring.kind };
+        { Ir.Program.instance = pool; kind = Dslib.Backend_pool.kind };
+      ]
+    (Hdr.parse_l4
+    @ [
+        call ~ret:"expired" flows "expire" [ var "now" ];
+        if_
+          ((var "in_port" == int 1)
+          && (var "dst_port" == int heartbeat_port))
+          [
+            Comment "heartbeat from a backend";
+            assign "backend_id" (Binop (And, var "src_ip", int 0xff));
+            call ~ret:"hb" pool "heartbeat" [ var "backend_id"; var "now" ];
+            drop;
+          ]
+          [];
+        call ~ret:"assigned" flows "get" (flow_args @ [ var "now" ]);
+        if_
+          (var "assigned" >= int 0)
+          [
+            call ~ret:"alive" pool "is_alive" [ var "assigned"; var "now" ];
+            if_
+              (var "alive" == int 1)
+              [
+                Comment "existing flow, live backend";
+                store32 (int Hdr.dst_ip_off) (int 0x0a000000 + var "assigned");
+                forward_port 1;
+              ]
+              (Comment "existing flow, dead backend: reassign"
+               :: assign_backend);
+          ]
+          (Comment "new flow" :: assign_backend);
+      ])
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;
+  backend_count : int;
+  ring_size : int;
+  backend_timeout : int;
+}
+
+let default_config =
+  {
+    capacity = 4096;
+    buckets = 4096;
+    timeout = 10_000_000;
+    backend_count = 16;
+    ring_size = 4099;
+    backend_timeout = 5_000_000;
+  }
+
+type state = {
+  flow_table : Dslib.Flow_table.t;
+  hash_ring : Dslib.Hash_ring.t;
+  backend_pool : Dslib.Backend_pool.t;
+}
+
+let setup ?(config = default_config) alloc =
+  let flow_table =
+    Dslib.Flow_table.create
+      ~base:(Dslib.Layout.region alloc)
+      ~key_len:5 ~capacity:config.capacity ~buckets:config.buckets
+      ~timeout:config.timeout ()
+  in
+  let hash_ring =
+    Dslib.Hash_ring.create
+      ~base:(Dslib.Layout.region alloc)
+      ~table_size:config.ring_size
+      ~backends:(List.init config.backend_count (fun i -> i))
+  in
+  let backend_pool =
+    Dslib.Backend_pool.create
+      ~base:(Dslib.Layout.region alloc)
+      ~count:config.backend_count ~timeout:config.backend_timeout
+  in
+  ( [
+      (flows, Dslib.Flow_table.to_ds flow_table);
+      (ring, Dslib.Hash_ring.to_ds hash_ring);
+      (pool, Dslib.Backend_pool.to_ds backend_pool);
+    ],
+    { flow_table; hash_ring; backend_pool } )
+
+let contracts ?(config = default_config) () =
+  ignore config;
+  Perf.Ds_contract.library
+    (Dslib.Flow_table.Recipe.contract ~key_len:5 ()
+    @ Dslib.Hash_ring.Recipe.contract
+    @ Dslib.Backend_pool.Recipe.contract)
+
+open Symbex
+
+let classes ?(config = default_config) () =
+  let quiet = Perf.Pcv.[ (expired, 0); (collisions, 0); (traversals, 1) ] in
+  let no_expiry = Iclass.req flows "expire" "expire" in
+  let from_clients = Iclass.in_port_is 0 in
+  [
+    Iclass.make ~name:"LB1"
+      ~description:"unconstrained traffic (absolute worst case)"
+      ~bindings:
+        Perf.Pcv.
+          [
+            (expired, config.capacity);
+            (collisions, Stdlib.((config.capacity - 1) / 2));
+            (traversals, Stdlib.(config.capacity / 2));
+          ]
+      ();
+    Iclass.make ~name:"LB2" ~description:"external packets of new flows"
+      ~predicate:from_clients
+      ~requires:
+        [
+          no_expiry;
+          Iclass.req flows "get" "miss";
+          Iclass.req flows "put" "ok";
+        ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"LB3"
+      ~description:"existing flows, backend unresponsive"
+      ~predicate:from_clients
+      ~requires:
+        [
+          no_expiry;
+          Iclass.req flows "get" "hit";
+          Iclass.req pool "is_alive" "dead";
+          Iclass.req flows "put" "ok";
+        ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"LB4" ~description:"existing flows, backend live"
+      ~predicate:from_clients
+      ~requires:
+        [
+          no_expiry;
+          Iclass.req flows "get" "hit";
+          Iclass.req pool "is_alive" "alive";
+        ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"LB5" ~description:"heartbeat packets from backends"
+      ~predicate:
+        (Iclass.conj_preds
+           [
+             Iclass.in_port_is 1;
+             Iclass.field_eq Ir.Expr.W16 Hdr.dst_port_off heartbeat_port;
+           ])
+      ~requires:[ Iclass.req pool "heartbeat" "ok" ]
+      ~bindings:quiet ();
+  ]

@@ -1,0 +1,37 @@
+(** Maglev-like load balancer (paper's LB).
+
+    Port 0 faces clients, port 1 the backend pool.  Backends send
+    heartbeats to UDP port 9999.  State: per-flow backend assignments
+    ({!Dslib.Flow_table}), the Maglev {!Dslib.Hash_ring}, and backend
+    liveness ({!Dslib.Backend_pool}).
+
+    Input classes: LB1 — unconstrained; LB2 — new flows; LB3 — existing
+    flows whose backend died (reassigned via the ring); LB4 — existing
+    flows with a live backend; LB5 — heartbeats. *)
+
+val flows : string
+val ring : string
+val pool : string
+val heartbeat_port : int
+val program : Ir.Program.t
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;
+  backend_count : int;
+  ring_size : int;  (** prime *)
+  backend_timeout : int;
+}
+
+val default_config : config
+
+type state = {
+  flow_table : Dslib.Flow_table.t;
+  hash_ring : Dslib.Hash_ring.t;
+  backend_pool : Dslib.Backend_pool.t;
+}
+
+val setup : ?config:config -> Dslib.Layout.allocator -> Exec.Ds.env * state
+val contracts : ?config:config -> unit -> Perf.Ds_contract.library
+val classes : ?config:config -> unit -> Symbex.Iclass.t list

@@ -1,0 +1,183 @@
+let instance = "nat"
+let external_ip = Net.Ipv4.addr_of_parts 198 51 100 1
+
+open Ir.Expr
+open Ir.Stmt
+
+let flow_args =
+  [ var "src_ip"; var "dst_ip"; var "src_port"; var "dst_port"; var "proto" ]
+
+(* Rewrite an outgoing packet: source becomes (external_ip, ext_port). *)
+let rewrite_internal ext_port =
+  [
+    store32 (int Hdr.src_ip_off) (int external_ip);
+    store16 (int Hdr.src_port_off) ext_port;
+    assign "csum" (load16 (int Hdr.checksum_off));
+    store16 (int Hdr.checksum_off)
+      (Binop (And, var "csum" + int 0x1bb, int 0xffff));
+  ]
+
+(* Rewrite a returning packet: destination becomes the internal flow. *)
+let rewrite_external ~ip ~port =
+  [
+    store32 (int Hdr.dst_ip_off) ip;
+    store16 (int Hdr.dst_port_off) port;
+    assign "csum" (load16 (int Hdr.checksum_off));
+    store16 (int Hdr.checksum_off)
+      (Binop (And, var "csum" + int 0x2e5, int 0xffff));
+  ]
+
+let internal_side =
+  [
+    Comment "internal -> external";
+    call ~ret:"ext_port" instance "lookup_int" (flow_args @ [ var "now" ]);
+    if_
+      (var "ext_port" >= int 0)
+      (rewrite_internal (var "ext_port") @ [ forward_port 1 ])
+      [
+        call ~ret:"new_port" instance "add_int" (flow_args @ [ var "now" ]);
+        if_
+          (var "new_port" < int 0)
+          [ Comment "table full or ports exhausted"; drop ]
+          (Comment "new internal flow installed"
+           :: rewrite_internal (var "new_port")
+          @ [ forward_port 1 ]);
+      ];
+  ]
+
+let external_side =
+  [
+    Comment "external -> internal";
+    call ~ret:"handle" instance "lookup_ext" [ var "dst_port"; var "now" ];
+    if_
+      (var "handle" < int 0)
+      [ Comment "no established mapping"; drop ]
+      [
+        call ~ret:"int_ip" instance "int_field" [ var "handle"; int 0 ];
+        call ~ret:"int_port" instance "int_field" [ var "handle"; int 2 ];
+      ]
+    ;
+  ]
+  @ rewrite_external ~ip:(var "int_ip") ~port:(var "int_port")
+  @ [ forward_port 0 ]
+
+(* Expiry runs on every packet, before validation — as VigNAT does, which
+   is why even the paper's "invalid packets" contract row carries the
+   e-terms (Table 6). *)
+let program =
+  Ir.Program.make ~name:"nat"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Nat_table.kind } ]
+    ((call ~ret:"expired" instance "expire" [ var "now" ] :: Hdr.parse_l4)
+    @ [ if_ (var "in_port" == int 0) internal_side external_side ])
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;
+  granularity : int;
+  port_lo : int;
+  port_hi : int;
+  allocator : [ `Dll | `Array ];
+}
+
+let default_config =
+  {
+    capacity = 4096;
+    buckets = 4096;
+    timeout = 10_000_000;
+    granularity = 1000;
+    port_lo = 1024;
+    port_hi = 9215;
+    allocator = `Dll;
+  }
+
+let setup ?(config = default_config) alloc =
+  let region = Dslib.Layout.region alloc in
+  let alloc_region = Dslib.Layout.region alloc in
+  let allocator =
+    match config.allocator with
+    | `Dll ->
+        Dslib.Port_alloc.dll ~base:alloc_region ~port_lo:config.port_lo
+          ~port_hi:config.port_hi
+    | `Array ->
+        Dslib.Port_alloc.array ~base:alloc_region ~port_lo:config.port_lo
+          ~port_hi:config.port_hi
+  in
+  let table =
+    Dslib.Nat_table.create ~base:region ~capacity:config.capacity
+      ~buckets:config.buckets ~timeout:config.timeout
+      ~granularity:config.granularity ~alloc:allocator
+      ~port_lo:config.port_lo ~port_hi:config.port_hi ()
+  in
+  ([ (instance, Dslib.Nat_table.to_ds table) ], table)
+
+let contracts ?(config = default_config) () =
+  let alloc_name =
+    match config.allocator with `Dll -> "dll" | `Array -> "array"
+  in
+  Perf.Ds_contract.library (Dslib.Nat_table.Recipe.contract ~alloc_name)
+
+open Symbex
+
+let table6_classes () =
+  [
+    Iclass.make ~name:"Invalid packets (dropped)"
+      ~forbids:
+        [
+          (instance, "lookup_int"); (instance, "lookup_ext");
+          (instance, "add_int");
+        ]
+      ();
+    Iclass.make ~name:"Known flows (forwarded)"
+      ~requires:[ Iclass.req instance "lookup_int" "hit" ]
+      ();
+    Iclass.make ~name:"New external flows (dropped)"
+      ~requires:[ Iclass.req instance "lookup_ext" "miss" ]
+      ();
+    Iclass.make ~name:"New internal flows; table full (dropped)"
+      ~requires:[ Iclass.req instance "add_int" "full" ]
+      ();
+    Iclass.make ~name:"New internal flows; table not full (forwarded)"
+      ~requires:[ Iclass.req instance "add_int" "ok" ]
+      ();
+  ]
+
+let classes ?(config = default_config) () =
+  let quiet =
+    Perf.Pcv.
+      [ (expired, 0); (collisions, 0); (traversals, 1); (scan, 0) ]
+  in
+  let no_expiry = Iclass.req instance "expire" "expire" in
+  [
+    Iclass.make ~name:"NAT1"
+      ~description:"unconstrained traffic (absolute worst case)"
+      ~bindings:
+        Perf.Pcv.
+          [
+            (expired, config.capacity);
+            (collisions, Stdlib.((config.capacity - 1) / 2));
+            (traversals, Stdlib.(config.capacity / 2));
+            (scan, Stdlib.(config.port_hi - config.port_lo));
+          ]
+      ();
+    Iclass.make ~name:"NAT2"
+      ~description:"internal packets of new flows (table not full)"
+      ~predicate:(Iclass.in_port_is 0)
+      ~requires:
+        [
+          no_expiry;
+          Iclass.req instance "lookup_int" "miss";
+          Iclass.req instance "add_int" "ok";
+        ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"NAT3"
+      ~description:"internal packets of established flows"
+      ~predicate:(Iclass.in_port_is 0)
+      ~requires:[ no_expiry; Iclass.req instance "lookup_int" "hit" ]
+      ~bindings:quiet ();
+    Iclass.make ~name:"NAT4"
+      ~description:"external packets with no mapping (dropped)"
+      ~predicate:(Iclass.in_port_is 1)
+      ~requires:[ no_expiry; Iclass.req instance "lookup_ext" "miss" ]
+      ~bindings:quiet ();
+  ]

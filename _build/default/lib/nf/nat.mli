@@ -1,0 +1,37 @@
+(** VigNAT-style network address translator (paper's NAT, Table 6).
+
+    Port 0 faces the internal network, port 1 the external one.  State:
+    one {!Dslib.Nat_table} (flow table + reverse port map + pluggable port
+    allocator).
+
+    Input classes: NAT1 — unconstrained (worst case); NAT2 — new internal
+    flows; NAT3 — established flows; NAT4 — external packets with no
+    mapping (dropped). *)
+
+val instance : string
+val program : Ir.Program.t
+val external_ip : int
+(** The address the NAT rewrites internal sources to. *)
+
+type config = {
+  capacity : int;
+  buckets : int;
+  timeout : int;  (** microseconds *)
+  granularity : int;  (** timestamp quantum, microseconds *)
+  port_lo : int;
+  port_hi : int;
+  allocator : [ `Dll | `Array ];
+}
+
+val default_config : config
+
+val setup :
+  ?config:config -> Dslib.Layout.allocator -> Exec.Ds.env * Dslib.Nat_table.t
+
+val contracts : ?config:config -> unit -> Perf.Ds_contract.library
+val classes : ?config:config -> unit -> Symbex.Iclass.t list
+
+val table6_classes : unit -> Symbex.Iclass.t list
+(** The five traffic types of paper Table 6: invalid packets, known
+    flows, new external flows, new internal flows with the table full,
+    and new internal flows with room. *)

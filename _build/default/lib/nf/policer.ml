@@ -1,0 +1,46 @@
+let instance = "bucket"
+
+open Ir.Expr
+open Ir.Stmt
+
+let program =
+  Ir.Program.make ~name:"policer"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Token_bucket.kind } ]
+    [
+      if_ (Pkt_len < int 34) [ drop ] [];
+      assign "ethertype" Hdr.ethertype;
+      if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+      call ~ret:"ok" instance "conform" [ Pkt_len; var "now" ];
+      if_ (var "ok" == int 0) [ Comment "out of profile"; drop ] [];
+      forward_port 0;
+    ]
+
+type config = { rate : int; burst : int }
+
+let default_config = { rate = 100; burst = 150_000 }
+
+let setup ?(config = default_config) alloc =
+  let bucket =
+    Dslib.Token_bucket.create
+      ~base:(Dslib.Layout.region alloc)
+      ~rate:config.rate ~burst:config.burst ()
+  in
+  ([ (instance, Dslib.Token_bucket.to_ds bucket) ], bucket)
+
+let contracts () = Perf.Ds_contract.library Dslib.Token_bucket.Recipe.contract
+
+open Symbex
+
+let classes () =
+  [
+    Iclass.make ~name:"Conformant" ~description:"within profile: forwarded"
+      ~requires:[ Iclass.req instance "conform" "conform" ]
+      ();
+    Iclass.make ~name:"Out of profile" ~description:"bucket empty: dropped"
+      ~requires:[ Iclass.req instance "conform" "exceed" ]
+      ();
+    Iclass.make ~name:"Invalid" ~description:"non-IPv4: dropped unmetered"
+      ~predicate:(Iclass.field_ne Ir.Expr.W16 12 Hdr.ipv4_ethertype)
+      ~forbids:[ (instance, "conform") ]
+      ();
+  ]

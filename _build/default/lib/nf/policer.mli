@@ -1,0 +1,17 @@
+(** Traffic policer: a single-rate token-bucket rate limiter in front of
+    a link.  Not one of the paper's four NFs — it exercises a DS kind
+    whose contract is branch-constant (no PCVs), and serves as the middle
+    element of the three-NF chain experiment. *)
+
+val instance : string
+val program : Ir.Program.t
+
+type config = { rate : int; burst : int }
+
+val default_config : config
+
+val setup :
+  ?config:config -> Dslib.Layout.allocator -> Exec.Ds.env * Dslib.Token_bucket.t
+
+val contracts : unit -> Perf.Ds_contract.library
+val classes : unit -> Symbex.Iclass.t list

@@ -1,0 +1,68 @@
+let device_ip = Net.Ipv4.addr_of_parts 198 51 100 254
+
+open Ir.Expr
+open Ir.Stmt
+
+let icmp_type_off = Net.Icmp.off_type
+let icmp_csum_off = Net.Icmp.off_checksum
+
+let bounce =
+  [
+    Comment "swap MACs";
+    assign "mac_dst" (load48 (int 0));
+    assign "mac_src" (load48 (int 6));
+    store48 (int 0) (var "mac_src");
+    store48 (int 6) (var "mac_dst");
+    Comment "swap IPs";
+    store32 (int Hdr.dst_ip_off) (var "src_ip");
+    store32 (int Hdr.src_ip_off) (var "dst_ip");
+    Comment "request becomes reply; incremental ICMP checksum fix";
+    store8 (int icmp_type_off) (int Net.Icmp.type_echo_reply);
+    assign "icsum" (load16 (int icmp_csum_off));
+    store16 (int icmp_csum_off)
+      (Binop (And, var "icsum" + int 0x0800, int 0xffff));
+    Comment "IP checksum: addresses swapped, sum unchanged";
+    forward (var "in_port");
+  ]
+
+let program =
+  Ir.Program.make ~name:"icmp_responder" ~state:[]
+    [
+      if_ (Pkt_len < int 42) [ drop ] [];
+      assign "ethertype" Hdr.ethertype;
+      if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+      assign "ihl" Hdr.ihl;
+      if_ (var "ihl" != int 5) [ drop ] [];
+      assign "proto" Hdr.proto;
+      if_ (var "proto" != int Net.Ipv4.proto_icmp) [ drop ] [];
+      assign "src_ip" Hdr.src_ip;
+      assign "dst_ip" Hdr.dst_ip;
+      if_ (var "dst_ip" != int device_ip) [ Comment "not for us"; drop ] [];
+      assign "icmp_type" (load8 (int icmp_type_off));
+      if_
+        (var "icmp_type" != int Net.Icmp.type_echo_request)
+        [ Comment "only echo requests are answered"; drop ]
+        bounce;
+      drop;
+    ]
+
+open Symbex
+
+let classes () =
+  [
+    Iclass.make ~name:"Echo request"
+      ~description:"ping for the device: answered in place"
+      ~predicate:
+        (Iclass.conj_preds
+           [
+             Iclass.field_eq Ir.Expr.W16 12 Hdr.ipv4_ethertype;
+             Iclass.field_eq Ir.Expr.W8 23 Net.Ipv4.proto_icmp;
+             Iclass.field_eq Ir.Expr.W32 Hdr.dst_ip_off device_ip;
+             Iclass.field_eq Ir.Expr.W8 icmp_type_off
+               Net.Icmp.type_echo_request;
+           ])
+      ();
+    Iclass.make ~name:"Other traffic" ~description:"dropped"
+      ~predicate:(Iclass.field_ne Ir.Expr.W8 23 Net.Ipv4.proto_icmp)
+      ();
+  ]

@@ -1,0 +1,11 @@
+(** ICMP echo responder: pings addressed to the device answer in place
+    (swap L2/L3 addresses, flip the ICMP type, fix both checksums,
+    bounce out of the ingress port); everything else is dropped.
+
+    Entirely stateless and store-heavy — the contract is a pair of
+    constants, and the rewrite path exercises packet writes harder than
+    any other NF here. *)
+
+val device_ip : int
+val program : Ir.Program.t
+val classes : unit -> Symbex.Iclass.t list

@@ -1,0 +1,44 @@
+let instance = "lpm"
+
+open Ir.Expr
+open Ir.Stmt
+
+let program =
+  Ir.Program.make ~name:"lpm_router"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Lpm_dir24_8.kind } ]
+    ([
+       Comment "parse: Ethernet + IPv4";
+       if_ (Pkt_len < int 34) [ drop ] [];
+       assign "ethertype" Hdr.ethertype;
+       if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+       assign "dst_ip" Hdr.dst_ip;
+       call ~ret:"port" instance "lookup" [ var "dst_ip" ];
+     ]
+    @ Hdr.decrement_ttl
+    @ [ forward (var "port") ])
+
+let setup alloc ~routes =
+  let lpm =
+    Dslib.Lpm_dir24_8.create
+      ~base:(Dslib.Layout.region alloc)
+      ~default_port:0
+  in
+  List.iter
+    (fun (prefix, len, port) ->
+      Dslib.Lpm_dir24_8.add_route lpm ~prefix ~len ~port)
+    routes;
+  ([ (instance, Dslib.Lpm_dir24_8.to_ds lpm) ], lpm)
+
+let contracts () = Perf.Ds_contract.library Dslib.Lpm_dir24_8.Recipe.contract
+
+open Symbex
+
+let classes () =
+  [
+    Iclass.make ~name:"LPM1"
+      ~description:"unconstrained traffic (worst case: two lookups)" ();
+    Iclass.make ~name:"LPM2"
+      ~description:"matched prefixes of <= 24 bits (one lookup)"
+      ~requires:[ Iclass.req instance "lookup" "short" ]
+      ();
+  ]

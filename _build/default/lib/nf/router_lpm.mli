@@ -1,0 +1,16 @@
+(** LPM router over DPDK's dir-24-8 table (paper's LPM).
+
+    Input classes: LPM1 — unconstrained (worst case: two-lookup path);
+    LPM2 — destinations whose match is ≤ 24 bits (one lookup). *)
+
+val instance : string
+val program : Ir.Program.t
+
+val setup :
+  Dslib.Layout.allocator ->
+  routes:(int * int * int) list ->
+  Exec.Ds.env * Dslib.Lpm_dir24_8.t
+(** [routes] are [(prefix, len, port)] triples. *)
+
+val contracts : unit -> Perf.Ds_contract.library
+val classes : unit -> Symbex.Iclass.t list

@@ -1,0 +1,62 @@
+let instance = "lpm"
+
+open Ir.Expr
+open Ir.Stmt
+
+let program =
+  Ir.Program.make ~name:"trie_router"
+    ~state:[ { Ir.Program.instance; kind = Dslib.Lpm_trie.kind } ]
+    [
+      Comment "Algorithm 1: classify, then LPM lookup";
+      if_ (Pkt_len < int 34) [ drop ] [];
+      assign "ethertype" Hdr.ethertype;
+      if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+      assign "dst_ip" Hdr.dst_ip;
+      call ~ret:"port" instance "lookup" [ var "dst_ip" ];
+      forward (var "port");
+    ]
+
+let setup alloc ~routes =
+  let trie =
+    Dslib.Lpm_trie.create ~base:(Dslib.Layout.region alloc) ~default_port:0
+  in
+  List.iter
+    (fun (prefix, len, port) ->
+      Dslib.Lpm_trie.add_route trie ~prefix ~len ~port)
+    routes;
+  ([ (instance, Dslib.Lpm_trie.to_ds trie) ], trie)
+
+let contracts () = Perf.Ds_contract.library Dslib.Lpm_trie.Recipe.contract
+
+open Symbex
+
+let classes () =
+  [
+    Iclass.make ~name:"Invalid packets"
+      ~description:"non-IPv4 ethertype: dropped immediately"
+      ~predicate:(Iclass.field_ne Ir.Expr.W16 12 Hdr.ipv4_ethertype)
+      ();
+    Iclass.make ~name:"Valid packets" ~description:"IPv4: trie lookup"
+      ~predicate:(Iclass.field_eq Ir.Expr.W16 12 Hdr.ipv4_ethertype)
+      ~requires:[ Iclass.req instance "lookup" "ok" ]
+      ();
+  ]
+
+let stylized_contract =
+  let open Perf in
+  let lookup = Dslib.Lpm_trie.Recipe.lookup_cost in
+  let add_consts ~ic ~ma vec =
+    Cost_vec.make
+      ~ic:(Perf_expr.add_const ic (Cost_vec.get vec Metric.Instructions))
+      ~ma:(Perf_expr.add_const ma (Cost_vec.get vec Metric.Memory_accesses))
+      ~cycles:(Cost_vec.get vec Metric.Cycles)
+  in
+  Contract.make ~nf:"Simple LPM router (stylised, paper Table 1)"
+    [
+      Contract.entry ~class_name:"Invalid packets"
+        ~description:"non-IPv4: ethertype check, drop"
+        (Cost_vec.of_consts ~ic:2 ~ma:1 ~cycles:0);
+      Contract.entry ~class_name:"Valid packets"
+        ~description:"IPv4: ethertype check + lpmGet + forward"
+        (add_consts ~ic:3 ~ma:2 lookup);
+    ]

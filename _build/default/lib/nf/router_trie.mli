@@ -1,0 +1,21 @@
+(** The paper's running example (§2.1, Algorithm 1): a simplified LPM
+    router over a Patricia trie.  Its stylised contract is Table 1; the
+    trie method's is Table 2. *)
+
+val instance : string
+val program : Ir.Program.t
+
+val setup :
+  Dslib.Layout.allocator ->
+  routes:(int * int * int) list ->
+  Exec.Ds.env * Dslib.Lpm_trie.t
+
+val contracts : unit -> Perf.Ds_contract.library
+val classes : unit -> Symbex.Iclass.t list
+
+val stylized_contract : Perf.Contract.t
+(** Paper Table 1, computed by composing Table 2's method contract with
+    the stylised costs of the stateless code (2 instructions / 1 access
+    for the invalid path; +3 instructions / +2 accesses around the lookup
+    for the valid path) — the paper's convention of ignoring every layer
+    below the NF. *)

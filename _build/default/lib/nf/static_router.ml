@@ -1,0 +1,68 @@
+open Ir.Expr
+open Ir.Stmt
+
+let max_options = 10
+
+(* RFC 781 timestamp option type. *)
+let ts_option = 68
+
+let option_loop =
+  [
+    assign "i" (int 0);
+    While
+      ( Pcv_loop ("n", max_options),
+        var "i" < var "n_opts",
+        [
+          assign "opt_off" (int Hdr.options_off + (var "i" * int 4));
+          assign "opt_type" (load8 (var "opt_off"));
+          if_
+            (var "opt_type" == int ts_option)
+            [
+              Comment "stamp the timestamp option slot";
+              store16 (var "opt_off" + int 2)
+                (Binop (And, var "now", int 0xffff));
+            ]
+            [ Comment "skip unrecognised option" ];
+          assign "i" (var "i" + int 1);
+        ] );
+  ]
+
+let program =
+  Ir.Program.make ~name:"static_router" ~state:[]
+    ([
+       if_ (Pkt_len < int 34) [ drop ] [];
+       assign "ethertype" Hdr.ethertype;
+       if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+       assign "dst_ip" Hdr.dst_ip;
+       assign "out_port" (Binop (And, var "dst_ip", int 1));
+       assign "ihl" Hdr.ihl;
+       assign "n_opts" (var "ihl" - int 5);
+       if_ (var "n_opts" > int 0) option_loop [];
+     ]
+    @ Hdr.decrement_ttl
+    @ [ forward (var "out_port") ])
+
+open Symbex
+
+let classes () =
+  [
+    Iclass.make ~name:"No IP options" ~description:"ihl = 5: fast path"
+      ~predicate:(Iclass.field_eq Ir.Expr.W8 14 0x45)
+      ();
+    Iclass.make ~name:"IP Options"
+      ~description:"each option slot costs one loop iteration"
+      ~predicate:
+        (Iclass.conj_preds
+           [
+             Iclass.field_eq Ir.Expr.W16 12 Hdr.ipv4_ethertype;
+             (fun result ->
+               let open Solver in
+               [
+                 Constr.ge
+                   (Iclass.field result Ir.Expr.W8 14)
+                   (Linexpr.const 0x46);
+               ]);
+           ])
+      ~bindings:[ (Perf.Pcv.ip_options, 2) ]
+      ();
+  ]

@@ -1,0 +1,8 @@
+(** Static IP router that processes the IP timestamp option (paper
+    Table 5b): forwarding is cheap without options, but each option slot
+    costs a loop iteration — the contract is linear in PCV [n], the
+    number of IP options. *)
+
+val program : Ir.Program.t
+val max_options : int
+val classes : unit -> Symbex.Iclass.t list

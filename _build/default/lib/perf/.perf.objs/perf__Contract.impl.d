@@ -1,0 +1,1 @@
+lib/perf/contract.ml: Cost_vec Fmt List Metric Pcv Perf_expr Printf Stdlib String

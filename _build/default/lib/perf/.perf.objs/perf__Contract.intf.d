@@ -1,0 +1,1 @@
+lib/perf/contract.mli: Cost_vec Format Metric Pcv

@@ -1,0 +1,1 @@
+lib/perf/contract_diff.ml: Contract Cost_vec Fmt List Metric Pcv Perf_expr

@@ -1,0 +1,1 @@
+lib/perf/contract_diff.mli: Contract Format Metric Pcv

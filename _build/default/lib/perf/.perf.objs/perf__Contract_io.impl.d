@@ -1,0 +1,1 @@
+lib/perf/contract_io.ml: Contract Cost_vec Ds_contract Fun Json List Metric Pcv Perf_expr Result

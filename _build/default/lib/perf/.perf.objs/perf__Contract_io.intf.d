@@ -1,0 +1,1 @@
+lib/perf/contract_io.mli: Contract Cost_vec Ds_contract Json Perf_expr

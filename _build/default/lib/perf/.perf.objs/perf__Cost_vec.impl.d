@@ -1,0 +1,1 @@
+lib/perf/cost_vec.ml: Fmt List Metric Pcv Perf_expr

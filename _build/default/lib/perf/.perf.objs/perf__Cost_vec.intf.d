@@ -1,0 +1,1 @@
+lib/perf/cost_vec.mli: Format Metric Pcv Perf_expr

@@ -1,0 +1,1 @@
+lib/perf/ds_contract.ml: Cost_vec Fmt List Map Printf String

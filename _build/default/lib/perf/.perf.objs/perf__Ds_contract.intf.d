@@ -1,0 +1,1 @@
+lib/perf/ds_contract.mli: Cost_vec Format

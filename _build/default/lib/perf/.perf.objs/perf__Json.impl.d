@@ -1,0 +1,1 @@
+lib/perf/json.ml: Buffer Char Fmt List Printf Result String

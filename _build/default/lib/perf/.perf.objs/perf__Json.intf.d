@@ -1,0 +1,1 @@
+lib/perf/json.mli: Format

@@ -1,0 +1,1 @@
+lib/perf/metric.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/perf/pcv.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/perf/perf_expr.ml: Fmt Int List Map Pcv Printf Stdlib

@@ -1,0 +1,1 @@
+lib/perf/perf_expr.mli: Format Pcv

@@ -1,0 +1,49 @@
+(** NF-level performance contracts.
+
+    A contract C{_N}{^U}(i) maps every input class [i] to a performance
+    expression over PCVs (paper §2.2).  This module only represents and
+    renders contracts; deriving them from NF code is the job of
+    [Bolt.Pipeline]. *)
+
+type entry = {
+  class_name : string;  (** e.g. ["NAT3"] or ["Known flows (forwarded)"]. *)
+  description : string;  (** Human-readable class specification. *)
+  cost : Cost_vec.t;
+      (** Conservative cost of the worst execution path reachable by
+          packets in this class. *)
+  path_count : int;
+      (** Number of feasible execution paths coalesced into [cost]. *)
+}
+
+type t = {
+  nf : string;  (** Name of the network function. *)
+  entries : entry list;
+}
+
+val make : nf:string -> entry list -> t
+val entry :
+  class_name:string -> ?description:string -> ?path_count:int ->
+  Cost_vec.t -> entry
+
+val find : t -> class_name:string -> entry option
+val find_exn : t -> class_name:string -> entry
+val class_names : t -> string list
+
+val worst_case : t -> Cost_vec.t
+(** Conservative maximum over all classes: the contract evaluated on
+    unconstrained traffic. *)
+
+val pcvs : t -> Pcv.t list
+(** All PCVs appearing anywhere in the contract. *)
+
+val predict :
+  t -> class_name:string -> Pcv.binding -> Metric.t -> (int, Pcv.t) result
+(** [predict t ~class_name binding metric] is the concrete bound obtained
+    by evaluating the class's expression at [binding]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render in the paper's tabular style: one row per class, expressions
+    over PCVs. *)
+
+val pp_metric : Metric.t -> Format.formatter -> t -> unit
+(** Render a single-metric table, like paper Tables 4–6. *)

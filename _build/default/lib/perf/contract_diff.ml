@@ -1,0 +1,97 @@
+type coeff_change = { pcvs : Pcv.t list; before : int; after : int }
+
+type entry_change =
+  | Added of Contract.entry
+  | Removed of Contract.entry
+  | Changed of {
+      class_name : string;
+      metric : Metric.t;
+      coeffs : coeff_change list;
+    }
+
+type t = entry_change list
+
+let expand_vars mono =
+  List.concat_map (fun (v, e) -> List.init e (fun _ -> v)) mono
+
+let expr_changes a b =
+  (* union of monomials in either expression *)
+  let monos =
+    List.map fst (Perf_expr.terms a) @ List.map fst (Perf_expr.terms b)
+    |> List.sort_uniq compare
+  in
+  List.filter_map
+    (fun mono ->
+      let vars = expand_vars mono in
+      let before = Perf_expr.coefficient a vars in
+      let after = Perf_expr.coefficient b vars in
+      if before = after then None else Some { pcvs = vars; before; after })
+    monos
+
+let diff (before : Contract.t) (after : Contract.t) =
+  let removed =
+    List.filter_map
+      (fun (e : Contract.entry) ->
+        if Contract.find after ~class_name:e.Contract.class_name = None then
+          Some (Removed e)
+        else None)
+      before.Contract.entries
+  in
+  let added_or_changed =
+    List.concat_map
+      (fun (e : Contract.entry) ->
+        match Contract.find before ~class_name:e.Contract.class_name with
+        | None -> [ Added e ]
+        | Some old ->
+            List.filter_map
+              (fun metric ->
+                match
+                  expr_changes
+                    (Cost_vec.get old.Contract.cost metric)
+                    (Cost_vec.get e.Contract.cost metric)
+                with
+                | [] -> None
+                | coeffs ->
+                    Some
+                      (Changed
+                         {
+                           class_name = e.Contract.class_name;
+                           metric;
+                           coeffs;
+                         }))
+              Metric.all)
+      after.Contract.entries
+  in
+  removed @ added_or_changed
+
+let is_empty t = t = []
+
+let regressions t =
+  List.filter
+    (function
+      | Added _ -> true
+      | Removed _ -> false
+      | Changed { coeffs; _ } ->
+          List.exists (fun c -> c.after > c.before) coeffs)
+    t
+
+let pp_mono ppf = function
+  | [] -> Fmt.string ppf "constant"
+  | vars -> Fmt.(list ~sep:(any "\u{00B7}") Pcv.pp) ppf vars
+
+let pp ppf t =
+  if t = [] then Fmt.string ppf "contracts are identical"
+  else
+    List.iter
+      (function
+        | Added e ->
+            Fmt.pf ppf "+ class %s (new)@." e.Contract.class_name
+        | Removed e ->
+            Fmt.pf ppf "- class %s (gone)@." e.Contract.class_name
+        | Changed { class_name; metric; coeffs } ->
+            List.iter
+              (fun { pcvs; before; after } ->
+                Fmt.pf ppf "~ %s [%a]: %a  %d -> %d (%+d)@." class_name
+                  Metric.pp metric pp_mono pcvs before after (after - before))
+              coeffs)
+      t

@@ -1,0 +1,36 @@
+(** Contract diffing — performance regression review.
+
+    Contracts make performance reviewable like code: derive one per
+    commit, diff them, and a reviewer sees *which input class* got more
+    expensive and *in which PCV coefficient* — e.g. "Known flows gained
+    +12 instructions per hash collision" — rather than a noisy benchmark
+    delta. *)
+
+type coeff_change = {
+  pcvs : Pcv.t list;  (** the monomial; [] is the constant term *)
+  before : int;
+  after : int;
+}
+
+type entry_change =
+  | Added of Contract.entry
+  | Removed of Contract.entry
+  | Changed of {
+      class_name : string;
+      metric : Metric.t;
+      coeffs : coeff_change list;  (** non-empty *)
+    }
+
+type t = entry_change list
+
+val diff : Contract.t -> Contract.t -> t
+(** [diff before after]; classes are matched by name.  Empty when the
+    contracts are semantically identical. *)
+
+val is_empty : t -> bool
+
+val regressions : t -> entry_change list
+(** Changes that can increase some bound: added classes, or changes with
+    any coefficient growing. *)
+
+val pp : Format.formatter -> t -> unit

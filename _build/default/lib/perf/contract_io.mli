@@ -1,0 +1,34 @@
+(** Contract interchange.
+
+    A contract is the artifact BOLT hands to people who will never run
+    BOLT — operators provisioning a network, dashboards evaluating a
+    bound at live PCV values.  These codecs serialise contracts (and
+    data-structure method contracts) to a stable JSON schema and read
+    them back.
+
+    Schema sketch:
+    {v
+    { "nf": "nat",
+      "entries": [
+        { "class": "NAT3", "description": "...", "paths": 1,
+          "cost": { "IC":     [ {"coeff": 61, "pcvs": ["e"]}, ... ],
+                    "MA":     [ ... ],
+                    "cycles": [ ... ] } } ] }
+    v}
+    A monomial's [pcvs] lists variables with repetition encoding the
+    exponent (["e", "e"] = e²). *)
+
+val expr_to_json : Perf_expr.t -> Json.t
+val expr_of_json : Json.t -> (Perf_expr.t, string) result
+val cost_vec_to_json : Cost_vec.t -> Json.t
+val cost_vec_of_json : Json.t -> (Cost_vec.t, string) result
+val contract_to_json : Contract.t -> Json.t
+val contract_of_json : Json.t -> (Contract.t, string) result
+val ds_contract_to_json : Ds_contract.t -> Json.t
+val ds_contract_of_json : Json.t -> (Ds_contract.t, string) result
+
+val contract_to_string : ?indent:bool -> Contract.t -> string
+val contract_of_string : string -> (Contract.t, string) result
+
+val write_contract : path:string -> Contract.t -> unit
+val read_contract : path:string -> (Contract.t, string) result

@@ -1,0 +1,75 @@
+type branch = { tag : string; cost : Cost_vec.t; note : string }
+type t = { ds_kind : string; meth : string; branches : branch list }
+
+let branch ~tag ?(note = "") cost = { tag; cost; note }
+
+let make ~ds_kind ~meth branches =
+  if branches = [] then
+    invalid_arg
+      (Printf.sprintf "Ds_contract.make: %s.%s has no branches" ds_kind meth);
+  let tags = List.map (fun b -> b.tag) branches in
+  if List.length (List.sort_uniq String.compare tags) <> List.length tags
+  then
+    invalid_arg
+      (Printf.sprintf "Ds_contract.make: %s.%s has duplicate tags" ds_kind
+         meth);
+  { ds_kind; meth; branches }
+
+let find_branch t ~tag = List.find_opt (fun b -> b.tag = tag) t.branches
+
+let find_branch_exn t ~tag =
+  match find_branch t ~tag with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ds_contract: %s.%s has no branch tagged %S"
+           t.ds_kind t.meth tag)
+
+let tags t = List.map (fun b -> b.tag) t.branches
+
+let worst_case t =
+  Cost_vec.max_upper_list (List.map (fun b -> b.cost) t.branches)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>contract %s.%s:@," t.ds_kind t.meth;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "  [%s]%s@,    @[<v>%a@]@," b.tag
+        (if b.note = "" then "" else " — " ^ b.note)
+        Cost_vec.pp b.cost)
+    t.branches;
+  Fmt.pf ppf "@]"
+
+module Key = struct
+  type t = string * string
+
+  let compare = compare
+end
+
+module KM = Map.Make (Key)
+
+type library = t KM.t
+
+let library contracts =
+  List.fold_left
+    (fun acc c ->
+      let key = (c.ds_kind, c.meth) in
+      if KM.mem key acc then
+        invalid_arg
+          (Printf.sprintf "Ds_contract.library: duplicate contract %s.%s"
+             c.ds_kind c.meth);
+      KM.add key c acc)
+    KM.empty contracts
+
+let find lib ~ds_kind ~meth = KM.find_opt (ds_kind, meth) lib
+
+let find_exn lib ~ds_kind ~meth =
+  match find lib ~ds_kind ~meth with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ds_contract.find_exn: no contract for %s.%s" ds_kind
+           meth)
+
+let merge a b = KM.union (fun _ _ latest -> Some latest) a b
+let contracts lib = List.map snd (KM.bindings lib)

@@ -1,0 +1,50 @@
+(** Performance contracts for stateful data-structure methods.
+
+    These are the base case of contract generation (paper §3.2): written
+    once by an expert per library method and reused across NFs.  A method
+    contract is a set of branches, each guarded by an abstract-state tag —
+    e.g. a flow-table [get] has one branch for "flow present" and another
+    for "flow absent".  During trace analysis BOLT picks the branch whose
+    tag matches the path's abstract-state constraints (paper Alg. 2,
+    line 11). *)
+
+type branch = {
+  tag : string;
+      (** Abstract-state condition under which this branch applies, e.g.
+          ["hit"] or ["miss"].  Tags are emitted by the method's symbolic
+          model when the symbolic engine forks on abstract state. *)
+  cost : Cost_vec.t;  (** Conservative cost of the method under [tag]. *)
+  note : string;  (** Human-readable description of the condition. *)
+}
+
+type t = {
+  ds_kind : string;  (** Data-structure kind, e.g. ["flow_table"]. *)
+  meth : string;  (** Method name, e.g. ["get"]. *)
+  branches : branch list;  (** Non-empty; tags are distinct. *)
+}
+
+val make : ds_kind:string -> meth:string -> branch list -> t
+(** Raises [Invalid_argument] if branches are empty or tags collide. *)
+
+val branch : tag:string -> ?note:string -> Cost_vec.t -> branch
+
+val find_branch : t -> tag:string -> branch option
+val find_branch_exn : t -> tag:string -> branch
+val tags : t -> string list
+
+val worst_case : t -> Cost_vec.t
+(** Conservative maximum over all branches — used when the path constraints
+    do not determine the abstract state. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Method contract libraries} *)
+
+type library
+(** A registry of method contracts, keyed by [(ds_kind, meth)]. *)
+
+val library : t list -> library
+val find : library -> ds_kind:string -> meth:string -> t option
+val find_exn : library -> ds_kind:string -> meth:string -> t
+val merge : library -> library -> library
+val contracts : library -> t list

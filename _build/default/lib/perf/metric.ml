@@ -1,0 +1,18 @@
+type t = Instructions | Memory_accesses | Cycles
+
+let all = [ Instructions; Memory_accesses; Cycles ]
+
+let to_string = function
+  | Instructions -> "IC"
+  | Memory_accesses -> "MA"
+  | Cycles -> "cycles"
+
+let long_name = function
+  | Instructions -> "instruction count"
+  | Memory_accesses -> "memory accesses"
+  | Cycles -> "execution cycles"
+
+let rank = function Instructions -> 0 | Memory_accesses -> 1 | Cycles -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let pp ppf t = Fmt.string ppf (to_string t)

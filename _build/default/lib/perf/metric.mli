@@ -1,0 +1,21 @@
+(** Performance metrics.
+
+    Performance contracts are metric-specific (paper §2.2).  The BOLT
+    prototype supports three metrics: dynamic instruction count, memory
+    access count, and execution cycles. *)
+
+type t =
+  | Instructions  (** number of executed instructions (IC) *)
+  | Memory_accesses  (** number of memory reads and writes (MA) *)
+  | Cycles  (** execution cycles under a hardware model *)
+
+val all : t list
+(** All supported metrics, in presentation order. *)
+
+val to_string : t -> string
+(** Short label used in reports: ["IC"], ["MA"], ["cycles"]. *)
+
+val long_name : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

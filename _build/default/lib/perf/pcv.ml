@@ -1,0 +1,31 @@
+type t = string
+
+let valid_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let v name =
+  if name = "" || not (String.for_all valid_char name) then
+    invalid_arg (Printf.sprintf "Pcv.v: invalid PCV name %S" name);
+  name
+
+let name t = t
+let compare = String.compare
+let equal = String.equal
+let pp = Fmt.string
+
+let expired = v "e"
+let collisions = v "c"
+let traversals = v "t"
+let occupancy = v "o"
+let prefix_len = v "l"
+let ip_options = v "n"
+let scan = v "s"
+
+type binding = (t * int) list
+
+let lookup binding pcv = List.assoc_opt pcv binding
+
+let pp_binding ppf binding =
+  let pp_one ppf (pcv, value) = Fmt.pf ppf "%a=%d" pp pcv value in
+  Fmt.(list ~sep:(any ", ") pp_one) ppf binding

@@ -1,0 +1,56 @@
+(** Performance-critical variables (PCVs).
+
+    A PCV captures the influence on NF performance of anything other than
+    the input packet itself: the state the NF has accumulated (hash-table
+    occupancy, collision chains, pending expirations) and its configuration
+    (matched prefix length in a routing table).  Performance contracts are
+    polynomial expressions over PCVs; see {!Perf_expr}. *)
+
+type t = private string
+(** A PCV is identified by a short, human-legible name such as ["e"]
+    (expired flows), ["c"] (hash collisions) or ["l"] (matched prefix
+    length).  Names are compared with [String.compare]. *)
+
+val v : string -> t
+(** [v name] makes a PCV from [name].  Raises [Invalid_argument] if [name]
+    is empty or contains characters outside [a-z A-Z 0-9 _]. *)
+
+val name : t -> string
+(** [name pcv] is the PCV's name. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 The standard PCVs used by the paper's contracts} *)
+
+val expired : t
+(** [e] — number of flow/MAC entries expired while processing the packet. *)
+
+val collisions : t
+(** [c] — number of hash collisions encountered. *)
+
+val traversals : t
+(** [t] — number of hash-table bucket traversals. *)
+
+val occupancy : t
+(** [o] — number of entries resident in the table. *)
+
+val prefix_len : t
+(** [l] — length of the longest matching IP prefix. *)
+
+val ip_options : t
+(** [n] — number of IP options carried by the packet. *)
+
+val scan : t
+(** [s] — slots scanned by an array-based allocator before finding a free
+    one. *)
+
+(** {1 Bindings} *)
+
+type binding = (t * int) list
+(** An assignment of concrete values to PCVs, as produced by the Distiller
+    or chosen by an operator. *)
+
+val lookup : binding -> t -> int option
+val pp_binding : Format.formatter -> binding -> unit

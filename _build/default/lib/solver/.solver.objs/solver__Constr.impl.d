@@ -1,0 +1,1 @@
+lib/solver/constr.ml: Fmt Linexpr List

@@ -1,0 +1,1 @@
+lib/solver/constr.mli: Format Linexpr Sym

@@ -1,0 +1,1 @@
+lib/solver/linexpr.ml: Fmt Int List Sym

@@ -1,0 +1,1 @@
+lib/solver/linexpr.mli: Format Sym

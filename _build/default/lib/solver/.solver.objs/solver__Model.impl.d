@@ -1,0 +1,1 @@
+lib/solver/model.ml: Fmt Int Linexpr List Map Sym

@@ -1,0 +1,1 @@
+lib/solver/solve.ml: Constr Fmt Int Linexpr List Map Model Seq Sym

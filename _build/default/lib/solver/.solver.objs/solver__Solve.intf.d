@@ -1,0 +1,1 @@
+lib/solver/solve.mli: Constr Format Model

@@ -1,0 +1,1 @@
+lib/solver/sym.ml: Fmt Int

@@ -1,0 +1,66 @@
+type atom = Le of Linexpr.t | Eqz of Linexpr.t
+type t = True | False | Atom of atom | And of t list | Or of t list
+
+let atom_of_lin a =
+  (* a ≤ 0, simplified when a is constant *)
+  match Linexpr.is_const a with
+  | Some c -> if c <= 0 then True else False
+  | None -> Atom (Le a)
+
+let le a b = atom_of_lin (Linexpr.sub a b)
+let lt a b = atom_of_lin (Linexpr.add_const 1 (Linexpr.sub a b))
+let ge a b = le b a
+let gt a b = lt b a
+
+let eq a b =
+  let d = Linexpr.sub a b in
+  match Linexpr.is_const d with
+  | Some c -> if c = 0 then True else False
+  | None -> Atom (Eqz d)
+
+let conj parts =
+  let parts =
+    List.concat_map (function And l -> l | True -> [] | p -> [ p ]) parts
+  in
+  if List.exists (( = ) False) parts then False
+  else match parts with [] -> True | [ p ] -> p | _ -> And parts
+
+let disj parts =
+  let parts =
+    List.concat_map (function Or l -> l | False -> [] | p -> [ p ]) parts
+  in
+  if List.exists (( = ) True) parts then True
+  else match parts with [] -> False | [ p ] -> p | _ -> Or parts
+
+let ne a b = disj [ lt a b; gt a b ]
+
+let not_atom = function
+  | Le a -> atom_of_lin (Linexpr.add_const 1 (Linexpr.neg a))
+      (* ¬(a ≤ 0) ⇔ -a + 1 ≤ 0 *)
+  | Eqz a -> disj [ lt a Linexpr.zero; gt a Linexpr.zero ]
+
+let rec not_ = function
+  | True -> False
+  | False -> True
+  | Atom a -> not_atom a
+  | And parts -> disj (List.map not_ parts)
+  | Or parts -> conj (List.map not_ parts)
+
+let is_true = function True -> true | _ -> false
+
+let rec syms = function
+  | True | False -> []
+  | Atom (Le a) | Atom (Eqz a) -> Linexpr.syms a
+  | And parts | Or parts -> List.concat_map syms parts
+
+let pp_atom ppf = function
+  | Le a -> Fmt.pf ppf "%a <= 0" Linexpr.pp a
+  | Eqz a -> Fmt.pf ppf "%a = 0" Linexpr.pp a
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | And parts ->
+      Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " && ") pp) parts
+  | Or parts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " || ") pp) parts

@@ -1,0 +1,37 @@
+(** Path constraints: boolean formulas over affine atoms.
+
+    Negation is eliminated at construction time — integer arithmetic makes
+    the complement of every atom expressible ([¬(a ≤ 0)] is [a ≥ 1], and
+    [¬(a = 0)] is a disjunction) — so the solver only deals with positive
+    boolean structure. *)
+
+type atom =
+  | Le of Linexpr.t  (** [e ≤ 0] *)
+  | Eqz of Linexpr.t  (** [e = 0] *)
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t list
+  | Or of t list
+
+(** {1 Smart constructors} *)
+
+val le : Linexpr.t -> Linexpr.t -> t
+(** [le a b] constrains [a ≤ b]. *)
+
+val lt : Linexpr.t -> Linexpr.t -> t
+val ge : Linexpr.t -> Linexpr.t -> t
+val gt : Linexpr.t -> Linexpr.t -> t
+val eq : Linexpr.t -> Linexpr.t -> t
+val ne : Linexpr.t -> Linexpr.t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+val not_ : t -> t
+(** Exact complement, with negation pushed to the atoms. *)
+
+val is_true : t -> bool
+val syms : t -> Sym.t list
+val pp : Format.formatter -> t -> unit

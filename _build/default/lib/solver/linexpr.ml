@@ -1,0 +1,67 @@
+type t = { const : int; terms : (Sym.t * int) list }
+(* terms sorted by symbol id, coefficients non-zero *)
+
+let const c = { const = c; terms = [] }
+let zero = const 0
+let sym s = { const = 0; terms = [ (s, 1) ] }
+
+let rec merge_terms a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | (sa, ca) :: ra, (sb, cb) :: rb ->
+      let cmp = Sym.compare sa sb in
+      if cmp = 0 then
+        let c = ca + cb in
+        if c = 0 then merge_terms ra rb else (sa, c) :: merge_terms ra rb
+      else if cmp < 0 then (sa, ca) :: merge_terms ra b
+      else (sb, cb) :: merge_terms a rb
+
+let add a b = { const = a.const + b.const; terms = merge_terms a.terms b.terms }
+
+let scale k t =
+  if k = 0 then zero
+  else { const = k * t.const; terms = List.map (fun (s, c) -> (s, k * c)) t.terms }
+
+let neg t = scale (-1) t
+let sub a b = add a (neg b)
+let add_const k t = { t with const = t.const + k }
+let is_const t = if t.terms = [] then Some t.const else None
+let const_part t = t.const
+let terms t = t.terms
+let syms t = List.map fst t.terms
+
+let equal a b =
+  a.const = b.const
+  && List.equal (fun (sa, ca) (sb, cb) -> Sym.equal sa sb && ca = cb) a.terms
+       b.terms
+
+let compare a b =
+  let c = Int.compare a.const b.const in
+  if c <> 0 then c
+  else
+    List.compare
+      (fun (sa, ca) (sb, cb) ->
+        let c = Sym.compare sa sb in
+        if c <> 0 then c else Int.compare ca cb)
+      a.terms b.terms
+
+let eval assign t =
+  List.fold_left (fun acc (s, c) -> acc + (c * assign s)) t.const t.terms
+
+let range bounds t =
+  List.fold_left
+    (fun (lo, hi) (s, c) ->
+      let slo, shi = bounds s in
+      if c >= 0 then (lo + (c * slo), hi + (c * shi))
+      else (lo + (c * shi), hi + (c * slo)))
+    (t.const, t.const) t.terms
+
+let pp ppf t =
+  let pp_term ppf (s, c) =
+    if c = 1 then Sym.pp ppf s else Fmt.pf ppf "%d*%a" c Sym.pp s
+  in
+  match t.terms with
+  | [] -> Fmt.int ppf t.const
+  | terms ->
+      Fmt.(list ~sep:(any " + ") pp_term) ppf terms;
+      if t.const <> 0 then Fmt.pf ppf " + %d" t.const

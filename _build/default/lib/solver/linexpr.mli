@@ -1,0 +1,36 @@
+(** Affine expressions over symbols: [c + Σ aᵢ·xᵢ].
+
+    This is the term language that path constraints are expressed in.
+    Non-affine operations performed by the symbolic engine (bit masks,
+    products of unknowns, hashes) are over-approximated there by fresh
+    bounded symbols, so the solver only ever sees affine terms. *)
+
+type t
+(** Normalised: symbols sorted by id, no zero coefficients. *)
+
+val const : int -> t
+val sym : Sym.t -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val neg : t -> t
+val add_const : int -> t -> t
+
+val is_const : t -> int option
+(** [is_const t] is [Some c] when [t] mentions no symbol. *)
+
+val const_part : t -> int
+val terms : t -> (Sym.t * int) list
+val syms : t -> Sym.t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val eval : (Sym.t -> int) -> t -> int
+(** Evaluate under a full assignment. *)
+
+val range : (Sym.t -> int * int) -> t -> int * int
+(** [range bounds t] is the interval of values [t] can take when each
+    symbol ranges over [bounds]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+module IM = Map.Make (Int)
+
+type t = (Sym.t * int) IM.t
+
+let empty = IM.empty
+let add s v t = IM.add (Sym.id s) (s, v) t
+
+let value t s =
+  match IM.find_opt (Sym.id s) t with
+  | Some (_, v) -> v
+  | None -> fst (Sym.bounds s)
+
+let mem t s = IM.mem (Sym.id s) t
+let bindings t = List.map snd (IM.bindings t)
+let eval t lin = Linexpr.eval (value t) lin
+
+let pp ppf t =
+  let pp_one ppf (s, v) = Fmt.pf ppf "%a=%d" Sym.pp s v in
+  Fmt.(list ~sep:(any ", ") pp_one) ppf (bindings t)

@@ -1,0 +1,18 @@
+(** Concrete assignments produced by the solver.
+
+    A model assigns an integer to every symbol the solver saw; symbols it
+    never saw are unconstrained and default to their lower bound, which is
+    how BOLT concretises the "don't care" bytes of a witness packet. *)
+
+type t
+
+val empty : t
+val add : Sym.t -> int -> t -> t
+val value : t -> Sym.t -> int
+(** [value m s] is the assignment of [s], or [s]'s lower bound when [m]
+    does not constrain [s]. *)
+
+val mem : t -> Sym.t -> bool
+val bindings : t -> (Sym.t * int) list
+val eval : t -> Linexpr.t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = { id : int; name : string; lo : int; hi : int }
+type gen = { mutable next : int }
+
+let gen () = { next = 0 }
+let max_u32 = (1 lsl 32) - 1
+
+let fresh g ?(lo = 0) ?(hi = max_u32) name =
+  if lo > hi then invalid_arg "Sym.fresh: lo > hi";
+  let id = g.next in
+  g.next <- id + 1;
+  { id; name; lo; hi }
+
+let byte g name = fresh g ~lo:0 ~hi:255 name
+let u16 g name = fresh g ~lo:0 ~hi:65535 name
+let u32 g name = fresh g ~lo:0 ~hi:max_u32 name
+let id t = t.id
+let name t = t.name
+let bounds t = (t.lo, t.hi)
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let pp ppf t = Fmt.pf ppf "%s#%d" t.name t.id

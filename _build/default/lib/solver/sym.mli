@@ -1,0 +1,31 @@
+(** Bounded integer symbols.
+
+    A symbol stands for an unknown machine integer — a packet byte, a value
+    returned by a symbolic data-structure model, a loop trip count.  Every
+    symbol carries inclusive bounds, which is what makes the interval-based
+    solver complete on our constraint language. *)
+
+type t = private { id : int; name : string; lo : int; hi : int }
+
+type gen
+(** A symbol generator.  Each symbolic-execution run owns one, so symbol
+    identities are deterministic per run. *)
+
+val gen : unit -> gen
+
+val fresh : gen -> ?lo:int -> ?hi:int -> string -> t
+(** [fresh g name] makes a new symbol.  Default bounds are [0, 2^32-1].
+    Raises [Invalid_argument] if [lo > hi]. *)
+
+val byte : gen -> string -> t
+(** A symbol bounded to [0, 255]. *)
+
+val u16 : gen -> string -> t
+val u32 : gen -> string -> t
+
+val id : t -> int
+val name : t -> string
+val bounds : t -> int * int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/symbex/engine.ml: Ir List Map Model Path Solver Spacket String Value

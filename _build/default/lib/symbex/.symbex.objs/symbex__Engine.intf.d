@@ -1,0 +1,1 @@
+lib/symbex/engine.mli: Ir Model Path Solver Spacket

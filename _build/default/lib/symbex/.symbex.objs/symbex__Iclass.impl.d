@@ -1,0 +1,1 @@
+lib/symbex/iclass.ml: Constr Engine Ir Linexpr List Path Perf Solve Solver Spacket String

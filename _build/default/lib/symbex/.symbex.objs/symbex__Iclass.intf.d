@@ -1,0 +1,1 @@
+lib/symbex/iclass.mli: Engine Ir Path Perf Solver

@@ -1,0 +1,1 @@
+lib/symbex/model.ml: List Map Printf Solver Value

@@ -1,0 +1,1 @@
+lib/symbex/model.mli: Solver Value

@@ -1,0 +1,1 @@
+lib/symbex/path.ml: Fmt List Solver Spacket Value

@@ -1,0 +1,1 @@
+lib/symbex/path.mli: Format Solver Spacket Value

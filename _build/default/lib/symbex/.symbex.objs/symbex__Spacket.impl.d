@@ -1,0 +1,1 @@
+lib/symbex/spacket.ml: Constr Hashtbl Int Ir Linexpr List Map Printf Solver Sym Value

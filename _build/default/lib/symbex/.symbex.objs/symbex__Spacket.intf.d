@@ -1,0 +1,1 @@
+lib/symbex/spacket.mli: Ir Solver Value

@@ -1,0 +1,1 @@
+lib/symbex/value.ml: Constr Fmt Fun Ir Linexpr Solver Sym

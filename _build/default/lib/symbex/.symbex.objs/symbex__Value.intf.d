@@ -1,0 +1,1 @@
+lib/symbex/value.mli: Format Ir Solver

@@ -1,0 +1,266 @@
+module SM = Map.Make (String)
+
+type result = {
+  paths : Path.t list;
+  input : Spacket.input;
+  gen : Solver.Sym.gen;
+  in_port : Solver.Sym.t;
+  now : Solver.Sym.t;
+  infeasible_pruned : int;
+}
+
+type st = {
+  env : Value.t SM.t;
+  view : Spacket.view;
+  cons : Solver.Constr.t list;  (** reversed *)
+  calls : Path.call list;  (** reversed *)
+  loops : Path.pcv_loop list;
+  ncalls : int;
+}
+
+(* Variables a block can assign (for PCV-loop havocking). *)
+let rec assigned_vars block =
+  List.concat_map
+    (function
+      | Ir.Stmt.Assign (v, _) -> [ v ]
+      | Ir.Stmt.Call { ret = Some v; _ } -> [ v ]
+      | Ir.Stmt.Call { ret = None; _ } -> []
+      | Ir.Stmt.If (_, a, b) -> assigned_vars a @ assigned_vars b
+      | Ir.Stmt.While (_, _, body) -> assigned_vars body
+      | Ir.Stmt.Pkt_store _ | Ir.Stmt.Return _ | Ir.Stmt.Comment _ -> [])
+    block
+  |> List.sort_uniq String.compare
+
+let rec block_calls block =
+  List.exists
+    (function
+      | Ir.Stmt.Call _ -> true
+      | Ir.Stmt.If (_, a, b) -> block_calls a || block_calls b
+      | Ir.Stmt.While (_, _, body) -> block_calls body
+      | _ -> false)
+    block
+
+let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
+    (program : Ir.Program.t) =
+  let gen, view0 =
+    match shared with
+    | Some (gen, view) -> (gen, view)
+    | None ->
+        let gen = Solver.Sym.gen () in
+        (gen, Spacket.view (Spacket.input gen ()))
+  in
+  let ctx = Value.ctx gen in
+  let in_port = Solver.Sym.fresh gen ~lo:0 ~hi:7 "in_port" in
+  let now = Solver.Sym.fresh gen ~lo:1000 ~hi:(1 lsl 40) "now" in
+  let paths = ref [] in
+  let path_count = ref 0 in
+  let pruned = ref 0 in
+  let feasible cons = Solver.Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000 cons in
+  let add_con st c =
+    if Solver.Constr.is_true c || List.exists (fun c' -> compare c' c = 0) st.cons
+    then st
+    else { st with cons = c :: st.cons }
+  in
+  let drain st =
+    List.fold_left add_con st (Value.take_side ctx)
+  in
+  (* Evaluate an expression, folding load-bounds constraints into [st]. *)
+  let rec eval st (e : Ir.Expr.t) : Value.t * st =
+    match e with
+    | Ir.Expr.Const n -> (Value.of_int n, st)
+    | Ir.Expr.Var v -> (
+        match SM.find_opt v st.env with
+        | Some value -> (value, st)
+        | None -> failwith ("symbex: unbound variable " ^ v))
+    | Ir.Expr.Pkt_len -> (Spacket.length st.view, st)
+    | Ir.Expr.Pkt_load (w, off_e) ->
+        let off, st = eval st off_e in
+        let value, cs = Spacket.load st.view ctx w ~offset:off in
+        let st = List.fold_left add_con st cs in
+        (value, drain st)
+    | Ir.Expr.Unop (op, a) ->
+        let va, st = eval st a in
+        (Value.unop ctx op va, drain st)
+    | Ir.Expr.Binop (op, a, b) ->
+        let va, st = eval st a in
+        let vb, st = eval st b in
+        (Value.binop ctx op va vb, drain st)
+  in
+  let finish st action =
+    incr path_count;
+    if !path_count > max_paths then
+      failwith "symbex: too many paths (raise max_paths?)";
+    paths :=
+      {
+        Path.id = !path_count;
+        constraints = List.rev st.cons;
+        calls = List.rev st.calls;
+        loops = List.rev st.loops;
+        action;
+        view = st.view;
+      }
+      :: !paths
+  in
+  let fork st branches =
+    (* each branch: (extra constraints, continuation) *)
+    List.iter
+      (fun (extra, k) ->
+        let st' = List.fold_left add_con st extra in
+        if feasible st'.cons then k st' else incr pruned)
+      branches
+  in
+  let rec exec_block st block (kont : st -> unit) =
+    match block with
+    | [] -> kont st
+    | stmt :: rest -> exec_stmt st stmt (fun st -> exec_block st rest kont)
+  and exec_stmt st (stmt : Ir.Stmt.t) kont =
+    match stmt with
+    | Ir.Stmt.Comment _ -> kont st
+    | Ir.Stmt.Assign (v, e) ->
+        let value, st = eval st e in
+        kont { st with env = SM.add v value st.env }
+    | Ir.Stmt.Pkt_store (w, off_e, val_e) ->
+        let off, st = eval st off_e in
+        let value, st = eval st val_e in
+        kont { st with view = Spacket.store st.view ctx w ~offset:off ~value }
+    | Ir.Stmt.If (cond_e, then_, else_) ->
+        let cond, st = eval st cond_e in
+        let f = Value.truth cond in
+        fork st
+          [
+            ([ f ], fun st -> exec_block st then_ kont);
+            ([ Solver.Constr.not_ f ], fun st -> exec_block st else_ kont);
+          ]
+    | Ir.Stmt.Return action_stmt ->
+        let action, st =
+          match action_stmt with
+          | Ir.Stmt.Forward port_e ->
+              let port, st = eval st port_e in
+              (Path.Forward port, st)
+          | Ir.Stmt.Drop -> (Path.Drop, st)
+          | Ir.Stmt.Flood -> (Path.Flood, st)
+        in
+        finish st action
+    | Ir.Stmt.Call { ret; instance; meth; args } ->
+        let kind =
+          match Ir.Program.kind_of_instance program instance with
+          | Some k -> k
+          | None -> failwith ("symbex: undeclared instance " ^ instance)
+        in
+        let model = Model.find_exn models ~kind ~meth in
+        let argv, st =
+          List.fold_left
+            (fun (acc, st) arg ->
+              let v, st = eval st arg in
+              (v :: acc, st))
+            ([], st) args
+        in
+        let argv = List.rev argv in
+        let branches = model.Model.apply ctx ~args:argv in
+        let st = drain st in
+        fork st
+          (List.map
+             (fun (b : Model.branch) ->
+               ( b.Model.constraints,
+                 fun st ->
+                   let call =
+                     {
+                       Path.index = st.ncalls;
+                       instance;
+                       kind;
+                       meth;
+                       tag = b.Model.tag;
+                       ret = Value.to_lin ctx b.Model.ret;
+                     }
+                   in
+                   let st = drain st in
+                   let st =
+                     {
+                       st with
+                       calls = call :: st.calls;
+                       ncalls = st.ncalls + 1;
+                     }
+                   in
+                   let st =
+                     match ret with
+                     | None -> st
+                     | Some v ->
+                         { st with env = SM.add v b.Model.ret st.env }
+                   in
+                   kont st ))
+             branches)
+    | Ir.Stmt.While (Ir.Stmt.Unroll bound, cond_e, body) ->
+        let rec iteration st k =
+          let cond, st = eval st cond_e in
+          let f = Value.truth cond in
+          if k >= bound then
+            (* the bound is a static guarantee: force exit *)
+            fork st [ ([ Solver.Constr.not_ f ], kont) ]
+          else
+            fork st
+              [
+                ([ Solver.Constr.not_ f ], kont);
+                ([ f ], fun st -> exec_block st body (fun st ->
+                     iteration st (k + 1)));
+              ]
+        in
+        iteration st 0
+    | Ir.Stmt.While (Ir.Stmt.Pcv_loop (name, bound), cond_e, body) ->
+        if block_calls body then
+          failwith
+            ("symbex: stateful call inside PCV loop " ^ name
+           ^ " is unsupported");
+        let cond, st = eval st cond_e in
+        let f = Value.truth cond in
+        let havoc st =
+          List.fold_left
+            (fun st v ->
+              {
+                st with
+                env =
+                  SM.add v
+                    (Value.fresh_opaque ctx ("havoc_" ^ v))
+                    st.env;
+              })
+            st (assigned_vars body)
+        in
+        fork st
+          [
+            (* zero iterations *)
+            ([ Solver.Constr.not_ f ], kont);
+            (* >= 1 iteration: run the body once, havoc, assume exit *)
+            ( [ f ],
+              fun st ->
+                let st =
+                  { st with loops = { Path.name; bound } :: st.loops }
+                in
+                exec_block st body (fun st ->
+                    let st = havoc st in
+                    let cond', st = eval st cond_e in
+                    let f' = Value.truth cond' in
+                    fork st [ ([ Solver.Constr.not_ f' ], kont) ]) );
+          ]
+  in
+  let st0 =
+    {
+      env =
+        SM.empty
+        |> SM.add "in_port" (Value.of_sym in_port)
+        |> SM.add "now" (Value.of_sym now);
+      view = view0;
+      cons = List.rev initial;
+      calls = [];
+      loops = [];
+      ncalls = 0;
+    }
+  in
+  exec_block st0 program.Ir.Program.body (fun _ ->
+      failwith "symbex: program fell through without returning");
+  {
+    paths = List.rev !paths;
+    input = Spacket.input_of_view view0;
+    gen;
+    in_port;
+    now;
+    infeasible_pruned = !pruned;
+  }

@@ -1,0 +1,52 @@
+(** Input packet classes (paper §2.2).
+
+    A class is a specification of which inputs belong to it — a predicate
+    over the shared input-packet symbols — plus the abstract-state
+    assumptions ("established flow", "no expirations") expressed as
+    required model branch tags, plus the PCV binding to use when the
+    operator asks for a concrete number. *)
+
+type requirement = {
+  instance : string;
+  meth : string;
+  tag : string;  (** every call to instance.meth must have taken this tag *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  predicate : Engine.result -> Solver.Constr.t list;
+  requires : requirement list;
+  forbids : (string * string) list;
+      (** [(instance, meth)] pairs a member path must never call. *)
+  bindings : Perf.Pcv.binding;
+}
+
+val make :
+  name:string -> ?description:string ->
+  ?predicate:(Engine.result -> Solver.Constr.t list) ->
+  ?requires:requirement list -> ?forbids:(string * string) list ->
+  ?bindings:Perf.Pcv.binding -> unit -> t
+
+val req : string -> string -> string -> requirement
+(** [req instance meth tag]. *)
+
+val matches : t -> Engine.result -> Path.t -> bool
+(** Path membership: the class predicate must be satisfiable together with
+    the path constraints, and every requirement must hold (at least one
+    call to the method, all with the required tag). *)
+
+(** {1 Predicate helpers} *)
+
+val field : Engine.result -> Ir.Expr.width -> int -> Solver.Linexpr.t
+(** Big-endian input field at a byte offset, as an affine term over the
+    input byte symbols. *)
+
+val field_eq : Ir.Expr.width -> int -> int -> Engine.result ->
+  Solver.Constr.t list
+val field_ne : Ir.Expr.width -> int -> int -> Engine.result ->
+  Solver.Constr.t list
+val in_port_is : int -> Engine.result -> Solver.Constr.t list
+val conj_preds :
+  (Engine.result -> Solver.Constr.t list) list ->
+  Engine.result -> Solver.Constr.t list

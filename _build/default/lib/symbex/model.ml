@@ -1,0 +1,48 @@
+type branch = {
+  tag : string;
+  constraints : Solver.Constr.t list;
+  ret : Value.t;
+}
+
+type t = {
+  kind : string;
+  meth : string;
+  apply : Value.ctx -> args:Value.t list -> branch list;
+}
+
+let make ~kind ~meth apply = { kind; meth; apply }
+let branch ~tag ?(constraints = []) ret = { tag; constraints; ret }
+let const_branch ~tag n = { tag; constraints = []; ret = Value.of_int n }
+
+let fresh_ret_branch ctx ~tag ?lo ?hi name =
+  { tag; constraints = []; ret = Value.fresh_opaque ctx ?lo ?hi name }
+
+module KM = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type registry = t KM.t
+
+let registry models =
+  List.fold_left
+    (fun acc m ->
+      let key = (m.kind, m.meth) in
+      if KM.mem key acc then
+        invalid_arg
+          (Printf.sprintf "Model.registry: duplicate model %s.%s" m.kind
+             m.meth);
+      KM.add key m acc)
+    KM.empty models
+
+let find reg ~kind ~meth = KM.find_opt (kind, meth) reg
+
+let find_exn reg ~kind ~meth =
+  match find reg ~kind ~meth with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Model.find_exn: no model for %s.%s" kind meth)
+
+let merge a b = KM.union (fun _ _ latest -> Some latest) a b

@@ -1,0 +1,45 @@
+(** Symbolic models of stateful data-structure methods (paper §3.3).
+
+    The analysis build replaces every stateful call with its model
+    (Algorithm 2, line 2; Algorithm 3 shows lpmGet's).  A model returns
+    one branch per abstract state the method distinguishes — e.g. a flow
+    lookup forks into a "hit" branch whose return is an in-range value and
+    a "miss" branch returning -1.  The branch tag is the abstract-state
+    constraint that later selects the matching formula of the method's
+    performance contract. *)
+
+type branch = {
+  tag : string;  (** must match a contract branch tag *)
+  constraints : Solver.Constr.t list;
+      (** constraints on the arguments and the returned symbol *)
+  ret : Value.t;
+}
+
+type t = {
+  kind : string;
+  meth : string;
+  apply : Value.ctx -> args:Value.t list -> branch list;
+}
+
+val make :
+  kind:string -> meth:string ->
+  (Value.ctx -> args:Value.t list -> branch list) -> t
+
+val branch : tag:string -> ?constraints:Solver.Constr.t list -> Value.t ->
+  branch
+
+val const_branch : tag:string -> int -> branch
+(** A branch returning a fixed integer. *)
+
+val fresh_ret_branch :
+  Value.ctx -> tag:string -> ?lo:int -> ?hi:int -> string -> branch
+(** A branch returning a fresh bounded symbol. *)
+
+type registry
+
+val registry : t list -> registry
+(** Raises [Invalid_argument] on duplicate (kind, meth). *)
+
+val find : registry -> kind:string -> meth:string -> t option
+val find_exn : registry -> kind:string -> meth:string -> t
+val merge : registry -> registry -> registry

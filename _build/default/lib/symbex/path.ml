@@ -1,0 +1,40 @@
+type call = {
+  index : int;
+  instance : string;
+  kind : string;
+  meth : string;
+  tag : string;
+  ret : Solver.Linexpr.t;
+}
+
+type pcv_loop = { name : string; bound : int }
+type action = Forward of Value.t | Drop | Flood
+
+type t = {
+  id : int;
+  constraints : Solver.Constr.t list;
+  calls : call list;
+  loops : pcv_loop list;
+  action : action;
+  view : Spacket.view;
+}
+
+let tags_of t ~instance ~meth =
+  List.filter_map
+    (fun c ->
+      if c.instance = instance && c.meth = meth then Some c.tag else None)
+    t.calls
+
+let pp_action ppf = function
+  | Forward v -> Fmt.pf ppf "forward(%a)" Value.pp v
+  | Drop -> Fmt.string ppf "drop"
+  | Flood -> Fmt.string ppf "flood"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>path %d: %a@,  calls: %a@,  constraints: %d@]" t.id
+    pp_action t.action
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf c ->
+          pf ppf "%s.%s[%s]" c.instance c.meth c.tag))
+    t.calls
+    (List.length t.constraints)

@@ -1,0 +1,28 @@
+(** Execution paths produced by the symbolic engine. *)
+
+type call = {
+  index : int;  (** position in call order (stub order for replay) *)
+  instance : string;
+  kind : string;
+  meth : string;
+  tag : string;  (** abstract-state branch taken *)
+  ret : Solver.Linexpr.t;  (** symbolic return value *)
+}
+
+type pcv_loop = { name : string; bound : int }
+
+type action = Forward of Value.t | Drop | Flood
+
+type t = {
+  id : int;
+  constraints : Solver.Constr.t list;
+  calls : call list;  (** in call order *)
+  loops : pcv_loop list;
+  action : action;
+  view : Spacket.view;  (** the symbolic output packet *)
+}
+
+val tags_of : t -> instance:string -> meth:string -> string list
+(** Tags of all this path's calls to [instance.meth]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+open Solver
+
+type input = {
+  gen : Sym.gen;
+  len : Sym.t;
+  bytes : (int, Sym.t) Hashtbl.t;
+  max_len : int;
+}
+
+let input gen ?(min_len = 60) ?(max_len = 1514) () =
+  {
+    gen;
+    len = Sym.fresh gen ~lo:min_len ~hi:max_len "pkt_len";
+    bytes = Hashtbl.create 64;
+    max_len;
+  }
+
+let len_sym t = t.len
+
+let byte_sym t i =
+  match Hashtbl.find_opt t.bytes i with
+  | Some s -> s
+  | None ->
+      let s = Sym.byte t.gen (Printf.sprintf "pkt[%d]" i) in
+      Hashtbl.add t.bytes i s;
+      s
+
+let known_bytes t =
+  Hashtbl.fold (fun i s acc -> (i, s) :: acc) t.bytes []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+module IM = Map.Make (Int)
+
+type view = {
+  inp : input;
+  overlay : (Ir.Expr.width * Value.t) IM.t;
+  havocked : bool;  (** a symbolic-offset store clobbered everything *)
+}
+
+let view inp = { inp; overlay = IM.empty; havocked = false }
+let input_of_view v = v.inp
+
+let width_bytes = Ir.Expr.bytes_of_width
+
+(* Big-endian combination of the input byte symbols at [off..off+w). *)
+let input_field v ctx width off =
+  ignore ctx;
+  let w = width_bytes width in
+  let rec build i acc =
+    if i = w then acc
+    else
+      let b = Linexpr.sym (byte_sym v.inp (off + i)) in
+      build (i + 1) (Linexpr.add (Linexpr.scale 256 acc) b)
+  in
+  Value.Lin (build 0 Linexpr.zero)
+
+let bounds_constraint v width off =
+  (* off + w <= len *)
+  Constr.le
+    (Linexpr.const (off + width_bytes width))
+    (Linexpr.sym v.inp.len)
+
+(* Do [off, width] and an overlay entry [off', width'] overlap? *)
+let overlaps off width off' width' =
+  off < off' + width_bytes width' && off' < off + width_bytes width
+
+let read_at v ctx width off =
+  match IM.find_opt off v.overlay with
+  | Some (w', value) when w' = width -> value
+  | _ ->
+      (* partial overlap with any write is over-approximated *)
+      let clobbered =
+        IM.exists (fun o (w', _) -> overlaps off width o w') v.overlay
+      in
+      if clobbered || v.havocked then
+        Value.fresh_opaque ctx ~lo:0
+          ~hi:(Ir.Expr.max_of_width width)
+          "pkt_clobbered"
+      else input_field v ctx width off
+
+let load v ctx width ~offset =
+  match Value.is_concrete offset with
+  | Some off when off >= 0 && off + width_bytes width <= v.inp.max_len ->
+      (read_at v ctx width off, [ bounds_constraint v width off ])
+  | _ ->
+      ( Value.fresh_opaque ctx ~lo:0
+          ~hi:(Ir.Expr.max_of_width width)
+          "pkt_sym_load",
+        [] )
+
+let store v ctx width ~offset ~value =
+  ignore ctx;
+  match Value.is_concrete offset with
+  | Some off -> { v with overlay = IM.add off (width, value) v.overlay }
+  | None -> { v with havocked = true }
+
+let length v = Value.Lin (Linexpr.sym v.inp.len)
+
+let writes v = IM.bindings v.overlay
+
+let output_load v ctx width ~offset = read_at v ctx width offset

@@ -1,0 +1,157 @@
+open Solver
+
+type t = Concrete of int | Lin of Linexpr.t | Cond of Constr.t
+type ctx = { gen : Sym.gen; mutable side : Constr.t list }
+
+let ctx gen = { gen; side = [] }
+
+let take_side c =
+  let side = c.side in
+  c.side <- [];
+  side
+
+let of_int n = Concrete n
+let of_sym s = Lin (Linexpr.sym s)
+
+let is_concrete = function
+  | Concrete n -> Some n
+  | Lin e -> Linexpr.is_const e
+  | Cond Constr.True -> Some 1
+  | Cond Constr.False -> Some 0
+  | Cond _ -> None
+
+let fresh_opaque c ?(lo = 0) ?(hi = (1 lsl 32) - 1) name =
+  Lin (Linexpr.sym (Sym.fresh c.gen ~lo ~hi name))
+
+let to_lin c v =
+  match v with
+  | Concrete n -> Linexpr.const n
+  | Lin e -> e
+  | Cond Constr.True -> Linexpr.const 1
+  | Cond Constr.False -> Linexpr.const 0
+  | Cond f ->
+      (* a fresh 0/1 symbol tied to the formula *)
+      let b = Sym.fresh c.gen ~lo:0 ~hi:1 "bool" in
+      let bl = Linexpr.sym b in
+      let link =
+        Constr.disj
+          [
+            Constr.conj [ f; Constr.eq bl (Linexpr.const 1) ];
+            Constr.conj [ Constr.not_ f; Constr.eq bl (Linexpr.const 0) ];
+          ]
+      in
+      c.side <- link :: c.side;
+      bl
+
+let truth = function
+  | Concrete n -> if n <> 0 then Constr.True else Constr.False
+  | Lin e -> Constr.ne e Linexpr.zero
+  | Cond f -> f
+
+let norm v =
+  match v with
+  | Lin e -> (match Linexpr.is_const e with Some n -> Concrete n | None -> v)
+  | Cond Constr.True -> Concrete 1
+  | Cond Constr.False -> Concrete 0
+  | _ -> v
+
+let unop c op v =
+  match (op, is_concrete v) with
+  | _, Some n -> Concrete (Ir.Semantics.apply_unop op n)
+  | Ir.Expr.Lnot, None -> norm (Cond (Constr.not_ (truth v)))
+  | Ir.Expr.Bnot, None -> fresh_opaque c "bnot"
+
+let cmp_formula op la lb =
+  match op with
+  | Ir.Expr.Eq -> Constr.eq la lb
+  | Ir.Expr.Ne -> Constr.ne la lb
+  | Ir.Expr.Lt -> Constr.lt la lb
+  | Ir.Expr.Le -> Constr.le la lb
+  | Ir.Expr.Gt -> Constr.gt la lb
+  | Ir.Expr.Ge -> Constr.ge la lb
+  | _ -> assert false
+
+let range_of c lin =
+  Linexpr.range (fun s -> Sym.bounds s) lin |> fun (lo, hi) ->
+  ignore c;
+  (lo, hi)
+
+let exact_linearization = ref true
+
+let with_linearization value thunk =
+  let saved = !exact_linearization in
+  exact_linearization := value;
+  Fun.protect ~finally:(fun () -> exact_linearization := saved) thunk
+
+(* Exact Euclidean decomposition of a non-negative affine term: introduce
+   fresh q, r with a = d·q + r and 0 <= r < d.  This keeps nibble masks,
+   right shifts and constant division *linear*, so branch conditions on
+   derived header fields stay linked to the packet bytes. *)
+let euclid c a d =
+  let lo, hi = range_of c a in
+  let lo = max 0 lo in
+  let q = Sym.fresh c.gen ~lo:(lo / d) ~hi:(max (lo / d) (hi / d)) "quot" in
+  let r = Sym.fresh c.gen ~lo:0 ~hi:(d - 1) "rem" in
+  let ql = Linexpr.sym q and rl = Linexpr.sym r in
+  let recompose = Linexpr.add (Linexpr.scale d ql) rl in
+  c.side <- Constr.eq a recompose :: c.side;
+  (ql, rl)
+
+let binop c op a b =
+  match (is_concrete a, is_concrete b) with
+  | Some x, Some y -> (
+      match Ir.Semantics.apply_binop op x y with
+      | n -> Concrete n
+      | exception Ir.Semantics.Undefined _ ->
+          (* symbolically unreachable unless the path is infeasible *)
+          Concrete 0)
+  | ca, cb -> (
+      match op with
+      | Ir.Expr.Add -> norm (Lin (Linexpr.add (to_lin c a) (to_lin c b)))
+      | Ir.Expr.Sub -> norm (Lin (Linexpr.sub (to_lin c a) (to_lin c b)))
+      | Ir.Expr.Mul -> (
+          match (ca, cb) with
+          | Some k, _ -> norm (Lin (Linexpr.scale k (to_lin c b)))
+          | _, Some k -> norm (Lin (Linexpr.scale k (to_lin c a)))
+          | _ -> fresh_opaque c "mul")
+      | Ir.Expr.Shl -> (
+          match cb with
+          | Some k when k >= 0 && k < 31 ->
+              norm (Lin (Linexpr.scale (1 lsl k) (to_lin c a)))
+          | _ -> fresh_opaque c "shl")
+      | Ir.Expr.Div | Ir.Expr.Rem | Ir.Expr.Shr -> (
+          (* exact linearizations for constant divisors / shift amounts *)
+          match (op, cb) with
+          | Ir.Expr.Rem, Some k when k > 0 && !exact_linearization ->
+              norm (Lin (snd (euclid c (to_lin c a) k)))
+          | Ir.Expr.Shr, Some k when k >= 0 && k < 62 && !exact_linearization
+            ->
+              norm (Lin (fst (euclid c (to_lin c a) (1 lsl k))))
+          | Ir.Expr.Div, Some k when k > 0 && !exact_linearization ->
+              norm (Lin (fst (euclid c (to_lin c a) k)))
+          | Ir.Expr.Rem, Some k when k > 0 ->
+              fresh_opaque c ~lo:0 ~hi:(k - 1) "rem"
+          | _ -> fresh_opaque c "arith")
+      | Ir.Expr.And -> (
+          match (ca, cb) with
+          | _, Some mask when mask >= 0 ->
+              (* exact when the mask is the low bits; bounded otherwise *)
+              if mask land (mask + 1) = 0 && !exact_linearization then
+                norm (Lin (snd (euclid c (to_lin c a) (mask + 1))))
+              else fresh_opaque c ~lo:0 ~hi:mask "and"
+          | Some mask, _ when mask >= 0 ->
+              if mask land (mask + 1) = 0 && !exact_linearization then
+                norm (Lin (snd (euclid c (to_lin c b) (mask + 1))))
+              else fresh_opaque c ~lo:0 ~hi:mask "and"
+          | _ -> fresh_opaque c "and")
+      | Ir.Expr.Or | Ir.Expr.Xor -> fresh_opaque c "bits"
+      | Ir.Expr.Eq | Ir.Expr.Ne | Ir.Expr.Lt | Ir.Expr.Le | Ir.Expr.Gt
+      | Ir.Expr.Ge ->
+          norm (Cond (cmp_formula op (to_lin c a) (to_lin c b)))
+      | Ir.Expr.Land -> norm (Cond (Constr.conj [ truth a; truth b ]))
+      | Ir.Expr.Lor -> norm (Cond (Constr.disj [ truth a; truth b ])))
+
+let pp ppf = function
+  | Concrete n -> Fmt.int ppf n
+  | Lin e -> Linexpr.pp ppf e
+  | Cond f -> Fmt.pf ppf "[%a]" Constr.pp f

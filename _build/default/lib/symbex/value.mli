@@ -1,0 +1,53 @@
+(** Symbolic values.
+
+    The engine evaluates IR expressions over this domain: concrete
+    integers, affine combinations of symbols, or boolean formulas (the
+    value of a comparison).  Operations the affine domain cannot express —
+    products of unknowns, bit masks, shifts by unknowns — are
+    over-approximated by fresh bounded symbols; that loses precision on
+    the value but never on feasibility, which is what contract soundness
+    needs. *)
+
+type t =
+  | Concrete of int
+  | Lin of Solver.Linexpr.t
+  | Cond of Solver.Constr.t
+      (** 1 when the formula holds, 0 otherwise. *)
+
+(** Evaluation context: a symbol generator plus the side constraints that
+    fresh over-approximation symbols pick up (e.g. a boolean symbol tied
+    to its defining formula). *)
+type ctx = {
+  gen : Solver.Sym.gen;
+  mutable side : Solver.Constr.t list;
+}
+
+val ctx : Solver.Sym.gen -> ctx
+val take_side : ctx -> Solver.Constr.t list
+(** Drain the accumulated side constraints (the engine appends them to the
+    current path). *)
+
+val of_int : int -> t
+val of_sym : Solver.Sym.t -> t
+val is_concrete : t -> int option
+
+val to_lin : ctx -> t -> Solver.Linexpr.t
+(** Render as an affine term; a [Cond] becomes a fresh 0/1 symbol tied to
+    its formula through a side constraint. *)
+
+val truth : t -> Solver.Constr.t
+(** The formula "this value is non-zero". *)
+
+val unop : ctx -> Ir.Expr.unop -> t -> t
+val binop : ctx -> Ir.Expr.binop -> t -> t -> t
+val fresh_opaque : ctx -> ?lo:int -> ?hi:int -> string -> t
+val pp : Format.formatter -> t -> unit
+
+val exact_linearization : bool ref
+(** When true (the default), masks/shifts/division by constants are
+    decomposed exactly into fresh symbols plus a Euclidean side
+    constraint; when false they become unconstrained bounded symbols.
+    Only the linearization ablation should ever flip this. *)
+
+val with_linearization : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the flag set, restoring it afterwards. *)

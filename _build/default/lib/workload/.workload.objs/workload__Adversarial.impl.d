@@ -1,0 +1,1 @@
+lib/workload/adversarial.ml: Array Dslib Exec Hashtbl Hw List Net Prng

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Dslib Hashtbl List Net Prng Stream

@@ -1,0 +1,1 @@
+lib/workload/stream.ml: List Net

@@ -1,0 +1,79 @@
+let quiet_meter () = Exec.Meter.create (Hw.Model.null ())
+
+let colliding_flows rng ~hash ~key_len ~bucket n =
+  let seen = Hashtbl.create n in
+  let rec draw acc k guard =
+    if k = 0 then List.rev acc
+    else if guard = 0 then
+      failwith "Adversarial.colliding_flows: search budget exhausted"
+    else
+      let key =
+        Array.init key_len (fun i ->
+            if i = key_len - 1 then Net.Ipv4.proto_udp
+            else Prng.below rng (1 lsl 30))
+      in
+      if hash key = bucket && not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        draw (key :: acc) (k - 1) (guard - 1)
+      end
+      else draw acc k (guard - 1)
+  in
+  draw [] n 100_000_000
+
+let fill_nat_collided nat rng ~stamped_at =
+  let meter = quiet_meter () in
+  let cap = Dslib.Nat_table.capacity nat in
+  let keys =
+    colliding_flows rng
+      ~hash:(Dslib.Nat_table.hash_of_flow nat)
+      ~key_len:Dslib.Nat_table.key_len ~bucket:0 cap
+  in
+  List.iter
+    (fun key ->
+      let port = Dslib.Nat_table.add_int nat meter key ~now:stamped_at in
+      if port < 0 then failwith "fill_nat_collided: table or ports exhausted")
+    keys
+
+let fill_flow_table_collided ft rng ~value ~stamped_at =
+  let meter = quiet_meter () in
+  let cap = Dslib.Flow_table.capacity ft in
+  let keys =
+    colliding_flows rng
+      ~hash:(Dslib.Flow_table.hash_of_key ft)
+      ~key_len:(Dslib.Flow_table.key_len ft) ~bucket:0 cap
+  in
+  List.iter
+    (fun key ->
+      let idx = Dslib.Flow_table.put ft meter key ~value ~now:stamped_at in
+      if idx < 0 then failwith "fill_flow_table_collided: table full")
+    keys
+
+let fill_mac_table_collided table rng ~port ~stamped_at =
+  let cap = Dslib.Mac_table.capacity table in
+  let seen = Hashtbl.create cap in
+  let rec install k guard =
+    if k = 0 then ()
+    else if guard = 0 then
+      failwith "fill_mac_table_collided: search budget exhausted"
+    else
+      let mac = 0x020000000000 lor Prng.below rng 0xffffffffff in
+      if
+        Dslib.Mac_table.hash_of_mac table mac = 0
+        && not (Hashtbl.mem seen mac)
+      then begin
+        Hashtbl.add seen mac ();
+        (* bypass [learn]: the defence would rehash a long chain away, but
+           the attacker we model controls the state directly (paper §5.1:
+           "we modified the NF to synthesise the necessary state") *)
+        Dslib.Mac_table.install_quiet table ~mac ~port ~now:stamped_at;
+        install (k - 1) (guard - 1)
+      end
+      else install k (guard - 1)
+  in
+  install cap 100_000_000
+
+let trigger_packet () =
+  Net.Build.udp
+    ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 9)
+    ~dst_ip:(Net.Ipv4.addr_of_parts 93 184 216 34)
+    ~src_port:5555 ~dst_port:80 ()

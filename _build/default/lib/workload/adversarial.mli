@@ -1,0 +1,27 @@
+(** Adversarial state synthesis (the CASTAN stand-in, paper §5.1).
+
+    The paper could not build the mass-expiry worst case from a packet
+    trace either — they "modified the NF to synthesise the expected
+    state".  These helpers do the same: they install, without charging any
+    meter, a full table whose entries all chain in one bucket and are all
+    past their timeout, so the next packet triggers the pathological
+    expiry the Br1/NAT1/LB1 contracts bound. *)
+
+val colliding_flows :
+  Prng.t -> hash:(int array -> int) -> key_len:int -> bucket:int -> int ->
+  int array list
+(** [n] distinct keys that all hash to [bucket]. *)
+
+val fill_nat_collided :
+  Dslib.Nat_table.t -> Prng.t -> stamped_at:int -> unit
+(** Fill the NAT table to capacity with same-bucket flows stamped at
+    [stamped_at] (so they all expire once [now > stamped_at + timeout]). *)
+
+val fill_flow_table_collided :
+  Dslib.Flow_table.t -> Prng.t -> value:int -> stamped_at:int -> unit
+
+val fill_mac_table_collided :
+  Dslib.Mac_table.t -> Prng.t -> port:int -> stamped_at:int -> unit
+
+val trigger_packet : unit -> Net.Packet.t
+(** A benign packet whose arrival detonates the synthesized state. *)

@@ -1,0 +1,20 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed lxor 0x1e3779b97f4a7c15) land max_int }
+
+let next t =
+  t.state <- (t.state + 0x1e3779b97f4a7c15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land max_int in
+  (z lxor (z lsr 31)) land max_int
+
+let below t bound =
+  if bound <= 0 then invalid_arg "Prng.below: non-positive bound";
+  next t mod bound
+
+let range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.range: hi < lo";
+  lo + below t (hi - lo + 1)
+
+let bool t p = float_of_int (below t 1_000_000) < p *. 1_000_000.

@@ -1,0 +1,17 @@
+(** Deterministic pseudo-random numbers (splitmix64-style) so every
+    workload, and therefore every experiment table, is reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+(** A non-negative 62-bit value. *)
+
+val below : t -> int -> int
+(** Uniform in [0, bound). Raises [Invalid_argument] if bound <= 0. *)
+
+val range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest T_bolt T_distiller T_dslib T_exec T_experiments T_extensions T_hw T_ir T_net T_perf T_solver T_soundness T_symbex T_tools T_workload

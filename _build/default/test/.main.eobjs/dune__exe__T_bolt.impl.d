@@ -1,0 +1,1 @@
+test/t_bolt.ml: Alcotest Bolt Contract Cost_vec Ds_contract Experiments List Metric Net Nf Pcv Perf Perf_expr Result Symbex

@@ -1,0 +1,1 @@
+test/t_distiller.ml: Alcotest Distiller Dslib Experiments Filename Float Fun List Net Nf Perf Sys Workload

@@ -1,0 +1,1 @@
+test/t_dslib.ml: Alcotest Dslib Exec Fmt Hw List Net Option Perf Printf QCheck2 QCheck_alcotest Workload

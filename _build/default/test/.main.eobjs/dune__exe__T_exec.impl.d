@@ -1,0 +1,1 @@
+test/t_exec.ml: Alcotest Bolt Exec Hw Ir List Net Option Perf Printf QCheck2 QCheck_alcotest Symbex

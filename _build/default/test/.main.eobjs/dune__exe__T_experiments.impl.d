@@ -1,0 +1,1 @@
+test/t_experiments.ml: Alcotest Experiments Lazy List Printf

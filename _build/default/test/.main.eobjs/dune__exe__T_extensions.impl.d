@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Bolt Dslib Exec Hw List Net Nf Perf QCheck2 QCheck_alcotest Result Symbex

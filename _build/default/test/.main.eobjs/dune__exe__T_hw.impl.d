@@ -1,0 +1,1 @@
+test/t_hw.ml: Alcotest Hw Workload

@@ -1,0 +1,1 @@
+test/t_ir.ml: Alcotest Array Exec Expr Fmt Hw Ir List Net Nf Option Perf Program Semantics Stmt String

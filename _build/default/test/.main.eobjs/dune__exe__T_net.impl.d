@@ -1,0 +1,1 @@
+test/t_net.ml: Alcotest Filename Fun List Net QCheck2 QCheck_alcotest String Sys

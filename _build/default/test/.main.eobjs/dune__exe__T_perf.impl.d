@@ -1,0 +1,1 @@
+test/t_perf.ml: Alcotest Contract Cost_vec Ds_contract List Metric Option Pcv Perf Perf_expr QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/t_solver.ml: Alcotest Constr Linexpr List Model Printf QCheck2 QCheck_alcotest Solve Solver Sym

@@ -1,0 +1,1 @@
+test/t_soundness.ml: Alcotest Bolt Distiller Dslib Exec Fmt Hw List Net Nf Perf Printf QCheck2 QCheck_alcotest Symbex Workload

@@ -1,0 +1,1 @@
+test/t_symbex.ml: Alcotest Bolt Exec Expr Hw Ir List Nf Printf Program Semantics Solver Stmt String Symbex

@@ -1,0 +1,1 @@
+test/t_tools.ml: Alcotest Bolt Dslib Exec Experiments Fmt Hw List Net Nf Perf Result String Workload

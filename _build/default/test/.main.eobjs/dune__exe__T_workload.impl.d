@@ -1,0 +1,1 @@
+test/t_workload.ml: Alcotest Array Distiller Dslib Exec Float Hw List Net Perf String Workload

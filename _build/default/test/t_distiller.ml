@@ -1,0 +1,112 @@
+(* Tests for the Distiller and its statistics. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let close_to a b = Float.abs (a -. b) < 1e-9
+
+let test_density () =
+  let d = Distiller.Stats.density [ 1; 1; 2; 3 ] in
+  check_int "distinct" 3 (List.length d);
+  check_bool "p(1)" true (close_to (List.assoc 1 d) 0.5);
+  check_bool "sums to 1" true
+    (close_to (List.fold_left (fun acc (_, p) -> acc +. p) 0. d) 1.);
+  check_bool "empty" true (Distiller.Stats.density [] = [])
+
+let test_density_binned () =
+  let d =
+    Distiller.Stats.density_binned
+      ~bins:[ (0, 0, "0"); (1, 63, "1-63"); (64, max_int, "64+") ]
+      [ 0; 0; 0; 5; 64; 200 ]
+  in
+  check_bool "bin 0" true (close_to (List.assoc "0" d) 0.5);
+  check_bool "bin 1-63" true
+    (close_to (List.assoc "1-63" d) (1. /. 6.));
+  check_bool "bin 64+" true (close_to (List.assoc "64+" d) (2. /. 6.))
+
+let test_ccdf_cdf () =
+  let samples = [ 1; 2; 2; 5 ] in
+  let ccdf = Distiller.Stats.ccdf samples in
+  check_bool "ccdf(1)" true (close_to (List.assoc 1 ccdf) 0.75);
+  check_bool "ccdf(5)" true (close_to (List.assoc 5 ccdf) 0.);
+  check_bool "ccdf monotone" true
+    (let ps = List.map snd ccdf in
+     List.for_all2 (fun a b -> a >= b) (List.filteri (fun i _ -> i < 2) ps)
+       (List.filteri (fun i _ -> i > 0 && i < 3) ps));
+  let cdf = Distiller.Stats.cdf samples in
+  check_bool "cdf(2)" true (close_to (List.assoc 2 cdf) 0.75);
+  check_bool "cdf(5)" true (close_to (List.assoc 5 cdf) 1.)
+
+let test_percentile () =
+  let s = [ 10; 20; 30; 40; 50 ] in
+  check_int "p50" 30 (Distiller.Stats.percentile s 0.5);
+  check_int "p100" 50 (Distiller.Stats.percentile s 1.0);
+  check_int "p1" 10 (Distiller.Stats.percentile s 0.01);
+  (match Distiller.Stats.percentile [] 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty percentile accepted");
+  check_bool "mean" true (close_to (Distiller.Stats.mean s) 30.)
+
+let test_distiller_run () =
+  let alloc = Dslib.Layout.allocator () in
+  let dss, _ = Nf.Nat.setup alloc in
+  let flows = Workload.Gen.distinct_flows (Workload.Prng.create ~seed:1) 10 in
+  let stream =
+    Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:100
+      (Workload.Gen.packets_of_flows flows)
+  in
+  let result = Distiller.Run.run ~dss Nf.Nat.program stream in
+  check_int "report per packet" 10 (List.length result.Distiller.Run.reports);
+  (* every packet of a new flow observes traversal counts *)
+  check_int "pcv rows" 10
+    (List.length (Distiller.Run.pcv_values result Perf.Pcv.traversals));
+  check_bool "latencies positive" true
+    (List.for_all (fun c -> c > 0) (Distiller.Run.latencies result));
+  check_bool "ic positive" true (Distiller.Run.max_ic result > 0)
+
+let test_distiller_pcap () =
+  let flows = Workload.Gen.distinct_flows (Workload.Prng.create ~seed:2) 5 in
+  let packets = Workload.Gen.packets_of_flows flows in
+  let path = Filename.temp_file "bolt_distill" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Net.Pcap.write_file path (Net.Pcap.records_of_packets packets);
+      let alloc = Dslib.Layout.allocator () in
+      let dss, _ = Nf.Nat.setup alloc in
+      let result =
+        Distiller.Run.run_pcap ~dss Nf.Nat.program ~path ~in_port:0 ()
+      in
+      check_int "replayed from pcap" 5
+        (List.length result.Distiller.Run.reports))
+
+let test_vignat_batching_detected () =
+  (* the Distiller must show batching with coarse stamps and not with
+     fine ones (Tables 7/8) *)
+  let t7 = Experiments.Vignat.run ~granularity:1_000_000 ~packets:8_000
+      ~pool:256 () in
+  let t8 = Experiments.Vignat.run ~granularity:1_000 ~packets:8_000
+      ~pool:256 () in
+  let batch_mass r =
+    List.fold_left
+      (fun acc (bin, p) ->
+        if bin = "16-63" || bin = "64+" then acc +. p else acc)
+      0. r.Experiments.Vignat.expiry_density
+  in
+  check_bool "coarse stamps batch expirations" true (batch_mass t7 > 0.);
+  check_bool "fine stamps do not" true (close_to (batch_mass t8) 0.);
+  check_bool "tail eliminated by the fix" true
+    (t8.Experiments.Vignat.max_latency * 4
+    < t7.Experiments.Vignat.max_latency)
+
+let suite =
+  [
+    Alcotest.test_case "density" `Quick test_density;
+    Alcotest.test_case "binned density" `Quick test_density_binned;
+    Alcotest.test_case "ccdf / cdf" `Quick test_ccdf_cdf;
+    Alcotest.test_case "percentiles" `Quick test_percentile;
+    Alcotest.test_case "distiller run" `Quick test_distiller_run;
+    Alcotest.test_case "distiller pcap replay" `Quick test_distiller_pcap;
+    Alcotest.test_case "vignat batching detected" `Slow
+      test_vignat_batching_detected;
+  ]

@@ -1,0 +1,124 @@
+(* Tests for the execution layer: the meter (the Pin stand-in) and a
+   differential check of the symbolic engine against the interpreter on
+   straight-line programs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_meter_accounting () =
+  let meter = Exec.Meter.create (Hw.Model.conservative ()) in
+  Exec.Meter.instr meter Hw.Cost.Alu 3;
+  Exec.Meter.instr meter Hw.Cost.Branch 1;
+  Exec.Meter.mem meter 0x1000;
+  Exec.Meter.mem meter ~write:true 0x1040;
+  check_int "ic" 4 (Exec.Meter.ic meter);
+  check_int "ma" 2 (Exec.Meter.ma meter);
+  check_bool "cycles accrued" true (Exec.Meter.cycles meter > 0)
+
+let test_meter_observations () =
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  Exec.Meter.observe meter Perf.Pcv.collisions 2;
+  Exec.Meter.observe meter Perf.Pcv.collisions 5;
+  Exec.Meter.observe meter Perf.Pcv.traversals 1;
+  check_int "max" 5
+    (Option.get (Perf.Pcv.lookup (Exec.Meter.pcv_max meter) Perf.Pcv.collisions));
+  check_int "sum" 7
+    (Option.get (Perf.Pcv.lookup (Exec.Meter.pcv_sum meter) Perf.Pcv.collisions));
+  check_int "in order" 3 (List.length (Exec.Meter.observations meter));
+  Exec.Meter.reset_observations meter;
+  check_bool "reset clears observations" true
+    (Exec.Meter.observations meter = []);
+  check_bool "reset keeps cumulative costs" true (Exec.Meter.ic meter = 0)
+
+let test_meter_tracing () =
+  let traced = Exec.Meter.create ~trace:true (Hw.Model.null ()) in
+  Exec.Meter.instr traced Hw.Cost.Alu 1;
+  Exec.Meter.mem traced 0x10;
+  Exec.Meter.loop_head traced "n";
+  Exec.Meter.loop_exit traced "n";
+  (match Exec.Meter.events traced with
+  | [ Exec.Meter.E_instr (Hw.Cost.Alu, 1); Exec.Meter.E_mem _;
+      Exec.Meter.E_loop_head "n"; Exec.Meter.E_loop_exit "n" ] ->
+      ()
+  | _ -> Alcotest.fail "wrong event stream");
+  let untraced = Exec.Meter.create (Hw.Model.null ()) in
+  Exec.Meter.instr untraced Hw.Cost.Alu 1;
+  check_bool "no trace by default" true (Exec.Meter.events untraced = [])
+
+(* Differential property: on random straight-line arithmetic programs the
+   engine must produce exactly one path whose action agrees with the
+   interpreter — its constant folding IS the interpreter's semantics. *)
+let gen_straightline =
+  let open QCheck2.Gen in
+  let gen_leaf env =
+    oneof
+      [
+        (int_range 0 1000 >|= fun n -> Ir.Expr.Const n);
+        (if env = [] then int_range 0 1000 >|= fun n -> Ir.Expr.Const n
+         else oneofl env >|= fun v -> Ir.Expr.Var v);
+      ]
+  in
+  let gen_op =
+    oneofl
+      Ir.Expr.[ Add; Sub; Mul; And; Or; Xor; Shl; Eq; Ne; Lt; Le; Land; Lor ]
+  in
+  let rec gen_stmts env k =
+    if k = 0 then
+      let* leaf = gen_leaf env in
+      return [ Ir.Stmt.Return (Ir.Stmt.Forward leaf) ]
+    else
+      let var = Printf.sprintf "v%d" k in
+      let* a = gen_leaf env in
+      let* b = gen_leaf env in
+      let* op = gen_op in
+      let* rest = gen_stmts (var :: env) (k - 1) in
+      return (Ir.Stmt.assign var (Ir.Expr.Binop (op, a, b)) :: rest)
+  in
+  let* size = int_range 1 8 in
+  let* body = gen_stmts [] size in
+  return (Ir.Program.make ~name:"straightline" ~state:[] body)
+
+let prop_engine_matches_interp =
+  QCheck2.Test.make ~count:100
+    ~name:"engine constant folding agrees with the interpreter"
+    gen_straightline
+    (fun program ->
+      let result =
+        Symbex.Engine.explore ~models:Bolt.Ds_models.default program
+      in
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let run =
+        Exec.Interp.run ~meter ~mode:(Exec.Interp.Production [])
+          program (Net.Packet.create 64)
+      in
+      match (result.Symbex.Engine.paths, run.Exec.Interp.outcome) with
+      | [ { Symbex.Path.action = Symbex.Path.Forward v; _ } ],
+        Exec.Interp.Sent port ->
+          Symbex.Value.is_concrete v = Some port
+      | _ -> false)
+
+let test_interp_rx_tx_parity () =
+  (* forwarding charges more framing than dropping, deterministically *)
+  let fwd = Ir.Program.make ~name:"f" ~state:[] [ Ir.Stmt.forward_port 0 ] in
+  let drp = Ir.Program.make ~name:"d" ~state:[] [ Ir.Stmt.drop ] in
+  let cost p =
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    let r =
+      Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) p
+        (Net.Packet.create 64)
+    in
+    (r.Exec.Interp.ic, r.Exec.Interp.ma)
+  in
+  let fic, fma = cost fwd and dic, dma = cost drp in
+  check_bool "forward framing dearer" true (fic > dic && fma > dma);
+  (* and identical across runs *)
+  check_bool "deterministic" true (cost fwd = (fic, fma))
+
+let suite =
+  [
+    Alcotest.test_case "meter accounting" `Quick test_meter_accounting;
+    Alcotest.test_case "meter observations" `Quick test_meter_observations;
+    Alcotest.test_case "meter tracing" `Quick test_meter_tracing;
+    Alcotest.test_case "rx/tx framing" `Quick test_interp_rx_tx_parity;
+    QCheck_alcotest.to_alcotest prop_engine_matches_interp;
+  ]

@@ -1,0 +1,139 @@
+(* End-to-end soundness: for every Figure 1 / Table 3 scenario, the BOLT
+   prediction must be a conservative upper bound of the measured run, in
+   all three metrics — the essential property of a performance contract
+   (paper §2.2). *)
+
+let check_bool = Alcotest.(check bool)
+
+let rows =
+  lazy
+    (Experiments.Scenarios.figure1_table3
+       ~params:Experiments.Scenarios.quick_params ())
+
+let soundness metric get_p get_m () =
+  List.iter
+    (fun (row : Experiments.Harness.row) ->
+      let p = get_p row.Experiments.Harness.predicted in
+      let m = get_m row.Experiments.Harness.measured in
+      if p < m then
+        Alcotest.fail
+          (Printf.sprintf "%s: predicted %s %d < measured %d"
+             row.Experiments.Harness.label metric p m))
+    (Lazy.force rows)
+
+let test_gap_is_small () =
+  (* the paper reports <= 7.5% / 7.6% IC/MA over-estimation; we allow a
+     slightly wider envelope on the tiny quick workloads *)
+  List.iter
+    (fun (row : Experiments.Harness.row) ->
+      let over =
+        Experiments.Harness.over_estimate_pct
+          ~predicted:row.Experiments.Harness.predicted.Experiments.Harness.ic
+          ~measured:row.Experiments.Harness.measured.Experiments.Harness.ic
+      in
+      check_bool
+        (Printf.sprintf "%s IC gap %.1f%% within 20%%"
+           row.Experiments.Harness.label over)
+        true (over <= 20.))
+    (Lazy.force rows)
+
+let test_pathological_dwarfs_typical () =
+  (* NAT1/Br1/LB1 are orders of magnitude above the typical classes *)
+  let find label =
+    List.find
+      (fun (r : Experiments.Harness.row) -> r.Experiments.Harness.label = label)
+      (Lazy.force rows)
+  in
+  let ic label =
+    (find label).Experiments.Harness.predicted.Experiments.Harness.ic
+  in
+  check_bool "NAT1 >> NAT3" true (ic "NAT1" > 100 * ic "NAT3");
+  check_bool "Br1 >> Br3" true (ic "Br1" > 100 * ic "Br3");
+  check_bool "LB1 >> LB4" true (ic "LB1" > 100 * ic "LB4")
+
+let test_cycle_ratios_shape () =
+  (* conservative cycles: a single-digit-to-low-double-digit factor, with
+     the pathological scenarios near the paper's ~9x *)
+  List.iter
+    (fun (row : Experiments.Harness.row) ->
+      let r =
+        Experiments.Harness.ratio
+          ~predicted:row.Experiments.Harness.predicted.Experiments.Harness.cycles
+          ~measured:row.Experiments.Harness.measured.Experiments.Harness.cycles
+      in
+      check_bool
+        (Printf.sprintf "%s cycle ratio %.1f in [1, 40]"
+           row.Experiments.Harness.label r)
+        true
+        (r >= 1. && r <= 40.))
+    (Lazy.force rows)
+
+let test_microbench_shape () =
+  (* P1 tight, P2 and P3 increasingly over-estimated (paper §5.1) *)
+  match Experiments.Microbench.run ~nodes:2048 () with
+  | [ p1; p2; p3 ] ->
+      check_bool "P1 within 25%" true (p1.Experiments.Microbench.ratio < 1.25);
+      check_bool "P2 benefits from prefetching" true
+        (p2.Experiments.Microbench.ratio > 3.);
+      check_bool "P3 benefits most" true
+        (p3.Experiments.Microbench.ratio
+        > p2.Experiments.Microbench.ratio *. 0.9);
+      check_bool "predicted bounds measured" true
+        (List.for_all
+           (fun (r : Experiments.Microbench.row) ->
+             r.Experiments.Microbench.predicted_cycles
+             >= r.Experiments.Microbench.measured_cycles)
+           [ p1; p2; p3 ])
+  | _ -> Alcotest.fail "expected three programs"
+
+let test_attack_ccdf_shape () =
+  let points = Experiments.Attack.figure2 ~packets:3_000 () in
+  check_bool "non-empty" true (points <> []);
+  (* CCDF is non-increasing and predicted IC is increasing in t *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun ((a : Experiments.Attack.point), (b : Experiments.Attack.point)) ->
+      check_bool "ccdf non-increasing" true
+        (a.Experiments.Attack.ccdf >= b.Experiments.Attack.ccdf);
+      check_bool "predicted ic increasing" true
+        (a.Experiments.Attack.predicted_ic < b.Experiments.Attack.predicted_ic))
+    (pairs points)
+
+let test_allocator_tradeoff_direction () =
+  (* small run: just the direction — B pays for occupancy-length scans *)
+  let low = Experiments.Allocators.run Experiments.Allocators.Low_churn
+      ~packets:6_000 () in
+  check_bool "B predicted worse than A at low churn" true
+    (low.Experiments.Allocators.predicted_cycles_b
+    > low.Experiments.Allocators.predicted_cycles_a);
+  check_bool "scan distilled" true
+    (low.Experiments.Allocators.distilled_scan_p95 > 0)
+
+let suite =
+  [
+    Alcotest.test_case "soundness: IC" `Slow
+      (soundness "IC"
+         (fun (p : Experiments.Harness.prediction) -> p.Experiments.Harness.ic)
+         (fun (m : Experiments.Harness.measurement) -> m.Experiments.Harness.ic));
+    Alcotest.test_case "soundness: MA" `Slow
+      (soundness "MA"
+         (fun (p : Experiments.Harness.prediction) -> p.Experiments.Harness.ma)
+         (fun (m : Experiments.Harness.measurement) -> m.Experiments.Harness.ma));
+    Alcotest.test_case "soundness: cycles" `Slow
+      (soundness "cycles"
+         (fun (p : Experiments.Harness.prediction) ->
+           p.Experiments.Harness.cycles)
+         (fun (m : Experiments.Harness.measurement) ->
+           m.Experiments.Harness.cycles));
+    Alcotest.test_case "IC gap small" `Slow test_gap_is_small;
+    Alcotest.test_case "pathological magnitude" `Slow
+      test_pathological_dwarfs_typical;
+    Alcotest.test_case "cycle ratio envelope" `Slow test_cycle_ratios_shape;
+    Alcotest.test_case "P1/P2/P3 shape" `Quick test_microbench_shape;
+    Alcotest.test_case "figure 2 shape" `Quick test_attack_ccdf_shape;
+    Alcotest.test_case "allocator trade-off direction" `Slow
+      test_allocator_tradeoff_direction;
+  ]

@@ -1,0 +1,155 @@
+(* Tests for the hardware models (lib/hw). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_cache_basic () =
+  let cache = Hw.Cache.create ~size_bytes:1024 ~assoc:2 in
+  check_bool "cold miss" false (Hw.Cache.access cache 0);
+  check_bool "warm hit" true (Hw.Cache.access cache 0);
+  check_bool "same line hit" true (Hw.Cache.access cache 63);
+  check_bool "next line miss" false (Hw.Cache.access cache 64);
+  let hits, misses = Hw.Cache.stats cache in
+  check_int "hits" 2 hits;
+  check_int "misses" 2 misses
+
+let test_cache_lru_eviction () =
+  (* 1024B, 2-way, 64B lines → 8 sets; lines 0, 8, 16 map to set 0 *)
+  let cache = Hw.Cache.create ~size_bytes:1024 ~assoc:2 in
+  let addr line = line * 64 in
+  ignore (Hw.Cache.access cache (addr 0));
+  ignore (Hw.Cache.access cache (addr 8));
+  ignore (Hw.Cache.access cache (addr 0)) (* promote line 0 *);
+  ignore (Hw.Cache.access cache (addr 16)) (* evicts line 8 (LRU) *);
+  check_bool "line 0 survives" true (Hw.Cache.probe cache (addr 0));
+  check_bool "line 8 evicted" false (Hw.Cache.probe cache (addr 8));
+  check_bool "line 16 present" true (Hw.Cache.probe cache (addr 16))
+
+let test_cache_remove_insert () =
+  let cache = Hw.Cache.create ~size_bytes:1024 ~assoc:2 in
+  Hw.Cache.insert cache 128;
+  check_bool "inserted" true (Hw.Cache.probe cache 128);
+  Hw.Cache.remove cache 128;
+  check_bool "removed" false (Hw.Cache.probe cache 128);
+  Hw.Cache.remove cache 128 (* idempotent *);
+  check_bool "still absent" false (Hw.Cache.probe cache 128)
+
+let test_cache_geometry () =
+  match Hw.Cache.create ~size_bytes:100 ~assoc:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad geometry accepted"
+
+let test_conservative () =
+  let m = Hw.Conservative.create () in
+  Hw.Conservative.instr m Hw.Cost.Alu 10;
+  check_int "alu cycles" (10 * Hw.Cost.worst_case_cycles Hw.Cost.Alu)
+    (Hw.Conservative.cycles m);
+  let before = Hw.Conservative.cycles m in
+  Hw.Conservative.mem m ~addr:0x1000 ~write:false ~dependent:false;
+  check_int "cold access costs DRAM" (before + Hw.Cost.dram_cycles)
+    (Hw.Conservative.cycles m);
+  let before = Hw.Conservative.cycles m in
+  Hw.Conservative.mem m ~addr:0x1001 ~write:false ~dependent:false;
+  check_int "proven L1 hit" (before + Hw.Cost.l1_hit_cycles)
+    (Hw.Conservative.cycles m);
+  check_int "counts" 2 (Hw.Conservative.mem_count m)
+
+let test_realistic_warm () =
+  let m = Hw.Realistic.create () in
+  Hw.Realistic.mem m ~addr:0x5000 ~write:false ~dependent:false;
+  let after_first = Hw.Realistic.cycles m in
+  Hw.Realistic.mem m ~addr:0x5000 ~write:false ~dependent:false;
+  check_int "second access is an L1 hit"
+    (after_first + Hw.Cost.l1_hit_cycles)
+    (Hw.Realistic.cycles m)
+
+let test_realistic_prefetch () =
+  (* A long sequential dependent walk should cost far less per line than
+     DRAM once the prefetcher locks on. *)
+  let sequential = Hw.Realistic.create () in
+  for i = 0 to 63 do
+    Hw.Realistic.mem sequential ~addr:(0x100000 + (i * 64)) ~write:false
+      ~dependent:true
+  done;
+  let random = Hw.Realistic.create () in
+  (* same lines, shuffled stride so no prefetch *)
+  for i = 0 to 63 do
+    let j = i * 17 mod 64 in
+    Hw.Realistic.mem random ~addr:(0x200000 + (j * 64)) ~write:false
+      ~dependent:true
+  done;
+  check_bool "prefetching pays" true
+    (Hw.Realistic.cycles sequential < Hw.Realistic.cycles random / 2)
+
+let test_realistic_boundary () =
+  let m = Hw.Realistic.create () in
+  Hw.Realistic.mem m ~addr:0x1000_0000 ~write:false ~dependent:false;
+  Hw.Realistic.mem m ~addr:0x1000_0000 ~write:false ~dependent:false;
+  let warm = Hw.Realistic.cycles m in
+  Hw.Realistic.mem m ~addr:0x1000_0000 ~write:false ~dependent:false;
+  check_int "warm hit" (warm + Hw.Cost.l1_hit_cycles)
+    (Hw.Realistic.cycles m);
+  Hw.Realistic.packet_boundary m ~regions:[ (0x1000_0000, 2048) ];
+  let before = Hw.Realistic.cycles m in
+  Hw.Realistic.mem m ~addr:0x1000_0000 ~write:false ~dependent:false;
+  check_int "DMA pushed the line to L3 (DDIO)"
+    (before + Hw.Cost.l3_hit_cycles)
+    (Hw.Realistic.cycles m)
+
+let test_conservative_exceeds_realistic () =
+  (* On an arbitrary access pattern the conservative model must charge at
+     least as much as the realistic one. *)
+  let rng = Workload.Prng.create ~seed:3 in
+  let cons = Hw.Model.conservative () in
+  let real = Hw.Model.realistic () in
+  for _ = 1 to 2000 do
+    let addr = 0x4000_0000 + (Workload.Prng.below rng 512 * 64) in
+    let dependent = Workload.Prng.bool rng 0.5 in
+    cons.Hw.Model.instr Hw.Cost.Alu 3;
+    real.Hw.Model.instr Hw.Cost.Alu 3;
+    cons.Hw.Model.instr Hw.Cost.Branch 1;
+    real.Hw.Model.instr Hw.Cost.Branch 1;
+    cons.Hw.Model.mem ~addr ~write:false ~dependent;
+    real.Hw.Model.mem ~addr ~write:false ~dependent
+  done;
+  check_bool "conservative >= realistic" true
+    (cons.Hw.Model.cycles () >= real.Hw.Model.cycles ())
+
+let test_null_model () =
+  let m = Hw.Model.null () in
+  m.Hw.Model.instr Hw.Cost.Div 5;
+  m.Hw.Model.mem ~addr:0 ~write:true ~dependent:false;
+  check_int "cycles stay zero" 0 (m.Hw.Model.cycles ())
+
+let test_tlb_penalty () =
+  (* touching many distinct pages costs more than the same number of
+     accesses within one page, through the DTLB penalty alone *)
+  let many_pages = Hw.Realistic.create () in
+  for i = 0 to 255 do
+    Hw.Realistic.mem many_pages ~addr:(i * 4096 * 3) ~write:false
+      ~dependent:true
+  done;
+  let one_page = Hw.Realistic.create () in
+  for i = 0 to 255 do
+    (* distinct lines of the same few pages, same cache behaviour class *)
+    Hw.Realistic.mem one_page ~addr:(i * 64 * 193 mod 8192) ~write:false
+      ~dependent:true
+  done;
+  check_bool "page walks cost" true
+    (Hw.Realistic.cycles many_pages > Hw.Realistic.cycles one_page)
+
+let suite =
+  [
+    Alcotest.test_case "cache basics" `Quick test_cache_basic;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache remove/insert" `Quick test_cache_remove_insert;
+    Alcotest.test_case "cache geometry" `Quick test_cache_geometry;
+    Alcotest.test_case "conservative model" `Quick test_conservative;
+    Alcotest.test_case "realistic warm hits" `Quick test_realistic_warm;
+    Alcotest.test_case "realistic prefetcher" `Quick test_realistic_prefetch;
+    Alcotest.test_case "realistic DMA boundary" `Quick test_realistic_boundary;
+    Alcotest.test_case "conservative dominates realistic" `Quick
+      test_conservative_exceeds_realistic;
+    Alcotest.test_case "null model" `Quick test_null_model;
+    Alcotest.test_case "dtlb penalty" `Quick test_tlb_penalty;
+  ]

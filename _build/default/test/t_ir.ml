@@ -1,0 +1,299 @@
+(* Tests for the NF IR and its concrete interpreter. *)
+
+open Ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_program ?(packet = Net.Packet.create 64) ?(mode = Exec.Interp.Production [])
+    ?(in_port = 0) ?(now = 1000) program =
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  (Exec.Interp.run ~meter ~mode ~in_port ~now program packet, packet)
+
+let open_expr = Expr.var
+let ( +! ) = Expr.( + )
+
+let test_expr_vars () =
+  let e = Expr.(var "a" + (var "b" * var "a")) in
+  Alcotest.(check (list string)) "vars" [ "a"; "b" ] (Expr.vars e)
+
+let test_validate_rejects () =
+  let reject name state body =
+    match Program.make ~name ~state body with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ " accepted")
+  in
+  reject "unbound_var" [] [ Stmt.assign "x" (open_expr "y"); Stmt.drop ];
+  reject "no_return" [] [ Stmt.assign "x" (Expr.int 1) ];
+  reject "undeclared_instance" [] [ Stmt.call "t" "get" []; Stmt.drop ];
+  reject "dup_instances"
+    [ { Program.instance = "t"; kind = "x" };
+      { Program.instance = "t"; kind = "y" } ]
+    [ Stmt.drop ];
+  reject "bad_loop_bound" []
+    [ Stmt.While (Stmt.Unroll 0, Expr.int 0, []); Stmt.drop ];
+  (* variables defined on only one branch are not defined after the if *)
+  reject "branch_join" []
+    [
+      Stmt.if_ (open_expr "in_port") [ Stmt.assign "x" (Expr.int 1) ] [];
+      Stmt.assign "y" (open_expr "x");
+      Stmt.drop;
+    ]
+
+let test_validate_accepts_return_branch () =
+  (* a branch that returns does not constrain the join *)
+  let p =
+    Program.make ~name:"ok" ~state:[]
+      [
+        Stmt.if_ (open_expr "in_port") [ Stmt.drop ]
+          [ Stmt.assign "x" (Expr.int 1) ];
+        Stmt.forward (open_expr "x");
+      ]
+  in
+  check_bool "valid" true (Program.validate p = Ok ())
+
+let test_interp_arithmetic () =
+  let p =
+    Program.make ~name:"arith" ~state:[]
+      [
+        Stmt.assign "a" Expr.(int 6 * int 7);
+        Stmt.assign "b" Expr.(var "a" - int 2);
+        Stmt.assign "c" Expr.(Binop (Expr.Div, var "b", int 4));
+        Stmt.forward (open_expr "c");
+      ]
+  in
+  let run, _ = run_program p in
+  check_bool "forwarded on port 10" true (run.Exec.Interp.outcome = Exec.Interp.Sent 10)
+
+let test_interp_packet_io () =
+  let p =
+    Program.make ~name:"pkt" ~state:[]
+      [
+        Stmt.assign "x" (Expr.load16 (Expr.int 12));
+        Stmt.store16 (Expr.int 14) (open_expr "x" +! Expr.int 1);
+        Stmt.drop;
+      ]
+  in
+  let packet = Net.Packet.create 64 in
+  Net.Packet.set_u16 packet 12 0x0800;
+  let _, packet = run_program ~packet p in
+  check_int "stored" 0x0801 (Net.Packet.get_u16 packet 14)
+
+let test_interp_loop () =
+  let p =
+    Program.make ~name:"loop" ~state:[]
+      [
+        Stmt.assign "i" (Expr.int 0);
+        Stmt.assign "acc" (Expr.int 0);
+        Stmt.While
+          ( Stmt.Unroll 10,
+            Expr.(var "i" < int 5),
+            [
+              Stmt.assign "acc" Expr.(var "acc" + var "i");
+              Stmt.assign "i" (open_expr "i" +! Expr.int 1);
+            ] );
+        Stmt.forward (open_expr "acc");
+      ]
+  in
+  let run, _ = run_program p in
+  check_bool "sum 0..4" true (run.Exec.Interp.outcome = Exec.Interp.Sent 10)
+
+let test_interp_loop_bound_violation () =
+  let p =
+    Program.make ~name:"runaway" ~state:[]
+      [
+        Stmt.assign "i" (Expr.int 0);
+        Stmt.While
+          ( Stmt.Unroll 3,
+            Expr.(var "i" < int 100),
+            [ Stmt.assign "i" (open_expr "i" +! Expr.int 1) ] );
+        Stmt.drop;
+      ]
+  in
+  match run_program p with
+  | exception Exec.Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "bound violation not detected"
+
+let test_interp_division_by_zero () =
+  let p =
+    Program.make ~name:"div0" ~state:[]
+      [
+        Stmt.assign "x" (Expr.Binop (Expr.Div, Expr.int 1, Expr.int 0));
+        Stmt.drop;
+      ]
+  in
+  match run_program p with
+  | exception Exec.Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "division by zero not detected"
+
+let counting_ds calls =
+  {
+    Exec.Ds.kind = "counter";
+    call =
+      (fun meter meth args ->
+        Exec.Meter.instr meter Hw.Cost.Alu 5;
+        calls := (meth, Array.to_list args) :: !calls;
+        Array.fold_left ( + ) 0 args);
+  }
+
+let test_interp_calls_production () =
+  let calls = ref [] in
+  let p =
+    Program.make ~name:"calls"
+      ~state:[ { Program.instance = "ctr"; kind = "counter" } ]
+      [
+        Stmt.call ~ret:"x" "ctr" "add" [ Expr.int 2; Expr.int 3 ];
+        Stmt.forward (open_expr "x");
+      ]
+  in
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let run =
+    Exec.Interp.run ~meter
+      ~mode:(Exec.Interp.Production [ ("ctr", counting_ds calls) ])
+      p (Net.Packet.create 64)
+  in
+  check_bool "return value" true (run.Exec.Interp.outcome = Exec.Interp.Sent 5);
+  check_bool "recorded" true (!calls = [ ("add", [ 2; 3 ]) ])
+
+let test_interp_analysis_stubs () =
+  let p =
+    Program.make ~name:"stubs"
+      ~state:[ { Program.instance = "ctr"; kind = "counter" } ]
+      [
+        Stmt.call ~ret:"x" "ctr" "add" [ Expr.int 2; Expr.int 3 ];
+        Stmt.call ~ret:"y" "ctr" "add" [ open_expr "x" ];
+        Stmt.forward (open_expr "y");
+      ]
+  in
+  let meter = Exec.Meter.create ~trace:true (Hw.Model.null ()) in
+  let run =
+    Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis [ 42; 17 ]) p
+      (Net.Packet.create 64)
+  in
+  check_bool "stub values" true (run.Exec.Interp.outcome = Exec.Interp.Sent 17);
+  let call_events =
+    List.filter
+      (function Exec.Meter.E_call _ -> true | _ -> false)
+      (Exec.Meter.events meter)
+  in
+  check_int "two call markers" 2 (List.length call_events);
+  (* running out of stubs is an error *)
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  match
+    Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis [ 1 ]) p
+      (Net.Packet.create 64)
+  with
+  | exception Exec.Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "stub exhaustion not detected"
+
+let test_analysis_overhead () =
+  (* the analysis build charges the no-LTO call overhead, so it must cost
+     at least as much as production for the same path *)
+  let p =
+    Program.make ~name:"ovh"
+      ~state:[ { Program.instance = "ctr"; kind = "counter" } ]
+      [ Stmt.call ~ret:"x" "ctr" "add" [ Expr.int 1 ]; Stmt.drop ]
+  in
+  let null_ds =
+    { Exec.Ds.kind = "counter"; call = (fun _ _ _ -> 1) }
+  in
+  let m1 = Exec.Meter.create (Hw.Model.null ()) in
+  let r1 =
+    Exec.Interp.run ~meter:m1 ~mode:(Exec.Interp.Production [ ("ctr", null_ds) ])
+      p (Net.Packet.create 64)
+  in
+  let m2 = Exec.Meter.create (Hw.Model.null ()) in
+  let r2 =
+    Exec.Interp.run ~meter:m2 ~mode:(Exec.Interp.Analysis [ 1 ]) p
+      (Net.Packet.create 64)
+  in
+  check_int "overhead" (r1.Exec.Interp.ic + Hw.Cost.cost_call_overhead)
+    r2.Exec.Interp.ic
+
+let test_pcv_loop_observation () =
+  let p =
+    Program.make ~name:"opts" ~state:[]
+      [
+        Stmt.assign "i" (Expr.int 0);
+        Stmt.While
+          ( Stmt.Pcv_loop ("n", 10),
+            Expr.(var "i" < int 4),
+            [ Stmt.assign "i" (open_expr "i" +! Expr.int 1) ] );
+        Stmt.drop;
+      ]
+  in
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let _ =
+    Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) p
+      (Net.Packet.create 64)
+  in
+  check_int "trip count observed" 4
+    (Option.get (Perf.Pcv.lookup (Exec.Meter.pcv_max meter) (Perf.Pcv.v "n")))
+
+let test_semantics () =
+  check_int "lnot" 1 (Semantics.apply_unop Expr.Lnot 0);
+  check_int "shl" 8 (Semantics.apply_binop Expr.Shl 1 3);
+  check_int "land" 1 (Semantics.apply_binop Expr.Land 5 9);
+  match Semantics.apply_binop Expr.Rem 1 0 with
+  | exception Semantics.Undefined _ -> ()
+  | _ -> Alcotest.fail "rem by zero"
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i =
+    i + n <= h && (String.sub haystack i n = needle || loop (i + 1))
+  in
+  loop 0
+
+let test_program_pp () =
+  let s = Fmt.to_to_string Program.pp Nf.Nat.program in
+  check_bool "mentions state" true (contains s "state nat : nat_table")
+
+let test_run_batch_amortizes_framing () =
+  let p =
+    Program.make ~name:"fwd" ~state:[] [ Stmt.forward_port 0 ]
+  in
+  let packets = List.init 8 (fun _ -> (Net.Packet.create 64, 0, 100)) in
+  let m1 = Exec.Meter.create (Hw.Model.null ()) in
+  let batched =
+    Exec.Interp.run_batch ~meter:m1 ~mode:(Exec.Interp.Production []) p
+      packets
+  in
+  check_int "eight runs" 8 (List.length batched);
+  let m2 = Exec.Meter.create (Hw.Model.null ()) in
+  List.iter
+    (fun (pkt, in_port, now) ->
+      ignore
+        (Exec.Interp.run ~meter:m2 ~mode:(Exec.Interp.Production []) ~in_port
+           ~now p pkt))
+    packets;
+  check_bool "batching is cheaper overall" true
+    (Exec.Meter.ic m1 < Exec.Meter.ic m2);
+  (* analysis mode is rejected *)
+  (match
+     Exec.Interp.run_batch ~meter:m1 ~mode:(Exec.Interp.Analysis []) p packets
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "analysis batch accepted")
+
+let suite =
+  [
+    Alcotest.test_case "expr vars" `Quick test_expr_vars;
+    Alcotest.test_case "validator rejections" `Quick test_validate_rejects;
+    Alcotest.test_case "validator return-branch join" `Quick
+      test_validate_accepts_return_branch;
+    Alcotest.test_case "interp arithmetic" `Quick test_interp_arithmetic;
+    Alcotest.test_case "interp packet io" `Quick test_interp_packet_io;
+    Alcotest.test_case "interp loops" `Quick test_interp_loop;
+    Alcotest.test_case "loop bound violation" `Quick
+      test_interp_loop_bound_violation;
+    Alcotest.test_case "division by zero" `Quick test_interp_division_by_zero;
+    Alcotest.test_case "production calls" `Quick test_interp_calls_production;
+    Alcotest.test_case "analysis stubs" `Quick test_interp_analysis_stubs;
+    Alcotest.test_case "analysis call overhead" `Quick test_analysis_overhead;
+    Alcotest.test_case "pcv loop observation" `Quick test_pcv_loop_observation;
+    Alcotest.test_case "shared semantics" `Quick test_semantics;
+    Alcotest.test_case "program pretty printing" `Quick test_program_pp;
+    Alcotest.test_case "batched run amortizes framing" `Quick
+      test_run_batch_amortizes_framing;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for the networking substrate (lib/net). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_packet_accessors () =
+  let p = Net.Packet.create 64 in
+  Net.Packet.set_u8 p 0 0xab;
+  check_int "u8" 0xab (Net.Packet.get_u8 p 0);
+  Net.Packet.set_u16 p 10 0xbeef;
+  check_int "u16" 0xbeef (Net.Packet.get_u16 p 10);
+  check_int "u16 big-endian high byte" 0xbe (Net.Packet.get_u8 p 10);
+  Net.Packet.set_u32 p 20 0xdeadbeef;
+  check_int "u32" 0xdeadbeef (Net.Packet.get_u32 p 20);
+  Net.Packet.set_u48 p 30 0x0123456789ab;
+  check_int "u48" 0x0123456789ab (Net.Packet.get_u48 p 30);
+  check_int "second byte" 0x23 (Net.Packet.get_u8 p 31)
+
+let test_packet_bounds () =
+  let p = Net.Packet.create 16 in
+  (match Net.Packet.get_u32 p 13 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "read past end accepted");
+  (match Net.Packet.get_u8 p (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative offset accepted");
+  (match Net.Packet.create (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative length accepted")
+
+let prop_u32_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"u32 set/get roundtrip"
+    QCheck2.Gen.(pair (int_range 0 28) (int_range 0 0xffffffff))
+    (fun (off, v) ->
+      let p = Net.Packet.create 32 in
+      Net.Packet.set_u32 p off v;
+      Net.Packet.get_u32 p off = v)
+
+let test_ethernet () =
+  let p = Net.Build.eth ~ethertype:Net.Ethernet.ethertype_ipv4 () in
+  check_int "ethertype" 0x0800 (Net.Ethernet.get_ethertype p);
+  check_bool "not broadcast" false (Net.Ethernet.is_broadcast p);
+  Net.Ethernet.set_dst p Net.Ethernet.broadcast_mac;
+  check_bool "broadcast" true (Net.Ethernet.is_broadcast p);
+  check_string "mac string" "02:00:00:00:00:01"
+    (Net.Ethernet.mac_to_string (Net.Ethernet.mac_of_parts [| 2; 0; 0; 0; 0; 1 |]))
+
+let test_ipv4 () =
+  let src = Net.Ipv4.addr_of_parts 10 0 0 1 in
+  let dst = Net.Ipv4.addr_of_parts 93 184 216 34 in
+  let p = Net.Build.udp ~src_ip:src ~dst_ip:dst ~src_port:5000 ~dst_port:80 () in
+  check_int "version" 4 (Net.Ipv4.get_version p);
+  check_int "ihl" 5 (Net.Ipv4.get_ihl p);
+  check_int "proto" Net.Ipv4.proto_udp (Net.Ipv4.get_proto p);
+  check_int "src" src (Net.Ipv4.get_src p);
+  check_int "dst" dst (Net.Ipv4.get_dst p);
+  check_bool "checksum valid" true (Net.Ipv4.checksum_ok p);
+  Net.Ipv4.set_ttl p 3;
+  check_bool "checksum invalid after mutation" false (Net.Ipv4.checksum_ok p);
+  Net.Ipv4.update_checksum p;
+  check_bool "checksum fixed" true (Net.Ipv4.checksum_ok p);
+  check_string "addr string" "10.0.0.1" (Net.Ipv4.addr_to_string src)
+
+let test_ipv4_options () =
+  let p =
+    Net.Build.ipv4_with_options ~options:3
+      ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 1)
+      ~dst_ip:(Net.Ipv4.addr_of_parts 10 0 0 2)
+      ()
+  in
+  check_int "ihl with options" 8 (Net.Ipv4.get_ihl p);
+  check_int "option count" 3 (Net.Ipv4.option_count p);
+  check_int "l4 offset" (14 + 32) (Net.Ipv4.l4_offset p);
+  check_bool "checksum covers options" true (Net.Ipv4.checksum_ok p)
+
+let test_flow () =
+  let f =
+    Net.Flow.make
+      ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 1)
+      ~dst_ip:(Net.Ipv4.addr_of_parts 10 0 0 2)
+      ~src_port:1234 ~dst_port:80 ~proto:Net.Ipv4.proto_tcp
+  in
+  let p = Net.Build.udp_of_flow f in
+  (match Net.Flow.of_packet p with
+  | Some f' -> check_bool "roundtrip" true (Net.Flow.equal f f')
+  | None -> Alcotest.fail "flow not parsed");
+  check_bool "reverse twice" true
+    (Net.Flow.equal f (Net.Flow.reverse (Net.Flow.reverse f)));
+  check_bool "non-ip has no flow" true
+    (Net.Flow.of_packet (Net.Build.non_ip ()) = None)
+
+let test_checksum () =
+  let p = Net.Packet.create 4 in
+  Net.Packet.set_u16 p 0 0x1234;
+  let c = Net.Checksum.ones_complement p ~off:0 ~len:4 in
+  Net.Packet.set_u16 p 2 c;
+  check_bool "self-verifying" true (Net.Checksum.valid p ~off:0 ~len:4)
+
+let test_pcap_roundtrip () =
+  let packets =
+    [
+      Net.Build.non_ip ();
+      Net.Build.udp ~src_ip:1 ~dst_ip:2 ~src_port:3 ~dst_port:4 ();
+      Net.Build.tcp ~len:128 ~src_ip:5 ~dst_ip:6 ~src_port:7 ~dst_port:8 ();
+    ]
+  in
+  let records = Net.Pcap.records_of_packets ~usec_gap:1000 packets in
+  let path = Filename.temp_file "bolt_test" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Net.Pcap.write_file path records;
+      let back = Net.Pcap.read_file path in
+      check_int "count" 3 (List.length back);
+      List.iter2
+        (fun a b ->
+          check_bool "payload" true
+            (Net.Packet.equal a.Net.Pcap.packet b.Net.Pcap.packet);
+          check_int "ts_usec" a.Net.Pcap.ts_usec b.Net.Pcap.ts_usec)
+        records back)
+
+let test_pcap_malformed () =
+  let path = Filename.temp_file "bolt_test" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a pcap";
+      close_out oc;
+      match Net.Pcap.read_file path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+let test_icmp () =
+  let ping =
+    Net.Icmp.echo_request ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 1)
+      ~dst_ip:(Net.Ipv4.addr_of_parts 10 0 0 2) ~ident:7 ~seq:42 ()
+  in
+  check_int "type" Net.Icmp.type_echo_request (Net.Icmp.get_type ping);
+  check_int "ident" 7 (Net.Icmp.get_ident ping);
+  check_int "seq" 42 (Net.Icmp.get_seq ping);
+  check_bool "icmp checksum" true (Net.Icmp.checksum_ok ping);
+  check_bool "ip checksum" true (Net.Ipv4.checksum_ok ping);
+  Net.Icmp.set_type ping Net.Icmp.type_echo_reply;
+  check_bool "stale checksum detected" false (Net.Icmp.checksum_ok ping);
+  Net.Icmp.update_checksum ping;
+  check_bool "checksum fixed" true (Net.Icmp.checksum_ok ping)
+
+let test_pp () =
+  let udp = Net.Build.udp ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 9)
+      ~dst_ip:(Net.Ipv4.addr_of_parts 93 184 216 34) ~src_port:5555
+      ~dst_port:80 () in
+  check_string "udp" "IPv4 10.0.0.9:5555 > 93.184.216.34:80 udp, 60B"
+    (Net.Pp.to_string udp);
+  let arp = Net.Build.non_ip () in
+  check_string "non-ip"
+    "eth 02:00:00:00:00:01 > 02:00:00:00:00:02 ethertype 0x0806, 60B"
+    (Net.Pp.to_string arp);
+  let opts = Net.Build.ipv4_with_options ~options:2 ~src_ip:1 ~dst_ip:2 () in
+  check_bool "options flagged" true
+    (let s = Net.Pp.to_string opts in
+     String.length s > 0
+     && (let rec has i = i + 7 <= String.length s
+             && (String.sub s i 7 = "+2 opts" || has (i + 1)) in
+         has 0))
+
+let suite =
+  [
+    Alcotest.test_case "packet accessors" `Quick test_packet_accessors;
+    Alcotest.test_case "icmp" `Quick test_icmp;
+    Alcotest.test_case "packet pretty printing" `Quick test_pp;
+    Alcotest.test_case "packet bounds" `Quick test_packet_bounds;
+    Alcotest.test_case "ethernet" `Quick test_ethernet;
+    Alcotest.test_case "ipv4" `Quick test_ipv4;
+    Alcotest.test_case "ipv4 options" `Quick test_ipv4_options;
+    Alcotest.test_case "flows" `Quick test_flow;
+    Alcotest.test_case "checksum" `Quick test_checksum;
+    Alcotest.test_case "pcap roundtrip" `Quick test_pcap_roundtrip;
+    Alcotest.test_case "pcap malformed" `Quick test_pcap_malformed;
+    QCheck_alcotest.to_alcotest prop_u32_roundtrip;
+  ]

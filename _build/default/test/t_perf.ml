@@ -1,0 +1,203 @@
+(* Tests for the performance-expression algebra (lib/perf). *)
+
+open Perf
+
+let e = Pcv.expired
+let c = Pcv.collisions
+let t_ = Pcv.traversals
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_pcv_validation () =
+  check_string "name" "e" (Pcv.name Pcv.expired);
+  Alcotest.check_raises "empty name" (Invalid_argument "Pcv.v: invalid PCV name \"\"")
+    (fun () -> ignore (Pcv.v ""));
+  (match Pcv.v "bad name" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "space accepted");
+  check_bool "equal" true (Pcv.equal (Pcv.v "e") Pcv.expired)
+
+let test_binding () =
+  let b = [ (e, 3); (c, 0) ] in
+  check_int "lookup" 3 (Option.get (Pcv.lookup b e));
+  check_bool "missing" true (Pcv.lookup b t_ = None)
+
+(* VigNAT-style polynomial: 359e + 80ec + 38et + 425 *)
+let vignat =
+  Perf_expr.sum
+    [
+      Perf_expr.term 359 [ e ];
+      Perf_expr.term 80 [ e; c ];
+      Perf_expr.term 38 [ e; t_ ];
+      Perf_expr.const 425;
+    ]
+
+let test_eval () =
+  let binding = [ (e, 2); (c, 3); (t_, 4) ] in
+  check_int "vignat eval"
+    ((359 * 2) + (80 * 2 * 3) + (38 * 2 * 4) + 425)
+    (Perf_expr.eval_exn binding vignat);
+  check_int "const" 425 (Perf_expr.const_part vignat);
+  (match Perf_expr.eval [ (e, 1) ] vignat with
+  | Error pcv -> check_string "missing pcv" "c" (Pcv.name pcv)
+  | Ok _ -> Alcotest.fail "expected missing-PCV error")
+
+let test_algebra () =
+  let a = Perf_expr.term 3 [ e ] and b = Perf_expr.term 4 [ e ] in
+  check_bool "add merges" true
+    (Perf_expr.equal (Perf_expr.add a b) (Perf_expr.term 7 [ e ]));
+  check_bool "scale" true
+    (Perf_expr.equal (Perf_expr.scale 2 a) (Perf_expr.term 6 [ e ]));
+  check_bool "mul" true
+    (Perf_expr.equal
+       (Perf_expr.mul (Perf_expr.pcv e) (Perf_expr.pcv c))
+       (Perf_expr.term 1 [ e; c ]));
+  check_bool "mul by const" true
+    (Perf_expr.equal
+       (Perf_expr.mul (Perf_expr.const 5) (Perf_expr.pcv e))
+       (Perf_expr.term 5 [ e ]));
+  check_bool "zero annihilates" true
+    (Perf_expr.equal (Perf_expr.mul Perf_expr.zero vignat) Perf_expr.zero);
+  check_bool "sub to zero" true
+    (Perf_expr.equal (Perf_expr.add a (Perf_expr.scale (-1) a)) Perf_expr.zero);
+  check_int "degree" 2 (Perf_expr.degree vignat);
+  check_int "coefficient ec" 80 (Perf_expr.coefficient vignat [ e; c ]);
+  check_int "coefficient ce (sorted)" 80 (Perf_expr.coefficient vignat [ c; e ]);
+  check_int "square" 9
+    (Perf_expr.eval_exn [ (e, 3) ]
+       (Perf_expr.mul (Perf_expr.pcv e) (Perf_expr.pcv e)))
+
+let test_max_upper () =
+  let a = Perf_expr.add_const 10 (Perf_expr.term 3 [ e ]) in
+  let b = Perf_expr.add_const 2 (Perf_expr.term 5 [ e ]) in
+  let m = Perf_expr.max_upper a b in
+  check_int "coef" 5 (Perf_expr.coefficient m [ e ]);
+  check_int "const" 10 (Perf_expr.const_part m);
+  Alcotest.check_raises "negative coefficient rejected"
+    (Invalid_argument "Perf_expr.max_upper: negative coefficient")
+    (fun () ->
+      ignore (Perf_expr.max_upper (Perf_expr.const (-1)) Perf_expr.zero))
+
+let test_dominates () =
+  check_bool "vignat dominates its parts" true
+    (Perf_expr.dominates vignat (Perf_expr.term 359 [ e ]));
+  check_bool "not dominated" false
+    (Perf_expr.dominates (Perf_expr.term 359 [ e ]) vignat)
+
+let test_pp () =
+  check_string "paper style"
+    "80\u{00B7}c\u{00B7}e + 38\u{00B7}e\u{00B7}t + 359\u{00B7}e + 425"
+    (Perf_expr.to_string vignat);
+  check_string "zero" "0" (Perf_expr.to_string Perf_expr.zero);
+  check_string "power" "e^2"
+    (Perf_expr.to_string (Perf_expr.term 1 [ e; e ]))
+
+(* qcheck: max_upper is a sound upper bound at non-negative points *)
+let gen_poly =
+  QCheck2.Gen.(
+    let gen_term =
+      triple (int_range 0 50)
+        (int_range 0 2 >|= fun n -> List.filteri (fun i _ -> i < n) [ e; c ])
+        unit
+    in
+    list_size (int_range 0 5) gen_term
+    >|= List.map (fun (k, vs, ()) -> Perf_expr.term k vs)
+    >|= Perf_expr.sum)
+
+let gen_binding =
+  QCheck2.Gen.(
+    pair (int_range 0 20) (int_range 0 20) >|= fun (ve, vc) ->
+    [ (e, ve); (c, vc) ])
+
+let prop_max_upper_sound =
+  QCheck2.Test.make ~count:300 ~name:"max_upper bounds both arguments"
+    QCheck2.Gen.(triple gen_poly gen_poly gen_binding)
+    (fun (a, b, binding) ->
+      let m = Perf_expr.max_upper a b in
+      let ev p = Perf_expr.eval_exn binding p in
+      ev m >= ev a && ev m >= ev b)
+
+let prop_eval_additive =
+  QCheck2.Test.make ~count:300 ~name:"eval is additive"
+    QCheck2.Gen.(triple gen_poly gen_poly gen_binding)
+    (fun (a, b, binding) ->
+      Perf_expr.eval_exn binding (Perf_expr.add a b)
+      = Perf_expr.eval_exn binding a + Perf_expr.eval_exn binding b)
+
+let prop_eval_multiplicative =
+  QCheck2.Test.make ~count:300 ~name:"eval is multiplicative"
+    QCheck2.Gen.(triple gen_poly gen_poly gen_binding)
+    (fun (a, b, binding) ->
+      Perf_expr.eval_exn binding (Perf_expr.mul a b)
+      = Perf_expr.eval_exn binding a * Perf_expr.eval_exn binding b)
+
+let test_cost_vec () =
+  let v =
+    Cost_vec.make ~ic:(Perf_expr.const 10) ~ma:(Perf_expr.const 3)
+      ~cycles:(Perf_expr.const 100)
+  in
+  check_int "get ic" 10
+    (Perf_expr.const_part (Cost_vec.get v Metric.Instructions));
+  let w = Cost_vec.add v v in
+  check_int "add" 20
+    (Perf_expr.const_part (Cost_vec.get w Metric.Instructions));
+  check_int "scale" 30
+    (Perf_expr.const_part
+       (Cost_vec.get (Cost_vec.scale 3 v) Metric.Instructions));
+  check_int "eval" 100 (Cost_vec.eval_exn [] v Metric.Cycles)
+
+let test_ds_contract () =
+  let mk tag k =
+    Ds_contract.branch ~tag (Cost_vec.of_consts ~ic:k ~ma:1 ~cycles:k)
+  in
+  let dc = Ds_contract.make ~ds_kind:"ft" ~meth:"get" [ mk "hit" 5; mk "miss" 9 ] in
+  check_int "branch lookup" 5
+    (Perf_expr.const_part
+       (Cost_vec.get (Ds_contract.find_branch_exn dc ~tag:"hit").Ds_contract.cost
+          Metric.Instructions));
+  check_int "worst case" 9
+    (Perf_expr.const_part
+       (Cost_vec.get (Ds_contract.worst_case dc) Metric.Instructions));
+  (match Ds_contract.make ~ds_kind:"x" ~meth:"m" [ mk "a" 1; mk "a" 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate tags accepted");
+  (match Ds_contract.make ~ds_kind:"x" ~meth:"m" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty branches accepted");
+  let lib = Ds_contract.library [ dc ] in
+  check_bool "find" true (Ds_contract.find lib ~ds_kind:"ft" ~meth:"get" <> None);
+  check_bool "find other" true
+    (Ds_contract.find lib ~ds_kind:"ft" ~meth:"put" = None)
+
+let test_contract () =
+  let entry name k =
+    Contract.entry ~class_name:name (Cost_vec.of_consts ~ic:k ~ma:1 ~cycles:k)
+  in
+  let contract = Contract.make ~nf:"x" [ entry "A" 10; entry "B" 20 ] in
+  check_int "predict" 10
+    (Result.get_ok (Contract.predict contract ~class_name:"A" [] Metric.Instructions));
+  check_int "worst" 20
+    (Perf_expr.const_part
+       (Cost_vec.get (Contract.worst_case contract) Metric.Instructions));
+  (match Contract.make ~nf:"x" [ entry "A" 1; entry "A" 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate classes accepted")
+
+let suite =
+  [
+    Alcotest.test_case "pcv validation" `Quick test_pcv_validation;
+    Alcotest.test_case "bindings" `Quick test_binding;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "algebra" `Quick test_algebra;
+    Alcotest.test_case "max_upper" `Quick test_max_upper;
+    Alcotest.test_case "dominates" `Quick test_dominates;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "cost vectors" `Quick test_cost_vec;
+    Alcotest.test_case "ds contracts" `Quick test_ds_contract;
+    Alcotest.test_case "nf contracts" `Quick test_contract;
+    QCheck_alcotest.to_alcotest prop_max_upper_sound;
+    QCheck_alcotest.to_alcotest prop_eval_additive;
+    QCheck_alcotest.to_alcotest prop_eval_multiplicative;
+  ]

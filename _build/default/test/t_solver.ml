@@ -1,0 +1,214 @@
+(* Tests for the constraint solver (lib/solver), including a brute-force
+   differential check on small domains. *)
+
+open Solver
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_syms f =
+  let gen = Sym.gen () in
+  let x = Sym.fresh gen ~lo:0 ~hi:10 "x" in
+  let y = Sym.fresh gen ~lo:0 ~hi:10 "y" in
+  f gen x y
+
+let test_linexpr () =
+  with_syms (fun _ x y ->
+      let e =
+        Linexpr.add
+          (Linexpr.scale 2 (Linexpr.sym x))
+          (Linexpr.add_const 5 (Linexpr.sym y))
+      in
+      let assign s = if Sym.equal s x then 3 else 4 in
+      check_int "eval" 15 (Linexpr.eval assign e);
+      check_int "range lo" 5 (fst (Linexpr.range Sym.bounds e));
+      check_int "range hi" 35 (snd (Linexpr.range Sym.bounds e));
+      check_bool "cancellation" true
+        (Linexpr.is_const (Linexpr.sub (Linexpr.sym x) (Linexpr.sym x))
+        = Some 0))
+
+let test_constr_constant_folding () =
+  let five = Linexpr.const 5 and three = Linexpr.const 3 in
+  check_bool "5 <= 3 folds" true (Constr.le five three = Constr.False);
+  check_bool "3 <= 5 folds" true (Constr.le three five = Constr.True);
+  check_bool "eq folds" true (Constr.eq five five = Constr.True);
+  check_bool "conj with false" true
+    (Constr.conj [ Constr.True; Constr.False ] = Constr.False);
+  check_bool "disj with true" true
+    (Constr.disj [ Constr.False; Constr.True ] = Constr.True)
+
+let test_not () =
+  with_syms (fun _ x _ ->
+      let f = Constr.le (Linexpr.sym x) (Linexpr.const 4) in
+      (* ¬(x <= 4) ∧ (x <= 4) unsat *)
+      check_bool "complement unsat" false
+        (Solve.is_sat [ f; Constr.not_ f ]);
+      check_bool "double negation sat with original" true
+        (Solve.is_sat [ f; Constr.not_ (Constr.not_ f) ]))
+
+let test_solve_basic () =
+  with_syms (fun _ x y ->
+      let xl = Linexpr.sym x and yl = Linexpr.sym y in
+      (* x + y = 13, x <= 4 → x in [3,4] since y <= 10 *)
+      let cs =
+        [ Constr.eq (Linexpr.add xl yl) (Linexpr.const 13);
+          Constr.le xl (Linexpr.const 4) ]
+      in
+      match Solve.check cs with
+      | Solve.Sat m ->
+          let vx = Model.value m x and vy = Model.value m y in
+          check_bool "model satisfies" true (vx + vy = 13 && vx <= 4)
+      | _ -> Alcotest.fail "expected sat");
+  with_syms (fun _ x _ ->
+      let xl = Linexpr.sym x in
+      check_bool "out of bounds unsat" false
+        (Solve.is_sat [ Constr.ge xl (Linexpr.const 11) ]);
+      check_bool "boundary sat" true
+        (Solve.is_sat [ Constr.ge xl (Linexpr.const 10) ]))
+
+let test_solve_disjunction () =
+  with_syms (fun _ x _ ->
+      let xl = Linexpr.sym x in
+      let f =
+        Constr.disj
+          [ Constr.eq xl (Linexpr.const 7); Constr.eq xl (Linexpr.const 9) ]
+      in
+      match Solve.check [ f; Constr.ne xl (Linexpr.const 7) ] with
+      | Solve.Sat m -> check_int "picks 9" 9 (Model.value m x)
+      | _ -> Alcotest.fail "expected sat")
+
+let test_model_defaults () =
+  with_syms (fun _ x _ ->
+      let m = Model.empty in
+      check_int "default is lower bound" 0 (Model.value m x))
+
+(* Brute-force differential testing: random constraint systems over two
+   small-domain symbols; the solver must agree with exhaustive
+   enumeration. *)
+let gen_formula gen_ctx =
+  let x, y = gen_ctx in
+  let open QCheck2.Gen in
+  let gen_lin =
+    let* cx = int_range (-3) 3 in
+    let* cy = int_range (-3) 3 in
+    let* k = int_range (-10) 10 in
+    return
+      (Linexpr.add_const k
+         (Linexpr.add
+            (Linexpr.scale cx (Linexpr.sym x))
+            (Linexpr.scale cy (Linexpr.sym y))))
+  in
+  let gen_atom =
+    let* a = gen_lin in
+    let* b = gen_lin in
+    oneof
+      [
+        return (Constr.le a b); return (Constr.lt a b);
+        return (Constr.eq a b); return (Constr.ne a b);
+        return (Constr.ge a b);
+      ]
+  in
+  let* atoms = list_size (int_range 1 4) gen_atom in
+  let* use_disj = bool in
+  if use_disj then
+    let* extra = gen_atom in
+    return (Constr.disj [ Constr.conj atoms; extra ])
+  else return (Constr.conj atoms)
+
+let brute_force_sat x y formula =
+  let rec eval_formula vx vy = function
+    | Constr.True -> true
+    | Constr.False -> false
+    | Constr.Atom (Constr.Le lin) ->
+        Linexpr.eval (fun s -> if Sym.equal s x then vx else vy) lin <= 0
+    | Constr.Atom (Constr.Eqz lin) ->
+        Linexpr.eval (fun s -> if Sym.equal s x then vx else vy) lin = 0
+    | Constr.And parts -> List.for_all (eval_formula vx vy) parts
+    | Constr.Or parts -> List.exists (eval_formula vx vy) parts
+  in
+  let lo_x, hi_x = Sym.bounds x and lo_y, hi_y = Sym.bounds y in
+  let found = ref false in
+  for vx = lo_x to hi_x do
+    for vy = lo_y to hi_y do
+      if eval_formula vx vy formula then found := true
+    done
+  done;
+  !found
+
+let prop_solver_matches_brute_force =
+  let gen = Sym.gen () in
+  let x = Sym.fresh gen ~lo:0 ~hi:7 "x" in
+  let y = Sym.fresh gen ~lo:0 ~hi:7 "y" in
+  QCheck2.Test.make ~count:500 ~name:"solver agrees with brute force"
+    (gen_formula (x, y))
+    (fun formula ->
+      let expected = brute_force_sat x y formula in
+      match Solve.check [ formula ] with
+      | Solve.Sat m ->
+          (* a claimed model must actually satisfy the formula *)
+          let rec holds = function
+            | Constr.True -> true
+            | Constr.False -> false
+            | Constr.Atom (Constr.Le lin) -> Model.eval m lin <= 0
+            | Constr.Atom (Constr.Eqz lin) -> Model.eval m lin = 0
+            | Constr.And parts -> List.for_all holds parts
+            | Constr.Or parts -> List.exists holds parts
+          in
+          expected && holds formula
+      | Solve.Unsat -> not expected
+      | Solve.Unknown -> true)
+
+let test_unknown_is_conservative () =
+  (* with the DNF budget forced to zero, the solver must give up as
+     Unknown — and is_sat must treat Unknown as satisfiable, because a
+     path we cannot prove infeasible has to stay in the contract *)
+  with_syms (fun _ x _ ->
+      let xl = Linexpr.sym x in
+      let f =
+        Constr.disj
+          [ Constr.eq xl (Linexpr.const 1); Constr.eq xl (Linexpr.const 2) ]
+      in
+      (match Solve.check ~max_conjuncts:0 [ f ] with
+      | Solve.Unknown -> ()
+      | _ -> Alcotest.fail "expected Unknown under a zero budget");
+      check_bool "unknown counts as sat" true
+        (Solve.is_sat ~max_conjuncts:0 [ f ]))
+
+let test_tight_bounds_propagation () =
+  with_syms (fun _ x y ->
+      let xl = Linexpr.sym x and yl = Linexpr.sym y in
+      (* 2x + 3y = 29 with x,y in [0,10]: solutions exist (x=1,y=9 ...) *)
+      let f = Constr.eq (Linexpr.add (Linexpr.scale 2 xl) (Linexpr.scale 3 yl))
+          (Linexpr.const 29) in
+      (match Solve.check [ f ] with
+      | Solve.Sat m ->
+          check_bool "exact" true
+            ((2 * Model.value m x) + (3 * Model.value m y) = 29)
+      | _ -> Alcotest.fail "expected sat");
+      (* 2x + 4y = 29 has no integer solutions... parity is beyond pure
+         interval reasoning, so the solver may answer Sat only with a real
+         witness — verify it never fabricates one *)
+      let g = Constr.eq (Linexpr.add (Linexpr.scale 2 xl) (Linexpr.scale 4 yl))
+          (Linexpr.const 29) in
+      match Solve.check [ g ] with
+      | Solve.Sat m ->
+          Alcotest.fail
+            (Printf.sprintf "fabricated witness x=%d y=%d" (Model.value m x)
+               (Model.value m y))
+      | Solve.Unsat | Solve.Unknown -> ())
+
+let suite =
+  [
+    Alcotest.test_case "linexpr" `Quick test_linexpr;
+    Alcotest.test_case "unknown is conservative" `Quick
+      test_unknown_is_conservative;
+    Alcotest.test_case "tight propagation" `Quick
+      test_tight_bounds_propagation;
+    Alcotest.test_case "constr constant folding" `Quick
+      test_constr_constant_folding;
+    Alcotest.test_case "negation" `Quick test_not;
+    Alcotest.test_case "solve basics" `Quick test_solve_basic;
+    Alcotest.test_case "solve disjunction" `Quick test_solve_disjunction;
+    Alcotest.test_case "model defaults" `Quick test_model_defaults;
+    QCheck_alcotest.to_alcotest prop_solver_matches_brute_force;
+  ]

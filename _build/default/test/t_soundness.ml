@@ -1,0 +1,236 @@
+(* The strongest soundness property in the suite: for RANDOM workloads,
+   every packet's metered cost is bounded by the contract's worst-case
+   expression evaluated at that packet's own distilled PCVs.
+
+   This is the defining guarantee of a performance contract (paper §2.2):
+   "for any real execution that satisfies the contract's assumptions,
+   the measured performance is guaranteed to be no more than the metric
+   value predicted by the contract." *)
+
+let check_bool = Alcotest.(check bool)
+
+let worst_of program contracts =
+  Bolt.Pipeline.worst_case
+    (Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program)
+
+(* Per-packet binding from the packet's own observations: the max each
+   PCV reached during the packet, 0 for PCVs never observed. *)
+let binding_of_report (r : Distiller.Run.packet_report) =
+  let all =
+    Perf.Pcv.
+      [ expired; collisions; traversals; occupancy; scan; v "n" ]
+  in
+  List.map
+    (fun pcv ->
+      ( pcv,
+        List.fold_left
+          (fun acc (p, v) -> if Perf.Pcv.equal p pcv then max acc v else acc)
+          0 r.Distiller.Run.observations ))
+    all
+
+let assert_packets_bounded ~what worst (result : Distiller.Run.t) =
+  List.iter
+    (fun (r : Distiller.Run.packet_report) ->
+      let binding = binding_of_report r in
+      let bound metric = Perf.Cost_vec.eval_exn binding worst metric in
+      let check metric measured =
+        let b = bound metric in
+        if b < measured then
+          Alcotest.fail
+            (Printf.sprintf
+               "%s packet %d: %s bound %d < measured %d at %s" what
+               r.Distiller.Run.index
+               (Perf.Metric.to_string metric)
+               b measured
+               (Fmt.to_to_string Perf.Pcv.pp_binding binding))
+      in
+      check Perf.Metric.Instructions r.Distiller.Run.ic;
+      check Perf.Metric.Memory_accesses r.Distiller.Run.ma)
+    result.Distiller.Run.reports
+
+let prop_nat_random_traffic =
+  QCheck2.Test.make ~count:8 ~name:"NAT: per-packet contract soundness"
+    QCheck2.Gen.(
+      triple (int_range 1 1000000) (int_range 4 64) (float_range 0.0 0.9))
+    (fun (seed, pool, churn) ->
+      let config =
+        {
+          Nf.Nat.default_config with
+          Nf.Nat.capacity = 64;
+          buckets = 8 (* tiny and collision-prone on purpose *);
+          timeout = 5_000;
+          port_lo = 1000;
+          port_hi = 1199;
+        }
+      in
+      let worst = worst_of Nf.Nat.program (Nf.Nat.contracts ~config ()) in
+      let dss, _ = Nf.Nat.setup ~config (Dslib.Layout.allocator ()) in
+      let rng = Workload.Prng.create ~seed in
+      let stream =
+        Workload.Gen.churn rng ~pool ~packets:300 ~new_flow_prob:churn
+          ~gap:40 ~start:1_000
+      in
+      (* add some invalid and external packets into the mix *)
+      let stream =
+        List.concat_map
+          (fun (e : Workload.Stream.entry) ->
+            if Workload.Prng.bool rng 0.1 then
+              [
+                e;
+                {
+                  e with
+                  Workload.Stream.packet = Net.Build.non_ip ();
+                  in_port = 1;
+                };
+              ]
+            else [ e ])
+          stream
+      in
+      let result =
+        Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss Nf.Nat.program stream
+      in
+      assert_packets_bounded ~what:"nat" worst result;
+      true)
+
+let prop_bridge_random_traffic =
+  QCheck2.Test.make ~count:8 ~name:"bridge: per-packet contract soundness"
+    QCheck2.Gen.(pair (int_range 1 1000000) (int_range 2 16))
+    (fun (seed, stations) ->
+      let config =
+        {
+          Nf.Bridge.default_config with
+          Nf.Bridge.capacity = 32;
+          buckets = 4 (* long chains + frequent rehashes *);
+          threshold = 3;
+          timeout = 3_000;
+        }
+      in
+      let worst =
+        worst_of Nf.Bridge.program (Nf.Bridge.contracts ~config ())
+      in
+      let dss, _ = Nf.Bridge.setup ~config (Dslib.Layout.allocator ()) in
+      let rng = Workload.Prng.create ~seed in
+      let macs = List.init stations (fun _ -> Workload.Gen.mac rng) in
+      let stream =
+        List.init 300 (fun i ->
+            let src = List.nth macs (Workload.Prng.below rng stations) in
+            let dst =
+              if Workload.Prng.bool rng 0.2 then Net.Ethernet.broadcast_mac
+              else if Workload.Prng.bool rng 0.3 then Workload.Gen.mac rng
+              else List.nth macs (Workload.Prng.below rng stations)
+            in
+            {
+              Workload.Stream.packet =
+                Net.Build.eth ~src_mac:src ~dst_mac:dst
+                  ~ethertype:Net.Ethernet.ethertype_ipv4 ();
+              now = 1_000 + (i * 50);
+              in_port = Workload.Prng.below rng 4;
+            })
+      in
+      let result =
+        Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss Nf.Bridge.program
+          stream
+      in
+      assert_packets_bounded ~what:"bridge" worst result;
+      true)
+
+let prop_lb_random_traffic =
+  QCheck2.Test.make ~count:6 ~name:"maglev: per-packet contract soundness"
+    QCheck2.Gen.(int_range 1 1000000)
+    (fun seed ->
+      let config =
+        {
+          Nf.Maglev.default_config with
+          Nf.Maglev.capacity = 32;
+          buckets = 4;
+          timeout = 5_000;
+          backend_timeout = 2_000;
+        }
+      in
+      let worst =
+        worst_of Nf.Maglev.program (Nf.Maglev.contracts ~config ())
+      in
+      let dss, _ = Nf.Maglev.setup ~config (Dslib.Layout.allocator ()) in
+      let rng = Workload.Prng.create ~seed in
+      let flows = Workload.Gen.distinct_flows rng 24 in
+      let stream =
+        List.init 300 (fun i ->
+            let now = 1_000 + (i * 30) in
+            if Workload.Prng.bool rng 0.1 then
+              {
+                Workload.Stream.packet =
+                  List.hd
+                    (Workload.Gen.heartbeat_frames
+                       ~backend_ids:[ Workload.Prng.below rng 16 ]
+                       ~port:Nf.Maglev.heartbeat_port);
+                now;
+                in_port = 1;
+              }
+            else
+              {
+                Workload.Stream.packet =
+                  Net.Build.udp_of_flow
+                    (List.nth flows (Workload.Prng.below rng 24));
+                now;
+                in_port = 0;
+              })
+      in
+      let result =
+        Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss Nf.Maglev.program
+          stream
+      in
+      assert_packets_bounded ~what:"maglev" worst result;
+      true)
+
+let prop_static_router_random_options =
+  QCheck2.Test.make ~count:20
+    ~name:"static router: option loop bounded by n-term"
+    QCheck2.Gen.(pair (int_range 0 8) (int_range 1 100000))
+    (fun (options, seed) ->
+      let worst =
+        worst_of Nf.Static_router.program (Perf.Ds_contract.library [])
+      in
+      let rng = Workload.Prng.create ~seed in
+      let packet =
+        if options = 0 then
+          Net.Build.udp ~src_ip:(Workload.Prng.below rng 1000) ~dst_ip:2
+            ~src_port:3 ~dst_port:4 ()
+        else
+          Net.Build.ipv4_with_options ~options
+            ~src_ip:(Workload.Prng.below rng 1000)
+            ~dst_ip:2 ()
+      in
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let run =
+        Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~now:7777
+          Nf.Static_router.program packet
+      in
+      let binding = [ (Perf.Pcv.v "n", options) ] in
+      Perf.Perf_expr.eval_exn binding
+        (Perf.Cost_vec.get worst Perf.Metric.Instructions)
+      >= run.Exec.Interp.ic
+      && Perf.Perf_expr.eval_exn binding
+           (Perf.Cost_vec.get worst Perf.Metric.Memory_accesses)
+         >= run.Exec.Interp.ma)
+
+let test_engine_determinism () =
+  let run () =
+    let r =
+      Symbex.Engine.explore ~models:Bolt.Ds_models.default Nf.Nat.program
+    in
+    List.map
+      (fun p ->
+        ( p.Symbex.Path.id,
+          List.map (fun c -> c.Symbex.Path.tag) p.Symbex.Path.calls ))
+      r.Symbex.Engine.paths
+  in
+  check_bool "two runs identical" true (run () = run ())
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_nat_random_traffic;
+    QCheck_alcotest.to_alcotest prop_bridge_random_traffic;
+    QCheck_alcotest.to_alcotest prop_lb_random_traffic;
+    QCheck_alcotest.to_alcotest prop_static_router_random_options;
+    Alcotest.test_case "engine determinism" `Quick test_engine_determinism;
+  ]

@@ -1,0 +1,288 @@
+(* Tests for the conntrack firewall and the analysis tooling (reports,
+   validation). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let analyze program contracts =
+  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i =
+    i + n <= h && (String.sub haystack i n = needle || loop (i + 1))
+  in
+  loop 0
+
+(* ---- Conntrack firewall --------------------------------------------------- *)
+
+let ct_config =
+  { Nf.Conntrack.capacity = 64; buckets = 32; timeout = 5_000 }
+
+let test_conntrack_semantics () =
+  let dss, _ =
+    Nf.Conntrack.setup ~config:ct_config (Dslib.Layout.allocator ())
+  in
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let inside =
+    Net.Build.udp ~src_ip:0x0a000001 ~dst_ip:0x08080808 ~src_port:4444
+      ~dst_port:53 ()
+  in
+  let reply =
+    Net.Build.udp ~src_ip:0x08080808 ~dst_ip:0x0a000001 ~src_port:53
+      ~dst_port:4444 ()
+  in
+  let unsolicited =
+    Net.Build.udp ~src_ip:0x08080808 ~dst_ip:0x0a000001 ~src_port:53
+      ~dst_port:5555 ()
+  in
+  let run packet in_port now =
+    (Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss) ~in_port ~now
+       Nf.Conntrack.program packet)
+      .Exec.Interp.outcome
+  in
+  (* unsolicited inbound traffic is dropped *)
+  check_bool "unsolicited dropped" true (run reply 1 1000 = Exec.Interp.Dropped);
+  (* an outbound packet opens the flow... *)
+  check_bool "outbound passes" true (run inside 0 1100 = Exec.Interp.Sent 1);
+  (* ...after which the reply passes, but only the matching tuple *)
+  check_bool "reply passes" true (run reply 1 1200 = Exec.Interp.Sent 0);
+  check_bool "other inbound still dropped" true
+    (run unsolicited 1 1300 = Exec.Interp.Dropped);
+  (* the flow expires when idle *)
+  check_bool "expired reply dropped" true
+    (run reply 1 50_000 = Exec.Interp.Dropped)
+
+let test_conntrack_contract () =
+  let t = analyze Nf.Conntrack.program (Nf.Conntrack.contracts ~config:ct_config ()) in
+  check_int "all solved" 0 t.Bolt.Pipeline.unsolved;
+  let classes = Nf.Conntrack.classes ~config:ct_config () in
+  let contract = Bolt.Pipeline.contract t ~classes in
+  let at name =
+    Result.get_ok
+      (Perf.Contract.predict contract ~class_name:name
+         Perf.Pcv.[ (expired, 0); (collisions, 0); (traversals, 1) ]
+         Perf.Metric.Instructions)
+  in
+  check_bool "new flow is the dearest" true (at "CT2" > at "CT3");
+  check_bool "drop is the cheapest stateful path" true (at "CT5" < at "CT4");
+  (* inbound and outbound established cost the same (both are one hit) *)
+  check_int "symmetric established" (at "CT3") (at "CT4")
+
+let test_conntrack_soundness_random () =
+  let worst =
+    Bolt.Pipeline.worst_case
+      (analyze Nf.Conntrack.program
+         (Nf.Conntrack.contracts ~config:ct_config ()))
+  in
+  let dss, _ =
+    Nf.Conntrack.setup ~config:ct_config (Dslib.Layout.allocator ())
+  in
+  let rng = Workload.Prng.create ~seed:51 in
+  let flows = Workload.Gen.distinct_flows rng 32 in
+  let stream =
+    List.init 400 (fun i ->
+        let f = List.nth flows (Workload.Prng.below rng 32) in
+        let outbound = Workload.Prng.bool rng 0.6 in
+        {
+          Workload.Stream.packet =
+            Net.Build.udp_of_flow (if outbound then f else Net.Flow.reverse f);
+          now = 1_000 + (i * 30);
+          in_port = (if outbound then 0 else 1);
+        })
+  in
+  let report =
+    Experiments.Validate.run ~worst ~dss Nf.Conntrack.program stream
+  in
+  check_int "no violations" 0
+    (List.length report.Experiments.Validate.violations);
+  check_int "all packets checked" 400 report.Experiments.Validate.packets
+
+(* ---- Count-min sketch / heavy-hitter limiter -------------------------------- *)
+
+let test_count_min_semantics () =
+  let cm = Dslib.Count_min.create ~base:0x7c00_0000 ~rows:4 ~width:256 in
+  let quiet () = Exec.Meter.create (Hw.Model.null ()) in
+  let k1 = [| 1; 0; 0; 0; 17 |] and k2 = [| 2; 0; 0; 0; 17 |] in
+  check_int "fresh key" 0 (Dslib.Count_min.estimate_quiet cm k1);
+  for _ = 1 to 10 do
+    ignore (Dslib.Count_min.update cm (quiet ()) ~key:k1)
+  done;
+  (* count-min never under-estimates *)
+  check_bool "no under-estimate" true
+    (Dslib.Count_min.estimate_quiet cm k1 >= 10);
+  check_bool "other keys mostly unaffected" true
+    (Dslib.Count_min.estimate_quiet cm k2 <= 10);
+  Dslib.Count_min.decay cm;
+  check_bool "decay halves" true (Dslib.Count_min.estimate_quiet cm k1 <= 5);
+  (match Dslib.Count_min.create ~base:0 ~rows:4 ~width:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-power-of-two width accepted")
+
+let test_count_min_contract_dominates () =
+  let rows = 4 in
+  let cm = Dslib.Count_min.create ~base:0x7d00_0000 ~rows ~width:128 in
+  let lib = Perf.Ds_contract.library (Dslib.Count_min.Recipe.contract ~rows) in
+  let check_method meth f =
+    let c = Perf.Ds_contract.find_exn lib ~ds_kind:"count_min" ~meth in
+    let branch = Perf.Ds_contract.find_branch_exn c ~tag:"ok" in
+    for i = 1 to 30 do
+      let meter = Exec.Meter.create (Hw.Model.conservative ()) in
+      ignore (f meter [| i * 7; 0; 0; 0; 6 |]);
+      let bound m = Perf.Cost_vec.eval_exn [] branch.Perf.Ds_contract.cost m in
+      check_bool (meth ^ " ic") true
+        (bound Perf.Metric.Instructions >= Exec.Meter.ic meter);
+      check_bool (meth ^ " ma") true
+        (bound Perf.Metric.Memory_accesses >= Exec.Meter.ma meter);
+      check_bool (meth ^ " cycles") true
+        (bound Perf.Metric.Cycles >= Exec.Meter.cycles meter)
+    done
+  in
+  check_method "update" (fun m key -> Dslib.Count_min.update cm m ~key);
+  check_method "estimate" (fun m key -> Dslib.Count_min.estimate cm m ~key)
+
+let test_limiter_sheds_heavy_hitters () =
+  let dss, _ = Nf.Limiter.setup (Dslib.Layout.allocator ()) in
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let attacker =
+    Net.Build.udp ~src_ip:0x66000001 ~dst_ip:2 ~src_port:3 ~dst_port:4 ()
+  in
+  let victim =
+    Net.Build.udp ~src_ip:0x0a000001 ~dst_ip:2 ~src_port:9 ~dst_port:4 ()
+  in
+  let run pkt =
+    (Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss) ~now:1
+       Nf.Limiter.program pkt)
+      .Exec.Interp.outcome
+  in
+  (* flood from one source until it crosses the threshold *)
+  let dropped = ref 0 in
+  for _ = 1 to Nf.Limiter.threshold + 50 do
+    if run attacker = Exec.Interp.Dropped then incr dropped
+  done;
+  check_bool "flood eventually shed" true (!dropped >= 40);
+  check_bool "bystander unaffected" true (run victim = Exec.Interp.Sent 1)
+
+(* ---- ICMP responder ---------------------------------------------------------- *)
+
+let test_responder_semantics () =
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let run pkt in_port =
+    (Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~in_port
+       Nf.Responder.program pkt)
+      .Exec.Interp.outcome
+  in
+  let src = Net.Ipv4.addr_of_parts 10 0 0 7 in
+  let ping =
+    Net.Icmp.echo_request ~src_ip:src ~dst_ip:Nf.Responder.device_ip
+      ~ident:3 ~seq:1 ()
+  in
+  check_bool "answered out the ingress port" true
+    (run ping 2 = Exec.Interp.Sent 2);
+  (* the bounce rewrote the packet into a reply back to the sender *)
+  check_int "now a reply" Net.Icmp.type_echo_reply (Net.Icmp.get_type ping);
+  check_int "addressed to the pinger" src (Net.Ipv4.get_dst ping);
+  check_int "from the device" Nf.Responder.device_ip (Net.Ipv4.get_src ping);
+  (* pings for someone else, and non-pings, are dropped *)
+  let not_ours =
+    Net.Icmp.echo_request ~src_ip:src ~dst_ip:(src + 1) ~ident:3 ~seq:1 ()
+  in
+  check_bool "not ours" true (run not_ours 0 = Exec.Interp.Dropped);
+  let udp = Net.Build.udp ~src_ip:src ~dst_ip:Nf.Responder.device_ip
+      ~src_port:1 ~dst_port:2 () in
+  check_bool "udp dropped" true (run udp 0 = Exec.Interp.Dropped)
+
+let test_responder_contract_bounds_bounce () =
+  let t = analyze Nf.Responder.program (Perf.Ds_contract.library []) in
+  check_int "all solved" 0 t.Bolt.Pipeline.unsolved;
+  let contract =
+    Bolt.Pipeline.contract t ~classes:(Nf.Responder.classes ())
+  in
+  let bound =
+    Result.get_ok
+      (Perf.Contract.predict contract ~class_name:"Echo request" []
+         Perf.Metric.Instructions)
+  in
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let ping =
+    Net.Icmp.echo_request ~src_ip:123456 ~dst_ip:Nf.Responder.device_ip
+      ~ident:1 ~seq:1 ()
+  in
+  let run =
+    Exec.Interp.run ~meter ~mode:(Exec.Interp.Production [])
+      Nf.Responder.program ping
+  in
+  check_bool "bounce within bound" true (bound >= run.Exec.Interp.ic)
+
+(* ---- Validate tool --------------------------------------------------------- *)
+
+let test_validate_detects_breakage () =
+  (* a deliberately-wrong (zero) contract must be flagged on every packet *)
+  let dss, _ = Nf.Policer.setup (Dslib.Layout.allocator ()) in
+  let stream =
+    Workload.Stream.constant_rate ~in_port:0 ~start:1_000 ~gap:100
+      [
+        Net.Build.udp ~src_ip:1 ~dst_ip:2 ~src_port:3 ~dst_port:4 ();
+        Net.Build.udp ~src_ip:5 ~dst_ip:6 ~src_port:7 ~dst_port:8 ();
+      ]
+  in
+  let report =
+    Experiments.Validate.run ~worst:Perf.Cost_vec.zero ~dss
+      Nf.Policer.program stream
+  in
+  check_bool "violations found" true
+    (List.length report.Experiments.Validate.violations >= 2);
+  let rendered = Fmt.to_to_string Experiments.Validate.pp report in
+  check_bool "report names the breakage" true
+    (contains rendered "CONTRACT VIOLATED")
+
+(* ---- Report rendering -------------------------------------------------------- *)
+
+let test_report_rendering () =
+  let t = analyze Nf.Policer.program (Nf.Policer.contracts ()) in
+  let summary = Fmt.to_to_string Bolt.Report.pp_summary t in
+  check_bool "summary names the NF" true (contains summary "policer");
+  check_bool "summary counts paths" true (contains summary "3 feasible paths");
+  let paths =
+    Fmt.to_to_string (Bolt.Report.pp_paths ~witnesses:true) t
+  in
+  check_bool "paths show tags" true (contains paths "bucket.conform[conform]");
+  check_bool "paths show witnesses" true (contains paths "witness");
+  (* the witness embeds the IPv4 ethertype the path requires *)
+  check_bool "witness satisfies the class" true (contains paths "0800");
+  let full =
+    Fmt.to_to_string
+      (Bolt.Report.pp_full ~classes:(Nf.Policer.classes ()))
+      t
+  in
+  check_bool "full report includes the contract" true
+    (contains full "performance contract for policer")
+
+let test_witness_line () =
+  let p = Net.Packet.create 4 in
+  Net.Packet.set_u8 p 0 0xde;
+  Net.Packet.set_u8 p 1 0xad;
+  Alcotest.(check string) "hex" "dead0000" (Bolt.Report.witness_line p);
+  let big = Net.Packet.create 100 in
+  check_bool "truncation marker" true
+    (contains (Bolt.Report.witness_line big) "100B")
+
+let suite =
+  [
+    Alcotest.test_case "conntrack semantics" `Quick test_conntrack_semantics;
+    Alcotest.test_case "conntrack contract" `Quick test_conntrack_contract;
+    Alcotest.test_case "conntrack random soundness" `Slow
+      test_conntrack_soundness_random;
+    Alcotest.test_case "responder semantics" `Quick test_responder_semantics;
+    Alcotest.test_case "responder contract" `Quick
+      test_responder_contract_bounds_bounce;
+    Alcotest.test_case "count-min semantics" `Quick test_count_min_semantics;
+    Alcotest.test_case "count-min contract" `Quick
+      test_count_min_contract_dominates;
+    Alcotest.test_case "limiter sheds heavy hitters" `Quick
+      test_limiter_sheds_heavy_hitters;
+    Alcotest.test_case "validate detects breakage" `Quick
+      test_validate_detects_breakage;
+    Alcotest.test_case "report rendering" `Quick test_report_rendering;
+    Alcotest.test_case "witness line" `Quick test_witness_line;
+  ]

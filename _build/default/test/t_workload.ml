@@ -1,0 +1,214 @@
+(* Tests for the workload generators and the tooling extensions (contract
+   diffing, sensitivity analysis). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- PRNG ----------------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Workload.Prng.create ~seed:9 in
+  let b = Workload.Prng.create ~seed:9 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Workload.Prng.next a) (Workload.Prng.next b)
+  done;
+  let c = Workload.Prng.create ~seed:10 in
+  check_bool "different seed differs" true
+    (Workload.Prng.next a <> Workload.Prng.next c)
+
+let test_prng_ranges () =
+  let rng = Workload.Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Workload.Prng.below rng 7 in
+    check_bool "below" true (v >= 0 && v < 7);
+    let w = Workload.Prng.range rng ~lo:5 ~hi:9 in
+    check_bool "range" true (w >= 5 && w <= 9)
+  done;
+  (match Workload.Prng.below rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bound accepted");
+  (* rough uniformity: each residue of 4 gets 15-35% *)
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let v = Workload.Prng.below rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 600 && c < 1400))
+    counts
+
+(* ---- Generators ------------------------------------------------------------ *)
+
+let test_distinct_flows () =
+  let rng = Workload.Prng.create ~seed:4 in
+  let flows = Workload.Gen.distinct_flows rng 200 in
+  check_int "count" 200 (List.length flows);
+  check_int "distinct" 200
+    (List.length (List.sort_uniq Net.Flow.compare flows));
+  List.iter
+    (fun (f : Net.Flow.t) ->
+      check_bool "valid proto" true
+        (f.Net.Flow.proto = Net.Ipv4.proto_tcp
+        || f.Net.Flow.proto = Net.Ipv4.proto_udp))
+    flows
+
+let test_packets_parse_back () =
+  let rng = Workload.Prng.create ~seed:5 in
+  let flows = Workload.Gen.distinct_flows rng 50 in
+  List.iter2
+    (fun flow packet ->
+      match Net.Flow.of_packet packet with
+      | Some f -> check_bool "5-tuple preserved" true (Net.Flow.equal f flow)
+      | None -> Alcotest.fail "generated packet unparsable")
+    flows
+    (Workload.Gen.packets_of_flows flows)
+
+let test_churn_stream () =
+  let rng = Workload.Prng.create ~seed:6 in
+  let stream =
+    Workload.Gen.churn rng ~pool:16 ~packets:500 ~new_flow_prob:0.2 ~gap:10
+      ~start:1000
+  in
+  check_int "length" 500 (List.length stream);
+  (* timestamps strictly increase by gap *)
+  let rec check_times i = function
+    | { Workload.Stream.now; _ } :: rest ->
+        check_int "timestamp" (1000 + (i * 10)) now;
+        check_times (i + 1) rest
+    | [] -> ()
+  in
+  check_times 0 stream;
+  (* churn produces more distinct flows than the pool *)
+  let distinct =
+    List.filter_map
+      (fun e -> Net.Flow.of_packet e.Workload.Stream.packet)
+      stream
+    |> List.sort_uniq Net.Flow.compare |> List.length
+  in
+  check_bool "churn grows flow count" true (distinct > 16)
+
+let test_heartbeats () =
+  let frames =
+    Workload.Gen.heartbeat_frames ~backend_ids:[ 0; 3; 7 ] ~port:9999
+  in
+  check_int "one per backend" 3 (List.length frames);
+  List.iter2
+    (fun b frame ->
+      check_int "dst port" 9999 (Net.L4.get_dst_port frame);
+      check_int "encodes backend" b (Net.Ipv4.get_src frame land 0xff))
+    [ 0; 3; 7 ] frames
+
+let test_adversarial_collisions () =
+  let rng = Workload.Prng.create ~seed:7 in
+  let ft =
+    Dslib.Flow_table.create ~base:0x7800_0000 ~key_len:5 ~capacity:64
+      ~buckets:64 ~timeout:1000 ()
+  in
+  let keys =
+    Workload.Adversarial.colliding_flows rng
+      ~hash:(Dslib.Flow_table.hash_of_key ft)
+      ~key_len:5 ~bucket:0 32
+  in
+  check_int "count" 32 (List.length keys);
+  List.iter
+    (fun key ->
+      check_int "all in bucket 0" 0 (Dslib.Flow_table.hash_of_key ft key))
+    keys;
+  check_int "distinct" 32 (List.length (List.sort_uniq compare keys))
+
+let test_fill_collided_then_mass_expiry () =
+  let rng = Workload.Prng.create ~seed:8 in
+  let ft =
+    Dslib.Flow_table.create ~base:0x7900_0000 ~key_len:5 ~capacity:32
+      ~buckets:32 ~timeout:1000 ()
+  in
+  Workload.Adversarial.fill_flow_table_collided ft rng ~value:1
+    ~stamped_at:500;
+  check_int "full" 32 (Dslib.Flow_table.size ft);
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  check_int "mass expiry" 32 (Dslib.Flow_table.expire ft meter ~now:10_000)
+
+(* ---- Contract diff ----------------------------------------------------------- *)
+
+let entry name cost =
+  Perf.Contract.entry ~class_name:name cost
+
+let vec ic =
+  Perf.Cost_vec.make ~ic ~ma:(Perf.Perf_expr.const 1)
+    ~cycles:(Perf.Perf_expr.const 1)
+
+let test_contract_diff () =
+  let e = Perf.Pcv.expired in
+  let before =
+    Perf.Contract.make ~nf:"x"
+      [
+        entry "A" (vec (Perf.Perf_expr.add_const 10 (Perf.Perf_expr.term 3 [ e ])));
+        entry "B" (vec (Perf.Perf_expr.const 5));
+      ]
+  in
+  let after =
+    Perf.Contract.make ~nf:"x"
+      [
+        entry "A" (vec (Perf.Perf_expr.add_const 10 (Perf.Perf_expr.term 7 [ e ])));
+        entry "C" (vec (Perf.Perf_expr.const 2));
+      ]
+  in
+  let d = Perf.Contract_diff.diff before after in
+  check_bool "not empty" false (Perf.Contract_diff.is_empty d);
+  let kinds =
+    List.map
+      (function
+        | Perf.Contract_diff.Added e -> "+" ^ e.Perf.Contract.class_name
+        | Perf.Contract_diff.Removed e -> "-" ^ e.Perf.Contract.class_name
+        | Perf.Contract_diff.Changed { class_name; _ } -> "~" ^ class_name)
+      d
+    |> List.sort String.compare
+  in
+  check_bool "changes" true (kinds = [ "+C"; "-B"; "~A" ]);
+  check_int "regressions include growth and additions" 2
+    (List.length (Perf.Contract_diff.regressions d));
+  check_bool "identity diff empty" true
+    (Perf.Contract_diff.is_empty (Perf.Contract_diff.diff before before))
+
+(* ---- Sensitivity ---------------------------------------------------------------- *)
+
+let test_sensitivity_sweep () =
+  let l = Perf.Pcv.prefix_len in
+  let cost =
+    vec (Perf.Perf_expr.add_const 5 (Perf.Perf_expr.term 4 [ l ]))
+  in
+  let points =
+    Distiller.Sensitivity.sweep ~cost ~metric:Perf.Metric.Instructions
+      ~pcv:l ~base:[] ~lo:0 ~hi:4
+      ~observed:[ 1; 1; 2; 3 ]
+      ()
+  in
+  check_int "points" 5 (List.length points);
+  let p2 = List.nth points 2 in
+  check_int "bound at 2" 13 p2.Distiller.Sensitivity.bound;
+  check_bool "share at 2" true
+    (Float.abs (p2.Distiller.Sensitivity.traffic_share -. 0.25) < 1e-9);
+  check_bool "knee at 99%" true
+    (Distiller.Sensitivity.knee points ~threshold:0.99 = Some 3);
+  check_bool "knee never reached on empty traffic" true
+    (Distiller.Sensitivity.knee
+       (Distiller.Sensitivity.sweep ~cost ~metric:Perf.Metric.Instructions
+          ~pcv:l ~base:[] ~lo:0 ~hi:2 ())
+       ~threshold:0.5
+    = None)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+    Alcotest.test_case "distinct flows" `Quick test_distinct_flows;
+    Alcotest.test_case "packets parse back" `Quick test_packets_parse_back;
+    Alcotest.test_case "churn stream" `Quick test_churn_stream;
+    Alcotest.test_case "heartbeat frames" `Quick test_heartbeats;
+    Alcotest.test_case "adversarial collisions" `Quick
+      test_adversarial_collisions;
+    Alcotest.test_case "synthesized mass expiry" `Quick
+      test_fill_collided_then_mass_expiry;
+    Alcotest.test_case "contract diff" `Quick test_contract_diff;
+    Alcotest.test_case "sensitivity sweep" `Quick test_sensitivity_sweep;
+  ]
