@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke examples doc clean
 
 all: build
 
@@ -14,6 +14,11 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# CI smoke: quick workloads through the parallel pipeline, with the
+# jobs:1 / jobs:N determinism cross-check and solver-cache stats.
+bench-smoke:
+	dune exec bench/main.exe -- speedup --quick --jobs 2
 
 # Dump the curve figures as CSV next to the textual tables.
 bench-csv:

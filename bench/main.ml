@@ -5,10 +5,16 @@
      dune exec bench/main.exe -- figure1      — one artifact
      dune exec bench/main.exe -- --quick      — smaller workloads
      dune exec bench/main.exe -- --csv DIR    — also dump figure series as CSV
+     dune exec bench/main.exe -- --jobs N     — domain-pool size (also BOLT_JOBS)
+     dune exec bench/main.exe -- speedup --json BENCH_pipeline.json
+                                              — parallel-pipeline speedup +
+                                                solver-cache hit rates
      dune exec bench/main.exe -- bechamel     — micro-benchmarks only *)
 
 let quick = ref false
 let csv_dir : string option ref = ref None
+let jobs : int option ref = ref None
+let json_path : string option ref = ref None
 
 let section title = Fmt.pr "@.==== %s ====@.@." title
 
@@ -45,7 +51,7 @@ let figure1_table3 () =
     if !quick then Experiments.Scenarios.quick_params
     else Experiments.Scenarios.default_params
   in
-  let rows = Experiments.Scenarios.figure1_table3 ~params () in
+  let rows = Experiments.Scenarios.figure1_table3 ~params ?jobs:!jobs () in
   Experiments.Harness.pp_rows
     ~title:
       (Printf.sprintf
@@ -157,6 +163,86 @@ let figures5_6_7 () =
   dump "figure6_low_churn" low;
   dump "figure7_high_churn" high
 
+(* ---- Parallel-pipeline speedup ----------------------------------------- *)
+
+(* Wall-clock for the full Figure 1 scenario pipeline (contract
+   derivation + 14 measured runs) at several domain-pool sizes, plus the
+   solver cache's hit rate — the trajectory artifact future scaling PRs
+   compare against (BENCH_pipeline.json). *)
+let speedup () =
+  section "Speedup — domain-pool scaling of the Figure 1 pipeline";
+  let params =
+    if !quick then Experiments.Scenarios.quick_params
+    else Experiments.Scenarios.default_params
+  in
+  let cores = Domain.recommended_domain_count () in
+  let top =
+    match !jobs with Some n -> n | None -> max 4 (Exec.Pool.default_jobs ())
+  in
+  let levels = List.sort_uniq compare [ 1; top ] in
+  let run_level j =
+    Solver.Cache.reset ();
+    let t0 = Unix.gettimeofday () in
+    let rows = Experiments.Scenarios.figure1_table3 ~params ~jobs:j () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = Solver.Cache.stats () in
+    (j, wall, stats, rows)
+  in
+  let results = List.map run_level levels in
+  let _, wall1, _, rows1 = List.hd results in
+  List.iter
+    (fun (j, wall, stats, rows) ->
+      if rows <> rows1 then
+        failwith
+          (Printf.sprintf
+             "speedup: jobs:%d rows differ from jobs:1 — determinism bug" j);
+      Fmt.pr
+        "  jobs:%-3d  wall %6.2fs  speedup x%4.2f  solver cache: %d hits / \
+         %d misses (%.1f%% hit rate)@."
+        j wall (wall1 /. wall) stats.Solver.Cache.hits
+        stats.Solver.Cache.misses
+        (100. *. Solver.Cache.hit_rate stats))
+    results;
+  Fmt.pr "  (%d hardware thread%s available to this process)@." cores
+    (if cores = 1 then "" else "s");
+  if cores = 1 then
+    Fmt.pr
+      "  NOTE: single-core environment — domain fan-out cannot improve \
+       wall-clock here;@.  the determinism cross-check above still \
+       exercises the parallel path.@.";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let ms w = int_of_float (w *. 1000.) in
+      let j =
+        Perf.Json.Obj
+          [
+            ("artifact", Perf.Json.String "pipeline_speedup");
+            ("quick", Perf.Json.Bool !quick);
+            ("cores", Perf.Json.Int cores);
+            ( "levels",
+              Perf.Json.List
+                (List.map
+                   (fun (j, wall, stats, _) ->
+                     Perf.Json.Obj
+                       [
+                         ("jobs", Perf.Json.Int j);
+                         ("wall_ms", Perf.Json.Int (ms wall));
+                         ("cache_hits", Perf.Json.Int stats.Solver.Cache.hits);
+                         ( "cache_misses",
+                           Perf.Json.Int stats.Solver.Cache.misses );
+                       ])
+                   results) );
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Perf.Json.to_string ~indent:true j);
+          output_string oc "\n");
+      Fmt.pr "  [wrote %s]@." path
+
 (* ---- Extensions and ablations ------------------------------------------ *)
 
 let conntrack () =
@@ -168,7 +254,7 @@ let conntrack () =
   in
   Experiments.Harness.pp_rows ~title:"CT1-CT5 (same harness as Figure 1)"
     Fmt.stdout
-    (Experiments.Scenarios.conntrack_rows ~params ())
+    (Experiments.Scenarios.conntrack_rows ~params ?jobs:!jobs ())
 
 let throughput () =
   section "Extension — guaranteed throughput floors (paper §6 future work)";
@@ -354,6 +440,7 @@ let artifacts =
     ("figure5", figures5_6_7);
     ("figure6_7", figures5_6_7);
     ("conntrack", conntrack);
+    ("speedup", speedup);
     ("throughput", throughput);
     ("chain3", chain3);
     ("ablations", ablations);
@@ -368,6 +455,16 @@ let () =
         absorb rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
+        absorb rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := Some n
+        | _ ->
+            Fmt.epr "--jobs expects a positive integer, got %S@." n;
+            exit 1);
+        absorb rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
         absorb rest
     | a :: rest -> a :: absorb rest
     | [] -> []
@@ -388,6 +485,7 @@ let () =
       tables7_8_figure4 ();
       figures5_6_7 ();
       conntrack ();
+      speedup ();
       throughput ();
       chain3 ();
       ablations ();

@@ -17,7 +17,7 @@ let replay_cost ~contracts ~program ~path ~packet ~stubs ~in_port ~now =
     Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs) ~in_port ~now
       program packet
   in
-  Pipeline.analyze_replay ~contracts ~path ~meter (Exec.Meter.events meter)
+  Pipeline.analyze_replay ~contracts ~path (Exec.Meter.events meter)
 
 let stub_values model (path : Symbex.Path.t) =
   List.map
@@ -211,7 +211,7 @@ let chain_class_cost chain predicate =
         match List.rev t.segments with
         | [] -> false
         | last :: _ ->
-            Solver.Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000
+            Solver.Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000
               (pred @ last.Symbex.Path.constraints))
       chain.tuples
   in
@@ -234,7 +234,7 @@ let class_cost t ~up_result (cls : Symbex.Iclass.t) =
          (fun (instance, meth) ->
            Symbex.Path.tags_of path_for_tags ~instance ~meth = [])
          cls.Symbex.Iclass.forbids
-    && Solver.Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000
+    && Solver.Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000
          (pred @ constraints)
   in
   let member_costs =

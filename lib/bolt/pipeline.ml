@@ -26,9 +26,13 @@ let snap_max a b =
   { ic = max a.ic b.ic; ma = max a.ma b.ma; cy = max a.cy b.cy }
 let snap_zero = { ic = 0; ma = 0; cy = 0 }
 
+let rec last = function
+  | [ x ] -> x
+  | _ :: rest -> last rest
+  | [] -> invalid_arg "Bolt.Pipeline.last: empty list"
+
 let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
-    ~meter events =
-  ignore meter;
+    events =
   let m = cycle_model () in
   let snap () =
     {
@@ -92,10 +96,7 @@ let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
             let ds = deltas marks in
             if ds <> [] then begin
               let per_iter = List.fold_left snap_max snap_zero ds in
-              let removed =
-                snap_sub (List.nth marks (List.length marks - 1))
-                  (List.hd marks)
-              in
+              let removed = snap_sub (last marks) (List.hd marks) in
               loops_done := (name, per_iter, removed) :: !loops_done
             end)
   in
@@ -156,32 +157,35 @@ let witness (engine : Symbex.Engine.result) (path : Symbex.Path.t) =
 
 (* ---- The pipeline ---------------------------------------------------- *)
 
-let analyze ?max_paths ?cycle_model ~models ~contracts program =
+let analyze ?max_paths ?cycle_model ?jobs ~models ~contracts program =
   let engine = Symbex.Engine.explore ?max_paths ~models program in
-  let unsolved = ref 0 in
-  let analyses =
-    List.filter_map
-      (fun path ->
-        match witness engine path with
-        | None ->
-            incr unsolved;
-            None
-        | Some (packet, stubs, in_port, now) ->
-            let meter =
-              Exec.Meter.create ~trace:true (Hw.Model.conservative ())
-            in
-            let replay =
-              Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs)
-                ~in_port ~now program packet
-            in
-            let cost =
-              analyze_replay ?cycle_model ~contracts ~path ~meter
-                (Exec.Meter.events meter)
-            in
-            Some { path; cost; replay; packet; stubs; in_port; now })
-      engine.Symbex.Engine.paths
+  (* Witness-solve and replay of one path.  Everything mutable — the
+     meter, the hardware model, the witness packet — is created here,
+     per task, so paths can be processed on any domain; the engine
+     result and the contract library are immutable and shared. *)
+  let solve_path path =
+    match witness engine path with
+    | None -> None
+    | Some (packet, stubs, in_port, now) ->
+        let meter =
+          Exec.Meter.create ~trace:true (Hw.Model.conservative ())
+        in
+        let replay =
+          Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs)
+            ~in_port ~now program packet
+        in
+        let cost =
+          analyze_replay ?cycle_model ~contracts ~path
+            (Exec.Meter.events meter)
+        in
+        Some { path; cost; replay; packet; stubs; in_port; now }
   in
-  { program; engine; analyses; unsolved = !unsolved }
+  let per_path = Exec.Pool.map ?jobs solve_path engine.Symbex.Engine.paths in
+  let unsolved =
+    List.length (List.filter Option.is_none per_path)
+  in
+  let analyses = List.filter_map Fun.id per_path in
+  { program; engine; analyses; unsolved }
 
 let path_count t = List.length t.analyses
 

@@ -31,13 +31,22 @@ type t = {
 val analyze :
   ?max_paths:int ->
   ?cycle_model:(unit -> Hw.Model.t) ->
+  ?jobs:int ->
   models:Symbex.Model.registry ->
   contracts:Perf.Ds_contract.library ->
   Ir.Program.t ->
   t
 (** [cycle_model] prices the stateless trace (default
     {!Hw.Model.conservative}; {!Hw.Model.dram_only} for the hardware-model
-    ablation). *)
+    ablation).
+
+    Paths are independent, so witness solving and concrete replay fan
+    out over an {!Exec.Pool} of [jobs] domains (default
+    {!Exec.Pool.default_jobs}, i.e. [BOLT_JOBS] or the hardware's
+    recommended domain count).  The result — path order, contracts,
+    witnesses — is bit-identical for every [jobs] value: each task
+    builds its own meter and hardware model, and the shared solver
+    cache's verdicts are a pure function of the constraint set. *)
 
 val path_count : t -> int
 
@@ -63,7 +72,6 @@ val analyze_replay :
   ?cycle_model:(unit -> Hw.Model.t) ->
   contracts:Perf.Ds_contract.library ->
   path:Symbex.Path.t ->
-  meter:Exec.Meter.t ->
   Exec.Meter.event list ->
   Perf.Cost_vec.t
 (** Walk a replay trace into a cost expression (exposed for chain

@@ -1,0 +1,58 @@
+(* A small fixed-size domain pool with a deterministic ordered [map].
+
+   Work items are claimed with an atomic counter and results land in a
+   slot array indexed by item position, so the output order (and any
+   exception raised) is independent of scheduling.  Workers must be
+   isolated: [f] may share immutable data freely but must create its own
+   mutable state (meters, hardware models, RNGs) per item. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "BOLT_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+type 'a slot = Empty | Value of 'a | Error of exn * Printexc.raw_backtrace
+
+let map ?jobs f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let slots = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (slots.(i) <-
+            (match f items.(i) with
+            | v -> Value v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    (* surface the lowest-indexed failure, as a serial run would *)
+    Array.iter
+      (function
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty | Value _ -> ())
+      slots;
+    Array.to_list
+      (Array.map (function Value v -> v | Empty | Error _ -> assert false)
+         slots)
+  end

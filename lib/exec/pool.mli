@@ -1,0 +1,22 @@
+(** A fixed-size domain pool with a deterministic ordered [map].
+
+    The pool backs the parallel BOLT pipeline: per-path witness solving
+    and concrete replay, and the evaluation-scenario loop.  Results are
+    returned in input order and exceptions are re-raised for the
+    lowest-indexed failing item, so output is independent of how the
+    items were scheduled across domains. *)
+
+val default_jobs : unit -> int
+(** The [BOLT_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?jobs f items] is [List.map f items], computed on
+    [min jobs (length items)] domains (default {!default_jobs}).
+    [jobs <= 1] runs serially in the calling domain, with no spawns.
+
+    [f] is applied at most once per item.  It must not share mutable
+    state across items unless that state is itself domain-safe: create
+    meters, hardware models and RNGs per call.  If several items raise,
+    the exception of the lowest-indexed one is re-raised (with its
+    backtrace) after all domains have joined. *)

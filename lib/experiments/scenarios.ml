@@ -25,24 +25,44 @@ let distinct_bucket_flows rng ~hash n =
   in
   draw [] n 10_000_000
 
-let analyze_nf program contracts =
-  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+let analyze_nf ?jobs program contracts =
+  Bolt.Pipeline.analyze ?jobs ~models:Bolt.Ds_models.default ~contracts
+    program
 
 let find_class classes name =
   List.find (fun c -> c.Symbex.Iclass.name = name) classes
 
-let row ~label ~pipeline ~classes ~dss ~program ~warmup ~measured =
+(* A fully constructed scenario, ready to measure.  Building a spec does
+   all the RNG-dependent work — flow draws, adversarial state filling,
+   stream construction — so specs must be built serially, in a fixed
+   order; measuring touches only the spec's own [dss] (and the
+   domain-safe solver cache through [predict]), so specs can be measured
+   on any domain. *)
+type spec = {
+  label : string;
+  pipeline : Bolt.Pipeline.t;
+  classes : Symbex.Iclass.t list;
+  dss : Exec.Ds.env;
+  program : Ir.Program.t;
+  warmup : Workload.Stream.t;
+  measured : Workload.Stream.t;
+}
+
+let measure_spec s =
   {
-    Harness.label;
-    predicted = Harness.predict_exn pipeline (find_class classes label);
-    measured = Harness.measure ~dss program ~warmup ~measured;
+    Harness.label = s.label;
+    predicted = Harness.predict_exn s.pipeline (find_class s.classes s.label);
+    measured = Harness.measure ~dss:s.dss s.program ~warmup:s.warmup
+        ~measured:s.measured;
   }
+
+let measure_specs ?jobs specs = Exec.Pool.map ?jobs measure_spec specs
 
 (* ---- NAT -------------------------------------------------------------- *)
 
-let nat_rows ?(params = default_params) () =
+let nat_specs ?(params = default_params) ?jobs () =
   let program = Nf.Nat.program in
-  let pipeline = analyze_nf program (Nf.Nat.contracts ()) in
+  let pipeline = analyze_nf ?jobs program (Nf.Nat.contracts ()) in
   let cfg = Nf.Nat.default_config in
   let classes = Nf.Nat.classes ~config:cfg () in
   let rng = Workload.Prng.create ~seed:params.seed in
@@ -58,7 +78,7 @@ let nat_rows ?(params = default_params) () =
       Workload.Stream.constant_rate ~in_port:0 ~start:t0 ~gap:100
         (Workload.Gen.packets_of_flows flows)
     in
-    row ~label:"NAT2" ~pipeline ~classes ~dss ~program ~warmup:[] ~measured
+    { label = "NAT2"; pipeline; classes; dss; program; warmup = []; measured }
   in
   (* NAT3: the same flows re-sent within the timeout *)
   let nat3 =
@@ -75,7 +95,7 @@ let nat_rows ?(params = default_params) () =
       Workload.Stream.constant_rate ~in_port:0 ~start:(t0 + 500_000)
         ~gap:100 (packets ())
     in
-    row ~label:"NAT3" ~pipeline ~classes ~dss ~program ~warmup ~measured
+    { label = "NAT3"; pipeline; classes; dss; program; warmup; measured }
   in
   (* NAT4: external packets towards unmapped ports *)
   let nat4 =
@@ -92,7 +112,7 @@ let nat_rows ?(params = default_params) () =
     let measured =
       Workload.Stream.constant_rate ~in_port:1 ~start:t0 ~gap:100 packets
     in
-    row ~label:"NAT4" ~pipeline ~classes ~dss ~program ~warmup:[] ~measured
+    { label = "NAT4"; pipeline; classes; dss; program; warmup = []; measured }
   in
   (* NAT1: synthesized mass-expiry state, one trigger packet *)
   let nat1 =
@@ -118,16 +138,18 @@ let nat_rows ?(params = default_params) () =
         };
       ]
     in
-    row ~label:"NAT1" ~pipeline ~classes:patho_classes ~dss ~program
-      ~warmup:[] ~measured
+    { label = "NAT1"; pipeline; classes = patho_classes; dss; program;
+      warmup = []; measured }
   in
   [ nat1; nat2; nat3; nat4 ]
 
+let nat_rows ?params ?jobs () = measure_specs ?jobs (nat_specs ?params ?jobs ())
+
 (* ---- Bridge ------------------------------------------------------------ *)
 
-let bridge_rows ?(params = default_params) () =
+let bridge_specs ?(params = default_params) ?jobs () =
   let program = Nf.Bridge.program in
-  let pipeline = analyze_nf program (Nf.Bridge.contracts ()) in
+  let pipeline = analyze_nf ?jobs program (Nf.Bridge.contracts ()) in
   let cfg = Nf.Bridge.default_config in
   let classes = Nf.Bridge.classes ~config:cfg () in
   let rng = Workload.Prng.create ~seed:(params.seed + 1) in
@@ -158,7 +180,7 @@ let bridge_rows ?(params = default_params) () =
       Workload.Stream.constant_rate ~in_port:0 ~start:(t0 + 500_000) ~gap:100
         (frames ())
     in
-    row ~label:"Br2" ~pipeline ~classes ~dss ~program ~warmup ~measured
+    { label = "Br2"; pipeline; classes; dss; program; warmup; measured }
   in
   let br3 =
     let dss, table = Nf.Bridge.setup ~config:cfg (Dslib.Layout.allocator ()) in
@@ -178,7 +200,7 @@ let bridge_rows ?(params = default_params) () =
       Workload.Stream.constant_rate ~in_port:0 ~start:(t0 + 500_000) ~gap:100
         (Workload.Gen.unicast_frames rng ~srcs ~dsts params.flows)
     in
-    row ~label:"Br3" ~pipeline ~classes ~dss ~program ~warmup ~measured
+    { label = "Br3"; pipeline; classes; dss; program; warmup; measured }
   in
   let br1 =
     let patho_cfg =
@@ -209,16 +231,19 @@ let bridge_rows ?(params = default_params) () =
         };
       ]
     in
-    row ~label:"Br1" ~pipeline ~classes:patho_classes ~dss ~program
-      ~warmup:[] ~measured
+    { label = "Br1"; pipeline; classes = patho_classes; dss; program;
+      warmup = []; measured }
   in
   [ br1; br2; br3 ]
 
+let bridge_rows ?params ?jobs () =
+  measure_specs ?jobs (bridge_specs ?params ?jobs ())
+
 (* ---- Load balancer ------------------------------------------------------ *)
 
-let lb_rows ?(params = default_params) () =
+let lb_specs ?(params = default_params) ?jobs () =
   let program = Nf.Maglev.program in
-  let pipeline = analyze_nf program (Nf.Maglev.contracts ()) in
+  let pipeline = analyze_nf ?jobs program (Nf.Maglev.contracts ()) in
   let cfg = Nf.Maglev.default_config in
   let classes = Nf.Maglev.classes ~config:cfg () in
   let rng = Workload.Prng.create ~seed:(params.seed + 2) in
@@ -236,9 +261,9 @@ let lb_rows ?(params = default_params) () =
   in
   let lb5 =
     let dss, _ = fresh () in
-    row ~label:"LB5" ~pipeline ~classes ~dss ~program
-      ~warmup:(heartbeats ~start:t0)
-      ~measured:(heartbeats ~start:(t0 + 100_000))
+    { label = "LB5"; pipeline; classes; dss; program;
+      warmup = heartbeats ~start:t0;
+      measured = heartbeats ~start:(t0 + 100_000) }
   in
   let lb2 =
     let dss, state = fresh () in
@@ -247,8 +272,8 @@ let lb_rows ?(params = default_params) () =
       Workload.Stream.constant_rate ~in_port:0 ~start:(t0 + 100_000) ~gap:100
         (Workload.Gen.packets_of_flows flows)
     in
-    row ~label:"LB2" ~pipeline ~classes ~dss ~program
-      ~warmup:(heartbeats ~start:t0) ~measured
+    { label = "LB2"; pipeline; classes; dss; program;
+      warmup = heartbeats ~start:t0; measured }
   in
   let lb4 =
     let dss, state = fresh () in
@@ -263,7 +288,7 @@ let lb_rows ?(params = default_params) () =
       Workload.Stream.constant_rate ~in_port:0 ~start:(t0 + 1_000_000)
         ~gap:100 (packets ())
     in
-    row ~label:"LB4" ~pipeline ~classes ~dss ~program ~warmup ~measured
+    { label = "LB4"; pipeline; classes; dss; program; warmup; measured }
   in
   let lb3 =
     let dss, state = fresh () in
@@ -281,7 +306,7 @@ let lb_rows ?(params = default_params) () =
         ~start:(t0 + 100_000 + cfg.Nf.Maglev.backend_timeout + 100_000)
         ~gap:100 (packets ())
     in
-    row ~label:"LB3" ~pipeline ~classes ~dss ~program ~warmup ~measured
+    { label = "LB3"; pipeline; classes; dss; program; warmup; measured }
   in
   let lb1 =
     let patho_cfg =
@@ -306,10 +331,12 @@ let lb_rows ?(params = default_params) () =
         };
       ]
     in
-    row ~label:"LB1" ~pipeline ~classes:patho_classes ~dss ~program
-      ~warmup:[] ~measured
+    { label = "LB1"; pipeline; classes = patho_classes; dss; program;
+      warmup = []; measured }
   in
   [ lb1; lb2; lb3; lb4; lb5 ]
+
+let lb_rows ?params ?jobs () = measure_specs ?jobs (lb_specs ?params ?jobs ())
 
 (* ---- LPM router ---------------------------------------------------------- *)
 
@@ -320,9 +347,9 @@ let lpm_routes =
   @ List.init 32 (fun i ->
         (Net.Ipv4.addr_of_parts 100 1 i 128, 28, (i mod 4) + 1))
 
-let lpm_rows ?(params = default_params) () =
+let lpm_specs ?(params = default_params) ?jobs () =
   let program = Nf.Router_lpm.program in
-  let pipeline = analyze_nf program (Nf.Router_lpm.contracts ()) in
+  let pipeline = analyze_nf ?jobs program (Nf.Router_lpm.contracts ()) in
   let classes = Nf.Router_lpm.classes () in
   let rng = Workload.Prng.create ~seed:(params.seed + 3) in
   let make label long =
@@ -335,15 +362,18 @@ let lpm_rows ?(params = default_params) () =
     let measured =
       Workload.Stream.constant_rate ~in_port:0 ~start:t0 ~gap:100 packets
     in
-    row ~label ~pipeline ~classes ~dss ~program ~warmup:[] ~measured
+    { label; pipeline; classes; dss; program; warmup = []; measured }
   in
   [ make "LPM1" true; make "LPM2" false ]
 
+let lpm_rows ?params ?jobs () =
+  measure_specs ?jobs (lpm_specs ?params ?jobs ())
+
 (* ---- Conntrack firewall (extension NF) --------------------------------- *)
 
-let conntrack_rows ?(params = default_params) () =
+let conntrack_specs ?(params = default_params) ?jobs () =
   let program = Nf.Conntrack.program in
-  let pipeline = analyze_nf program (Nf.Conntrack.contracts ()) in
+  let pipeline = analyze_nf ?jobs program (Nf.Conntrack.contracts ()) in
   let cfg = Nf.Conntrack.default_config in
   let classes = Nf.Conntrack.classes ~config:cfg () in
   let rng = Workload.Prng.create ~seed:(params.seed + 4) in
@@ -363,28 +393,28 @@ let conntrack_rows ?(params = default_params) () =
   let ct2 =
     let dss, ft = fresh () in
     let flows = flows_for ft params.flows in
-    row ~label:"CT2" ~pipeline ~classes ~dss ~program ~warmup:[]
-      ~measured:(outbound t0 flows)
+    { label = "CT2"; pipeline; classes; dss; program; warmup = [];
+      measured = outbound t0 flows }
   in
   let ct3 =
     let dss, ft = fresh () in
     let flows = flows_for ft params.flows in
-    row ~label:"CT3" ~pipeline ~classes ~dss ~program
-      ~warmup:(outbound t0 flows)
-      ~measured:(outbound (t0 + 500_000) flows)
+    { label = "CT3"; pipeline; classes; dss; program;
+      warmup = outbound t0 flows;
+      measured = outbound (t0 + 500_000) flows }
   in
   let ct4 =
     let dss, ft = fresh () in
     let flows = flows_for ft params.flows in
-    row ~label:"CT4" ~pipeline ~classes ~dss ~program
-      ~warmup:(outbound t0 flows)
-      ~measured:(inbound (t0 + 500_000) flows)
+    { label = "CT4"; pipeline; classes; dss; program;
+      warmup = outbound t0 flows;
+      measured = inbound (t0 + 500_000) flows }
   in
   let ct5 =
     let dss, ft = fresh () in
     let flows = flows_for ft params.flows in
-    row ~label:"CT5" ~pipeline ~classes ~dss ~program ~warmup:[]
-      ~measured:(inbound t0 flows)
+    { label = "CT5"; pipeline; classes; dss; program; warmup = [];
+      measured = inbound t0 flows }
   in
   let ct1 =
     let patho_cfg =
@@ -409,11 +439,28 @@ let conntrack_rows ?(params = default_params) () =
         };
       ]
     in
-    row ~label:"CT1" ~pipeline ~classes:patho_classes ~dss ~program
-      ~warmup:[] ~measured
+    { label = "CT1"; pipeline; classes = patho_classes; dss; program;
+      warmup = []; measured }
   in
   [ ct1; ct2; ct3; ct4; ct5 ]
 
-let figure1_table3 ?(params = default_params) () =
-  nat_rows ~params () @ bridge_rows ~params () @ lb_rows ~params ()
-  @ lpm_rows ~params ()
+let conntrack_rows ?params ?jobs () =
+  measure_specs ?jobs (conntrack_specs ?params ?jobs ())
+
+(* ---- All 14 rows --------------------------------------------------------- *)
+
+let figure1_table3 ?(params = default_params) ?jobs () =
+  (* Each group draws from its own seeded PRNG, so the groups can be
+     *built* concurrently; within a group construction stays serial to
+     preserve the PRNG stream.  Measurement then fans all 14 specs out
+     at once — it is the bulk of the wall-clock and touches no RNG. *)
+  let groups =
+    [
+      (fun () -> nat_specs ~params ?jobs ());
+      (fun () -> bridge_specs ~params ?jobs ());
+      (fun () -> lb_specs ~params ?jobs ());
+      (fun () -> lpm_specs ~params ?jobs ());
+    ]
+  in
+  let specs = List.concat (Exec.Pool.map ?jobs (fun g -> g ()) groups) in
+  measure_specs ?jobs specs

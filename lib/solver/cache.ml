@@ -1,0 +1,79 @@
+(* A memoizing front-end to {!Solve}.
+
+   The key is a fingerprint of the *normalized* constraint set — trivial
+   [True] conjuncts dropped, the rest sorted and deduplicated — plus the
+   solver budgets, and the cached verdict is obtained by solving that
+   normalized set.  A conjunction is insensitive to ordering and
+   multiplicity, so the verdict is a pure function of the key; that is
+   what makes the cache safe to share between pool workers: whichever
+   domain populates an entry, every reader sees the same answer, and
+   parallel runs stay bit-identical to serial ones.
+
+   All table accesses are mutex-protected; the solve itself runs outside
+   the lock, so concurrent misses on distinct keys proceed in parallel
+   (two simultaneous misses on the *same* key both solve and agree). *)
+
+type stats = { hits : int; misses : int }
+
+let hit_rate { hits; misses } =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+(* Stdlib structural compare is a total order on [Constr.t]: pure
+   variants over ints, strings and lists. *)
+let normalize constraints =
+  constraints
+  |> List.filter (fun c -> not (Constr.is_true c))
+  |> List.sort_uniq Stdlib.compare
+
+type key = { max_conjuncts : int; max_nodes : int; atoms : Constr.t list }
+
+module H = Hashtbl.Make (struct
+  type t = key
+
+  let equal = ( = )
+
+  (* The default [Hashtbl.hash] only samples 10 meaningful nodes — far
+     too few to discriminate constraint sets that share a long common
+     prefix.  Sample deeply instead; equality still arbitrates. *)
+  let hash k = Hashtbl.hash_param 256 512 k
+end)
+
+let lock = Mutex.create ()
+let table : Solve.result H.t = H.create 1024
+let hits = ref 0
+let misses = ref 0
+
+(* Defaults mirror {!Solve.check}. *)
+let check ?(max_conjuncts = 4096) ?(max_nodes = 20_000) constraints =
+  let key = { max_conjuncts; max_nodes; atoms = normalize constraints } in
+  let cached =
+    Mutex.protect lock (fun () ->
+        match H.find_opt table key with
+        | Some r ->
+            incr hits;
+            Some r
+        | None ->
+            incr misses;
+            None)
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+      let r = Solve.check ~max_conjuncts ~max_nodes key.atoms in
+      Mutex.protect lock (fun () -> H.replace table key r);
+      r
+
+let is_sat ?max_conjuncts ?max_nodes constraints =
+  match check ?max_conjuncts ?max_nodes constraints with
+  | Solve.Sat _ | Solve.Unknown -> true
+  | Solve.Unsat -> false
+
+let stats () =
+  Mutex.protect lock (fun () -> { hits = !hits; misses = !misses })
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      H.reset table;
+      hits := 0;
+      misses := 0)

@@ -1,0 +1,33 @@
+(** A memoizing, domain-safe front-end to {!Solve}.
+
+    Verdicts are keyed on a normalized (sorted, deduplicated, [True]-
+    free) fingerprint of the constraint set together with the solver
+    budgets, and computed by solving that normalized set — so a cached
+    answer is a pure function of its key, and parallel pipeline runs
+    return exactly what a serial run would.  The symbolic engine's
+    per-fork feasibility checks and packet-class matching re-solve many
+    identical sets; this cache collapses them to one solve each.
+
+    The table is global to the process and protected by a mutex.  It
+    grows without bound; call {!reset} between benchmark phases. *)
+
+type stats = { hits : int; misses : int }
+
+val check :
+  ?max_conjuncts:int -> ?max_nodes:int -> Constr.t list -> Solve.result
+(** Memoized {!Solve.check} (same budget defaults).  The verdict — and
+    for [Sat] the model — is that of the normalized constraint set,
+    which is equisatisfiable with the input. *)
+
+val is_sat : ?max_conjuncts:int -> ?max_nodes:int -> Constr.t list -> bool
+(** Memoized {!Solve.is_sat}; shares {!check}'s table, so a [check]
+    followed by [is_sat] on the same set costs one solve. *)
+
+val stats : unit -> stats
+(** Cumulative hit/miss counters since start or the last {!reset}. *)
+
+val hit_rate : stats -> float
+(** Hits over total lookups, in [0, 1]; [0.] when no lookups. *)
+
+val reset : unit -> unit
+(** Clear the table and zero the counters. *)

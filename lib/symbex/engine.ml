@@ -1,5 +1,14 @@
 module SM = Map.Make (String)
 
+(* Structural order on constraints: pure variants over ints, strings and
+   lists, so [Stdlib.compare] is total.  Backs the O(log n) duplicate
+   check in [add_con]. *)
+module CS = Set.Make (struct
+  type t = Solver.Constr.t
+
+  let compare = Stdlib.compare
+end)
+
 type result = {
   paths : Path.t list;
   input : Spacket.input;
@@ -13,6 +22,7 @@ type st = {
   env : Value.t SM.t;
   view : Spacket.view;
   cons : Solver.Constr.t list;  (** reversed *)
+  conset : CS.t;  (** the members of [cons], for duplicate checks *)
   calls : Path.call list;  (** reversed *)
   loops : Path.pcv_loop list;
   ncalls : int;
@@ -55,11 +65,10 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
   let paths = ref [] in
   let path_count = ref 0 in
   let pruned = ref 0 in
-  let feasible cons = Solver.Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000 cons in
+  let feasible cons = Solver.Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000 cons in
   let add_con st c =
-    if Solver.Constr.is_true c || List.exists (fun c' -> compare c' c = 0) st.cons
-    then st
-    else { st with cons = c :: st.cons }
+    if Solver.Constr.is_true c || CS.mem c st.conset then st
+    else { st with cons = c :: st.cons; conset = CS.add c st.conset }
   in
   let drain st =
     List.fold_left add_con st (Value.take_side ctx)
@@ -249,6 +258,7 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
         |> SM.add "now" (Value.of_sym now);
       view = view0;
       cons = List.rev initial;
+      conset = CS.of_list initial;
       calls = [];
       loops = [];
       ncalls = 0;

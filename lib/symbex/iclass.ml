@@ -48,5 +48,5 @@ let matches t result (path : Path.t) =
   && List.for_all
        (fun (instance, meth) -> Path.tags_of path ~instance ~meth = [])
        t.forbids
-  && Solve.is_sat ~max_conjuncts:512 ~max_nodes:4000
+  && Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000
        (t.predicate result @ path.Path.constraints)

@@ -197,9 +197,69 @@ let test_tight_bounds_propagation () =
                (Model.value m y))
       | Solve.Unsat | Solve.Unknown -> ())
 
+(* The memoizing front-end must agree with fresh solves: same verdict
+   class, and any cached model must satisfy the original constraints. *)
+let prop_cache_matches_solve =
+  let gen = Sym.gen () in
+  let x = Sym.fresh gen ~lo:0 ~hi:7 "cx" in
+  let y = Sym.fresh gen ~lo:0 ~hi:7 "cy" in
+  let holds m =
+    let rec go = function
+      | Constr.True -> true
+      | Constr.False -> false
+      | Constr.Atom (Constr.Le lin) -> Model.eval m lin <= 0
+      | Constr.Atom (Constr.Eqz lin) -> Model.eval m lin = 0
+      | Constr.And parts -> List.for_all go parts
+      | Constr.Or parts -> List.exists go parts
+    in
+    go
+  in
+  QCheck2.Test.make ~count:300 ~name:"memoized verdicts equal fresh solves"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 3) (gen_formula (x, y)))
+    (fun formulas ->
+      let fresh = Solve.check formulas in
+      let cached = Cache.check formulas in
+      let verdicts_agree =
+        match (fresh, cached) with
+        | Solve.Sat _, Solve.Sat m -> List.for_all (holds m) formulas
+        | Solve.Unsat, Solve.Unsat | Solve.Unknown, Solve.Unknown -> true
+        | _ -> false
+      in
+      (* a repeat query must return the very same verdict, and is_sat
+         must agree with the uncached entry point *)
+      verdicts_agree
+      && Cache.check formulas = cached
+      && Cache.is_sat formulas = Solve.is_sat formulas)
+
+let test_cache_stats () =
+  with_syms (fun _ x _ ->
+      Cache.reset ();
+      let xl = Linexpr.sym x in
+      let c1 = Constr.le xl (Linexpr.const 4) in
+      let c2 = Constr.ge xl (Linexpr.const 2) in
+      check_bool "sat" true (Cache.is_sat [ c1; c2 ]);
+      let s = Cache.stats () in
+      check_int "first query misses" 1 s.Cache.misses;
+      check_int "no hits yet" 0 s.Cache.hits;
+      (* permuted, duplicated and True-padded sets normalize to the same
+         fingerprint *)
+      check_bool "normalized hit" true
+        (Cache.is_sat [ c2; c1; c2; Constr.True ]);
+      let s = Cache.stats () in
+      check_int "hit on normalized set" 1 s.Cache.hits;
+      check_int "still one miss" 1 s.Cache.misses;
+      (* a different solver budget is a different key *)
+      check_bool "other budget" true (Cache.is_sat ~max_nodes:1234 [ c1; c2 ]);
+      check_int "budget miss" 2 (Cache.stats ()).Cache.misses;
+      Cache.reset ();
+      let s = Cache.stats () in
+      check_int "reset misses" 0 s.Cache.misses;
+      check_int "reset hits" 0 s.Cache.hits)
+
 let suite =
   [
     Alcotest.test_case "linexpr" `Quick test_linexpr;
+    Alcotest.test_case "cache stats" `Quick test_cache_stats;
     Alcotest.test_case "unknown is conservative" `Quick
       test_unknown_is_conservative;
     Alcotest.test_case "tight propagation" `Quick
@@ -211,4 +271,5 @@ let suite =
     Alcotest.test_case "solve disjunction" `Quick test_solve_disjunction;
     Alcotest.test_case "model defaults" `Quick test_model_defaults;
     QCheck_alcotest.to_alcotest prop_solver_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_cache_matches_solve;
   ]
