@@ -16,9 +16,10 @@ bench-quick:
 	dune exec bench/main.exe -- --quick
 
 # CI smoke: quick workloads through the parallel pipeline, with the
-# jobs:1 / jobs:N determinism cross-check and solver-cache stats.
+# jobs:1 / jobs:N determinism cross-check, solver-cache stats and a
+# Chrome trace of the run (open bench_trace.json in Perfetto).
 bench-smoke:
-	dune exec bench/main.exe -- speedup --quick --jobs 2
+	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
 
 # Dump the curve figures as CSV next to the textual tables.
 bench-csv:

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- --quick      — smaller workloads
      dune exec bench/main.exe -- --csv DIR    — also dump figure series as CSV
      dune exec bench/main.exe -- --jobs N     — domain-pool size (also BOLT_JOBS)
+     dune exec bench/main.exe -- --trace FILE — write a Chrome trace of the run
      dune exec bench/main.exe -- speedup --json BENCH_pipeline.json
                                               — parallel-pipeline speedup +
                                                 solver-cache hit rates
@@ -15,6 +16,7 @@ let quick = ref false
 let csv_dir : string option ref = ref None
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
+let trace_path : string option ref = ref None
 
 let section title = Fmt.pr "@.==== %s ====@.@." title
 
@@ -466,38 +468,52 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         absorb rest
+    | "--trace" :: path :: rest ->
+        trace_path := Some path;
+        absorb rest
     | a :: rest -> a :: absorb rest
     | [] -> []
   in
   let args = absorb args in
-  match args with
-  | [] ->
-      (* everything, deduplicated, in paper order *)
-      table1 ();
-      table2 ();
-      figure1_table3 ();
-      p123 ();
-      table4 ();
-      figure2 ();
-      table5 ();
-      figure3 ();
-      table6 ();
-      tables7_8_figure4 ();
-      figures5_6_7 ();
-      conntrack ();
-      speedup ();
-      throughput ();
-      chain3 ();
-      ablations ();
-      bechamel_suite ()
-  | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name artifacts with
-          | Some run -> run ()
-          | None ->
-              Fmt.epr "unknown artifact %S; known: %a@." name
-                Fmt.(list ~sep:(any ", ") string)
-                (List.map fst artifacts);
-              exit 1)
-        names
+  if !trace_path <> None then Obs.enable ();
+  let run_selected () =
+    match args with
+    | [] ->
+        (* everything, deduplicated, in paper order *)
+        table1 ();
+        table2 ();
+        figure1_table3 ();
+        p123 ();
+        table4 ();
+        figure2 ();
+        table5 ();
+        figure3 ();
+        table6 ();
+        tables7_8_figure4 ();
+        figures5_6_7 ();
+        conntrack ();
+        speedup ();
+        throughput ();
+        chain3 ();
+        ablations ();
+        bechamel_suite ()
+    | names ->
+        List.iter
+          (fun name ->
+            match List.assoc_opt name artifacts with
+            | Some run -> run ()
+            | None ->
+                Fmt.epr "unknown artifact %S; known: %a@." name
+                  Fmt.(list ~sep:(any ", ") string)
+                  (List.map fst artifacts);
+                exit 1)
+          names
+  in
+  let write_trace () =
+    match !trace_path with
+    | Some path ->
+        Obs.Trace_io.write ~path;
+        Fmt.epr "wrote trace %s@." path
+    | None -> ()
+  in
+  Fun.protect ~finally:write_trace run_selected

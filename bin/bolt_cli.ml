@@ -1,13 +1,35 @@
 (* The BOLT command-line tool: derive and print performance contracts. *)
 
-let analyze (entry : Nf_registry.entry) =
-  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
-    ~contracts:entry.Nf_registry.contracts entry.Nf_registry.program
+let analyze ?jobs (entry : Nf.Registry.entry) =
+  let config =
+    Bolt.Pipeline.Config.(
+      default |> with_contracts entry.Nf.Registry.contracts)
+  in
+  let config =
+    match jobs with
+    | None -> config
+    | Some j -> Bolt.Pipeline.Config.with_jobs j config
+  in
+  Bolt.Pipeline.analyze ~config entry.Nf.Registry.program
 
-let contract_cmd nf_name metric json_path =
-  let entry = Nf_registry.find nf_name in
-  let t = analyze entry in
-  let contract = Bolt.Pipeline.contract t ~classes:entry.Nf_registry.classes in
+(* Observability output goes to stderr, so the contract printed on
+   stdout stays bit-identical whether or not a run is traced. *)
+let dump_obs trace_path stats =
+  (match trace_path with
+  | Some path ->
+      Obs.Trace_io.write ~path;
+      Fmt.epr "wrote trace %s@." path
+  | None -> ());
+  if stats then begin
+    Fmt.epr "@.== per-phase spans ==@.%a" Obs.Span.pp_summary ();
+    Fmt.epr "@.== metrics ==@.%a" Obs.Metrics.pp ()
+  end
+
+let contract_cmd nf_name metric json_path jobs trace_path stats =
+  if trace_path <> None || stats then Obs.enable ();
+  let entry = Nf.Registry.find nf_name in
+  let t = analyze ?jobs entry in
+  let contract = Bolt.Pipeline.contract t ~classes:entry.Nf.Registry.classes in
   (match json_path with
   | Some path ->
       Perf.Contract_io.write_contract ~path contract;
@@ -32,32 +54,56 @@ let contract_cmd nf_name metric json_path =
         (row Perf.Metric.Instructions)
         (row Perf.Metric.Memory_accesses)
         (row Perf.Metric.Cycles))
-    entry.Nf_registry.classes
+    entry.Nf.Registry.classes;
+  dump_obs trace_path stats
+
+let stats_cmd nf_name jobs trace_path =
+  Obs.enable ();
+  let entry = Nf.Registry.find nf_name in
+  let t = analyze ?jobs entry in
+  let cache = Solver.Cache.stats () in
+  Fmt.pr "pipeline for %s: %d feasible paths, %d forks pruned, %d unsolved@."
+    nf_name
+    (Bolt.Pipeline.path_count t)
+    t.Bolt.Pipeline.engine.Symbex.Engine.infeasible_pruned
+    t.Bolt.Pipeline.unsolved;
+  Fmt.pr
+    "solver cache: %d hits / %d misses / %d evictions (%.1f%% hit rate)@."
+    cache.Solver.Cache.hits cache.Solver.Cache.misses
+    cache.Solver.Cache.evictions
+    (100. *. Solver.Cache.hit_rate cache);
+  Fmt.pr "@.== per-phase spans ==@.%a" Obs.Span.pp_summary ();
+  Fmt.pr "@.== metrics ==@.%a" Obs.Metrics.pp ();
+  match trace_path with
+  | Some path ->
+      Obs.Trace_io.write ~path;
+      Fmt.pr "@.wrote trace %s@." path
+  | None -> ()
 
 let paths_cmd nf_name =
-  let entry = Nf_registry.find nf_name in
+  let entry = Nf.Registry.find nf_name in
   let t = analyze entry in
   Fmt.pr "%a" (Bolt.Report.pp_paths ~witnesses:true) t
 
 let report_cmd nf_name =
-  let entry = Nf_registry.find nf_name in
+  let entry = Nf.Registry.find nf_name in
   let t = analyze entry in
-  Fmt.pr "%a" (Bolt.Report.pp_full ~classes:entry.Nf_registry.classes) t
+  Fmt.pr "%a" (Bolt.Report.pp_full ~classes:entry.Nf.Registry.classes) t
 
 let program_cmd nf_name =
-  let entry = Nf_registry.find nf_name in
-  Fmt.pr "%a@." Ir.Program.pp entry.Nf_registry.program
+  let entry = Nf.Registry.find nf_name in
+  Fmt.pr "%a@." Ir.Program.pp entry.Nf.Registry.program
 
 let validate_cmd nf_name pcap_path in_port =
-  let entry = Nf_registry.find nf_name in
+  let entry = Nf.Registry.find nf_name in
   let t = analyze entry in
   let worst = Bolt.Pipeline.worst_case t in
-  let dss = entry.Nf_registry.setup (Dslib.Layout.allocator ()) in
+  let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
   let stream =
     Workload.Stream.of_pcap ~in_port (Net.Pcap.read_file pcap_path)
   in
   let report =
-    Experiments.Validate.run ~worst ~dss entry.Nf_registry.program stream
+    Experiments.Validate.run ~worst ~dss entry.Nf.Registry.program stream
   in
   Fmt.pr "%a" Experiments.Validate.pp report;
   if report.Experiments.Validate.violations <> [] then exit 2
@@ -67,7 +113,7 @@ open Cmdliner
 let nf_arg =
   let doc =
     Printf.sprintf "Network function to analyse: %s."
-      (String.concat ", " (Nf_registry.names ()))
+      (String.concat ", " (Nf.Registry.names ()))
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
 
@@ -93,6 +139,30 @@ let json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the contract as JSON to $(docv).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the analysis (default: BOLT_JOBS or the \
+           core count).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write a Chrome trace-event JSON to $(docv) \
+           (open in chrome://tracing or Perfetto).")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print span and metric summaries to stderr after the run.")
 
 let predict_cmd nf_name json_path bindings_raw metric_name =
   (* evaluate a previously exported contract without re-running BOLT *)
@@ -147,7 +217,17 @@ let diff_cmd before_path after_path =
 let contract_t =
   Cmd.v
     (Cmd.info "contract" ~doc:"Derive an NF's performance contract")
-    Term.(const contract_cmd $ nf_arg $ metric_arg $ json_arg)
+    Term.(
+      const contract_cmd $ nf_arg $ metric_arg $ json_arg $ jobs_arg
+      $ trace_arg $ stats_flag)
+
+let stats_t =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the analysis with observability on and print per-phase \
+          span timings, pipeline counters and solver-cache statistics")
+    Term.(const stats_cmd $ nf_arg $ jobs_arg $ trace_arg)
 
 let diff_t =
   let pos n doc =
@@ -216,4 +296,8 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ contract_t; predict_t; diff_t; validate_t; paths_t; report_t; program_t ]))
+       (Cmd.group info
+          [
+            contract_t; stats_t; predict_t; diff_t; validate_t; paths_t;
+            report_t; program_t;
+          ]))

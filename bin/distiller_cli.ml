@@ -2,11 +2,11 @@
    report the induced PCV distributions (paper §4). *)
 
 let distill nf_name pcap_path in_port =
-  let entry = Nf_registry.find nf_name in
+  let entry = Nf.Registry.find nf_name in
   let alloc = Dslib.Layout.allocator () in
-  let dss = entry.Nf_registry.setup alloc in
+  let dss = entry.Nf.Registry.setup alloc in
   let result =
-    Distiller.Run.run_pcap ~dss entry.Nf_registry.program ~path:pcap_path
+    Distiller.Run.run_pcap ~dss entry.Nf.Registry.program ~path:pcap_path
       ~in_port ()
   in
   Fmt.pr "replayed %d packets@.@." (List.length result.Distiller.Run.reports);

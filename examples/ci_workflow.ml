@@ -14,8 +14,10 @@
 
 let derive () =
   let t =
-    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
-      ~contracts:(Nf.Nat.contracts ()) Nf.Nat.program
+    Bolt.Pipeline.analyze
+      ~config:
+        Bolt.Pipeline.Config.(default |> with_contracts (Nf.Nat.contracts ()))
+      Nf.Nat.program
   in
   Bolt.Pipeline.contract t ~classes:(Nf.Nat.table6_classes ())
 
@@ -85,8 +87,11 @@ let () =
   in
   let worst =
     Bolt.Pipeline.worst_case
-      (Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
-         ~contracts:(Nf.Nat.contracts ()) Nf.Nat.program)
+      (Bolt.Pipeline.analyze
+         ~config:
+           Bolt.Pipeline.Config.(
+             default |> with_contracts (Nf.Nat.contracts ()))
+         Nf.Nat.program)
   in
   let report = Experiments.Validate.run ~worst ~dss Nf.Nat.program stream in
   Fmt.pr "@.staging validation: %a" Experiments.Validate.pp report;

@@ -42,8 +42,12 @@ let () =
   (* 3. Run the BOLT pipeline: symbolic execution of the stateless code +
      the library's pre-analysed contract for lpm_trie.lookup. *)
   let analysis =
-    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
-      ~contracts:(Perf.Ds_contract.library Dslib.Lpm_trie.Recipe.contract)
+    Bolt.Pipeline.analyze
+      ~config:
+        Bolt.Pipeline.Config.(
+          default
+          |> with_contracts
+               (Perf.Ds_contract.library Dslib.Lpm_trie.Recipe.contract))
       my_router
   in
   let contract = Bolt.Pipeline.contract analysis ~classes in

@@ -17,6 +17,36 @@ type t = {
   unsolved : int;
 }
 
+(* ---- Configuration --------------------------------------------------- *)
+
+module Config = struct
+  type t = {
+    models : Symbex.Model.registry;
+    contracts : Ds_contract.library;
+    cycle_model : unit -> Hw.Model.t;
+    jobs : int option;
+    max_paths : int;
+    obs : bool;
+  }
+
+  let default =
+    {
+      models = Ds_models.default;
+      contracts = Ds_contract.library [];
+      cycle_model = Hw.Model.conservative;
+      jobs = None;
+      max_paths = 8192;
+      obs = false;
+    }
+
+  let with_models models t = { t with models }
+  let with_contracts contracts t = { t with contracts }
+  let with_cycle_model cycle_model t = { t with cycle_model }
+  let with_jobs jobs t = { t with jobs = Some jobs }
+  let with_max_paths max_paths t = { t with max_paths }
+  let with_obs obs t = { t with obs }
+end
+
 (* ---- Trace walking ------------------------------------------------- *)
 
 type snap = { ic : int; ma : int; cy : int }
@@ -33,6 +63,9 @@ let rec last = function
 
 let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
     events =
+  Obs.Span.with_ ~cat:"pipeline" "price"
+    ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
+  @@ fun () ->
   let m = cycle_model () in
   let snap () =
     {
@@ -134,6 +167,9 @@ let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
 (* ---- Witness extraction --------------------------------------------- *)
 
 let witness (engine : Symbex.Engine.result) (path : Symbex.Path.t) =
+  Obs.Span.with_ ~cat:"pipeline" "solve"
+    ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
+  @@ fun () ->
   match Solver.Solve.check path.Symbex.Path.constraints with
   | Solver.Solve.Unsat | Solver.Solve.Unknown -> None
   | Solver.Solve.Sat model ->
@@ -157,13 +193,24 @@ let witness (engine : Symbex.Engine.result) (path : Symbex.Path.t) =
 
 (* ---- The pipeline ---------------------------------------------------- *)
 
-let analyze ?max_paths ?cycle_model ?jobs ~models ~contracts program =
-  let engine = Symbex.Engine.explore ?max_paths ~models program in
+let analyze ~(config : Config.t) program =
+  if config.Config.obs then Obs.enable ();
+  Obs.Span.with_ ~cat:"pipeline" "analyze"
+    ~args:(fun () -> [ ("program", program.Ir.Program.name) ])
+  @@ fun () ->
+  let engine =
+    Symbex.Engine.explore ~max_paths:config.Config.max_paths
+      ~models:config.Config.models program
+  in
+  let contracts = config.Config.contracts in
   (* Witness-solve and replay of one path.  Everything mutable — the
      meter, the hardware model, the witness packet — is created here,
      per task, so paths can be processed on any domain; the engine
      result and the contract library are immutable and shared. *)
   let solve_path path =
+    Obs.Span.with_ ~cat:"pipeline" "path"
+      ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
+    @@ fun () ->
     match witness engine path with
     | None -> None
     | Some (packet, stubs, in_port, now) ->
@@ -171,16 +218,23 @@ let analyze ?max_paths ?cycle_model ?jobs ~models ~contracts program =
           Exec.Meter.create ~trace:true (Hw.Model.conservative ())
         in
         let replay =
-          Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs)
-            ~in_port ~now program packet
+          Obs.Span.with_ ~cat:"pipeline" "replay"
+            ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
+            (fun () ->
+              Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs)
+                ~in_port ~now program packet)
         in
         let cost =
-          analyze_replay ?cycle_model ~contracts ~path
+          analyze_replay ~cycle_model:config.Config.cycle_model ~contracts
+            ~path
             (Exec.Meter.events meter)
         in
         Some { path; cost; replay; packet; stubs; in_port; now }
   in
-  let per_path = Exec.Pool.map ?jobs solve_path engine.Symbex.Engine.paths in
+  let per_path =
+    Exec.Pool.map ?jobs:config.Config.jobs solve_path
+      engine.Symbex.Engine.paths
+  in
   let unsolved =
     List.length (List.filter Option.is_none per_path)
   in

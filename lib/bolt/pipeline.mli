@@ -28,25 +28,63 @@ type t = {
           for (kept out of the contract; 0 in all our NFs) *)
 }
 
-val analyze :
-  ?max_paths:int ->
-  ?cycle_model:(unit -> Hw.Model.t) ->
-  ?jobs:int ->
-  models:Symbex.Model.registry ->
-  contracts:Perf.Ds_contract.library ->
-  Ir.Program.t ->
-  t
-(** [cycle_model] prices the stateless trace (default
-    {!Hw.Model.conservative}; {!Hw.Model.dram_only} for the hardware-model
-    ablation).
+(** Everything [analyze] needs besides the program itself, in one
+    record.  Build one from {!Config.default} with the [with_*]
+    builders (or record update), instead of threading five scattered
+    optional arguments through every caller:
+
+    {[
+      Pipeline.analyze
+        ~config:Pipeline.Config.(default |> with_contracts c |> with_jobs 4)
+        program
+    ]} *)
+module Config : sig
+  type t = {
+    models : Symbex.Model.registry;
+        (** symbolic models substituted for stateful calls
+            (default {!Ds_models.default}) *)
+    contracts : Perf.Ds_contract.library;
+        (** performance contracts spliced in at stateful calls
+            (default: empty — fine for stateless NFs) *)
+    cycle_model : unit -> Hw.Model.t;
+        (** prices the stateless trace (default {!Hw.Model.conservative};
+            {!Hw.Model.dram_only} for the hardware-model ablation) *)
+    jobs : int option;
+        (** domain-pool width; [None] = {!Exec.Pool.default_jobs} *)
+    max_paths : int;  (** symbolic-execution path budget *)
+    obs : bool;
+        (** [true] switches the {!Obs} runtime on before the run (it is
+            never switched off here), so spans and counters of this
+            analysis are recorded *)
+  }
+
+  val default : t
+
+  val with_models : Symbex.Model.registry -> t -> t
+  val with_contracts : Perf.Ds_contract.library -> t -> t
+  val with_cycle_model : (unit -> Hw.Model.t) -> t -> t
+  val with_jobs : int -> t -> t
+  val with_max_paths : int -> t -> t
+  val with_obs : bool -> t -> t
+end
+
+val analyze : config:Config.t -> Ir.Program.t -> t
+(** Run the full pipeline (explore, witness-solve, replay, price) under
+    [config].
 
     Paths are independent, so witness solving and concrete replay fan
-    out over an {!Exec.Pool} of [jobs] domains (default
+    out over an {!Exec.Pool} of [config.jobs] domains (default
     {!Exec.Pool.default_jobs}, i.e. [BOLT_JOBS] or the hardware's
     recommended domain count).  The result — path order, contracts,
     witnesses — is bit-identical for every [jobs] value: each task
     builds its own meter and hardware model, and the shared solver
-    cache's verdicts are a pure function of the constraint set. *)
+    cache's verdicts are a pure function of the constraint set.
+
+    When the {!Obs} runtime is enabled (via [config.obs] or
+    {!Obs.enable}), the run is recorded as an [analyze] span containing
+    the [explore] phase and, per path, [solve]/[replay]/[price] spans —
+    nested correctly even across pool domains — plus the
+    symbex/solver/interp/pool counters. *)
 
 val path_count : t -> int
 

@@ -6,6 +6,11 @@ type run = { outcome : outcome; ic : int; ma : int; cycles : int }
 
 exception Stuck of string
 
+let c_runs = Obs.Metrics.counter "interp.runs"
+let c_instrs = Obs.Metrics.counter "interp.instructions"
+let c_mems = Obs.Metrics.counter "interp.mem_accesses"
+let c_calls = Obs.Metrics.counter "interp.stateful_calls"
+
 let stuck fmt = Format.kasprintf (fun s -> raise (Stuck s)) fmt
 let packet_base = 0x1000_0000
 let rx_ring_base = 0x0800_0000
@@ -74,6 +79,7 @@ let rec eval st (e : Expr.t) : int =
 
 let do_call st { Stmt.ret; instance; meth; args } =
   let argv = Array.of_list (List.map (eval st) args) in
+  Obs.Metrics.incr c_calls;
   Meter.instr st.meter Hw.Cost.Call 1;
   let result =
     match st.mode with
@@ -200,18 +206,25 @@ let process ~meter ~mode ~in_port ~now (program : Program.t) packet =
   | () -> stuck "program fell through without returning"
   | exception Returned outcome -> outcome
 
+let record (r : run) =
+  Obs.Metrics.incr c_runs;
+  Obs.Metrics.add c_instrs r.ic;
+  Obs.Metrics.add c_mems r.ma;
+  r
+
 let run ~meter ~mode ?(in_port = 0) ?(now = 0) (program : Program.t) packet =
   let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
   let cy0 = Meter.cycles meter in
   charge_rx meter;
   let outcome = process ~meter ~mode ~in_port ~now program packet in
   charge_tx meter outcome;
-  {
-    outcome;
-    ic = Meter.ic meter - ic0;
-    ma = Meter.ma meter - ma0;
-    cycles = Meter.cycles meter - cy0;
-  }
+  record
+    {
+      outcome;
+      ic = Meter.ic meter - ic0;
+      ma = Meter.ma meter - ma0;
+      cycles = Meter.cycles meter - cy0;
+    }
 
 let run_batch ~meter ~mode (program : Program.t) batch =
   (match mode with
@@ -226,12 +239,13 @@ let run_batch ~meter ~mode (program : Program.t) batch =
         let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
         let cy0 = Meter.cycles meter in
         let outcome = process ~meter ~mode ~in_port ~now program packet in
-        {
-          outcome;
-          ic = Meter.ic meter - ic0;
-          ma = Meter.ma meter - ma0;
-          cycles = Meter.cycles meter - cy0;
-        })
+        record
+          {
+            outcome;
+            ic = Meter.ic meter - ic0;
+            ma = Meter.ma meter - ma0;
+            cycles = Meter.cycles meter - cy0;
+          })
       batch
   in
   (* one TX doorbell for everything the burst forwarded *)

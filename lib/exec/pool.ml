@@ -21,21 +21,39 @@ let default_jobs () =
 
 type 'a slot = Empty | Value of 'a | Error of exn * Printexc.raw_backtrace
 
+let c_queued = Obs.Metrics.counter "pool.tasks_queued"
+let c_completed = Obs.Metrics.counter "pool.tasks_completed"
+let g_jobs = Obs.Metrics.gauge "pool.max_jobs"
+
 let map ?jobs f items =
   let items = Array.of_list items in
   let n = Array.length items in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs = min jobs n in
-  if jobs <= 1 then Array.to_list (Array.map f items)
+  Obs.Metrics.add c_queued n;
+  Obs.Metrics.set_max g_jobs jobs;
+  let run_item x =
+    let v = f x in
+    Obs.Metrics.incr c_completed;
+    v
+  in
+  if jobs <= 1 then Array.to_list (Array.map run_item items)
   else begin
     let slots = Array.make n Empty in
     let next = Atomic.make 0 in
-    let worker () =
+    (* Workers adopt the submitting domain's current span, so the spans
+       their tasks open nest under the phase that fanned the work out. *)
+    let parent_span = Obs.Span.current () in
+    let worker ~index () =
+      Obs.Span.adopt parent_span @@ fun () ->
+      Obs.Span.with_ ~cat:"pool" "pool.worker"
+        ~args:(fun () -> [ ("worker", string_of_int index) ])
+      @@ fun () ->
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (slots.(i) <-
-            (match f items.(i) with
+            (match run_item items.(i) with
             | v -> Value v
             | exception e -> Error (e, Printexc.get_raw_backtrace ())));
           loop ()
@@ -43,8 +61,11 @@ let map ?jobs f items =
       in
       loop ()
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let helpers =
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker ~index:(i + 1) ()))
+    in
+    worker ~index:0 ();
     List.iter Domain.join helpers;
     (* surface the lowest-indexed failure, as a serial run would *)
     Array.iter

@@ -110,8 +110,10 @@ let run_one scenario allocator (stream, new_flags) =
       ]
   in
   let pipeline =
-    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
-      ~contracts:(Nf.Nat.contracts ~config ())
+    Bolt.Pipeline.analyze
+      ~config:
+        Bolt.Pipeline.Config.(
+          default |> with_contracts (Nf.Nat.contracts ~config ()))
       Nf.Nat.program
   in
   let new_flow_class =

@@ -31,8 +31,10 @@ let figure2 ?(packets = 20_000) ?(capacity = 8192) ?(buckets = 2048) () =
   let ccdf = Distiller.Stats.ccdf traversal_samples in
   (* the contract's unknown-source (no rehash) branch as a function of t *)
   let pipeline =
-    Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default
-      ~contracts:(Nf.Bridge.contracts ~config ())
+    Bolt.Pipeline.analyze
+      ~config:
+        Bolt.Pipeline.Config.(
+          default |> with_contracts (Nf.Bridge.contracts ~config ()))
       Nf.Bridge.program
   in
   let unknown_class = List.nth (Nf.Bridge.table4_classes ()) 1 in

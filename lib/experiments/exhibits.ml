@@ -1,7 +1,9 @@
 open Perf
 
 let analyze program contracts =
-  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+  Bolt.Pipeline.analyze
+    ~config:Bolt.Pipeline.Config.(default |> with_contracts contracts)
+    program
 
 let table1 ppf =
   Fmt.pf ppf "%a@." (Contract.pp_metric Metric.Instructions)

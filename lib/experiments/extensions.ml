@@ -1,8 +1,14 @@
 open Perf
 
 let analyze ?cycle_model program contracts =
-  Bolt.Pipeline.analyze ?cycle_model ~models:Bolt.Ds_models.default
-    ~contracts program
+  let config =
+    match cycle_model with
+    | None -> Bolt.Pipeline.Config.(default |> with_contracts contracts)
+    | Some cm ->
+        Bolt.Pipeline.Config.(
+          default |> with_contracts contracts |> with_cycle_model cm)
+  in
+  Bolt.Pipeline.analyze ~config program
 
 let no_contracts = Ds_contract.library []
 let freq_hz = 3_300_000_000

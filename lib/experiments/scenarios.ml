@@ -26,7 +26,8 @@ let distinct_bucket_flows rng ~hash n =
   draw [] n 10_000_000
 
 let analyze_nf ?jobs program contracts =
-  Bolt.Pipeline.analyze ?jobs ~models:Bolt.Ds_models.default ~contracts
+  Bolt.Pipeline.analyze
+    ~config:{ Bolt.Pipeline.Config.default with contracts; jobs }
     program
 
 let find_class classes name =
@@ -49,6 +50,9 @@ type spec = {
 }
 
 let measure_spec s =
+  Obs.Span.with_ ~cat:"scenario" "measure"
+    ~args:(fun () -> [ ("scenario", s.label) ])
+  @@ fun () ->
   {
     Harness.label = s.label;
     predicted = Harness.predict_exn s.pipeline (find_class s.classes s.label);
@@ -56,7 +60,12 @@ let measure_spec s =
         ~measured:s.measured;
   }
 
-let measure_specs ?jobs specs = Exec.Pool.map ?jobs measure_spec specs
+let c_measured = Obs.Metrics.counter "scenarios.specs_measured"
+
+let measure_specs ?jobs specs =
+  let rows = Exec.Pool.map ?jobs measure_spec specs in
+  Obs.Metrics.add c_measured (List.length rows);
+  rows
 
 (* ---- NAT -------------------------------------------------------------- *)
 
@@ -456,11 +465,16 @@ let figure1_table3 ?(params = default_params) ?jobs () =
      at once — it is the bulk of the wall-clock and touches no RNG. *)
   let groups =
     [
-      (fun () -> nat_specs ~params ?jobs ());
-      (fun () -> bridge_specs ~params ?jobs ());
-      (fun () -> lb_specs ~params ?jobs ());
-      (fun () -> lpm_specs ~params ?jobs ());
+      ("nat", fun () -> nat_specs ~params ?jobs ());
+      ("bridge", fun () -> bridge_specs ~params ?jobs ());
+      ("lb", fun () -> lb_specs ~params ?jobs ());
+      ("lpm", fun () -> lpm_specs ~params ?jobs ());
     ]
   in
-  let specs = List.concat (Exec.Pool.map ?jobs (fun g -> g ()) groups) in
+  let build (name, g) =
+    Obs.Span.with_ ~cat:"scenario" "build"
+      ~args:(fun () -> [ ("group", name) ])
+      g
+  in
+  let specs = List.concat (Exec.Pool.map ?jobs build groups) in
   measure_specs ?jobs specs

@@ -1,0 +1,110 @@
+(* The NF catalogue: look NFs up by name and bundle their analysis
+   ingredients, so drivers (CLI, bench, examples, tests) stop re-wiring
+   programs, contracts and classes by hand. *)
+
+type entry = {
+  name : string;
+  program : Ir.Program.t;
+  contracts : Perf.Ds_contract.library;
+  classes : Symbex.Iclass.t list;
+  setup : Dslib.Layout.allocator -> Exec.Ds.env;
+}
+
+let all () =
+  [
+    {
+      name = "bridge";
+      program = Bridge.program;
+      contracts = Bridge.contracts ();
+      classes = Bridge.classes ();
+      setup = (fun alloc -> fst (Bridge.setup alloc));
+    };
+    {
+      name = "nat";
+      program = Nat.program;
+      contracts = Nat.contracts ();
+      classes = Nat.classes ();
+      setup = (fun alloc -> fst (Nat.setup alloc));
+    };
+    {
+      name = "maglev";
+      program = Maglev.program;
+      contracts = Maglev.contracts ();
+      classes = Maglev.classes ();
+      setup = (fun alloc -> fst (Maglev.setup alloc));
+    };
+    {
+      name = "lpm_router";
+      program = Router_lpm.program;
+      contracts = Router_lpm.contracts ();
+      classes = Router_lpm.classes ();
+      setup =
+        (fun alloc ->
+          fst
+            (Router_lpm.setup alloc
+               ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
+    };
+    {
+      name = "trie_router";
+      program = Router_trie.program;
+      contracts = Router_trie.contracts ();
+      classes = Router_trie.classes ();
+      setup =
+        (fun alloc ->
+          fst
+            (Router_trie.setup alloc
+               ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
+    };
+    {
+      name = "conntrack";
+      program = Conntrack.program;
+      contracts = Conntrack.contracts ();
+      classes = Conntrack.classes ();
+      setup = (fun alloc -> fst (Conntrack.setup alloc));
+    };
+    {
+      name = "limiter";
+      program = Limiter.program;
+      contracts = Limiter.contracts ();
+      classes = Limiter.classes ();
+      setup = (fun alloc -> fst (Limiter.setup alloc));
+    };
+    {
+      name = "policer";
+      program = Policer.program;
+      contracts = Policer.contracts ();
+      classes = Policer.classes ();
+      setup = (fun alloc -> fst (Policer.setup alloc));
+    };
+    {
+      name = "responder";
+      program = Responder.program;
+      contracts = Perf.Ds_contract.library [];
+      classes = Responder.classes ();
+      setup = (fun _ -> []);
+    };
+    {
+      name = "firewall";
+      program = Firewall.program;
+      contracts = Perf.Ds_contract.library [];
+      classes = Firewall.classes ();
+      setup = (fun _ -> []);
+    };
+    {
+      name = "static_router";
+      program = Static_router.program;
+      contracts = Perf.Ds_contract.library [];
+      classes = Static_router.classes ();
+      setup = (fun _ -> []);
+    };
+  ]
+
+let names () = List.map (fun e -> e.name) (all ())
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) (all ()) with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown NF %S (try: %s)" name
+           (String.concat ", " (names ())))

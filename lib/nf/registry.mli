@@ -1,0 +1,26 @@
+(** The NF catalogue.
+
+    One [entry] bundles everything a driver needs to analyse or run a
+    network function — its IR program, the contract library for its
+    stateful calls, its input classes, and a [setup] that builds the
+    production data structures — so the CLI, bench, examples and tests
+    look NFs up by name instead of re-wiring those four by hand. *)
+
+type entry = {
+  name : string;
+  program : Ir.Program.t;
+  contracts : Perf.Ds_contract.library;
+  classes : Symbex.Iclass.t list;
+  setup : Dslib.Layout.allocator -> Exec.Ds.env;
+      (** builds the production data-structure environment (empty for
+          stateless NFs) *)
+}
+
+val all : unit -> entry list
+(** Every registered NF, in presentation order. *)
+
+val names : unit -> string list
+
+val find : string -> entry
+(** Look an NF up by [name]; raises [Invalid_argument] with the list of
+    known names on a miss. *)

@@ -1,0 +1,68 @@
+(* Named monotonic counters and gauges with atomic updates.
+
+   Handles are interned by name in a global registry, so instrumented
+   modules create them once at module initialisation and the hot path is
+   an enabled-check plus one atomic RMW.  Counters only ever grow (until
+   [reset]); gauges hold the last — or with [set_max] the largest —
+   value written. *)
+
+type cell = { name : string; value : int Atomic.t }
+type counter = cell
+type gauge = cell
+
+let lock = Mutex.create ()
+let counters : (string, cell) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let intern table name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some c -> c
+      | None ->
+          let c = { name; value = Atomic.make 0 } in
+          Hashtbl.add table name c;
+          c)
+
+let counter name = intern counters name
+let gauge name = intern gauges name
+let add c n = if Runtime.enabled () then ignore (Atomic.fetch_and_add c.value n)
+let incr c = add c 1
+let set g v = if Runtime.enabled () then Atomic.set g.value v
+
+let set_max g v =
+  if Runtime.enabled () then begin
+    let rec loop () =
+      let cur = Atomic.get g.value in
+      if v > cur && not (Atomic.compare_and_set g.value cur v) then loop ()
+    in
+    loop ()
+  end
+
+let value c = Atomic.get c.value
+
+let dump_table table =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.value) :: acc)
+        table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters_dump () = dump_table counters
+let gauges_dump () = dump_table gauges
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) gauges)
+
+let pp ppf () =
+  let section title rows =
+    if rows <> [] then begin
+      Format.fprintf ppf "%s:@." title;
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf "  %-36s %12d@." name v)
+        rows
+    end
+  in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) in
+  section "counters" (nonzero (counters_dump ()));
+  section "gauges" (nonzero (gauges_dump ()))

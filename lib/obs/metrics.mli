@@ -1,0 +1,37 @@
+(** Named monotonic counters and gauges with atomic updates.
+
+    Handles are interned by name: [counter "solver.solves"] returns the
+    same cell everywhere, so instrumented modules create their handles
+    once at initialisation.  Updates are a single enabled-check branch
+    plus an atomic read-modify-write, and are safe from any domain.
+    While the obs runtime is disabled, updates are dropped and every
+    value stays 0. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Create-or-find the counter registered under [name]. *)
+
+val gauge : string -> gauge
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val set : gauge -> int -> unit
+val set_max : gauge -> int -> unit
+(** Keep the largest value written (atomic compare-and-swap loop). *)
+
+val value : counter -> int
+(** Read a counter's current value directly. *)
+
+val counters_dump : unit -> (string * int) list
+(** All registered counters with their values, sorted by name. *)
+
+val gauges_dump : unit -> (string * int) list
+
+val pp : Format.formatter -> unit -> unit
+(** Flat stats table of all non-zero counters and gauges. *)
+
+val reset : unit -> unit
+(** Zero every registered cell (registrations are kept). *)

@@ -1,0 +1,25 @@
+(** Zero-dependency observability for the contract pipeline.
+
+    {!Span} records hierarchical timed spans (domain-safe, with
+    cross-domain parent adoption for {!Exec.Pool} workers), {!Metrics}
+    holds named atomic counters and gauges, and {!Trace_io} exports both
+    as Chrome trace-event JSON.
+
+    The runtime starts disabled: every probe in the instrumented
+    libraries then costs one branch and records nothing, so analysis
+    output and tier-1 timings are unaffected.  [enable] turns the
+    collector on for the rest of the process (or until [disable]). *)
+
+module Span = Span
+module Metrics = Metrics
+module Trace_io = Trace_io
+
+let enabled = Runtime.enabled
+let enable = Runtime.enable
+let disable = Runtime.disable
+
+(* Drop all recorded spans and zero all metrics; registrations and the
+   enabled flag are kept. *)
+let reset () =
+  Span.reset ();
+  Metrics.reset ()

@@ -1,0 +1,12 @@
+(* The single on/off switch shared by every obs backend.
+
+   Instrumented hot paths pay exactly one branch when observability is
+   disabled: a relaxed [Atomic.get] on this flag.  There is no
+   compile-time variant to strip the probes out — the disabled path is
+   cheap enough that the tier-1 pipeline timings are unaffected — and a
+   runtime flag means `bolt contract --trace` needs no rebuild. *)
+
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false

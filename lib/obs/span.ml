@@ -1,0 +1,111 @@
+(* Hierarchical timed spans with a domain-safe collector.
+
+   Each domain tracks its current innermost span in domain-local storage,
+   so nesting needs no locking on the hot path; completed spans land in
+   one mutex-protected global list.  Cross-domain nesting — a worker in
+   [Exec.Pool] executing a task submitted under some phase span — is
+   handled by capturing [current ()] on the submitting domain and
+   running the worker's items under [adopt]: the worker's spans then
+   report the submitting span as their parent, exactly as if they had
+   run inline. *)
+
+type t = {
+  id : int;
+  parent : int;  (** 0 = no parent (root span) *)
+  name : string;
+  cat : string;
+  tid : int;  (** the domain the span ran on *)
+  start_us : int;
+  dur_us : int;
+  args : (string * string) list;
+}
+
+let next_id = Atomic.make 1
+let lock = Mutex.create ()
+let completed : t list ref = ref [] (* reversed *)
+
+(* Timestamps are microseconds since the first observed event, so trace
+   files start near zero and fit in ints comfortably. *)
+let origin = ref 0.
+let origin_lock = Mutex.create ()
+
+let now_us () =
+  let t = Unix.gettimeofday () in
+  let o =
+    if !origin > 0. then !origin
+    else
+      Mutex.protect origin_lock (fun () ->
+          if !origin = 0. then origin := t;
+          !origin)
+  in
+  int_of_float ((t -. o) *. 1e6)
+
+let current_key = Domain.DLS.new_key (fun () -> 0)
+let current () = Domain.DLS.get current_key
+
+let adopt parent f =
+  if not (Runtime.enabled ()) then f ()
+  else begin
+    let saved = Domain.DLS.get current_key in
+    Domain.DLS.set current_key parent;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
+  end
+
+let with_ ?(cat = "") ?args name f =
+  if not (Runtime.enabled ()) then f ()
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent = Domain.DLS.get current_key in
+    Domain.DLS.set current_key id;
+    let start_us = now_us () in
+    let finish () =
+      let dur_us = now_us () - start_us in
+      Domain.DLS.set current_key parent;
+      let span =
+        {
+          id;
+          parent;
+          name;
+          cat;
+          tid = (Domain.self () :> int);
+          start_us;
+          dur_us;
+          args = (match args with None -> [] | Some f -> f ());
+        }
+      in
+      Mutex.protect lock (fun () -> completed := span :: !completed)
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let dump () = Mutex.protect lock (fun () -> List.rev !completed)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      completed := [];
+      Atomic.set next_id 1)
+
+(* Aggregate completed spans by name: (name, count, total duration). *)
+let summary () =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let count, total =
+        Option.value (Hashtbl.find_opt tbl s.name) ~default:(0, 0)
+      in
+      Hashtbl.replace tbl s.name (count + 1, total + s.dur_us))
+    (dump ());
+  Hashtbl.fold (fun name (count, total) acc -> (name, count, total) :: acc)
+    tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let pp_summary ppf () =
+  let rows = summary () in
+  if rows = [] then Format.fprintf ppf "no spans recorded@."
+  else begin
+    Format.fprintf ppf "%-28s %8s %12s@." "span" "count" "total (us)";
+    List.iter
+      (fun (name, count, total) ->
+        Format.fprintf ppf "%-28s %8d %12d@." name count total)
+      rows
+  end

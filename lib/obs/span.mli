@@ -1,0 +1,54 @@
+(** Hierarchical timed spans with a domain-safe collector.
+
+    A span measures one timed region ([with_]); spans opened while
+    another is running nest under it.  Nesting is tracked per domain in
+    domain-local storage, and a parent can be carried across domains
+    explicitly — {!Exec.Pool} captures [current ()] at submit time and
+    wraps its workers in [adopt], so spans recorded on worker domains
+    nest under the submitting phase.
+
+    When the obs runtime is disabled (the default), every entry point
+    is a single branch and records nothing. *)
+
+type t = {
+  id : int;
+  parent : int;  (** [id] of the enclosing span; 0 for roots *)
+  name : string;
+  cat : string;
+  tid : int;  (** domain id the span ran on *)
+  start_us : int;  (** microseconds since the trace origin *)
+  dur_us : int;
+  args : (string * string) list;
+}
+
+val with_ :
+  ?cat:string ->
+  ?args:(unit -> (string * string) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_ name f] times [f ()] as a span called [name], nested under
+    the domain's current span.  [args] is evaluated once, at span close,
+    only when recording is enabled.  Exception-safe: the span is
+    recorded even if [f] raises. *)
+
+val current : unit -> int
+(** The id of the calling domain's innermost open span (0 if none) —
+    capture it before handing work to another domain. *)
+
+val adopt : int -> (unit -> 'a) -> 'a
+(** [adopt parent f] runs [f] with the domain's current span set to
+    [parent], so spans opened inside nest under the capturing span.
+    Restores the previous current span afterwards. *)
+
+val dump : unit -> t list
+(** All completed spans, in completion order. *)
+
+val summary : unit -> (string * int * int) list
+(** Completed spans aggregated by name: (name, count, total us), widest
+    first. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+
+val reset : unit -> unit
+(** Drop all completed spans and restart ids. *)

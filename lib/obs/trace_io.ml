@@ -1,0 +1,103 @@
+(* Chrome trace-event export.
+
+   One complete ("ph":"X") event per finished span, with timestamps and
+   durations in integer microseconds; counters and gauges ride along in
+   "otherData" so a trace file is a self-contained observation of a run.
+   about://tracing and Perfetto both open the format directly.
+
+   The writer is self-contained — obs sits below every other library in
+   the dependency order, so it carries its own small JSON emitter
+   (integers and strings only, like {!Perf.Json}). *)
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_str b s =
+  Buffer.add_char b '"';
+  buf_escape b s;
+  Buffer.add_char b '"'
+
+let add_kv_str b k v =
+  add_str b k;
+  Buffer.add_char b ':';
+  add_str b v
+
+let add_kv_int b k v =
+  add_str b k;
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int v)
+
+let add_event b (s : Span.t) =
+  Buffer.add_char b '{';
+  add_kv_str b "name" s.Span.name;
+  Buffer.add_char b ',';
+  add_kv_str b "cat" (if s.Span.cat = "" then "bolt" else s.Span.cat);
+  Buffer.add_char b ',';
+  add_kv_str b "ph" "X";
+  Buffer.add_char b ',';
+  add_kv_int b "ts" s.Span.start_us;
+  Buffer.add_char b ',';
+  add_kv_int b "dur" s.Span.dur_us;
+  Buffer.add_char b ',';
+  add_kv_int b "pid" 1;
+  Buffer.add_char b ',';
+  add_kv_int b "tid" s.Span.tid;
+  Buffer.add_char b ',';
+  add_str b "args";
+  Buffer.add_string b ":{";
+  add_kv_int b "id" s.Span.id;
+  Buffer.add_char b ',';
+  add_kv_int b "parent" s.Span.parent;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      add_kv_str b k v)
+    s.Span.args;
+  Buffer.add_string b "}}"
+
+let add_metric_obj b rows =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_kv_int b name v)
+    rows;
+  Buffer.add_char b '}'
+
+let to_string () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      add_event b s)
+    (Span.dump ());
+  Buffer.add_string b "],\n\"displayTimeUnit\":";
+  add_str b "ms";
+  Buffer.add_string b ",\n\"otherData\":{";
+  add_str b "counters";
+  Buffer.add_char b ':';
+  add_metric_obj b (Metrics.counters_dump ());
+  Buffer.add_char b ',';
+  add_str b "gauges";
+  Buffer.add_char b ':';
+  add_metric_obj b (Metrics.gauges_dump ());
+  Buffer.add_string b "}}\n";
+  Buffer.contents b
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

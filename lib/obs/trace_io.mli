@@ -1,0 +1,12 @@
+(** Chrome trace-event JSON export of everything recorded so far.
+
+    The file holds one complete event per {!Span.t} (integer-microsecond
+    [ts]/[dur], [tid] = domain id, span/parent ids in [args]) plus all
+    counter and gauge values under ["otherData"].  Load it in
+    about://tracing or Perfetto, or parse it with {!Perf.Json} — the
+    emitted subset is integers and strings only. *)
+
+val to_string : unit -> string
+
+val write : path:string -> unit
+(** Serialize the current spans and metrics to [path]. *)

@@ -9,13 +9,20 @@
    domain populates an entry, every reader sees the same answer, and
    parallel runs stay bit-identical to serial ones.
 
+   The table is bounded: at [capacity] entries, inserts evict via the
+   second-chance (clock) policy — keys cycle through a FIFO, a hit marks
+   an entry referenced, and the evictor skips referenced entries once
+   before removing them — an O(1)-amortized approximation of LRU.
+   Eviction only ever forgets a verdict, never changes one, so
+   determinism across [--jobs] levels is unaffected.
+
    All table accesses are mutex-protected; the solve itself runs outside
    the lock, so concurrent misses on distinct keys proceed in parallel
    (two simultaneous misses on the *same* key both solve and agree). *)
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; evictions : int }
 
-let hit_rate { hits; misses } =
+let hit_rate { hits; misses; _ } =
   let total = hits + misses in
   if total = 0 then 0. else float_of_int hits /. float_of_int total
 
@@ -39,10 +46,47 @@ module H = Hashtbl.Make (struct
   let hash k = Hashtbl.hash_param 256 512 k
 end)
 
+type entry = { verdict : Solve.result; mutable referenced : bool }
+
+let default_capacity = 32_768
 let lock = Mutex.create ()
-let table : Solve.result H.t = H.create 1024
+let table : entry H.t = H.create 1024
+let clock : key Queue.t = Queue.create ()
+let capacity = ref default_capacity
 let hits = ref 0
 let misses = ref 0
+let evictions = ref 0
+let c_hits = Obs.Metrics.counter "solver.cache.hits"
+let c_misses = Obs.Metrics.counter "solver.cache.misses"
+let c_evictions = Obs.Metrics.counter "solver.cache.evictions"
+
+(* Call with [lock] held.  Every key in [table] is in [clock] exactly
+   once, so the loop terminates: a full revolution clears every
+   referenced bit and the next candidate is evictable. *)
+let rec evict_one () =
+  match Queue.take_opt clock with
+  | None -> ()
+  | Some k -> (
+      match H.find_opt table k with
+      | None -> evict_one ()
+      | Some e when e.referenced ->
+          e.referenced <- false;
+          Queue.add k clock;
+          evict_one ()
+      | Some _ ->
+          H.remove table k;
+          incr evictions;
+          Obs.Metrics.incr c_evictions)
+
+let insert key verdict =
+  Mutex.protect lock (fun () ->
+      if not (H.mem table key) then begin
+        while H.length table >= !capacity do
+          evict_one ()
+        done;
+        H.replace table key { verdict; referenced = false };
+        Queue.add key clock
+      end)
 
 (* Defaults mirror {!Solve.check}. *)
 let check ?(max_conjuncts = 4096) ?(max_nodes = 20_000) constraints =
@@ -50,18 +94,21 @@ let check ?(max_conjuncts = 4096) ?(max_nodes = 20_000) constraints =
   let cached =
     Mutex.protect lock (fun () ->
         match H.find_opt table key with
-        | Some r ->
+        | Some e ->
+            e.referenced <- true;
             incr hits;
-            Some r
+            Obs.Metrics.incr c_hits;
+            Some e.verdict
         | None ->
             incr misses;
+            Obs.Metrics.incr c_misses;
             None)
   in
   match cached with
   | Some r -> r
   | None ->
       let r = Solve.check ~max_conjuncts ~max_nodes key.atoms in
-      Mutex.protect lock (fun () -> H.replace table key r);
+      insert key r;
       r
 
 let is_sat ?max_conjuncts ?max_nodes constraints =
@@ -70,10 +117,23 @@ let is_sat ?max_conjuncts ?max_nodes constraints =
   | Solve.Unsat -> false
 
 let stats () =
-  Mutex.protect lock (fun () -> { hits = !hits; misses = !misses })
+  Mutex.protect lock (fun () ->
+      { hits = !hits; misses = !misses; evictions = !evictions })
+
+let size () = Mutex.protect lock (fun () -> H.length table)
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Solver.Cache.set_capacity: capacity must be >= 1";
+  Mutex.protect lock (fun () ->
+      capacity := n;
+      while H.length table > !capacity do
+        evict_one ()
+      done)
 
 let reset () =
   Mutex.protect lock (fun () ->
       H.reset table;
+      Queue.clear clock;
       hits := 0;
-      misses := 0)
+      misses := 0;
+      evictions := 0)

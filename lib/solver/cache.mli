@@ -8,10 +8,14 @@
     per-fork feasibility checks and packet-class matching re-solve many
     identical sets; this cache collapses them to one solve each.
 
-    The table is global to the process and protected by a mutex.  It
-    grows without bound; call {!reset} between benchmark phases. *)
+    The table is global to the process, protected by a mutex, and
+    bounded: past {!set_capacity} entries (default 32768), inserts evict
+    with a second-chance (clock) policy that approximates LRU in O(1)
+    amortized time.  Evicting forgets a verdict but never changes one —
+    re-querying an evicted key re-solves to the identical answer — so
+    [--jobs] determinism is preserved at any capacity. *)
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; evictions : int }
 
 val check :
   ?max_conjuncts:int -> ?max_nodes:int -> Constr.t list -> Solve.result
@@ -24,10 +28,18 @@ val is_sat : ?max_conjuncts:int -> ?max_nodes:int -> Constr.t list -> bool
     followed by [is_sat] on the same set costs one solve. *)
 
 val stats : unit -> stats
-(** Cumulative hit/miss counters since start or the last {!reset}. *)
+(** Cumulative hit/miss/eviction counters since start or the last
+    {!reset}. *)
 
 val hit_rate : stats -> float
 (** Hits over total lookups, in [0, 1]; [0.] when no lookups. *)
 
+val size : unit -> int
+(** Entries currently held; always [<= capacity]. *)
+
+val set_capacity : int -> unit
+(** Change the bound (>= 1), evicting immediately if the table already
+    exceeds it.  The default is 32768 entries. *)
+
 val reset : unit -> unit
-(** Clear the table and zero the counters. *)
+(** Clear the table and zero the counters (capacity is kept). *)

@@ -1,5 +1,10 @@
 type result = Sat of Model.t | Unsat | Unknown
 
+let c_solves = Obs.Metrics.counter "solver.solves"
+let c_conjuncts = Obs.Metrics.counter "solver.conjuncts"
+let c_nodes = Obs.Metrics.counter "solver.nodes"
+let c_unknowns = Obs.Metrics.counter "solver.unknowns"
+
 (* Floor and ceiling division, correct for negative numerators. *)
 let fdiv a b =
   let q = a / b and r = a mod b in
@@ -129,10 +134,15 @@ let solve_conjunct ~max_nodes atoms =
                 | Some None -> try_range (mid + 1) hi
                 | None -> None))
   in
-  match search (store_of_syms syms) with
-  | Some (Some m) -> Sat m
-  | Some None -> Unsat
-  | None -> Unknown
+  let verdict =
+    match search (store_of_syms syms) with
+    | Some (Some m) -> Sat m
+    | Some None -> Unsat
+    | None -> Unknown
+  in
+  Obs.Metrics.incr c_conjuncts;
+  Obs.Metrics.add c_nodes !nodes;
+  verdict
 
 (* Enumerate the DNF of a formula as a sequence of atom lists. *)
 let rec dnf (f : Constr.t) : Constr.atom list Seq.t =
@@ -150,23 +160,28 @@ let rec dnf (f : Constr.t) : Constr.atom list Seq.t =
         (Seq.return []) parts
 
 let check ?(max_conjuncts = 4096) ?(max_nodes = 20_000) constraints =
+  Obs.Metrics.incr c_solves;
   let formula = Constr.conj constraints in
-  match formula with
-  | Constr.True -> Sat Model.empty
-  | Constr.False -> Unsat
-  | _ ->
-      let rec scan seq budget any_unknown =
-        if budget = 0 then Unknown
-        else
-          match Seq.uncons seq with
-          | None -> if any_unknown then Unknown else Unsat
-          | Some (atoms, rest) -> (
-              match solve_conjunct ~max_nodes atoms with
-              | Sat m -> Sat m
-              | Unsat -> scan rest (budget - 1) any_unknown
-              | Unknown -> scan rest (budget - 1) true)
-      in
-      scan (dnf formula) max_conjuncts false
+  let verdict =
+    match formula with
+    | Constr.True -> Sat Model.empty
+    | Constr.False -> Unsat
+    | _ ->
+        let rec scan seq budget any_unknown =
+          if budget = 0 then Unknown
+          else
+            match Seq.uncons seq with
+            | None -> if any_unknown then Unknown else Unsat
+            | Some (atoms, rest) -> (
+                match solve_conjunct ~max_nodes atoms with
+                | Sat m -> Sat m
+                | Unsat -> scan rest (budget - 1) any_unknown
+                | Unknown -> scan rest (budget - 1) true)
+        in
+        scan (dnf formula) max_conjuncts false
+  in
+  (match verdict with Unknown -> Obs.Metrics.incr c_unknowns | _ -> ());
+  verdict
 
 let is_sat ?max_conjuncts ?max_nodes constraints =
   match check ?max_conjuncts ?max_nodes constraints with

@@ -9,6 +9,11 @@ module CS = Set.Make (struct
   let compare = Stdlib.compare
 end)
 
+let c_forks = Obs.Metrics.counter "symbex.forks_taken"
+let c_pruned = Obs.Metrics.counter "symbex.paths_pruned"
+let c_cons = Obs.Metrics.counter "symbex.constraints_added"
+let c_paths = Obs.Metrics.counter "symbex.paths_completed"
+
 type result = {
   paths : Path.t list;
   input : Spacket.input;
@@ -52,6 +57,9 @@ let rec block_calls block =
 
 let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
     (program : Ir.Program.t) =
+  Obs.Span.with_ ~cat:"symbex" "explore"
+    ~args:(fun () -> [ ("program", program.Ir.Program.name) ])
+  @@ fun () ->
   let gen, view0 =
     match shared with
     | Some (gen, view) -> (gen, view)
@@ -68,7 +76,10 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
   let feasible cons = Solver.Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000 cons in
   let add_con st c =
     if Solver.Constr.is_true c || CS.mem c st.conset then st
-    else { st with cons = c :: st.cons; conset = CS.add c st.conset }
+    else begin
+      Obs.Metrics.incr c_cons;
+      { st with cons = c :: st.cons; conset = CS.add c st.conset }
+    end
   in
   let drain st =
     List.fold_left add_con st (Value.take_side ctx)
@@ -96,6 +107,7 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
         (Value.binop ctx op va vb, drain st)
   in
   let finish st action =
+    Obs.Metrics.incr c_paths;
     incr path_count;
     if !path_count > max_paths then
       failwith "symbex: too many paths (raise max_paths?)";
@@ -115,7 +127,14 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
     List.iter
       (fun (extra, k) ->
         let st' = List.fold_left add_con st extra in
-        if feasible st'.cons then k st' else incr pruned)
+        if feasible st'.cons then begin
+          Obs.Metrics.incr c_forks;
+          k st'
+        end
+        else begin
+          Obs.Metrics.incr c_pruned;
+          incr pruned
+        end)
       branches
   in
   let rec exec_block st block (kont : st -> unit) =

@@ -17,4 +17,5 @@ let () =
       ("workload", T_workload.suite);
       ("soundness", T_soundness.suite);
       ("tools", T_tools.suite);
+      ("obs", T_obs.suite);
     ]

@@ -6,32 +6,25 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let analyze program contracts =
-  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+  Bolt.Pipeline.analyze
+    ~config:Bolt.Pipeline.Config.(default |> with_contracts contracts)
+    program
 
 let no_contracts = Ds_contract.library []
 
 let test_pipeline_all_nfs () =
-  let cases =
-    [
-      ("bridge", Nf.Bridge.program, Nf.Bridge.contracts ());
-      ("nat", Nf.Nat.program, Nf.Nat.contracts ());
-      ("maglev", Nf.Maglev.program, Nf.Maglev.contracts ());
-      ("lpm", Nf.Router_lpm.program, Nf.Router_lpm.contracts ());
-      ("trie", Nf.Router_trie.program, Nf.Router_trie.contracts ());
-      ("firewall", Nf.Firewall.program, no_contracts);
-      ("static_router", Nf.Static_router.program, no_contracts);
-      ("conntrack", Nf.Conntrack.program, Nf.Conntrack.contracts ());
-      ("policer", Nf.Policer.program, Nf.Policer.contracts ());
-      ("limiter", Nf.Limiter.program, Nf.Limiter.contracts ());
-      ("responder", Nf.Responder.program, no_contracts);
-    ]
-  in
+  (* every NF in the public catalogue must analyse cleanly *)
   List.iter
-    (fun (name, program, contracts) ->
-      let t = analyze program contracts in
-      check_bool (name ^ " has paths") true (Bolt.Pipeline.path_count t > 0);
-      check_int (name ^ " all paths solved") 0 t.Bolt.Pipeline.unsolved)
-    cases
+    (fun (entry : Nf.Registry.entry) ->
+      let t = analyze entry.Nf.Registry.program entry.Nf.Registry.contracts in
+      check_bool
+        (entry.Nf.Registry.name ^ " has paths")
+        true
+        (Bolt.Pipeline.path_count t > 0);
+      check_int
+        (entry.Nf.Registry.name ^ " all paths solved")
+        0 t.Bolt.Pipeline.unsolved)
+    (Nf.Registry.all ())
 
 let test_trie_contract_shape () =
   let t = analyze Nf.Router_trie.program (Nf.Router_trie.contracts ()) in
@@ -189,7 +182,10 @@ let test_parallel_analyze_deterministic () =
      same contract, same witnesses, same costs, in the same path order *)
   let fingerprint jobs (program, contracts, classes) =
     let t =
-      Bolt.Pipeline.analyze ~jobs ~models:Bolt.Ds_models.default ~contracts
+      Bolt.Pipeline.analyze
+        ~config:
+          Bolt.Pipeline.Config.(
+            default |> with_contracts contracts |> with_jobs jobs)
         program
     in
     let witnesses =

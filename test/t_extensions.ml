@@ -9,7 +9,9 @@ let quiet () = Exec.Meter.create (Hw.Model.null ())
 let no_contracts = Perf.Ds_contract.library []
 
 let analyze program contracts =
-  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+  Bolt.Pipeline.analyze
+    ~config:Bolt.Pipeline.Config.(default |> with_contracts contracts)
+    program
 
 (* ---- JSON ---------------------------------------------------------------- *)
 
@@ -248,8 +250,12 @@ let test_chain3 () =
 let test_dram_only_dominates_conservative () =
   let with_l1 = analyze Nf.Nat.program (Nf.Nat.contracts ()) in
   let without =
-    Bolt.Pipeline.analyze ~cycle_model:Hw.Model.dram_only
-      ~models:Bolt.Ds_models.default ~contracts:(Nf.Nat.contracts ())
+    Bolt.Pipeline.analyze
+      ~config:
+        Bolt.Pipeline.Config.(
+          default
+          |> with_contracts (Nf.Nat.contracts ())
+          |> with_cycle_model Hw.Model.dram_only)
       Nf.Nat.program
   in
   List.iter

@@ -256,10 +256,43 @@ let test_cache_stats () =
       check_int "reset misses" 0 s.Cache.misses;
       check_int "reset hits" 0 s.Cache.hits)
 
+let test_cache_eviction () =
+  with_syms (fun _ x _ ->
+      Cache.reset ();
+      Cache.set_capacity 8;
+      Fun.protect
+        ~finally:(fun () ->
+          Cache.set_capacity 32_768;
+          Cache.reset ())
+        (fun () ->
+          let xl = Linexpr.sym x in
+          let query k = [ Constr.le xl (Linexpr.const k) ] in
+          (* 24 distinct keys through an 8-entry cache *)
+          for k = 1 to 24 do
+            check_bool "sat" true (Cache.is_sat (query k))
+          done;
+          check_bool "bounded" true (Cache.size () <= 8);
+          let s = Cache.stats () in
+          check_int "all distinct keys miss" 24 s.Cache.misses;
+          check_bool "evictions happened" true (s.Cache.evictions >= 16);
+          (* an evicted key re-solves to the identical verdict *)
+          let fresh = Solve.check (query 1) in
+          check_bool "evicted key re-solves identically" true
+            (Cache.check (query 1) = fresh);
+          (* growing the bound stops eviction pressure *)
+          Cache.set_capacity 64;
+          let before = (Cache.stats ()).Cache.evictions in
+          for k = 1 to 24 do
+            ignore (Cache.is_sat (query k))
+          done;
+          check_int "no further evictions at capacity 64" before
+            (Cache.stats ()).Cache.evictions))
+
 let suite =
   [
     Alcotest.test_case "linexpr" `Quick test_linexpr;
     Alcotest.test_case "cache stats" `Quick test_cache_stats;
+    Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
     Alcotest.test_case "unknown is conservative" `Quick
       test_unknown_is_conservative;
     Alcotest.test_case "tight propagation" `Quick

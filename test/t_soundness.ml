@@ -11,7 +11,9 @@ let check_bool = Alcotest.(check bool)
 
 let worst_of program contracts =
   Bolt.Pipeline.worst_case
-    (Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program)
+    (Bolt.Pipeline.analyze
+       ~config:Bolt.Pipeline.Config.(default |> with_contracts contracts)
+       program)
 
 (* Per-packet binding from the packet's own observations: the max each
    PCV reached during the packet, 0 for PCVs never observed. *)

@@ -5,7 +5,9 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let analyze program contracts =
-  Bolt.Pipeline.analyze ~models:Bolt.Ds_models.default ~contracts program
+  Bolt.Pipeline.analyze
+    ~config:Bolt.Pipeline.Config.(default |> with_contracts contracts)
+    program
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
