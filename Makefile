@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-smoke examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke fuzz-smoke examples doc clean
 
 all: build
 
@@ -20,6 +20,12 @@ bench-quick:
 # Chrome trace of the run (open bench_trace.json in Perfetto).
 bench-smoke:
 	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
+
+# CI smoke for the soundness fuzzer: a few deterministic rounds of all
+# four differential oracles (see docs/TESTING.md).  Exits non-zero on a
+# counterexample and writes the machine-readable outcome next to it.
+fuzz-smoke:
+	dune exec bin/bolt_cli.exe -- fuzz --seed 1 --runs 8 --json fuzz_smoke.json
 
 # Dump the curve figures as CSV next to the textual tables.
 bench-csv:

@@ -108,6 +108,59 @@ let validate_cmd nf_name pcap_path in_port =
   Fmt.pr "%a" Experiments.Validate.pp report;
   if report.Experiments.Validate.violations <> [] then exit 2
 
+(* Property-based soundness fuzzing: run the Proptest oracles for a
+   number of seeded rounds.  Deterministic: the same --seed/--runs/
+   --oracle combination always draws the same subjects and shrinks to
+   the same counterexamples, so every reported failure comes with a
+   replayable command. *)
+let fuzz_cmd seed runs oracle_names list_only json_path =
+  if list_only then
+    List.iter (fun n -> Fmt.pr "%s@." n) (Proptest.Oracle.names ())
+  else begin
+    let oracles =
+      match oracle_names with
+      | [] -> Proptest.Oracle.all ()
+      | names -> List.map Proptest.Oracle.find names
+    in
+    Fmt.pr "fuzzing %d round(s) of [%s] from seed %d@." runs
+      (String.concat ", "
+         (List.map (fun (o : Proptest.Oracle.t) -> o.Proptest.Oracle.name) oracles))
+      seed;
+    let outcome =
+      Proptest.Runner.run ~log:(fun s -> Fmt.pr "%s@." s) ~seed ~runs ~oracles ()
+    in
+    Fmt.pr "@.%a" Proptest.Runner.pp_outcome outcome;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        let esc s =
+          String.concat ""
+            (List.map
+               (function
+                 | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+                 | c when Char.code c < 32 -> Printf.sprintf "\\u%04x" (Char.code c)
+                 | c -> String.make 1 c)
+               (List.init (String.length s) (String.get s)))
+        in
+        Printf.fprintf oc
+          "{\"seed\": %d, \"runs\": %d, \"checks\": %d, \"failures\": [%s]}\n"
+          outcome.Proptest.Runner.seed outcome.Proptest.Runner.runs
+          outcome.Proptest.Runner.checks
+          (String.concat ", "
+             (List.map
+                (fun (f : Proptest.Oracle.failure) ->
+                  Printf.sprintf
+                    "{\"oracle\": \"%s\", \"seed\": %d, \"repro\": \"%s\", \
+                     \"detail\": \"%s\"}"
+                    (esc f.Proptest.Oracle.oracle) f.Proptest.Oracle.seed
+                    (esc f.Proptest.Oracle.repro) (esc f.Proptest.Oracle.detail))
+                outcome.Proptest.Runner.failures));
+        close_out oc;
+        Fmt.pr "wrote %s@." path);
+    if outcome.Proptest.Runner.failures <> [] then exit 1
+  end
+
 open Cmdliner
 
 let nf_arg =
@@ -214,6 +267,53 @@ let diff_cmd before_path after_path =
         exit 2
       end
 
+let fuzz_t =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:
+            "Master seed.  The campaign is a pure function of \
+             --seed/--runs/--oracle, so failures replay exactly.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "runs"; "n" ] ~docv:"N"
+          ~doc:"Rounds to run (each round runs every selected oracle once).")
+  in
+  let oracle_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle"; "o" ] ~docv:"NAME"
+          ~doc:
+            "Oracle to run (repeatable; default: all).  See --list for \
+             names.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List oracle names and exit.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the outcome (including failing seeds and repro \
+             commands) as JSON to $(docv) — what the nightly CI lane \
+             uploads as an artifact.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based soundness fuzzing: generative NF/workload \
+          testing against differential oracles (contract \
+          conservativeness, jobs determinism, cache equivalence, obs \
+          neutrality), with automatic shrinking; exits 1 on any \
+          counterexample")
+    Term.(
+      const fuzz_cmd $ seed_arg $ runs_arg $ oracle_arg $ list_flag $ json_arg)
+
 let contract_t =
   Cmd.v
     (Cmd.info "contract" ~doc:"Derive an NF's performance contract")
@@ -298,6 +398,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            contract_t; stats_t; predict_t; diff_t; validate_t; paths_t;
-            report_t; program_t;
+            contract_t; stats_t; predict_t; diff_t; validate_t; fuzz_t;
+            paths_t; report_t; program_t;
           ]))

@@ -13,11 +13,11 @@ let engine_up t = t.up_engine
 
 let replay_cost ~contracts ~program ~path ~packet ~stubs ~in_port ~now =
   let meter = Exec.Meter.create ~trace:true (Hw.Model.conservative ()) in
-  let _run =
+  let run =
     Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs) ~in_port ~now
       program packet
   in
-  Pipeline.analyze_replay ~contracts ~path (Exec.Meter.events meter)
+  (Pipeline.analyze_replay ~contracts ~path (Exec.Meter.events meter), run)
 
 let stub_values model (path : Symbex.Path.t) =
   List.map
@@ -46,12 +46,19 @@ let analyze ?max_paths ~models ~up:(up_program, up_contracts)
       | Symbex.Path.Drop | Symbex.Path.Flood -> (
           match Pipeline.witness up_engine up_path with
           | None -> incr unsolved
-          | Some (packet, stubs, in_port, now) ->
-              let cost =
+          | Some (packet, stubs, in_port, now) -> (
+              match
                 replay_cost ~contracts:up_contracts ~program:up_program
                   ~path:up_path ~packet ~stubs ~in_port ~now
-              in
-              up_only := (up_path, cost) :: !up_only)
+              with
+              | cost, run
+                when Pipeline.replay_matches up_path.Symbex.Path.action
+                       run.Exec.Interp.outcome ->
+                  up_only := (up_path, cost) :: !up_only
+              | _, _ -> incr unsolved
+              | exception (Pipeline.Replay_divergence _ | Exec.Interp.Stuck _)
+                ->
+                  incr unsolved))
       | Symbex.Path.Forward _ ->
           let down_engine =
             Symbex.Engine.explore ?max_paths
@@ -68,7 +75,7 @@ let analyze ?max_paths ~models ~up:(up_program, up_contracts)
                   let packet =
                     concretize_packet model up_engine.Symbex.Engine.input
                   in
-                  let up_cost =
+                  let up_cost, _ =
                     replay_cost ~contracts:up_contracts ~program:up_program
                       ~path:up_path ~packet
                       ~stubs:(stub_values model up_path)
@@ -91,7 +98,7 @@ let analyze ?max_paths ~models ~up:(up_program, up_contracts)
                         (Solver.Model.value model
                            down_engine.Symbex.Engine.now)
                   with
-                  | down_cost ->
+                  | down_cost, _ ->
                       pairs :=
                         {
                           up = up_path;
@@ -99,7 +106,9 @@ let analyze ?max_paths ~models ~up:(up_program, up_contracts)
                           cost = Cost_vec.add up_cost down_cost;
                         }
                         :: !pairs
-                  | exception Failure _ ->
+                  | exception
+                      ( Failure _ | Pipeline.Replay_divergence _
+                      | Exec.Interp.Stuck _ ) ->
                       (* replay diverged (over-approximated rewrite read
                          back by the downstream NF): drop the pair but
                          count it *)
@@ -158,7 +167,7 @@ let analyze_chain ?max_paths ~models stages =
         match
           List.fold_left
             (fun acc seg ->
-              let cost =
+              let cost, _ =
                 replay_cost ~contracts:seg.seg_stage.contracts
                   ~program:seg.seg_stage.program ~path:seg.seg_path ~packet
                   ~stubs:(stub_values model seg.seg_path)
@@ -176,7 +185,10 @@ let analyze_chain ?max_paths ~models stages =
             tuples :=
               { segments = List.map (fun s -> s.seg_path) segments; cost }
               :: !tuples
-        | exception Failure _ -> incr unsolved)
+        | exception
+            ( Failure _ | Pipeline.Replay_divergence _ | Exec.Interp.Stuck _ )
+          ->
+            incr unsolved)
   in
   let rec descend segments_rev view constraints remaining =
     match remaining with

@@ -61,11 +61,61 @@ let rec last = function
   | _ :: rest -> last rest
   | [] -> invalid_arg "Bolt.Pipeline.last: empty list"
 
+exception Replay_divergence of string
+
+let diverged fmt = Format.kasprintf (fun s -> raise (Replay_divergence s)) fmt
+
+(* A witness satisfies a path's constraints, but over-approximated values
+   (an overlapping-width packet read, a masked unknown) let the solver
+   pick values no real packet realises — replayed concretely, such a
+   witness can take a different branch somewhere and the trace then
+   belongs to a different path.  Pricing it would attribute the wrong
+   cost, so compare the replay's branch record against the path's
+   assumed decisions, and the set of PCV loops actually entered against
+   the path's, before pricing anything. *)
+let check_replay_fidelity ~(path : Symbex.Path.t) events =
+  let got =
+    List.filter_map
+      (function Exec.Meter.E_branch b -> Some b | _ -> None)
+      events
+  in
+  let want = path.Symbex.Path.decisions in
+  if got <> want then begin
+    let rec first_mismatch i = function
+      | g :: gs, w :: ws -> if g = w then first_mismatch (i + 1) (gs, ws) else i
+      | _ -> i
+    in
+    diverged
+      "replay diverged from path %d at branch %d (path assumes %d \
+       decisions, replay made %d)"
+      path.Symbex.Path.id
+      (first_mismatch 0 (got, want))
+      (List.length want) (List.length got)
+  end;
+  let entered =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (function Exec.Meter.E_loop_iter n -> Some n | _ -> None)
+         events)
+  in
+  let assumed =
+    List.sort_uniq String.compare
+      (List.map (fun l -> l.Symbex.Path.name) path.Symbex.Path.loops)
+  in
+  if entered <> assumed then
+    diverged
+      "replay diverged from path %d: PCV loops entered [%s], path assumes \
+       [%s]"
+      path.Symbex.Path.id
+      (String.concat ";" entered)
+      (String.concat ";" assumed)
+
 let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
     events =
   Obs.Span.with_ ~cat:"pipeline" "price"
     ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
   @@ fun () ->
+  check_replay_fidelity ~path events;
   let m = cycle_model () in
   let snap () =
     {
@@ -82,6 +132,7 @@ let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
   let loops_done = ref [] in
   let handle_event (ev : Exec.Meter.event) =
     match ev with
+    | Exec.Meter.E_branch _ -> () (* consumed by check_replay_fidelity *)
     | Exec.Meter.E_instr (kind, n) -> m.Hw.Model.instr kind n
     | Exec.Meter.E_mem { addr; write; dependent } ->
         m.Hw.Model.mem ~addr ~write ~dependent
@@ -166,6 +217,19 @@ let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
 
 (* ---- Witness extraction --------------------------------------------- *)
 
+(* Action-kind agreement between a symbolic path and its witness replay
+   (the branch-trace check in [analyze_replay] is the fine-grained one;
+   this is the cheap outer sanity check). *)
+let replay_matches (action : Symbex.Path.action)
+    (outcome : Exec.Interp.outcome) =
+  match (action, outcome) with
+  | Symbex.Path.Drop, Exec.Interp.Dropped -> true
+  | Symbex.Path.Flood, Exec.Interp.Flooded -> true
+  | Symbex.Path.Forward _, Exec.Interp.Sent _ -> true
+  | _ -> false
+
+let c_diverged = Obs.Metrics.counter "pipeline.replay_diverged"
+
 let witness (engine : Symbex.Engine.result) (path : Symbex.Path.t) =
   Obs.Span.with_ ~cat:"pipeline" "solve"
     ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
@@ -213,23 +277,40 @@ let analyze ~(config : Config.t) program =
     @@ fun () ->
     match witness engine path with
     | None -> None
-    | Some (packet, stubs, in_port, now) ->
+    | Some (packet, stubs, in_port, now) -> (
         let meter =
           Exec.Meter.create ~trace:true (Hw.Model.conservative ())
         in
-        let replay =
+        match
           Obs.Span.with_ ~cat:"pipeline" "replay"
             ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
             (fun () ->
               Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs)
                 ~in_port ~now program packet)
-        in
-        let cost =
-          analyze_replay ~cycle_model:config.Config.cycle_model ~contracts
-            ~path
-            (Exec.Meter.events meter)
-        in
-        Some { path; cost; replay; packet; stubs; in_port; now }
+        with
+        | exception Exec.Interp.Stuck _ ->
+            (* the witness drove the replay off the path's runtime
+               contract (e.g. a diverging Unroll loop overran its
+               bound): divergence, not a priceable trace *)
+            Obs.Metrics.incr c_diverged;
+            None
+        | replay -> (
+            if not (replay_matches path.Symbex.Path.action replay.Exec.Interp.outcome)
+            then begin
+              Obs.Metrics.incr c_diverged;
+              None
+            end
+            else
+              match
+                analyze_replay ~cycle_model:config.Config.cycle_model
+                  ~contracts ~path
+                  (Exec.Meter.events meter)
+              with
+              | exception Replay_divergence _ ->
+                  Obs.Metrics.incr c_diverged;
+                  None
+              | cost ->
+                  Some { path; cost; replay; packet; stubs; in_port; now }))
   in
   let per_path =
     Exec.Pool.map ?jobs:config.Config.jobs solve_path

@@ -106,6 +106,14 @@ val predict :
 
 (** {1 Reusable internals} *)
 
+exception Replay_divergence of string
+(** A witness satisfied its path's constraints but, replayed concretely,
+    took a different branch somewhere — over-approximated values (an
+    overlapping-width packet read, a masked unknown) let the solver pick
+    values no real packet realises.  Pricing such a trace would attribute
+    the wrong cost to the path, so {!analyze_replay} refuses and
+    {!analyze} counts the path as unsolved. *)
+
 val analyze_replay :
   ?cycle_model:(unit -> Hw.Model.t) ->
   contracts:Perf.Ds_contract.library ->
@@ -113,9 +121,15 @@ val analyze_replay :
   Exec.Meter.event list ->
   Perf.Cost_vec.t
 (** Walk a replay trace into a cost expression (exposed for chain
-    composition). *)
+    composition).  Raises {!Replay_divergence} when the trace's branch
+    record or entered PCV loops disagree with [path]. *)
 
 val witness :
   Symbex.Engine.result -> Symbex.Path.t ->
   (Net.Packet.t * int list * int * int) option
 (** Solve a path's constraints: [(packet, stubs, in_port, now)]. *)
+
+val replay_matches : Symbex.Path.action -> Exec.Interp.outcome -> bool
+(** Action-kind agreement between a symbolic path and a concrete replay
+    (the coarse outer check; {!analyze_replay} does the fine-grained
+    branch-trace comparison). *)

@@ -23,6 +23,10 @@ type state = {
   env : (string, int) Hashtbl.t;
   mutable stubs : int list;  (** Analysis mode only *)
   mode : mode;
+  mutable pcv_depth : int;
+      (** > 0 while inside a PCV loop — branch events are suppressed
+          there, mirroring the symbolic engine's single-iteration
+          over-approximation of PCV bodies *)
 }
 
 let kind_of_binop op =
@@ -126,6 +130,7 @@ and exec_stmt st (stmt : Stmt.t) =
   | Stmt.If (cond, then_, else_) ->
       let c = eval st cond in
       Meter.instr st.meter Hw.Cost.Branch 1;
+      if st.pcv_depth = 0 then Meter.branch st.meter (c <> 0);
       if c <> 0 then exec_block st then_ else exec_block st else_
   | Stmt.While (kind, cond, body) ->
       let bound, pcv =
@@ -134,11 +139,13 @@ and exec_stmt st (stmt : Stmt.t) =
         | Stmt.Pcv_loop (name, bound) -> (bound, Some name)
       in
       Option.iter (Meter.loop_head st.meter) pcv;
+      if pcv <> None then st.pcv_depth <- st.pcv_depth + 1;
       let iterations = ref 0 in
       let continue = ref true in
       while !continue do
         let c = eval st cond in
         Meter.instr st.meter Hw.Cost.Branch 1;
+        if pcv = None && st.pcv_depth = 0 then Meter.branch st.meter (c <> 0);
         if c = 0 then continue := false
         else begin
           incr iterations;
@@ -148,6 +155,7 @@ and exec_stmt st (stmt : Stmt.t) =
           exec_block st body
         end
       done;
+      if pcv <> None then st.pcv_depth <- st.pcv_depth - 1;
       Option.iter
         (fun name ->
           Meter.loop_exit st.meter name;
@@ -198,6 +206,7 @@ let process ~meter ~mode ~in_port ~now (program : Program.t) packet =
       env = Hashtbl.create 16;
       stubs = (match mode with Analysis stubs -> stubs | _ -> []);
       mode;
+      pcv_depth = 0;
     }
   in
   Hashtbl.replace st.env "in_port" in_port;

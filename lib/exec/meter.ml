@@ -5,6 +5,7 @@ type event =
   | E_loop_head of string
   | E_loop_iter of string
   | E_loop_exit of string
+  | E_branch of bool
 
 type t = {
   model : Hw.Model.t;
@@ -29,6 +30,7 @@ let mem t ?(write = false) ?(dependent = false) addr =
 let call_event t ~instance ~meth ~args ~ret =
   push t (E_call { instance; meth; args; ret })
 
+let branch t taken = push t (E_branch taken)
 let loop_head t pcv = push t (E_loop_head pcv)
 let loop_iter t pcv = push t (E_loop_iter pcv)
 let loop_exit t pcv = push t (E_loop_exit pcv)

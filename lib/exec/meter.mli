@@ -18,6 +18,10 @@ type event =
   | E_loop_head of string  (** entering a PCV loop *)
   | E_loop_iter of string  (** starting one iteration *)
   | E_loop_exit of string
+  | E_branch of bool
+      (** one [If]/[Unroll] condition evaluation (suppressed inside PCV
+          loops) — the replay's record of which symbolic path it actually
+          followed *)
 
 type t
 
@@ -29,6 +33,7 @@ val instr : t -> Hw.Cost.kind -> int -> unit
 val mem : t -> ?write:bool -> ?dependent:bool -> int -> unit
 val call_event : t -> instance:string -> meth:string -> args:int array ->
   ret:int -> unit
+val branch : t -> bool -> unit
 val loop_head : t -> string -> unit
 val loop_iter : t -> string -> unit
 val loop_exit : t -> string -> unit

@@ -1,0 +1,44 @@
+module P = Workload.Prng
+
+type t = {
+  jobs : int;
+  max_paths : int;
+  obs : bool;
+  cache_capacity : int option;
+}
+
+let default_cache_capacity = 32_768
+
+let gen rng =
+  {
+    jobs = 1 + P.below rng 4;
+    max_paths = 4096 + P.below rng 4097;
+    obs = P.bool rng 0.3;
+    cache_capacity =
+      (match P.below rng 4 with
+      | 0 -> Some 2
+      | 1 -> Some 64
+      | 2 -> Some 1024
+      | _ -> None);
+  }
+
+let apply t config =
+  let { jobs; max_paths; obs; cache_capacity = _ } = t in
+  Bolt.Pipeline.Config.(
+    config |> with_jobs jobs |> with_max_paths max_paths |> with_obs obs)
+
+let with_cache_capacity t f =
+  match t.cache_capacity with
+  | None -> f ()
+  | Some cap ->
+      Solver.Cache.set_capacity cap;
+      Fun.protect
+        ~finally:(fun () -> Solver.Cache.set_capacity default_cache_capacity)
+        f
+
+let describe t =
+  Printf.sprintf "jobs:%d max_paths:%d obs:%b cache:%s" t.jobs t.max_paths
+    t.obs
+    (match t.cache_capacity with
+    | None -> "default"
+    | Some c -> string_of_int c)

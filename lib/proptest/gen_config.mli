@@ -1,0 +1,31 @@
+(** Seeded generator of pipeline-configuration knob combinations.
+
+    The differential oracles assert that none of these knobs may change
+    analysis output: domain-pool width, path budget, observability, and
+    solver-cache capacity are all supposed to be performance knobs, not
+    semantics knobs. *)
+
+type t = {
+  jobs : int;  (** 1–4 worker domains *)
+  max_paths : int;  (** path budget, always comfortably above real usage *)
+  obs : bool;  (** observability runtime on for the run *)
+  cache_capacity : int option;
+      (** solver-cache bound to apply for the run; [Some 2] starves the
+          cache into eviction churn, [None] leaves the default *)
+}
+
+val default_cache_capacity : int
+(** The solver cache's default bound (32768), restored after starved
+    runs. *)
+
+val gen : Workload.Prng.t -> t
+val apply : t -> Bolt.Pipeline.Config.t -> Bolt.Pipeline.Config.t
+(** Sets [jobs], [max_paths] and [obs] (cache capacity is process-global
+    state — the oracles install and restore it themselves, see
+    {!with_cache_capacity}). *)
+
+val with_cache_capacity : t -> (unit -> 'a) -> 'a
+(** Run the thunk under [cache_capacity] (if any), restoring the default
+    capacity afterwards even on exceptions. *)
+
+val describe : t -> string

@@ -1,0 +1,160 @@
+module E = Ir.Expr
+module S = Ir.Stmt
+module P = Workload.Prng
+
+(* Offsets below this are safe on every packet that survives the
+   [Pkt_len < 34 → drop] guard each program opens with. *)
+let guard_len = 34
+
+type ctx = {
+  rng : P.t;
+  mutable next_var : int;  (* fresh v<N> names *)
+  mutable next_loop : int;  (* fresh l<N>/t<N>/p<N>/n<N> names *)
+  mutable forks : int;  (* remaining fork-point budget *)
+  mutable pcv_used : bool;  (* at most one PCV loop per program *)
+}
+
+let fresh_var ctx =
+  let v = Printf.sprintf "v%d" ctx.next_var in
+  ctx.next_var <- ctx.next_var + 1;
+  v
+
+(* ---- Expressions ----------------------------------------------------- *)
+
+let load_widths = [| (E.W8, 1); (E.W16, 2); (E.W32, 4) |]
+
+let leaf ctx env =
+  match P.below ctx.rng 4 with
+  | 0 -> E.Const (P.below ctx.rng 256)
+  | 1 when env <> [] -> E.Var (List.nth env (P.below ctx.rng (List.length env)))
+  | 2 ->
+      let w, bytes = load_widths.(P.below ctx.rng 3) in
+      E.Pkt_load (w, E.Const (P.below ctx.rng (guard_len - bytes + 1)))
+  | 3 -> E.Pkt_len
+  | _ -> E.Const (P.below ctx.rng 256)
+
+(* Safe operator set: no Sub (values must stay non-negative), no Div
+   (zero divisors), no shifts (the validator rejects overflowing ones);
+   Mul and Rem only by small positive constants. *)
+let safe_binops =
+  [| E.Add; E.And; E.Or; E.Xor; E.Eq; E.Ne; E.Lt; E.Le; E.Gt; E.Ge |]
+
+let rec expr ctx env depth =
+  if depth <= 0 || P.bool ctx.rng 0.35 then leaf ctx env
+  else
+    match P.below ctx.rng 8 with
+    | 0 | 1 | 2 | 3 | 4 ->
+        E.Binop
+          ( safe_binops.(P.below ctx.rng (Array.length safe_binops)),
+            expr ctx env (depth - 1),
+            expr ctx env (depth - 1) )
+    | 5 ->
+        E.Binop (E.Mul, expr ctx env (depth - 1), E.Const (1 + P.below ctx.rng 8))
+    | 6 ->
+        E.Binop (E.Rem, expr ctx env (depth - 1), E.Const (1 + P.below ctx.rng 16))
+    | _ ->
+        let op = if P.bool ctx.rng 0.5 then E.Lnot else E.Bnot in
+        E.Unop (op, expr ctx env (depth - 1))
+
+let cond ctx env = expr ctx env 2
+
+(* ---- Statements ------------------------------------------------------ *)
+
+let gen_store ctx env =
+  let w, bytes = load_widths.(P.below ctx.rng 3) in
+  let off = P.below ctx.rng (guard_len - bytes + 1) in
+  let value = E.Binop (E.And, expr ctx env 2, E.Const (E.max_of_width w)) in
+  S.Pkt_store (w, E.Const off, value)
+
+let gen_assign ctx env =
+  let v = fresh_var ctx in
+  (S.assign v (expr ctx env 2), v :: env)
+
+(* A counted loop: counter starts at 0, increments once per iteration,
+   and the trip count is forced below the static bound, so the
+   interpreter can never overrun it. *)
+let gen_unroll ctx env =
+  let k = ctx.next_loop in
+  ctx.next_loop <- ctx.next_loop + 1;
+  let i = Printf.sprintf "l%d" k in
+  let bound = 1 + P.below ctx.rng 3 in
+  let trips =
+    if ctx.forks >= bound && P.bool ctx.rng 0.5 then begin
+      (* data-dependent trip count: the engine forks per feasible trip *)
+      ctx.forks <- ctx.forks - bound;
+      E.Binop (E.Rem, leaf ctx env, E.Const bound)
+    end
+    else E.Const (P.below ctx.rng (bound + 1))
+  in
+  let body, _ = (gen_assign ctx (i :: env) : S.t * _) in
+  [
+    S.assign i (E.Const 0);
+    S.While
+      ( S.Unroll bound,
+        E.Binop (E.Lt, E.Var i, trips),
+        [ body; S.assign i (E.Binop (E.Add, E.Var i, E.Const 1)) ] );
+  ]
+
+(* A PCV loop.  The body is straight-line, so the per-iteration cost is
+   iteration-invariant — the assumption under which pricing a PCV loop
+   as [per-iteration · pcv + exit] is conservative. *)
+let gen_pcv_loop ctx env =
+  let k = ctx.next_loop in
+  ctx.next_loop <- ctx.next_loop + 1;
+  ctx.pcv_used <- true;
+  let name = Printf.sprintf "n%d" k in
+  let i = Printf.sprintf "p%d" k in
+  let trip_var = Printf.sprintf "t%d" k in
+  let bound = 2 + P.below ctx.rng 7 in
+  let body_stmt, _ = gen_assign ctx (i :: trip_var :: env) in
+  [
+    (* Rem keeps the runtime trip count strictly below the bound *)
+    S.assign trip_var (E.Binop (E.Rem, expr ctx env 1, E.Const bound));
+    S.assign i (E.Const 0);
+    S.While
+      ( S.Pcv_loop (name, bound),
+        E.Binop (E.Lt, E.Var i, E.Var trip_var),
+        [ body_stmt; S.assign i (E.Binop (E.Add, E.Var i, E.Const 1)) ] );
+  ]
+
+let rec block ctx env budget =
+  if budget <= 0 then []
+  else
+    let stmts, env, used =
+      match P.below ctx.rng 10 with
+      | 0 | 1 | 2 | 3 ->
+          let s, env = gen_assign ctx env in
+          ([ s ], env, 1)
+      | 4 | 5 -> ([ gen_store ctx env ], env, 1)
+      | 6 | 7 when ctx.forks > 0 ->
+          ctx.forks <- ctx.forks - 1;
+          let then_ = block ctx env (budget / 2) in
+          let else_ = block ctx env (budget / 2) in
+          ([ S.if_ (cond ctx env) then_ else_ ], env, 2)
+      | 8 when ctx.forks > 0 ->
+          ctx.forks <- ctx.forks - 1;
+          ([ S.when_ (cond ctx env) [ S.drop ] ], env, 1)
+      | 9 when not ctx.pcv_used && P.bool ctx.rng 0.6 ->
+          (gen_pcv_loop ctx env, env, 3)
+      | 9 when ctx.forks > 0 -> (gen_unroll ctx env, env, 2)
+      | _ ->
+          let s, env = gen_assign ctx env in
+          ([ s ], env, 1)
+    in
+    stmts @ block ctx env (budget - used)
+
+let final_return ctx env =
+  match P.below ctx.rng 3 with
+  | 0 -> S.drop
+  | 1 -> S.flood
+  | _ -> S.forward (E.Binop (E.And, expr ctx env 1, E.Const 3))
+
+let program ?(max_stmts = 10) rng =
+  let ctx = { rng; next_var = 0; next_loop = 0; forks = 6; pcv_used = false } in
+  let name = Printf.sprintf "fuzz_%06d" (P.below rng 1_000_000) in
+  let env = Ir.Program.input_vars in
+  let body = block ctx env max_stmts in
+  Ir.Program.make ~name ~state:[]
+    ((S.if_ (E.Binop (E.Lt, E.Pkt_len, E.Const guard_len)) [ S.drop ] []
+     :: body)
+    @ [ final_return ctx env ])

@@ -1,0 +1,21 @@
+(** Seeded generator of random, valid NF programs.
+
+    Every generated program passes {!Ir.Program.validate} by
+    construction: variables are assigned before use on every path, each
+    control path ends in [Return], loop bounds are positive and PCV-loop
+    names are distinct.  The programs are stateless (no data-structure
+    calls), so they can be analysed with the default pipeline config and
+    executed in production mode with an empty environment — which is
+    exactly what the conservativeness oracle does with them.
+
+    Programs open with the idiomatic [Pkt_len < 34 → drop] guard and
+    only touch packet offsets below 34 at constant offsets, so they are
+    safe to run on arbitrary buffers, including truncated and mutated
+    ones.  PCV-loop bodies are kept straight-line (the per-iteration
+    cost is then iteration-invariant, matching the pricing model's
+    assumption); [Unroll] loops may branch freely since every trip count
+    forks into its own path. *)
+
+val program : ?max_stmts:int -> Workload.Prng.t -> Ir.Program.t
+(** A fresh random program ([max_stmts] top-level statement budget,
+    default 10).  Deterministic in the PRNG state. *)

@@ -1,0 +1,147 @@
+module P = Workload.Prng
+module G = Workload.Gen
+
+let raw rng =
+  (* arbitrary bytes, possibly too short to carry any header *)
+  let len = P.below rng 80 in
+  let p = Net.Packet.create len in
+  for off = 0 to len - 1 do
+    Net.Packet.set_u8 p off (P.below rng 256)
+  done;
+  p
+
+let valid rng =
+  match P.below rng 5 with
+  | 0 ->
+      let f = G.flow rng () in
+      Net.Build.udp_of_flow f
+  | 1 ->
+      Net.Build.tcp ~src_ip:(P.below rng 0x7fffffff)
+        ~dst_ip:(P.below rng 0x7fffffff)
+        ~src_port:(P.below rng 65536) ~dst_port:(P.below rng 65536) ()
+  | 2 -> Net.Build.ipv4_with_options ~options:(P.below rng 11)
+           ~src_ip:(P.below rng 0x7fffffff) ~dst_ip:(P.below rng 0x7fffffff) ()
+  | 3 -> Net.Build.non_ip ()
+  | _ ->
+      Net.Build.eth ~src_mac:(G.mac rng) ~dst_mac:(G.mac rng)
+        ~ethertype:(P.below rng 65536) ()
+
+let packet rng =
+  match P.below rng 4 with
+  | 0 -> raw rng
+  | 1 -> G.mutate rng (valid rng)
+  | _ -> valid rng
+
+let entry rng ~now packet =
+  { Workload.Stream.packet; now; in_port = P.below rng 4 }
+
+(* Sprinkle invalid packets into a well-formed stream.  [mutable_hdrs]
+   says whether byte mutation is safe for this NF: NFs that pin
+   [ihl = 5] (or never index by header contents) tolerate arbitrary
+   header bytes; the static router walks [ihl - 5] option slots, so a
+   mutated ihl on a short buffer would overrun it. *)
+let lace rng ~mutable_hdrs stream =
+  List.concat_map
+    (fun (e : Workload.Stream.entry) ->
+      if P.bool rng 0.08 then
+        [ e; { e with packet = Net.Build.non_ip (); in_port = P.below rng 4 } ]
+      else if mutable_hdrs && P.bool rng 0.1 then
+        [ { e with packet = G.mutate rng e.Workload.Stream.packet } ]
+      else [ e ])
+    stream
+
+let flows_stream rng ~packets =
+  let pool = 4 + P.below rng 28 in
+  let churn = float_of_int (P.below rng 90) /. 100. in
+  G.churn rng ~pool ~packets ~new_flow_prob:churn
+    ~gap:(10 + P.below rng 100)
+    ~start:(1_000 + P.below rng 10_000)
+
+let bridge_stream rng ~packets =
+  let stations = 2 + P.below rng 14 in
+  let macs = List.init stations (fun _ -> G.mac rng) in
+  let pick () = List.nth macs (P.below rng stations) in
+  List.init packets (fun i ->
+      let dst =
+        if P.bool rng 0.2 then Net.Ethernet.broadcast_mac
+        else if P.bool rng 0.2 then G.mac rng
+        else pick ()
+      in
+      {
+        Workload.Stream.packet =
+          Net.Build.eth ~src_mac:(pick ()) ~dst_mac:dst
+            ~ethertype:Net.Ethernet.ethertype_ipv4 ();
+        now = 1_000 + (i * (20 + P.below rng 60));
+        in_port = P.below rng 4;
+      })
+
+let maglev_stream rng ~packets =
+  let flows = G.distinct_flows rng (8 + P.below rng 24) in
+  let n = List.length flows in
+  List.init packets (fun i ->
+      let now = 1_000 + (i * (10 + P.below rng 50)) in
+      if P.bool rng 0.12 then
+        {
+          Workload.Stream.packet =
+            List.hd
+              (G.heartbeat_frames
+                 ~backend_ids:[ P.below rng 16 ]
+                 ~port:Nf.Maglev.heartbeat_port);
+          now;
+          in_port = 1;
+        }
+      else
+        {
+          Workload.Stream.packet =
+            Net.Build.udp_of_flow (List.nth flows (P.below rng n));
+          now;
+          in_port = 0;
+        })
+
+let router_stream rng ~packets =
+  List.init packets (fun i ->
+      let dst =
+        if P.bool rng 0.5 then
+          (* inside the registered 10.0.0.0/16 route *)
+          Net.Ipv4.addr_of_parts 10 0 (P.below rng 256) (P.below rng 256)
+        else
+          Net.Ipv4.addr_of_parts (P.below rng 224) (P.below rng 256)
+            (P.below rng 256) (P.below rng 256)
+      in
+      {
+        Workload.Stream.packet =
+          Net.Build.udp
+            ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 1)
+            ~dst_ip:dst
+            ~src_port:(1024 + P.below rng 60000)
+            ~dst_port:(1 + P.below rng 1023)
+            ();
+        now = 1_000 + (i * 25);
+        in_port = P.below rng 4;
+      })
+
+let options_stream rng ~packets =
+  List.init packets (fun i ->
+      let packet =
+        if P.bool rng 0.3 then
+          Net.Build.udp ~src_ip:(P.below rng 100000) ~dst_ip:2 ~src_port:3
+            ~dst_port:4 ()
+        else
+          Net.Build.ipv4_with_options
+            ~options:(P.below rng 11)
+            ~src_ip:(P.below rng 100000)
+            ~dst_ip:(P.below rng 1000)
+            ()
+      in
+      { Workload.Stream.packet; now = 1_000 + (i * 40); in_port = P.below rng 4 })
+
+let stream_for rng ~nf ~packets =
+  match nf with
+  | "bridge" -> lace rng ~mutable_hdrs:true (bridge_stream rng ~packets)
+  | "maglev" -> lace rng ~mutable_hdrs:true (maglev_stream rng ~packets)
+  | "lpm_router" | "trie_router" ->
+      lace rng ~mutable_hdrs:true (router_stream rng ~packets)
+  | "static_router" -> lace rng ~mutable_hdrs:false (options_stream rng ~packets)
+  | _ ->
+      (* nat, conntrack, limiter, policer, firewall, responder, … *)
+      lace rng ~mutable_hdrs:true (flows_stream rng ~packets)

@@ -1,0 +1,23 @@
+(** Seeded generators for packets and per-NF workload streams.
+
+    These are the fuzzing counterparts of {!Workload.Gen}'s curated
+    generators: they mix well-formed traffic for a given NF with
+    malformed inputs — truncated buffers, non-IP frames, byte-mutated
+    headers — that a conservative contract must still bound (invalid
+    packets are an input class too, paper §2.1). *)
+
+val packet : Workload.Prng.t -> Net.Packet.t
+(** An arbitrary packet: valid UDP/TCP, IPv4 with options, non-IP,
+    raw random bytes (possibly shorter than a minimal header), or a
+    byte-mutated variant of any of these. *)
+
+val entry : Workload.Prng.t -> now:int -> Net.Packet.t -> Workload.Stream.entry
+(** Wrap a packet with a random ingress port. *)
+
+val stream_for :
+  Workload.Prng.t -> nf:string -> packets:int -> Workload.Stream.t
+(** A random timed stream shaped for the named {!Nf.Registry} entry:
+    churned flows for the flow-table NFs, L2 frames for the bridge,
+    flows plus heartbeats for maglev, routed destinations for the
+    routers, option-bearing IPv4 for the static router — each laced
+    with invalid and (where safe) mutated packets. *)

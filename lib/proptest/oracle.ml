@@ -1,0 +1,424 @@
+module P = Workload.Prng
+
+type failure = {
+  oracle : string;
+  seed : int;
+  detail : string;
+  repro : string;
+}
+
+type verdict = Pass | Fail of failure
+
+type t = { name : string; run : seed:int -> verdict }
+
+let repro_of name seed =
+  Printf.sprintf "bolt fuzz --oracle %s --seed %d --runs 1" name seed
+
+let fail name seed fmt =
+  Format.kasprintf
+    (fun detail -> Fail { oracle = name; seed; detail; repro = repro_of name seed })
+    fmt
+
+(* ---- Subjects -------------------------------------------------------- *)
+
+type subject =
+  | Registry of Nf.Registry.entry
+  | Generated of Ir.Program.t
+
+let pick_subject rng =
+  if P.bool rng 0.3 then Generated (Gen_ir.program rng)
+  else
+    let entries = Nf.Registry.all () in
+    Registry (List.nth entries (P.below rng (List.length entries)))
+
+let subject_name = function
+  | Registry e -> "nf " ^ e.Nf.Registry.name
+  | Generated p -> "generated program " ^ p.Ir.Program.name
+
+let subject_program = function
+  | Registry e -> e.Nf.Registry.program
+  | Generated p -> p
+
+let subject_config = function
+  | Registry e ->
+      Bolt.Pipeline.Config.(default |> with_contracts e.Nf.Registry.contracts)
+  | Generated _ -> Bolt.Pipeline.Config.default
+
+(* ---- Shared helpers -------------------------------------------------- *)
+
+(* The full observable output of an analysis, as a string: unsolved
+   count, every path with costs and witness, and the worst-case vector.
+   Two runs are "identical" iff their fingerprints are equal. *)
+let fingerprint (t : Bolt.Pipeline.t) =
+  let worst =
+    if t.Bolt.Pipeline.analyses = [] then "(no paths)"
+    else Format.asprintf "%a" Perf.Cost_vec.pp (Bolt.Pipeline.worst_case t)
+  in
+  Format.asprintf "unsolved:%d@.%a@.worst: %s" t.Bolt.Pipeline.unsolved
+    (Bolt.Report.pp_paths ~witnesses:true)
+    t worst
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys when String.equal x y -> go (i + 1) (xs, ys)
+    | x :: _, y :: _ -> Printf.sprintf "line %d:\n  a: %s\n  b: %s" i x y
+    | x :: _, [] -> Printf.sprintf "line %d only in a: %s" i x
+    | [], y :: _ -> Printf.sprintf "line %d only in b: %s" i y
+    | [], [] -> "(identical)"
+  in
+  go 1 (la, lb)
+
+(* PCV binding for one packet: the max each PCV of [worst] (plus any
+   observed PCV) reached, 0 for PCVs never observed — derived from the
+   contract under test, so a new PCV can never silently escape the
+   check. *)
+let binding_of ~worst observations =
+  let universe =
+    List.sort_uniq Perf.Pcv.compare
+      (Perf.Cost_vec.pcvs worst @ List.map fst observations)
+  in
+  List.map
+    (fun pcv ->
+      ( pcv,
+        List.fold_left
+          (fun acc (p, v) -> if Perf.Pcv.equal p pcv then max acc v else acc)
+          0 observations ))
+    universe
+
+type violation = {
+  index : int;
+  metric : Perf.Metric.t;
+  bound : int;
+  measured : int;
+  binding : Perf.Pcv.binding;
+}
+
+let check_packet ~worst ~index ~ic ~ma observations =
+  let binding = binding_of ~worst observations in
+  List.filter_map
+    (fun (metric, measured) ->
+      match Perf.Cost_vec.eval binding worst metric with
+      | Error _ -> None (* unreachable: the binding covers worst's PCVs *)
+      | Ok bound ->
+          if bound < measured then
+            Some { index; metric; bound; measured; binding }
+          else None)
+    [ (Perf.Metric.Instructions, ic); (Perf.Metric.Memory_accesses, ma) ]
+
+let pp_violation ppf v =
+  Format.fprintf ppf "packet %d: %s bound %d < measured %d at %a" v.index
+    (Perf.Metric.to_string v.metric)
+    v.bound v.measured Perf.Pcv.pp_binding v.binding
+
+let with_obs_restored f =
+  let was = Obs.enabled () in
+  Fun.protect
+    ~finally:(fun () -> if not was then Obs.disable ())
+    f
+
+(* ---- Oracle 1: contract conservativeness ----------------------------- *)
+
+let conservativeness ?(weaken = Fun.id) () =
+  let name = "conservativeness" in
+  let registry_case rng seed (entry : Nf.Registry.entry) =
+    let t =
+      Bolt.Pipeline.analyze
+        ~config:(subject_config (Registry entry))
+        entry.Nf.Registry.program
+    in
+    let worst = weaken (Bolt.Pipeline.worst_case t) in
+    let violations stream =
+      let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
+      let result =
+        Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss
+          entry.Nf.Registry.program stream
+      in
+      List.concat_map
+        (fun (r : Distiller.Run.packet_report) ->
+          check_packet ~worst ~index:r.Distiller.Run.index
+            ~ic:r.Distiller.Run.ic ~ma:r.Distiller.Run.ma
+            r.Distiller.Run.observations)
+        result.Distiller.Run.reports
+    in
+    let stream =
+      Gen_net.stream_for rng ~nf:entry.Nf.Registry.name
+        ~packets:(60 + P.below rng 80)
+    in
+    match violations stream with
+    | [] -> Pass
+    | _ ->
+        let shrunk, steps =
+          Shrink.minimize ~max_evals:120
+            ~still_fails:(fun s -> violations s <> [])
+            ~candidates:Shrink.list stream
+        in
+        let v = List.hd (violations shrunk) in
+        fail name seed
+          "%s: contract not conservative@.%a@.stream shrunk to %d packets \
+           (%d steps, from %d)"
+          (subject_name (Registry entry))
+          pp_violation v (List.length shrunk) steps (List.length stream)
+  in
+  let generated_case rng seed program =
+    let t = Bolt.Pipeline.analyze ~config:Bolt.Pipeline.Config.default program in
+    if t.Bolt.Pipeline.unsolved > 0 then
+      (* solver incompleteness keeps a path out of the contract — not a
+         soundness verdict either way, so skip this subject *)
+      Pass
+    else
+      let worst = weaken (Bolt.Pipeline.worst_case t) in
+      let exec (e : Workload.Stream.entry) =
+        let meter = Exec.Meter.create (Hw.Model.null ()) in
+        let run =
+          Exec.Interp.run ~meter ~mode:(Exec.Interp.Production [])
+            ~in_port:e.Workload.Stream.in_port ~now:e.Workload.Stream.now
+            program e.Workload.Stream.packet
+        in
+        (run, Exec.Meter.observations meter)
+      in
+      (* a finding is either a bound violation or an interpreter crash *)
+      let findings entries =
+        List.concat_map
+          (fun e ->
+            match exec e with
+            | run, obs ->
+                List.map Result.ok
+                  (check_packet ~worst ~index:0 ~ic:run.Exec.Interp.ic
+                     ~ma:run.Exec.Interp.ma obs)
+            | exception Exec.Interp.Stuck msg -> [ Error msg ])
+          entries
+      in
+      let entries =
+        List.init 40 (fun _ ->
+            Gen_net.entry rng ~now:(P.below rng 100_000) (Gen_net.packet rng))
+      in
+      match findings entries with
+      | [] -> Pass
+      | _ ->
+          let shrunk, _ =
+            Shrink.minimize ~max_evals:120
+              ~still_fails:(fun es -> findings es <> [])
+              ~candidates:Shrink.list entries
+          in
+          let witness =
+            match shrunk with
+            | e :: _ -> Bolt.Report.witness_line e.Workload.Stream.packet
+            | [] -> "?"
+          in
+          (match List.hd (findings shrunk) with
+          | Error msg ->
+              fail name seed
+                "%s: interpreter stuck (%s) on generated packet@.packet: \
+                 %s@.%a"
+                (subject_name (Generated program))
+                msg witness Ir.Program.pp program
+          | Ok v ->
+              fail name seed "%s: contract not conservative@.%a@.packet: %s@.%a"
+                (subject_name (Generated program))
+                pp_violation v witness Ir.Program.pp program)
+  in
+  let run ~seed =
+    let rng = P.create ~seed in
+    match pick_subject rng with
+    | Registry entry -> registry_case rng seed entry
+    | Generated program -> generated_case rng seed program
+  in
+  { name; run }
+
+(* ---- Oracle 2: jobs determinism -------------------------------------- *)
+
+let real_analyze ~config program = Bolt.Pipeline.analyze ~config program
+
+let jobs_determinism ?(analyze = real_analyze) () =
+  let name = "jobs_determinism" in
+  let run ~seed =
+    let rng = P.create ~seed in
+    let subject = pick_subject rng in
+    let program = subject_program subject in
+    let base = subject_config subject in
+    let knobs = Gen_config.gen rng in
+    let jobs = max 2 knobs.Gen_config.jobs in
+    with_obs_restored @@ fun () ->
+    let serial =
+      fingerprint
+        (analyze ~config:(Bolt.Pipeline.Config.with_jobs 1 base) program)
+    in
+    let parallel =
+      Gen_config.with_cache_capacity knobs (fun () ->
+          fingerprint
+            (analyze
+               ~config:
+                 (Gen_config.apply
+                    { knobs with Gen_config.jobs }
+                    base)
+               program))
+    in
+    if String.equal serial parallel then Pass
+    else
+      fail name seed
+        "%s: jobs:1 and jobs:%d disagree (%s)@.%s"
+        (subject_name subject) jobs
+        (Gen_config.describe knobs)
+        (first_diff serial parallel)
+  in
+  { name; run }
+
+(* ---- Oracle 3: cache equivalence ------------------------------------- *)
+
+let verdict_kind = function
+  | Solver.Solve.Sat _ -> "sat"
+  | Solver.Solve.Unsat -> "unsat"
+  | Solver.Solve.Unknown -> "unknown"
+
+(* Random affine constraint sets in the engine's language: comparisons
+   of small linear combinations of bounded symbols, with a little
+   conj/disj/negation structure. *)
+let gen_constraint_sets rng =
+  let gen = Solver.Sym.gen () in
+  let nsyms = 2 + P.below rng 3 in
+  let syms =
+    Array.init nsyms (fun i ->
+        Solver.Sym.fresh gen ~lo:0
+          ~hi:(1 + P.below rng 1000)
+          (Printf.sprintf "s%d" i))
+  in
+  let lin () =
+    let e = Solver.Linexpr.const (P.below rng 60 - 30) in
+    Array.fold_left
+      (fun acc s ->
+        if P.bool rng 0.6 then
+          Solver.Linexpr.add acc
+            (Solver.Linexpr.scale (P.below rng 7 - 3) (Solver.Linexpr.sym s))
+        else acc)
+      e syms
+  in
+  let atom () =
+    let a = lin () and b = lin () in
+    match P.below rng 6 with
+    | 0 -> Solver.Constr.le a b
+    | 1 -> Solver.Constr.lt a b
+    | 2 -> Solver.Constr.ge a b
+    | 3 -> Solver.Constr.gt a b
+    | 4 -> Solver.Constr.eq a b
+    | _ -> Solver.Constr.ne a b
+  in
+  let rec constr depth =
+    if depth <= 0 then atom ()
+    else
+      match P.below rng 4 with
+      | 0 -> Solver.Constr.conj [ constr (depth - 1); constr (depth - 1) ]
+      | 1 -> Solver.Constr.disj [ constr (depth - 1); constr (depth - 1) ]
+      | 2 -> Solver.Constr.not_ (constr (depth - 1))
+      | _ -> atom ()
+  in
+  List.init 24 (fun _ -> List.init (1 + P.below rng 4) (fun _ -> constr (P.below rng 2)))
+
+let cache_equivalence ?(check_cached = fun cs -> Solver.Cache.check cs) () =
+  let name = "cache_equivalence" in
+  let run ~seed =
+    let rng = P.create ~seed in
+    let sets = gen_constraint_sets rng in
+    (* ground truth: the raw solver, no cache in the loop *)
+    let baseline = List.map (fun cs -> verdict_kind (Solver.Solve.check cs)) sets in
+    let mismatches capacity =
+      Solver.Cache.reset ();
+      Solver.Cache.set_capacity capacity;
+      (* two sweeps: the second answers from cache (or, starved, from
+         re-solves after eviction churn) *)
+      let sweep pass_idx =
+        List.concat
+          (List.mapi
+             (fun i cs ->
+               let got = verdict_kind (check_cached cs) in
+               let want = List.nth baseline i in
+               if String.equal got want then []
+               else [ (pass_idx, i, want, got) ])
+             sets)
+      in
+      sweep 1 @ sweep 2
+    in
+    let restore () =
+      Solver.Cache.set_capacity Gen_config.default_cache_capacity;
+      Solver.Cache.reset ()
+    in
+    Fun.protect ~finally:restore @@ fun () ->
+    let full = mismatches Gen_config.default_cache_capacity in
+    let starved = mismatches 2 in
+    match full @ starved with
+    | [] -> Pass
+    | (pass_idx, i, want, got) :: _ ->
+        let regime = if full <> [] then "enabled" else "capacity-starved" in
+        let capacity =
+          if full <> [] then Gen_config.default_cache_capacity else 2
+        in
+        let bad_set = List.nth sets i in
+        (* shrink the constraint set that disagreed *)
+        let still_fails cs =
+          Solver.Cache.reset ();
+          Solver.Cache.set_capacity capacity;
+          let want = verdict_kind (Solver.Solve.check cs) in
+          let (_ : string) = verdict_kind (check_cached cs) in
+          not (String.equal (verdict_kind (check_cached cs)) want)
+        in
+        let shrunk, _ =
+          Shrink.minimize ~max_evals:200 ~still_fails
+            ~candidates:Shrink.list bad_set
+        in
+        fail name seed
+          "cache (%s) disagrees with direct solve on set %d, sweep %d: \
+           want %s, got %s@.shrunk constraint set (%d conjuncts):@.%a"
+          regime i pass_idx want got (List.length shrunk)
+          (Format.pp_print_list Solver.Constr.pp)
+          shrunk
+  in
+  { name; run }
+
+(* ---- Oracle 4: obs neutrality ---------------------------------------- *)
+
+let obs_neutrality ?(analyze = real_analyze) () =
+  let name = "obs_neutrality" in
+  let run ~seed =
+    let rng = P.create ~seed in
+    let subject = pick_subject rng in
+    let program = subject_program subject in
+    let base = subject_config subject in
+    let was = Obs.enabled () in
+    Fun.protect
+      ~finally:(fun () -> if not was then Obs.disable ())
+    @@ fun () ->
+    Obs.disable ();
+    let off =
+      fingerprint
+        (analyze ~config:(Bolt.Pipeline.Config.with_obs false base) program)
+    in
+    let on =
+      fingerprint
+        (analyze ~config:(Bolt.Pipeline.Config.with_obs true base) program)
+    in
+    if String.equal off on then Pass
+    else
+      fail name seed "%s: tracing changed analysis output@.%s"
+        (subject_name subject) (first_diff off on)
+  in
+  { name; run }
+
+(* ---- Registry -------------------------------------------------------- *)
+
+let all () =
+  [
+    conservativeness ();
+    jobs_determinism ();
+    cache_equivalence ();
+    obs_neutrality ();
+  ]
+
+let names () = List.map (fun o -> o.name) (all ())
+
+let find name =
+  match List.find_opt (fun o -> String.equal o.name name) (all ()) with
+  | Some o -> o
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown oracle %S (try: %s)" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,64 @@
+(** Differential oracles over the repo's core invariants.
+
+    An oracle is a named, seeded property: it draws a random subject
+    (a registry NF with a generated workload, or a wholly generated IR
+    program with generated packets), exercises it, and checks one
+    invariant the rest of the system relies on:
+
+    - {b conservativeness} — every packet's metered cost is bounded by
+      the contract's worst case evaluated at that packet's own PCVs
+      (paper §2.2, the defining guarantee);
+    - {b jobs-determinism} — [analyze] output is bit-identical at
+      [jobs:1] and [jobs:n];
+    - {b cache-equivalence} — solver verdicts are identical with the
+      cache disabled, enabled, and capacity-starved into eviction churn;
+    - {b obs-neutrality} — contract output is unchanged by tracing.
+
+    On failure the counterexample is shrunk ({!Shrink}) before being
+    reported, and the report carries a runnable repro command.
+
+    Each constructor takes optional fault-injection hooks (a weakened
+    bound, a substituted analyze or cached-check function).  They
+    default to the real implementations; regression tests use them to
+    prove each oracle actually catches the class of bug it exists
+    for. *)
+
+type failure = {
+  oracle : string;
+  seed : int;
+  detail : string;  (** multi-line human description, shrunk repro inside *)
+  repro : string;  (** runnable command replaying exactly this failure *)
+}
+
+type verdict = Pass | Fail of failure
+
+type t = { name : string; run : seed:int -> verdict }
+
+val conservativeness :
+  ?weaken:(Perf.Cost_vec.t -> Perf.Cost_vec.t) -> unit -> t
+(** [weaken] post-processes the analysed worst-case bound (default
+    identity); tests pass a deliberately-too-small bound. *)
+
+val jobs_determinism :
+  ?analyze:(config:Bolt.Pipeline.Config.t -> Ir.Program.t -> Bolt.Pipeline.t) ->
+  unit ->
+  t
+
+val cache_equivalence :
+  ?check_cached:(Solver.Constr.t list -> Solver.Solve.result) -> unit -> t
+(** [check_cached] is the memoized solve under test (default
+    {!Solver.Cache.check}); tests substitute one that returns stale
+    verdicts. *)
+
+val obs_neutrality :
+  ?analyze:(config:Bolt.Pipeline.Config.t -> Ir.Program.t -> Bolt.Pipeline.t) ->
+  unit ->
+  t
+
+val all : unit -> t list
+(** The four oracles with their real implementations. *)
+
+val names : unit -> string list
+
+val find : string -> t
+(** Raises [Invalid_argument] listing the known names on a miss. *)

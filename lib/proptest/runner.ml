@@ -1,0 +1,53 @@
+type outcome = {
+  seed : int;
+  runs : int;
+  checks : int;
+  failures : Oracle.failure list;
+}
+
+(* Round 0 runs at the master seed itself — that is what makes the
+   printed repro (`--seed <sub> --runs 1`) replay a failure exactly —
+   and later rounds draw their seeds from a PRNG stream, so they are
+   deterministic but unrelated across rounds. *)
+let sub_seeds ~seed ~runs =
+  if runs <= 0 then []
+  else
+    let rng = Workload.Prng.create ~seed in
+    seed :: List.init (runs - 1) (fun _ -> Workload.Prng.next rng land 0x3fffffff)
+
+let run ?(log = fun _ -> ()) ~seed ~runs ~oracles () =
+  let checks = ref 0 in
+  let failures = ref [] in
+  List.iteri
+    (fun round sub ->
+      if runs > 20 && round mod 20 = 0 && round > 0 then
+        log (Printf.sprintf "... round %d/%d" round runs);
+      List.iter
+        (fun (o : Oracle.t) ->
+          incr checks;
+          match o.Oracle.run ~seed:sub with
+          | Oracle.Pass -> ()
+          | Oracle.Fail f ->
+              failures := f :: !failures;
+              log
+                (Printf.sprintf "FAIL %s seed %d\n  repro: %s"
+                   f.Oracle.oracle f.Oracle.seed f.Oracle.repro))
+        oracles)
+    (sub_seeds ~seed ~runs);
+  { seed; runs; checks = !checks; failures = List.rev !failures }
+
+let pp_failure ppf (f : Oracle.failure) =
+  Format.fprintf ppf "@[<v2>FAIL %s seed %d@,%a@,repro: %s@]" f.Oracle.oracle
+    f.Oracle.seed
+    (Format.pp_print_list Format.pp_print_string)
+    (String.split_on_char '\n' f.Oracle.detail)
+    f.Oracle.repro
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "fuzz campaign: seed %d, %d rounds, %d oracle checks@."
+    o.seed o.runs o.checks;
+  match o.failures with
+  | [] -> Format.fprintf ppf "no counterexamples found.@."
+  | fs ->
+      Format.fprintf ppf "%d counterexample(s):@.@." (List.length fs);
+      List.iter (fun f -> Format.fprintf ppf "%a@.@." pp_failure f) fs

@@ -1,0 +1,33 @@
+(** The fuzz driver behind [bolt fuzz].
+
+    Runs a set of {!Oracle}s for [runs] rounds.  Round [i] derives its
+    sub-seed deterministically from the master seed, so the whole
+    campaign — subjects drawn, workloads generated, shrunk
+    counterexamples — is a pure function of [(seed, runs, oracles)]:
+    the repro command printed with a failure replays exactly that
+    failure. *)
+
+type outcome = {
+  seed : int;
+  runs : int;  (** rounds executed (each round runs every oracle once) *)
+  checks : int;  (** total oracle executions *)
+  failures : Oracle.failure list;  (** in discovery order *)
+}
+
+val sub_seeds : seed:int -> runs:int -> int list
+(** The per-round seeds derived from the master seed (splitmix stream,
+    so neighbouring master seeds give unrelated campaigns). *)
+
+val run :
+  ?log:(string -> unit) ->
+  seed:int ->
+  runs:int ->
+  oracles:Oracle.t list ->
+  unit ->
+  outcome
+(** Execute the campaign.  [log] (default: silent) receives one line
+    per failure as it is found and occasional progress lines. *)
+
+val pp_failure : Format.formatter -> Oracle.failure -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Summary table: checks per oracle, failures with repro commands. *)

@@ -1,0 +1,54 @@
+let int ~lo x =
+  if x <= lo then []
+  else
+    let rec steps acc v =
+      (* binary steps from lo back up towards x *)
+      if v >= x then List.rev acc
+      else steps (v :: acc) (v + max 1 ((x - v) / 2))
+    in
+    steps [] lo
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+let remove_slice i k xs =
+  List.filteri (fun j _ -> j < i || j >= i + k) xs
+
+let list xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else
+    let halves =
+      if n >= 2 then [ take (n / 2) xs; drop (n / 2) xs ] else []
+    in
+    let chunk = max 1 (n / 8) in
+    let chunks =
+      if n > 2 then
+        List.init ((n + chunk - 1) / chunk) (fun i ->
+            remove_slice (i * chunk) chunk xs)
+      else []
+    in
+    let singles =
+      if n <= 40 then List.init n (fun i -> remove_slice i 1 xs) else []
+    in
+    halves @ chunks @ singles
+
+let minimize ?(max_evals = 500) ~still_fails ~candidates x =
+  let evals = ref 0 in
+  let rec first_failing = function
+    | [] -> None
+    | c :: rest ->
+        if !evals >= max_evals then None
+        else begin
+          incr evals;
+          if still_fails c then Some c else first_failing rest
+        end
+  in
+  let rec go x steps =
+    if !evals >= max_evals then (x, steps)
+    else
+      match first_failing (candidates x) with
+      | Some c -> go c (steps + 1)
+      | None -> (x, steps)
+  in
+  go x 0

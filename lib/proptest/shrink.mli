@@ -1,0 +1,30 @@
+(** Counterexample shrinking.
+
+    When an oracle fails, the raw counterexample is usually a long
+    workload or a large constraint set; these combinators walk it down
+    to a minimal input that still fails, greedily re-testing smaller
+    candidates until a fixpoint.  Shrinking is deterministic — the same
+    failing input always shrinks to the same minimum — which keeps
+    [bolt fuzz] replays stable. *)
+
+val int : lo:int -> int -> int list
+(** Candidate replacements for an integer, ordered smallest-first:
+    [lo], then binary steps back up towards the original.  The original
+    itself is never a candidate. *)
+
+val list : 'a list -> 'a list list
+(** Candidate sublists, most aggressive first: each half, then with a
+    chunk removed at every chunk boundary, then (for short lists) each
+    single-element removal. *)
+
+val minimize :
+  ?max_evals:int ->
+  still_fails:('a -> bool) ->
+  candidates:('a -> 'a list) ->
+  'a ->
+  'a * int
+(** [minimize ~still_fails ~candidates x] greedily replaces [x] by the
+    first candidate that still fails, until no candidate does (or
+    [max_evals] property evaluations, default 500, have been spent).
+    Returns the minimum found and the number of successful shrink
+    steps.  [x] itself must already fail. *)

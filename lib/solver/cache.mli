@@ -43,3 +43,13 @@ val set_capacity : int -> unit
 
 val reset : unit -> unit
 (** Clear the table and zero the counters (capacity is kept). *)
+
+val set_enabled : bool -> unit
+(** [set_enabled false] bypasses the table entirely: every [check] and
+    [is_sat] goes straight to {!Solve}, touching neither the table nor
+    the counters.  Because verdicts are a pure function of the
+    constraint set, output with the cache off is identical to output
+    with it on — the differential oracle in [Proptest.Oracle] checks
+    exactly that.  Default: enabled. *)
+
+val enabled : unit -> bool

@@ -30,8 +30,12 @@ type st = {
   conset : CS.t;  (** the members of [cons], for duplicate checks *)
   calls : Path.call list;  (** reversed *)
   loops : Path.pcv_loop list;
+  decis : bool list;  (** reversed branch decisions, see {!Path.t} *)
+  in_pcv : bool;  (** inside a PCV loop: decisions are not recorded *)
   ncalls : int;
 }
+
+let decide st b = if st.in_pcv then st else { st with decis = b :: st.decis }
 
 (* Variables a block can assign (for PCV-loop havocking). *)
 let rec assigned_vars block =
@@ -117,6 +121,7 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
         constraints = List.rev st.cons;
         calls = List.rev st.calls;
         loops = List.rev st.loops;
+        decisions = List.rev st.decis;
         action;
         view = st.view;
       }
@@ -156,8 +161,9 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
         let f = Value.truth cond in
         fork st
           [
-            ([ f ], fun st -> exec_block st then_ kont);
-            ([ Solver.Constr.not_ f ], fun st -> exec_block st else_ kont);
+            ([ f ], fun st -> exec_block (decide st true) then_ kont);
+            ( [ Solver.Constr.not_ f ],
+              fun st -> exec_block (decide st false) else_ kont );
           ]
     | Ir.Stmt.Return action_stmt ->
         let action, st =
@@ -223,13 +229,16 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
           let f = Value.truth cond in
           if k >= bound then
             (* the bound is a static guarantee: force exit *)
-            fork st [ ([ Solver.Constr.not_ f ], kont) ]
+            fork st
+              [ ([ Solver.Constr.not_ f ], fun st -> kont (decide st false)) ]
           else
             fork st
               [
-                ([ Solver.Constr.not_ f ], kont);
-                ([ f ], fun st -> exec_block st body (fun st ->
-                     iteration st (k + 1)));
+                ([ Solver.Constr.not_ f ], fun st -> kont (decide st false));
+                ( [ f ],
+                  fun st ->
+                    exec_block (decide st true) body (fun st ->
+                        iteration st (k + 1)) );
               ]
         in
         iteration st 0
@@ -260,13 +269,21 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
             ( [ f ],
               fun st ->
                 let st =
-                  { st with loops = { Path.name; bound } :: st.loops }
+                  {
+                    st with
+                    loops = { Path.name; bound } :: st.loops;
+                    in_pcv = true;
+                  }
                 in
                 exec_block st body (fun st ->
                     let st = havoc st in
                     let cond', st = eval st cond_e in
                     let f' = Value.truth cond' in
-                    fork st [ ([ Solver.Constr.not_ f' ], kont) ]) );
+                    fork st
+                      [
+                        ( [ Solver.Constr.not_ f' ],
+                          fun st -> kont { st with in_pcv = false } );
+                      ]) );
           ]
   in
   let st0 =
@@ -280,6 +297,8 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
       conset = CS.of_list initial;
       calls = [];
       loops = [];
+      decis = [];
+      in_pcv = false;
       ncalls = 0;
     }
   in

@@ -18,6 +18,11 @@ type t = {
   constraints : Solver.Constr.t list;
   calls : call list;  (** in call order *)
   loops : pcv_loop list;
+  decisions : bool list;
+      (** every [If]/[Unroll] condition outcome assumed along the path,
+          in program order (PCV-loop interiors excluded) — a concrete
+          replay must reproduce exactly this sequence to be priced as
+          this path *)
   action : action;
   view : Spacket.view;  (** the symbolic output packet *)
 }

@@ -75,6 +75,18 @@ let churn rng ~pool ~packets ~new_flow_prob ~gap ~start =
         in_port = 0;
       })
 
+let mutate rng packet =
+  let p = Net.Packet.copy packet in
+  let len = Net.Packet.length p in
+  if len > 0 then begin
+    let flips = 1 + Prng.below rng 4 in
+    for _ = 1 to flips do
+      let off = Prng.below rng len in
+      Net.Packet.set_u8 p off (Prng.below rng 256)
+    done
+  end;
+  p
+
 let lpm_destinations rng lpm ~long n =
   let rec draw acc k guard =
     if k = 0 || guard = 0 then List.rev acc

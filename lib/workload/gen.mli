@@ -32,6 +32,14 @@ val churn :
   Prng.t -> pool:int -> packets:int -> new_flow_prob:float -> gap:int ->
   start:int -> Stream.t
 
+(** {1 Mutation} *)
+
+val mutate : Prng.t -> Net.Packet.t -> Net.Packet.t
+(** A copy of the packet with 1–4 random bytes rewritten — the fuzzer's
+    header-corruption generator.  The buffer length is preserved, so the
+    result is still safe to feed any NF that bounds-checks with
+    [Pkt_len]. *)
+
 (** {1 LPM traffic} *)
 
 val lpm_destinations :

@@ -18,4 +18,6 @@ let () =
       ("soundness", T_soundness.suite);
       ("tools", T_tools.suite);
       ("obs", T_obs.suite);
+      ("nf", T_nf.suite);
+      ("proptest", T_proptest.suite);
     ]

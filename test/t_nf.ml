@@ -1,0 +1,126 @@
+(* Golden contract tests: one case per registry NF, pinning path count,
+   unsolved count and every class's concrete IC/MA predictions.  The
+   numbers are the analysis output at the time of writing — if a change
+   moves them, either the change is wrong or the goldens need a reviewed
+   update (regenerate them by replaying the [Pipeline.predict] calls
+   below).  [Error pcv] pins classes whose bindings deliberately leave a
+   PCV unbound. *)
+
+let check_int = Alcotest.(check int)
+
+(* (nf, paths, unsolved, [(class, members, ic, ma)]) where ic/ma are
+   [Ok bound] or [Error pcv_name] for an unbound PCV. *)
+let goldens =
+  [
+    ("bridge", 16, 0, [
+      ("Br1", 16, Ok 58867849, Ok 16830485);
+      ("Br2", 1, Ok 112, Ok 22);
+      ("Br3", 2, Ok 138, Ok 26);
+    ]);
+    ("nat", 9, 0, [
+      ("NAT1", 9, Ok 126091437, Ok 50434077);
+      ("NAT2", 1, Ok 201, Ok 41);
+      ("NAT3", 1, Ok 160, Ok 34);
+      ("NAT4", 1, Ok 92, Ok 14);
+    ]);
+    ("maglev", 9, 0, [
+      ("LB1", 9, Ok 126054607, Ok 50409508);
+      ("LB2", 1, Ok 197, Ok 34);
+      ("LB3", 1, Ok 235, Ok 48);
+      ("LB4", 1, Ok 171, Ok 32);
+      ("LB5", 1, Ok 93, Ok 14);
+    ]);
+    ("lpm_router", 5, 0, [
+      ("LPM1", 5, Ok 93, Ok 15);
+      ("LPM2", 2, Ok 89, Ok 14);
+    ]);
+    ("trie_router", 2, 0, [
+      ("Invalid packets", 1, Ok 49, Ok 6);
+      ("Valid packets", 1, Error "l", Error "l");
+    ]);
+    ("conntrack", 8, 0, [
+      ("CT1", 8, Ok 126054553, Ok 50409492);
+      ("CT2", 1, Ok 181, Ok 32);
+      ("CT3", 1, Ok 153, Ok 30);
+      ("CT4", 1, Ok 153, Ok 30);
+      ("CT5", 1, Ok 112, Ok 15);
+    ]);
+    ("limiter", 5, 0, [
+      ("Metered IPv4", 2, Ok 175, Ok 22);
+      ("Invalid", 3, Ok 60, Ok 8);
+    ]);
+    ("policer", 3, 0, [
+      ("Conformant", 1, Ok 84, Ok 10);
+      ("Out of profile", 1, Ok 66, Ok 8);
+      ("Invalid", 1, Ok 49, Ok 6);
+    ]);
+    ("responder", 6, 0, [
+      ("Echo request", 2, Ok 99, Ok 22);
+      ("Other traffic", 3, Ok 58, Ok 8);
+    ]);
+    ("firewall", 9, 0, [
+      ("No IP options", 7, Ok 99, Ok 15);
+      ("IP Options", 1, Ok 54, Ok 7);
+    ]);
+    ("static_router", 7, 0, [
+      ("No IP options", 3, Ok 88, Ok 14);
+      ("IP Options", 6, Ok 119, Ok 18);
+    ]);
+  ]
+
+let analyze (e : Nf.Registry.entry) =
+  Bolt.Pipeline.analyze
+    ~config:
+      Bolt.Pipeline.Config.(
+        default |> with_contracts e.Nf.Registry.contracts)
+    e.Nf.Registry.program
+
+let check_entry (nf, paths, unsolved, classes) () =
+  let e = Nf.Registry.find nf in
+  let t = analyze e in
+  check_int (nf ^ " path count") paths (Bolt.Pipeline.path_count t);
+  check_int (nf ^ " unsolved") unsolved t.Bolt.Pipeline.unsolved;
+  check_int
+    (nf ^ " golden covers every class")
+    (List.length e.Nf.Registry.classes)
+    (List.length classes);
+  List.iter
+    (fun (cls_name, members, ic, ma) ->
+      let cls =
+        match
+          List.find_opt
+            (fun (c : Symbex.Iclass.t) -> c.Symbex.Iclass.name = cls_name)
+            e.Nf.Registry.classes
+        with
+        | Some c -> c
+        | None -> Alcotest.fail (nf ^ ": unknown class " ^ cls_name)
+      in
+      let _, n = Bolt.Pipeline.class_cost t cls in
+      check_int (nf ^ "/" ^ cls_name ^ " members") members n;
+      let check_metric what metric golden =
+        let got =
+          match Bolt.Pipeline.predict t cls metric with
+          | Ok v -> Ok v
+          | Error pcv -> Error (Format.asprintf "%a" Perf.Pcv.pp pcv)
+        in
+        Alcotest.(check (result int string))
+          (nf ^ "/" ^ cls_name ^ " " ^ what)
+          golden got
+      in
+      check_metric "IC" Perf.Metric.Instructions ic;
+      check_metric "MA" Perf.Metric.Memory_accesses ma)
+    classes
+
+let test_registry_complete () =
+  (* every registry NF has a golden entry, and vice versa *)
+  Alcotest.(check (list string))
+    "golden table covers the registry"
+    (List.sort compare (Nf.Registry.names ()))
+    (List.sort compare (List.map (fun (n, _, _, _) -> n) goldens))
+
+let suite =
+  Alcotest.test_case "registry covered" `Quick test_registry_complete
+  :: List.map
+       (fun ((nf, _, _, _) as g) ->
+         Alcotest.test_case (nf ^ " golden contract") `Quick (check_entry g))
+       goldens

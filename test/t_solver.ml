@@ -288,6 +288,44 @@ let test_cache_eviction () =
           check_int "no further evictions at capacity 64" before
             (Cache.stats ()).Cache.evictions))
 
+(* The cache is shared by every pipeline domain: hammer it from an
+   [Exec.Pool] at a starved capacity (constant eviction churn) and
+   check each domain still sees exactly the direct solver's verdict,
+   and the table never outgrows its bound. *)
+let test_cache_parallel_domains () =
+  Solver.Cache.reset ();
+  Solver.Cache.set_capacity 32;
+  Fun.protect ~finally:(fun () ->
+      Solver.Cache.set_capacity 32768;
+      Solver.Cache.reset ())
+  @@ fun () ->
+  let gen = Sym.gen () in
+  let x = Sym.fresh gen ~lo:0 ~hi:1000 "x" in
+  let xl = Linexpr.sym x in
+  (* 200 distinct keys, an even sat/unsat mix *)
+  let sets =
+    List.init 200 (fun i ->
+        [
+          Constr.eq xl (Linexpr.const (i / 2));
+          (if i mod 2 = 0 then Constr.le xl (Linexpr.const 500)
+           else Constr.gt xl (Linexpr.const 500));
+        ])
+  in
+  let kind = function
+    | Solve.Sat _ -> "sat"
+    | Solve.Unsat -> "unsat"
+    | Solve.Unknown -> "unknown"
+  in
+  let want = List.map (fun cs -> kind (Solve.check cs)) sets in
+  (* three interleaved sweeps: misses, hits and evicted re-solves race *)
+  let items = sets @ List.rev sets @ sets in
+  let got = Exec.Pool.map ~jobs:4 (fun cs -> kind (Cache.check cs)) items in
+  Alcotest.(check (list string))
+    "parallel cached verdicts match direct solve"
+    (want @ List.rev want @ want)
+    got;
+  check_bool "table stayed within its bound" true (Cache.size () <= 32)
+
 let suite =
   [
     Alcotest.test_case "linexpr" `Quick test_linexpr;
@@ -303,6 +341,8 @@ let suite =
     Alcotest.test_case "solve basics" `Quick test_solve_basic;
     Alcotest.test_case "solve disjunction" `Quick test_solve_disjunction;
     Alcotest.test_case "model defaults" `Quick test_model_defaults;
+    Alcotest.test_case "cache under parallel domains" `Quick
+      test_cache_parallel_domains;
     QCheck_alcotest.to_alcotest prop_solver_matches_brute_force;
     QCheck_alcotest.to_alcotest prop_cache_matches_solve;
   ]

@@ -16,11 +16,15 @@ let worst_of program contracts =
        program)
 
 (* Per-packet binding from the packet's own observations: the max each
-   PCV reached during the packet, 0 for PCVs never observed. *)
-let binding_of_report (r : Distiller.Run.packet_report) =
-  let all =
-    Perf.Pcv.
-      [ expired; collisions; traversals; occupancy; scan; v "n" ]
+   PCV reached during the packet, 0 for PCVs never observed.  The PCV
+   universe is derived from the contract under test (plus anything the
+   packet actually observed), so an NF gaining a new PCV can never
+   silently escape this check. *)
+let binding_of_report ~worst (r : Distiller.Run.packet_report) =
+  let universe =
+    List.sort_uniq Perf.Pcv.compare
+      (Perf.Cost_vec.pcvs worst
+      @ List.map fst r.Distiller.Run.observations)
   in
   List.map
     (fun pcv ->
@@ -28,12 +32,12 @@ let binding_of_report (r : Distiller.Run.packet_report) =
         List.fold_left
           (fun acc (p, v) -> if Perf.Pcv.equal p pcv then max acc v else acc)
           0 r.Distiller.Run.observations ))
-    all
+    universe
 
 let assert_packets_bounded ~what worst (result : Distiller.Run.t) =
   List.iter
     (fun (r : Distiller.Run.packet_report) ->
-      let binding = binding_of_report r in
+      let binding = binding_of_report ~worst r in
       let bound metric = Perf.Cost_vec.eval_exn binding worst metric in
       let check metric measured =
         let b = bound metric in
