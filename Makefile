@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-smoke fuzz-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke fuzz-smoke examples doc clean
 
 all: build
 
@@ -7,6 +7,23 @@ build:
 
 test:
 	dune runtest
+
+# What the CI lint job runs: formatting (a no-op without ocamlformat
+# installed), a warning-clean build of everything (dune emits nothing when clean), and the
+# single-walker guard — the only IR traversal lives in lib/ir.
+lint:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  ocamlformat --check $$(find lib bin test bench examples -name '*.ml' -o -name '*.mli'); \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+	@out=$$(dune build @all 2>&1); \
+	if [ -n "$$out" ]; then echo "$$out"; echo "lint: dune build emitted warnings"; exit 1; fi
+	@hits=$$(grep -rn "exec_stmt" lib bin test bench examples \
+	  --include='*.ml' --include='*.mli' | grep -v '^lib/ir/' || true); \
+	if [ -n "$$hits" ]; then \
+	  echo "lint: IR walker duplicated outside lib/ir:"; echo "$$hits"; exit 1; \
+	fi
 
 # Regenerate every table and figure of the paper (plus extensions).
 bench:
@@ -22,7 +39,7 @@ bench-smoke:
 	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
 
 # CI smoke for the soundness fuzzer: a few deterministic rounds of all
-# four differential oracles (see docs/TESTING.md).  Exits non-zero on a
+# five differential oracles (see docs/TESTING.md).  Exits non-zero on a
 # counterexample and writes the machine-readable outcome next to it.
 fuzz-smoke:
 	dune exec bin/bolt_cli.exe -- fuzz --seed 1 --runs 8 --json fuzz_smoke.json

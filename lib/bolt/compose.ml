@@ -12,12 +12,10 @@ type t = {
 let engine_up t = t.up_engine
 
 let replay_cost ~contracts ~program ~path ~packet ~stubs ~in_port ~now =
-  let meter = Exec.Meter.create ~trace:true (Hw.Model.conservative ()) in
-  let run =
-    Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs) ~in_port ~now
-      program packet
+  let run, events =
+    Pipeline.replay_witness ~path ~stubs ~in_port ~now program packet
   in
-  (Pipeline.analyze_replay ~contracts ~path (Exec.Meter.events meter), run)
+  (Pipeline.analyze_replay ~contracts ~path events, run)
 
 let stub_values model (path : Symbex.Path.t) =
   List.map

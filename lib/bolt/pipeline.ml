@@ -61,61 +61,34 @@ let rec last = function
   | _ :: rest -> last rest
   | [] -> invalid_arg "Bolt.Pipeline.last: empty list"
 
-exception Replay_divergence of string
+exception Replay_divergence = Exec.Replay.Divergence
+(* Path fidelity is structural since the replay itself became an
+   [Ir.Eval] instance: {!Exec.Replay.run} consumes the path's assumed
+   decisions as it branches and raises at the exact diverging
+   statement.  The exception is re-exported here so chain composition
+   and older call sites keep one name for "this witness does not
+   realise its path". *)
 
-let diverged fmt = Format.kasprintf (fun s -> raise (Replay_divergence s)) fmt
+(* A path's fidelity contract, in the form {!Exec.Replay.run} takes. *)
+let fidelity_of (path : Symbex.Path.t) =
+  ( path.Symbex.Path.id,
+    path.Symbex.Path.decisions,
+    List.map (fun l -> l.Symbex.Path.name) path.Symbex.Path.loops )
 
-(* A witness satisfies a path's constraints, but over-approximated values
-   (an overlapping-width packet read, a masked unknown) let the solver
-   pick values no real packet realises — replayed concretely, such a
-   witness can take a different branch somewhere and the trace then
-   belongs to a different path.  Pricing it would attribute the wrong
-   cost, so compare the replay's branch record against the path's
-   assumed decisions, and the set of PCV loops actually entered against
-   the path's, before pricing anything. *)
-let check_replay_fidelity ~(path : Symbex.Path.t) events =
-  let got =
-    List.filter_map
-      (function Exec.Meter.E_branch b -> Some b | _ -> None)
-      events
+let replay_witness ~path ~stubs ~in_port ~now program packet =
+  let meter = Exec.Meter.create ~trace:true (Hw.Model.conservative ()) in
+  let path_id, decisions, loops = fidelity_of path in
+  let run =
+    Exec.Replay.run ~meter ~stubs ~path_id ~decisions ~loops ~in_port ~now
+      program packet
   in
-  let want = path.Symbex.Path.decisions in
-  if got <> want then begin
-    let rec first_mismatch i = function
-      | g :: gs, w :: ws -> if g = w then first_mismatch (i + 1) (gs, ws) else i
-      | _ -> i
-    in
-    diverged
-      "replay diverged from path %d at branch %d (path assumes %d \
-       decisions, replay made %d)"
-      path.Symbex.Path.id
-      (first_mismatch 0 (got, want))
-      (List.length want) (List.length got)
-  end;
-  let entered =
-    List.sort_uniq String.compare
-      (List.filter_map
-         (function Exec.Meter.E_loop_iter n -> Some n | _ -> None)
-         events)
-  in
-  let assumed =
-    List.sort_uniq String.compare
-      (List.map (fun l -> l.Symbex.Path.name) path.Symbex.Path.loops)
-  in
-  if entered <> assumed then
-    diverged
-      "replay diverged from path %d: PCV loops entered [%s], path assumes \
-       [%s]"
-      path.Symbex.Path.id
-      (String.concat ";" entered)
-      (String.concat ";" assumed)
+  (run, Exec.Meter.events meter)
 
 let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
     events =
   Obs.Span.with_ ~cat:"pipeline" "price"
     ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
   @@ fun () ->
-  check_replay_fidelity ~path events;
   let m = cycle_model () in
   let snap () =
     {
@@ -132,7 +105,8 @@ let analyze_replay ?(cycle_model = Hw.Model.conservative) ~contracts ~path
   let loops_done = ref [] in
   let handle_event (ev : Exec.Meter.event) =
     match ev with
-    | Exec.Meter.E_branch _ -> () (* consumed by check_replay_fidelity *)
+    | Exec.Meter.E_branch _ ->
+        () (* fidelity is enforced during the replay itself (Exec.Replay) *)
     | Exec.Meter.E_instr (kind, n) -> m.Hw.Model.instr kind n
     | Exec.Meter.E_mem { addr; write; dependent } ->
         m.Hw.Model.mem ~addr ~write ~dependent
@@ -278,15 +252,10 @@ let analyze ~(config : Config.t) program =
     match witness engine path with
     | None -> None
     | Some (packet, stubs, in_port, now) -> (
-        let meter =
-          Exec.Meter.create ~trace:true (Hw.Model.conservative ())
-        in
         match
           Obs.Span.with_ ~cat:"pipeline" "replay"
             ~args:(fun () -> [ ("path", string_of_int path.Symbex.Path.id) ])
-            (fun () ->
-              Exec.Interp.run ~meter ~mode:(Exec.Interp.Analysis stubs)
-                ~in_port ~now program packet)
+            (fun () -> replay_witness ~path ~stubs ~in_port ~now program packet)
         with
         | exception Exec.Interp.Stuck _ ->
             (* the witness drove the replay off the path's runtime
@@ -294,23 +263,26 @@ let analyze ~(config : Config.t) program =
                bound): divergence, not a priceable trace *)
             Obs.Metrics.incr c_diverged;
             None
-        | replay -> (
-            if not (replay_matches path.Symbex.Path.action replay.Exec.Interp.outcome)
+        | exception Replay_divergence _ ->
+            (* the witness took a branch the path did not assume —
+               caught structurally, at the diverging statement *)
+            Obs.Metrics.incr c_diverged;
+            None
+        | replay, events ->
+            if
+              not
+                (replay_matches path.Symbex.Path.action
+                   replay.Exec.Interp.outcome)
             then begin
               Obs.Metrics.incr c_diverged;
               None
             end
             else
-              match
+              let cost =
                 analyze_replay ~cycle_model:config.Config.cycle_model
-                  ~contracts ~path
-                  (Exec.Meter.events meter)
-              with
-              | exception Replay_divergence _ ->
-                  Obs.Metrics.incr c_diverged;
-                  None
-              | cost ->
-                  Some { path; cost; replay; packet; stubs; in_port; now }))
+                  ~contracts ~path events
+              in
+              Some { path; cost; replay; packet; stubs; in_port; now })
   in
   let per_path =
     Exec.Pool.map ?jobs:config.Config.jobs solve_path

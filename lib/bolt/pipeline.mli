@@ -111,8 +111,24 @@ exception Replay_divergence of string
     took a different branch somewhere — over-approximated values (an
     overlapping-width packet read, a masked unknown) let the solver pick
     values no real packet realises.  Pricing such a trace would attribute
-    the wrong cost to the path, so {!analyze_replay} refuses and
-    {!analyze} counts the path as unsolved. *)
+    the wrong cost to the path.  This is {!Exec.Replay.Divergence} under
+    its historical name: the fidelity check is structural — the replay
+    consumes the path's assumed decisions as it branches and raises at
+    the exact diverging statement — and {!analyze} counts the path as
+    unsolved. *)
+
+val replay_witness :
+  path:Symbex.Path.t ->
+  stubs:int list ->
+  in_port:int ->
+  now:int ->
+  Ir.Program.t ->
+  Net.Packet.t ->
+  Exec.Interp.run * Exec.Meter.event list
+(** Replay a witness through {!Exec.Replay.run} against [path]'s assumed
+    decisions and PCV loops, on a fresh tracing meter.  Raises
+    {!Replay_divergence} (at the diverging statement) or
+    {!Exec.Interp.Stuck}. *)
 
 val analyze_replay :
   ?cycle_model:(unit -> Hw.Model.t) ->
@@ -120,9 +136,9 @@ val analyze_replay :
   path:Symbex.Path.t ->
   Exec.Meter.event list ->
   Perf.Cost_vec.t
-(** Walk a replay trace into a cost expression (exposed for chain
-    composition).  Raises {!Replay_divergence} when the trace's branch
-    record or entered PCV loops disagree with [path]. *)
+(** Walk a faithful replay trace into a cost expression (exposed for
+    chain composition).  Fidelity is already guaranteed by
+    {!replay_witness}, which produced the trace. *)
 
 val witness :
   Symbex.Engine.result -> Symbex.Path.t ->

@@ -1,0 +1,284 @@
+(* The concrete execution domain: one Ir.Eval instance serving both the
+   plain interpreter (Interp) and the fidelity-checked replay (Replay).
+   Values are machine integers, state is mutable, control is a single
+   continuation per branch — the degenerate fork.  Costs are charged
+   into a Meter exactly as the pre-unification interpreter did, charge
+   for charge, so contract numbers are bit-identical. *)
+
+open Ir
+
+type mode = Production of Ds.env | Analysis of int list
+type outcome = Sent of int | Dropped | Flooded
+type run = { outcome : outcome; ic : int; ma : int; cycles : int }
+
+exception Stuck of string
+
+exception Divergence of string
+(** Replay only: the concrete execution contradicted the symbolic
+    path's assumed decisions — raised at the exact diverging branch. *)
+
+let c_runs = Obs.Metrics.counter "interp.runs"
+let c_instrs = Obs.Metrics.counter "interp.instructions"
+let c_mems = Obs.Metrics.counter "interp.mem_accesses"
+let c_calls = Obs.Metrics.counter "interp.stateful_calls"
+
+let stuck fmt = Format.kasprintf (fun s -> raise (Stuck s)) fmt
+let diverged fmt = Format.kasprintf (fun s -> raise (Divergence s)) fmt
+let packet_base = 0x1000_0000
+let rx_ring_base = 0x0800_0000
+
+exception Returned of outcome
+
+(* A replay's contract with its symbolic path: the branch decisions the
+   path assumed (consumed in program order as the replay makes them)
+   and the PCV loops it entered. *)
+type fidelity = {
+  path_id : int;
+  mutable expected : bool list;  (** decisions not yet reproduced *)
+  mutable consumed : int;
+  mutable entered : string list;  (** PCV loops iterated, reversed *)
+}
+
+type state = {
+  meter : Meter.t;
+  packet : Net.Packet.t;
+  env : (string, int) Hashtbl.t;
+  mutable stubs : int list;  (** Analysis mode only *)
+  mode : mode;
+  mutable pcv_depth : int;
+      (** > 0 while inside a PCV loop — branch events are suppressed
+          there, mirroring the symbolic engine's single-iteration
+          over-approximation of PCV bodies *)
+  fidelity : fidelity option;
+}
+
+let kind_of_binop op =
+  if Expr.is_binop_div op then Hw.Cost.Div
+  else if Expr.is_binop_mul op then Hw.Cost.Mul
+  else Hw.Cost.Alu
+
+(* Consume one assumed decision; mismatch is a structural divergence at
+   this very branch, not a post-hoc trace diff. *)
+let check_decision st taken =
+  match st.fidelity with
+  | None -> ()
+  | Some f -> (
+      match f.expected with
+      | [] ->
+          diverged
+            "replay diverged from path %d: extra branch decision %b at \
+             position %d (path assumes %d decisions)"
+            f.path_id taken f.consumed f.consumed
+      | want :: rest ->
+          if want <> taken then
+            diverged
+              "replay diverged from path %d at branch %d (path assumes %b, \
+               replay took %b)"
+              f.path_id f.consumed want taken
+          else begin
+            f.expected <- rest;
+            f.consumed <- f.consumed + 1
+          end)
+
+module Dom = struct
+  type value = int
+  type nonrec state = state
+
+  let const st n = (n, st)
+
+  let var st v =
+    match Hashtbl.find_opt st.env v with
+    | Some n -> (n, st)
+    | None -> stuck "unbound variable %s" v
+
+  let pkt_len st =
+    Meter.instr st.meter Hw.Cost.Move 1;
+    (Net.Packet.length st.packet, st)
+
+  let pkt_load st width ~off =
+    if off < 0 then stuck "negative packet offset";
+    Meter.instr st.meter Hw.Cost.Load 1;
+    Meter.mem st.meter (packet_base + off);
+    ( (try Net.Packet.get st.packet width off
+       with Invalid_argument msg -> stuck "%s" msg),
+      st )
+
+  let unop st op v =
+    Meter.instr st.meter Hw.Cost.Alu 1;
+    (Semantics.apply_unop op v, st)
+
+  let binop st op a b =
+    Meter.instr st.meter (kind_of_binop op) 1;
+    ( (try Semantics.apply_binop op a b
+       with Semantics.Undefined msg -> stuck "%s" msg),
+      st )
+
+  let assign st v value =
+    Meter.instr st.meter Hw.Cost.Move 1;
+    Hashtbl.replace st.env v value;
+    st
+
+  let pkt_store st width ~off value =
+    if off < 0 then stuck "negative packet offset";
+    Meter.instr st.meter Hw.Cost.Store 1;
+    Meter.mem st.meter ~write:true (packet_base + off);
+    (try Net.Packet.set st.packet width off value
+     with Invalid_argument msg -> stuck "%s" msg);
+    st
+
+  let branch st ~record ~true_first:_ c ~on_true ~on_false =
+    Meter.instr st.meter Hw.Cost.Branch 1;
+    let taken = c <> 0 in
+    if record && st.pcv_depth = 0 then begin
+      Meter.branch st.meter taken;
+      check_decision st taken
+    end;
+    if taken then on_true st else on_false st
+
+  let bound_exit st ~record ~bound c ~exit =
+    Meter.instr st.meter Hw.Cost.Branch 1;
+    let taken = c <> 0 in
+    if record && st.pcv_depth = 0 then begin
+      Meter.branch st.meter taken;
+      check_decision st taken
+    end;
+    if taken then stuck "loop exceeded its static bound %d" bound else exit st
+
+  (* [`Once_havoc]-only hooks: the concrete policy is [`Iterate]. *)
+  let assume_exit _ _ ~exit:_ = assert false
+  let pcv_policy = `Iterate
+
+  let pcv_enter st ~name ~bound:_ =
+    Meter.loop_head st.meter name;
+    st.pcv_depth <- st.pcv_depth + 1;
+    st
+
+  let pcv_iter st ~name =
+    Meter.loop_iter st.meter name;
+    (match st.fidelity with
+    | Some f when not (List.mem name f.entered) -> f.entered <- name :: f.entered
+    | _ -> ());
+    st
+
+  let pcv_exit st ~name ~iterations =
+    st.pcv_depth <- st.pcv_depth - 1;
+    Meter.loop_exit st.meter name;
+    Meter.observe st.meter (Perf.Pcv.v name) iterations;
+    st
+
+  let pcv_close _ = assert false
+  let havoc _ _ = assert false
+
+  let call st ~program:_ { Stmt.ret; instance; meth; args = _ } ~args ~k =
+    let argv = Array.of_list args in
+    Obs.Metrics.incr c_calls;
+    Meter.instr st.meter Hw.Cost.Call 1;
+    let result =
+      match st.mode with
+      | Production dss -> (Ds.find dss instance).Ds.call st.meter meth argv
+      | Analysis _ -> (
+          (* The analysis build links against symbolic-model stubs; the
+             concrete replay feeds them the solver's values.  The extra
+             overhead is the no-LTO conservative margin. *)
+          Meter.instr st.meter Hw.Cost.Move Hw.Cost.cost_call_overhead;
+          match st.stubs with
+          | v :: rest ->
+              st.stubs <- rest;
+              v
+          | [] -> stuck "analysis replay ran out of stub values")
+    in
+    Meter.instr st.meter Hw.Cost.Ret 1;
+    (match st.mode with
+    | Analysis _ ->
+        Meter.call_event st.meter ~instance ~meth ~args:argv ~ret:result
+    | Production _ -> ());
+    (match ret with
+    | None -> ()
+    | Some v ->
+        Meter.instr st.meter Hw.Cost.Move 1;
+        Hashtbl.replace st.env v result);
+    k st
+
+  let pre_return st =
+    Meter.instr st.meter Hw.Cost.Ret 1;
+    st
+
+  let finish _ (action : int Eval.action) =
+    let outcome =
+      match action with
+      | Eval.Forward port -> Sent port
+      | Eval.Drop -> Dropped
+      | Eval.Flood -> Flooded
+    in
+    raise (Returned outcome)
+
+  let fallthrough _ = stuck "program fell through without returning"
+  let unsupported _ msg = stuck "%s" msg
+end
+
+module E = Eval.Make (Dom)
+
+(* Fixed-cost RX framing: the driver reads the descriptor and prefetches
+   the packet — simple control flow, constant cost (paper §3.5). *)
+let charge_rx meter =
+  Meter.instr meter Hw.Cost.Alu 22;
+  Meter.instr meter Hw.Cost.Move 8;
+  for i = 0 to 3 do
+    Meter.instr meter Hw.Cost.Load 1;
+    Meter.mem meter (rx_ring_base + (i * 8))
+  done;
+  Meter.instr meter Hw.Cost.Branch 2
+
+let charge_tx meter outcome =
+  match outcome with
+  | Dropped ->
+      Meter.instr meter Hw.Cost.Alu 4;
+      Meter.instr meter Hw.Cost.Store 1;
+      Meter.mem meter ~write:true rx_ring_base
+  | Sent _ | Flooded ->
+      Meter.instr meter Hw.Cost.Alu 14;
+      Meter.instr meter Hw.Cost.Move 4;
+      for i = 0 to 2 do
+        Meter.instr meter Hw.Cost.Store 1;
+        Meter.mem meter ~write:true (rx_ring_base + 64 + (i * 8))
+      done;
+      Meter.instr meter Hw.Cost.Branch 1
+
+let process ?fidelity ~meter ~mode ~in_port ~now (program : Program.t) packet =
+  let st =
+    {
+      meter;
+      packet;
+      env = Hashtbl.create 16;
+      stubs = (match mode with Analysis stubs -> stubs | _ -> []);
+      mode;
+      pcv_depth = 0;
+      fidelity;
+    }
+  in
+  Hashtbl.replace st.env "in_port" in_port;
+  Hashtbl.replace st.env "now" now;
+  match E.run st program with
+  | () -> stuck "program fell through without returning"
+  | exception Returned outcome -> outcome
+
+let record (r : run) =
+  Obs.Metrics.incr c_runs;
+  Obs.Metrics.add c_instrs r.ic;
+  Obs.Metrics.add c_mems r.ma;
+  r
+
+let run_once ?fidelity ~meter ~mode ~in_port ~now (program : Program.t) packet
+    =
+  let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
+  let cy0 = Meter.cycles meter in
+  charge_rx meter;
+  let outcome = process ?fidelity ~meter ~mode ~in_port ~now program packet in
+  charge_tx meter outcome;
+  record
+    {
+      outcome;
+      ic = Meter.ic meter - ic0;
+      ma = Meter.ma meter - ma0;
+      cycles = Meter.cycles meter - cy0;
+    }

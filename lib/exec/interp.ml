@@ -1,241 +1,29 @@
-open Ir
+(* A thin facade over the concrete Ir.Eval domain (see Concrete): the
+   historical entry point for plain production/analysis runs.  The
+   traversal itself lives in Ir.Eval; the costs, modes and outcomes in
+   Concrete; fidelity-checked replay in Replay. *)
 
-type mode = Production of Ds.env | Analysis of int list
-type outcome = Sent of int | Dropped | Flooded
-type run = { outcome : outcome; ic : int; ma : int; cycles : int }
+type mode = Concrete.mode = Production of Ds.env | Analysis of int list
+type outcome = Concrete.outcome = Sent of int | Dropped | Flooded
 
-exception Stuck of string
-
-let c_runs = Obs.Metrics.counter "interp.runs"
-let c_instrs = Obs.Metrics.counter "interp.instructions"
-let c_mems = Obs.Metrics.counter "interp.mem_accesses"
-let c_calls = Obs.Metrics.counter "interp.stateful_calls"
-
-let stuck fmt = Format.kasprintf (fun s -> raise (Stuck s)) fmt
-let packet_base = 0x1000_0000
-let rx_ring_base = 0x0800_0000
-
-exception Returned of outcome
-
-type state = {
-  meter : Meter.t;
-  packet : Net.Packet.t;
-  env : (string, int) Hashtbl.t;
-  mutable stubs : int list;  (** Analysis mode only *)
-  mode : mode;
-  mutable pcv_depth : int;
-      (** > 0 while inside a PCV loop — branch events are suppressed
-          there, mirroring the symbolic engine's single-iteration
-          over-approximation of PCV bodies *)
+type run = Concrete.run = {
+  outcome : outcome;
+  ic : int;
+  ma : int;
+  cycles : int;
 }
 
-let kind_of_binop op =
-  if Expr.is_binop_div op then Hw.Cost.Div
-  else if Expr.is_binop_mul op then Hw.Cost.Mul
-  else Hw.Cost.Alu
+exception Stuck = Concrete.Stuck
 
-let apply_unop op v = Semantics.apply_unop op v
+let packet_base = Concrete.packet_base
+let rx_ring_base = Concrete.rx_ring_base
+let charge_rx = Concrete.charge_rx
+let charge_tx = Concrete.charge_tx
 
-let apply_binop op a b =
-  try Semantics.apply_binop op a b
-  with Semantics.Undefined msg -> stuck "%s" msg
+let run ~meter ~mode ?(in_port = 0) ?(now = 0) program packet =
+  Concrete.run_once ~meter ~mode ~in_port ~now program packet
 
-let pkt_get packet width off =
-  match width with
-  | Expr.W8 -> Net.Packet.get_u8 packet off
-  | Expr.W16 -> Net.Packet.get_u16 packet off
-  | Expr.W32 -> Net.Packet.get_u32 packet off
-  | Expr.W48 -> Net.Packet.get_u48 packet off
-
-let pkt_set packet width off v =
-  match width with
-  | Expr.W8 -> Net.Packet.set_u8 packet off v
-  | Expr.W16 -> Net.Packet.set_u16 packet off v
-  | Expr.W32 -> Net.Packet.set_u32 packet off v
-  | Expr.W48 -> Net.Packet.set_u48 packet off v
-
-let rec eval st (e : Expr.t) : int =
-  match e with
-  | Expr.Const n -> n
-  | Expr.Var v -> (
-      match Hashtbl.find_opt st.env v with
-      | Some n -> n
-      | None -> stuck "unbound variable %s" v)
-  | Expr.Pkt_len ->
-      Meter.instr st.meter Hw.Cost.Move 1;
-      Net.Packet.length st.packet
-  | Expr.Pkt_load (width, off_expr) ->
-      let off = eval st off_expr in
-      if off < 0 then stuck "negative packet offset";
-      Meter.instr st.meter Hw.Cost.Load 1;
-      Meter.mem st.meter (packet_base + off);
-      (try pkt_get st.packet width off
-       with Invalid_argument msg -> stuck "%s" msg)
-  | Expr.Unop (op, e) ->
-      let v = eval st e in
-      Meter.instr st.meter Hw.Cost.Alu 1;
-      apply_unop op v
-  | Expr.Binop (op, a, b) ->
-      let va = eval st a in
-      let vb = eval st b in
-      Meter.instr st.meter (kind_of_binop op) 1;
-      apply_binop op va vb
-
-let do_call st { Stmt.ret; instance; meth; args } =
-  let argv = Array.of_list (List.map (eval st) args) in
-  Obs.Metrics.incr c_calls;
-  Meter.instr st.meter Hw.Cost.Call 1;
-  let result =
-    match st.mode with
-    | Production dss -> (Ds.find dss instance).Ds.call st.meter meth argv
-    | Analysis _ -> (
-        (* The analysis build links against symbolic-model stubs; the
-           concrete replay feeds them the solver's values.  The extra
-           overhead is the no-LTO conservative margin. *)
-        Meter.instr st.meter Hw.Cost.Move Hw.Cost.cost_call_overhead;
-        match st.stubs with
-        | v :: rest ->
-            st.stubs <- rest;
-            v
-        | [] -> stuck "analysis replay ran out of stub values")
-  in
-  Meter.instr st.meter Hw.Cost.Ret 1;
-  (match st.mode with
-  | Analysis _ ->
-      Meter.call_event st.meter ~instance ~meth ~args:argv ~ret:result
-  | Production _ -> ());
-  match ret with
-  | None -> ()
-  | Some v ->
-      Meter.instr st.meter Hw.Cost.Move 1;
-      Hashtbl.replace st.env v result
-
-let rec exec_block st block = List.iter (exec_stmt st) block
-
-and exec_stmt st (stmt : Stmt.t) =
-  match stmt with
-  | Stmt.Comment _ -> ()
-  | Stmt.Assign (v, e) ->
-      let value = eval st e in
-      Meter.instr st.meter Hw.Cost.Move 1;
-      Hashtbl.replace st.env v value
-  | Stmt.Pkt_store (width, off_expr, val_expr) ->
-      let off = eval st off_expr in
-      let value = eval st val_expr in
-      if off < 0 then stuck "negative packet offset";
-      Meter.instr st.meter Hw.Cost.Store 1;
-      Meter.mem st.meter ~write:true (packet_base + off);
-      (try pkt_set st.packet width off value
-       with Invalid_argument msg -> stuck "%s" msg)
-  | Stmt.If (cond, then_, else_) ->
-      let c = eval st cond in
-      Meter.instr st.meter Hw.Cost.Branch 1;
-      if st.pcv_depth = 0 then Meter.branch st.meter (c <> 0);
-      if c <> 0 then exec_block st then_ else exec_block st else_
-  | Stmt.While (kind, cond, body) ->
-      let bound, pcv =
-        match kind with
-        | Stmt.Unroll bound -> (bound, None)
-        | Stmt.Pcv_loop (name, bound) -> (bound, Some name)
-      in
-      Option.iter (Meter.loop_head st.meter) pcv;
-      if pcv <> None then st.pcv_depth <- st.pcv_depth + 1;
-      let iterations = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let c = eval st cond in
-        Meter.instr st.meter Hw.Cost.Branch 1;
-        if pcv = None && st.pcv_depth = 0 then Meter.branch st.meter (c <> 0);
-        if c = 0 then continue := false
-        else begin
-          incr iterations;
-          if !iterations > bound then
-            stuck "loop exceeded its static bound %d" bound;
-          Option.iter (Meter.loop_iter st.meter) pcv;
-          exec_block st body
-        end
-      done;
-      if pcv <> None then st.pcv_depth <- st.pcv_depth - 1;
-      Option.iter
-        (fun name ->
-          Meter.loop_exit st.meter name;
-          Meter.observe st.meter (Perf.Pcv.v name) !iterations)
-        pcv
-  | Stmt.Call call -> do_call st call
-  | Stmt.Return action ->
-      Meter.instr st.meter Hw.Cost.Ret 1;
-      let outcome =
-        match action with
-        | Stmt.Forward port -> Sent (eval st port)
-        | Stmt.Drop -> Dropped
-        | Stmt.Flood -> Flooded
-      in
-      raise (Returned outcome)
-
-(* Fixed-cost RX framing: the driver reads the descriptor and prefetches
-   the packet — simple control flow, constant cost (paper §3.5). *)
-let charge_rx meter =
-  Meter.instr meter Hw.Cost.Alu 22;
-  Meter.instr meter Hw.Cost.Move 8;
-  for i = 0 to 3 do
-    Meter.instr meter Hw.Cost.Load 1;
-    Meter.mem meter (rx_ring_base + (i * 8))
-  done;
-  Meter.instr meter Hw.Cost.Branch 2
-
-let charge_tx meter outcome =
-  match outcome with
-  | Dropped ->
-      Meter.instr meter Hw.Cost.Alu 4;
-      Meter.instr meter Hw.Cost.Store 1;
-      Meter.mem meter ~write:true rx_ring_base
-  | Sent _ | Flooded ->
-      Meter.instr meter Hw.Cost.Alu 14;
-      Meter.instr meter Hw.Cost.Move 4;
-      for i = 0 to 2 do
-        Meter.instr meter Hw.Cost.Store 1;
-        Meter.mem meter ~write:true (rx_ring_base + 64 + (i * 8))
-      done;
-      Meter.instr meter Hw.Cost.Branch 1
-
-let process ~meter ~mode ~in_port ~now (program : Program.t) packet =
-  let st =
-    {
-      meter;
-      packet;
-      env = Hashtbl.create 16;
-      stubs = (match mode with Analysis stubs -> stubs | _ -> []);
-      mode;
-      pcv_depth = 0;
-    }
-  in
-  Hashtbl.replace st.env "in_port" in_port;
-  Hashtbl.replace st.env "now" now;
-  match exec_block st program.Program.body with
-  | () -> stuck "program fell through without returning"
-  | exception Returned outcome -> outcome
-
-let record (r : run) =
-  Obs.Metrics.incr c_runs;
-  Obs.Metrics.add c_instrs r.ic;
-  Obs.Metrics.add c_mems r.ma;
-  r
-
-let run ~meter ~mode ?(in_port = 0) ?(now = 0) (program : Program.t) packet =
-  let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
-  let cy0 = Meter.cycles meter in
-  charge_rx meter;
-  let outcome = process ~meter ~mode ~in_port ~now program packet in
-  charge_tx meter outcome;
-  record
-    {
-      outcome;
-      ic = Meter.ic meter - ic0;
-      ma = Meter.ma meter - ma0;
-      cycles = Meter.cycles meter - cy0;
-    }
-
-let run_batch ~meter ~mode (program : Program.t) batch =
+let run_batch ~meter ~mode (program : Ir.Program.t) batch =
   (match mode with
   | Analysis _ ->
       invalid_arg "Interp.run_batch: analysis replay is per-path, not batched"
@@ -247,8 +35,10 @@ let run_batch ~meter ~mode (program : Program.t) batch =
       (fun (packet, in_port, now) ->
         let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
         let cy0 = Meter.cycles meter in
-        let outcome = process ~meter ~mode ~in_port ~now program packet in
-        record
+        let outcome =
+          Concrete.process ~meter ~mode ~in_port ~now program packet
+        in
+        Concrete.record
           {
             outcome;
             ic = Meter.ic meter - ic0;
@@ -257,7 +47,11 @@ let run_batch ~meter ~mode (program : Program.t) batch =
           })
       batch
   in
-  (* one TX doorbell for everything the burst forwarded *)
+  (* TX framing per actual outcome mix: every dropped packet's buffer
+     is recycled individually, and the send doorbell rings once if the
+     burst forwarded or flooded anything — an all-Flooded burst is not
+     priced as if nothing happened beyond a lone send. *)
+  List.iter (fun r -> if r.outcome = Dropped then charge_tx meter Dropped) runs;
   if List.exists (fun r -> r.outcome <> Dropped) runs then
     charge_tx meter (Sent 0);
   runs

@@ -14,17 +14,17 @@
     Both modes charge the stateless code through the exact same cost
     recipe, including the fixed driver/DPDK RX and TX framing segments. *)
 
-type mode =
+type mode = Concrete.mode =
   | Production of Ds.env
   | Analysis of int list
       (** Return values for the stateful calls, in call order. *)
 
-type outcome =
+type outcome = Concrete.outcome =
   | Sent of int  (** forwarded out of the given port *)
   | Dropped
   | Flooded
 
-type run = {
+type run = Concrete.run = {
   outcome : outcome;
   ic : int;  (** instructions charged during this packet *)
   ma : int;
@@ -42,6 +42,14 @@ val packet_base : int
 val rx_ring_base : int
 (** Byte address of the RX/TX descriptor rings. *)
 
+val charge_rx : Meter.t -> unit
+(** The fixed driver RX framing segment (descriptor read + prefetch),
+    charged once per packet ({!run}) or once per burst ({!run_batch}). *)
+
+val charge_tx : Meter.t -> outcome -> unit
+(** The fixed TX framing segment for one outcome: buffer recycle for
+    [Dropped], descriptor write-back + doorbell for [Sent]/[Flooded]. *)
+
 val run :
   meter:Meter.t -> mode:mode -> ?in_port:int -> ?now:int ->
   Ir.Program.t -> Net.Packet.t -> run
@@ -52,8 +60,10 @@ val run :
 val run_batch :
   meter:Meter.t -> mode:mode ->
   Ir.Program.t -> (Net.Packet.t * int * int) list -> run list
-(** DPDK-style run-to-completion batch: the RX descriptor sweep and the TX
-    doorbell are charged once for the whole [(packet, in_port, now)]
-    batch instead of per packet — the amortisation
-    [Bolt.Throughput.of_class ~batch] models.  Per-packet header work is
-    unchanged. *)
+(** DPDK-style run-to-completion batch: the RX descriptor sweep is
+    charged once for the whole [(packet, in_port, now)] batch instead of
+    per packet — the amortisation [Bolt.Throughput.of_class ~batch]
+    models.  TX framing follows the burst's actual outcome mix: one
+    buffer-recycle charge per dropped packet, plus a single send
+    doorbell if anything was forwarded or flooded.  Per-packet header
+    work is unchanged. *)

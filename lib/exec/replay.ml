@@ -1,0 +1,37 @@
+(* Fidelity-checked replay: the concrete Ir.Eval domain driven against
+   a symbolic path's assumptions.  Decisions are consumed as the replay
+   branches — a mismatch raises at the exact diverging statement — and
+   the PCV loops actually entered are reconciled at the end. *)
+
+exception Divergence = Concrete.Divergence
+
+let run ~meter ~stubs ~path_id ~decisions ~loops ?(in_port = 0) ?(now = 0)
+    program packet =
+  let f =
+    {
+      Concrete.path_id;
+      expected = decisions;
+      consumed = 0;
+      entered = [];
+    }
+  in
+  let result =
+    Concrete.run_once ~fidelity:f ~meter ~mode:(Concrete.Analysis stubs)
+      ~in_port ~now program packet
+  in
+  if f.Concrete.expected <> [] then
+    Concrete.diverged
+      "replay diverged from path %d: only %d of %d assumed decisions were \
+       made"
+      path_id f.Concrete.consumed
+      (f.Concrete.consumed + List.length f.Concrete.expected);
+  let entered = List.sort_uniq String.compare f.Concrete.entered in
+  let assumed = List.sort_uniq String.compare loops in
+  if entered <> assumed then
+    Concrete.diverged
+      "replay diverged from path %d: PCV loops entered [%s], path assumes \
+       [%s]"
+      path_id
+      (String.concat ";" entered)
+      (String.concat ";" assumed);
+  result

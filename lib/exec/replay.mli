@@ -1,0 +1,36 @@
+(** Fidelity-checked concrete replay of a symbolic path.
+
+    A witness packet satisfies a path's constraints, but
+    over-approximated values (an overlapping-width packet read, a
+    masked unknown) let the solver pick values no real packet realises
+    — replayed concretely, such a witness can take a different branch
+    somewhere, and its trace then belongs to a different path.  Pricing
+    it would attribute the wrong cost.
+
+    This runner makes path fidelity structural instead of post-hoc: it
+    is the same {!Ir.Eval} concrete domain as {!Interp}, in [Analysis]
+    mode, but every recorded branch consumes the next of the path's
+    assumed [decisions] {e as it is taken} — the first disagreement
+    raises {!Divergence} at that very statement.  At the end, the set
+    of PCV loops actually entered must equal the path's assumed
+    [loops], and no assumed decision may be left over. *)
+
+exception Divergence of string
+
+val run :
+  meter:Meter.t ->
+  stubs:int list ->
+  path_id:int ->
+  decisions:bool list ->
+  loops:string list ->
+  ?in_port:int ->
+  ?now:int ->
+  Ir.Program.t ->
+  Net.Packet.t ->
+  Interp.run
+(** [run] replays one packet in [Analysis] mode against the assumptions
+    of the path identified by [path_id] (used only in messages).
+    [decisions] are the branch outcomes the path assumed, in program
+    order, PCV interiors excluded; [loops] the names of the PCV loops
+    it entered.  Raises {!Divergence} on any mismatch and
+    {!Interp.Stuck} exactly as a plain run would. *)

@@ -1,0 +1,186 @@
+type 'v action = Forward of 'v | Drop | Flood
+
+module type DOMAIN = sig
+  type value
+  type state
+
+  val const : state -> int -> value * state
+  val var : state -> string -> value * state
+  val pkt_len : state -> value * state
+  val pkt_load : state -> Expr.width -> off:value -> value * state
+  val unop : state -> Expr.unop -> value -> value * state
+  val binop : state -> Expr.binop -> value -> value -> value * state
+  val assign : state -> string -> value -> state
+  val pkt_store : state -> Expr.width -> off:value -> value -> state
+
+  val branch :
+    state ->
+    record:bool ->
+    true_first:bool ->
+    value ->
+    on_true:(state -> unit) ->
+    on_false:(state -> unit) ->
+    unit
+
+  val bound_exit :
+    state -> record:bool -> bound:int -> value -> exit:(state -> unit) -> unit
+
+  val assume_exit : state -> value -> exit:(state -> unit) -> unit
+  val pcv_policy : [ `Iterate | `Once_havoc ]
+  val pcv_enter : state -> name:string -> bound:int -> state
+  val pcv_iter : state -> name:string -> state
+  val pcv_exit : state -> name:string -> iterations:int -> state
+  val pcv_close : state -> state
+  val havoc : state -> string list -> state
+
+  val call :
+    state ->
+    program:Program.t ->
+    Stmt.call ->
+    args:value list ->
+    k:(state -> unit) ->
+    unit
+
+  val pre_return : state -> state
+  val finish : state -> value action -> unit
+  val fallthrough : state -> unit
+  val unsupported : state -> string -> unit
+end
+
+(* Variables a block can assign (for PCV-loop havocking). *)
+let rec assigned_vars block =
+  List.concat_map
+    (function
+      | Stmt.Assign (v, _) -> [ v ]
+      | Stmt.Call { ret = Some v; _ } -> [ v ]
+      | Stmt.Call { ret = None; _ } -> []
+      | Stmt.If (_, a, b) -> assigned_vars a @ assigned_vars b
+      | Stmt.While (_, _, body) -> assigned_vars body
+      | Stmt.Pkt_store _ | Stmt.Return _ | Stmt.Comment _ -> [])
+    block
+  |> List.sort_uniq String.compare
+
+let rec block_calls block =
+  List.exists
+    (function
+      | Stmt.Call _ -> true
+      | Stmt.If (_, a, b) -> block_calls a || block_calls b
+      | Stmt.While (_, _, body) -> block_calls body
+      | _ -> false)
+    block
+
+module Make (D : DOMAIN) = struct
+  let rec eval st (e : Expr.t) : D.value * D.state =
+    match e with
+    | Expr.Const n -> D.const st n
+    | Expr.Var v -> D.var st v
+    | Expr.Pkt_len -> D.pkt_len st
+    | Expr.Pkt_load (w, off_e) ->
+        let off, st = eval st off_e in
+        D.pkt_load st w ~off
+    | Expr.Unop (op, a) ->
+        let va, st = eval st a in
+        D.unop st op va
+    | Expr.Binop (op, a, b) ->
+        let va, st = eval st a in
+        let vb, st = eval st b in
+        D.binop st op va vb
+
+  let eval_args st args =
+    let vs, st =
+      List.fold_left
+        (fun (acc, st) a ->
+          let v, st = eval st a in
+          (v :: acc, st))
+        ([], st) args
+    in
+    (List.rev vs, st)
+
+  (* The single statement walker.  Everything the three domains share —
+     evaluation order, branch shape, loop structure, PCV handling — is
+     fixed here; a domain only decides what a value is, which branch
+     continuations run, and what each step costs.  [program] rides
+     along for stateful-call dispatch (instance -> kind lookup). *)
+  let rec exec_block ~program st (block : Stmt.block) (kont : D.state -> unit)
+      =
+    match block with
+    | [] -> kont st
+    | stmt :: rest ->
+        exec_stmt ~program st stmt (fun st -> exec_block ~program st rest kont)
+
+  and exec_stmt ~program st (stmt : Stmt.t) (kont : D.state -> unit) =
+    match stmt with
+    | Stmt.Comment _ -> kont st
+    | Stmt.Assign (v, e) ->
+        let value, st = eval st e in
+        kont (D.assign st v value)
+    | Stmt.Pkt_store (w, off_e, val_e) ->
+        let off, st = eval st off_e in
+        let value, st = eval st val_e in
+        kont (D.pkt_store st w ~off value)
+    | Stmt.If (cond_e, then_, else_) ->
+        let cond, st = eval st cond_e in
+        D.branch st ~record:true ~true_first:true cond
+          ~on_true:(fun st -> exec_block ~program st then_ kont)
+          ~on_false:(fun st -> exec_block ~program st else_ kont)
+    | Stmt.Call ({ args; _ } as call) ->
+        let argv, st = eval_args st args in
+        D.call st ~program call ~args:argv ~k:kont
+    | Stmt.Return action_stmt ->
+        let st = D.pre_return st in
+        (match action_stmt with
+        | Stmt.Forward port_e ->
+            let port, st = eval st port_e in
+            D.finish st (Forward port)
+        | Stmt.Drop -> D.finish st Drop
+        | Stmt.Flood -> D.finish st Flood)
+    | Stmt.While (Stmt.Unroll bound, cond_e, body) ->
+        (* fork per trip count; the bound is a static guarantee, so the
+           condition must be false once it is reached *)
+        let rec iteration st k =
+          let cond, st = eval st cond_e in
+          if k >= bound then D.bound_exit st ~record:true ~bound cond ~exit:kont
+          else
+            D.branch st ~record:true ~true_first:false cond
+              ~on_true:(fun st ->
+                exec_block ~program st body (fun st -> iteration st (k + 1)))
+              ~on_false:kont
+        in
+        iteration st 0
+    | Stmt.While (Stmt.Pcv_loop (name, bound), cond_e, body) -> (
+        match D.pcv_policy with
+        | `Iterate ->
+            (* run to completion, branch outcomes unrecorded: the trip
+               count is the PCV observation, not part of path identity *)
+            let st = D.pcv_enter st ~name ~bound in
+            let rec iteration st k =
+              let cond, st = eval st cond_e in
+              let exit st = kont (D.pcv_exit st ~name ~iterations:k) in
+              if k >= bound then D.bound_exit st ~record:false ~bound cond ~exit
+              else
+                D.branch st ~record:false ~true_first:false cond
+                  ~on_true:(fun st ->
+                    let st = D.pcv_iter st ~name in
+                    exec_block ~program st body (fun st ->
+                        iteration st (k + 1)))
+                  ~on_false:exit
+            in
+            iteration st 0
+        | `Once_havoc ->
+            (* body once, assigned variables havocked, exit assumed *)
+            if block_calls body then
+              D.unsupported st
+                ("stateful call inside PCV loop " ^ name ^ " is unsupported");
+            let cond, st = eval st cond_e in
+            D.branch st ~record:false ~true_first:false cond ~on_false:kont
+              ~on_true:(fun st ->
+                let st = D.pcv_enter st ~name ~bound in
+                exec_block ~program st body (fun st ->
+                    let st = D.havoc st (assigned_vars body) in
+                    let cond', st = eval st cond_e in
+                    D.assume_exit st cond' ~exit:(fun st ->
+                        kont (D.pcv_close st)))))
+
+  let run st (p : Program.t) =
+    exec_block ~program:p st p.Program.body D.fallthrough
+end

@@ -1,0 +1,137 @@
+(** The one IR traversal.
+
+    Every execution mode of the system — the metered concrete
+    interpreter, the fidelity-checked replay and the symbolic engine —
+    is an instance of the CPS evaluator in {!Make}, specialised by a
+    {!DOMAIN}: a value type, a state type, and the domain's take on
+    expressions, packet access, branching, loops and stateful calls.
+    The traversal itself (statement dispatch, evaluation order,
+    loop structure, PCV one-iteration over-approximation) lives here
+    and only here, so the semantics cannot drift between modes: adding
+    a statement or changing loop semantics is one exhaustive match in
+    this module, and the compiler forces every domain to follow.
+
+    Continuations are the unifying device.  A concrete domain resolves
+    a branch by calling exactly one of the two continuations; the
+    symbolic domain calls each feasible one in order, which is how one
+    traversal yields both a single trace and a fork tree. *)
+
+type 'v action = Forward of 'v | Drop | Flood
+(** A program's terminal action, over domain values. *)
+
+module type DOMAIN = sig
+  type value
+  type state
+
+  (** {2 Expressions}
+
+      Each operation may charge costs or emit constraints; evaluation
+      order (left to right, operands before operator) is fixed by the
+      traversal. *)
+
+  val const : state -> int -> value * state
+  val var : state -> string -> value * state
+  val pkt_len : state -> value * state
+  val pkt_load : state -> Expr.width -> off:value -> value * state
+  val unop : state -> Expr.unop -> value -> value * state
+  val binop : state -> Expr.binop -> value -> value -> value * state
+
+  (** {2 Statements} *)
+
+  val assign : state -> string -> value -> state
+  val pkt_store : state -> Expr.width -> off:value -> value -> state
+
+  (** {2 Control}
+
+      [branch] resolves a conditional: a concrete domain runs the one
+      continuation the condition selects; a symbolic domain explores
+      every feasible side, in the order given by [true_first].
+      [record] is false for branches whose outcome is not part of a
+      path's identity (PCV loop conditions). *)
+
+  val branch :
+    state ->
+    record:bool ->
+    true_first:bool ->
+    value ->
+    on_true:(state -> unit) ->
+    on_false:(state -> unit) ->
+    unit
+
+  val bound_exit :
+    state -> record:bool -> bound:int -> value -> exit:(state -> unit) -> unit
+  (** A loop condition evaluated at its static bound: the loop {e must}
+      exit.  A concrete domain treats a still-true condition as a
+      runtime-contract violation; a symbolic domain asserts the
+      negation and continues only there. *)
+
+  val assume_exit : state -> value -> exit:(state -> unit) -> unit
+  (** PCV over-approximation only: assume the havocked condition false
+      and continue — no decision is recorded, no true-side exists. *)
+
+  (** {2 PCV loops}
+
+      [pcv_policy] selects the traversal strategy: [`Iterate] runs the
+      loop concretely to completion (events suppressed inside);
+      [`Once_havoc] is the symbolic single-iteration over-approximation
+      — body once, assigned variables havocked, exit assumed. *)
+
+  val pcv_policy : [ `Iterate | `Once_havoc ]
+  val pcv_enter : state -> name:string -> bound:int -> state
+  val pcv_iter : state -> name:string -> state
+
+  val pcv_exit : state -> name:string -> iterations:int -> state
+  (** [`Iterate] only: the loop exited after [iterations] trips. *)
+
+  val pcv_close : state -> state
+  (** [`Once_havoc] only: leave the over-approximated loop. *)
+
+  val havoc : state -> string list -> state
+  (** [`Once_havoc] only: forget the variables the body may assign. *)
+
+  (** {2 Stateful calls and termination} *)
+
+  val call :
+    state ->
+    program:Program.t ->
+    Stmt.call ->
+    args:value list ->
+    k:(state -> unit) ->
+    unit
+  (** Dispatch one stateful call ([args] already evaluated, in order)
+      and continue with [k] — once for a concrete domain, once per
+      feasible model branch for the symbolic one. *)
+
+  val pre_return : state -> state
+  (** Charged before a [Return]'s action expression is evaluated. *)
+
+  val finish : state -> value action -> unit
+  (** A control path reached [Return]. *)
+
+  val fallthrough : state -> unit
+  (** A control path fell off the end of the program without
+      returning — a runtime-contract violation in every domain. *)
+
+  val unsupported : state -> string -> unit
+  (** The traversal hit a construct this domain cannot handle (e.g. a
+      stateful call inside a PCV loop under [`Once_havoc]); must
+      raise. *)
+end
+
+module Make (D : DOMAIN) : sig
+  val eval : D.state -> Expr.t -> D.value * D.state
+
+  val exec_block :
+    program:Program.t -> D.state -> Stmt.block -> (D.state -> unit) -> unit
+
+  val run : D.state -> Program.t -> unit
+  (** Execute the program body, calling [D.fallthrough] for any control
+      path that does not return. *)
+end
+
+val assigned_vars : Stmt.block -> string list
+(** Variables a block can assign (sorted, unique) — what a PCV loop
+    body havocs under [`Once_havoc]. *)
+
+val block_calls : Stmt.block -> bool
+(** Does the block contain a stateful call (at any depth)? *)

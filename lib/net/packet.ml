@@ -51,6 +51,23 @@ let set_u48 t off v =
   set_u16 t off (v lsr 32);
   set_u32 t (off + 2) v
 
+(* The one width dispatch: every consumer of IR packet accesses — the
+   concrete evaluator domain, witness construction, tests — goes
+   through these, so W48 masking and bounds behaviour exist once. *)
+let get t (width : Ir.Expr.width) off =
+  match width with
+  | Ir.Expr.W8 -> get_u8 t off
+  | Ir.Expr.W16 -> get_u16 t off
+  | Ir.Expr.W32 -> get_u32 t off
+  | Ir.Expr.W48 -> get_u48 t off
+
+let set t (width : Ir.Expr.width) off v =
+  match width with
+  | Ir.Expr.W8 -> set_u8 t off v
+  | Ir.Expr.W16 -> set_u16 t off v
+  | Ir.Expr.W32 -> set_u32 t off v
+  | Ir.Expr.W48 -> set_u48 t off v
+
 let blit_string s t off =
   check t off (String.length s);
   Bytes.blit_string s 0 t.data off (String.length s)

@@ -28,6 +28,14 @@ val set_u16 : t -> int -> int -> unit
 val set_u32 : t -> int -> int -> unit
 val set_u48 : t -> int -> int -> unit
 
+val get : t -> Ir.Expr.width -> int -> int
+(** Width-dispatched load: [get t w off] is the big-endian [w]-wide
+    field at [off].  The single accessor behind every IR [Pkt_load]. *)
+
+val set : t -> Ir.Expr.width -> int -> int -> unit
+(** Width-dispatched store; values wider than [w] are truncated to the
+    low [w] bits (byte-wise masking, as the per-width setters do). *)
+
 val blit_string : string -> t -> int -> unit
 val equal : t -> t -> bool
 val pp_hex : Format.formatter -> t -> unit

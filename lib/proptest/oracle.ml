@@ -403,6 +403,103 @@ let obs_neutrality ?(analyze = real_analyze) () =
   in
   { name; run }
 
+(* ---- Oracle 5: concrete/symbex agreement ------------------------------ *)
+
+let real_explore ~concrete ~models program =
+  Symbex.Engine.explore ~concrete ~models program
+
+(* Both execution modes are instances of the same [Ir.Eval] walker, so
+   on a fully-concrete input they must tell exactly the same story:
+   symbex folds every branch and leaves one feasible path (or none,
+   when the interpreter is stuck), and replaying that path's assumed
+   decisions reproduces the direct run's outcome, IC and MA.  Subjects
+   are generated programs only: they are stateless, so production
+   execution needs no data structures and the agreement is exact. *)
+let concrete_symbex_agreement ?(explore = real_explore) () =
+  let name = "concrete_symbex_agreement" in
+  let run ~seed =
+    let rng = P.create ~seed in
+    let program = Gen_ir.program rng in
+    let packet = Gen_net.packet rng in
+    let in_port = P.below rng 8 in
+    let now = 1000 + P.below rng 100_000 in
+    let context ppf () =
+      Format.fprintf ppf "packet: %s (in_port %d, now %d)@.%a"
+        (Bolt.Report.witness_line packet)
+        in_port now Ir.Program.pp program
+    in
+    let direct () =
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~in_port ~now
+        program (Net.Packet.copy packet)
+    in
+    let result =
+      explore ~concrete:(packet, in_port, now) ~models:Bolt.Ds_models.default
+        program
+    in
+    let paths = result.Symbex.Engine.paths in
+    match direct () with
+    | exception Exec.Interp.Stuck msg -> (
+        match paths with
+        | [] -> Pass
+        | _ ->
+            fail name seed
+              "%s: interpreter stuck (%s) but symbex found %d feasible \
+               path(s) on a concrete input@.%a"
+              program.Ir.Program.name msg (List.length paths) context ())
+    | direct -> (
+        match paths with
+        | [ path ] -> (
+            if
+              not
+                (Bolt.Pipeline.replay_matches path.Symbex.Path.action
+                   direct.Exec.Interp.outcome)
+            then
+              fail name seed
+                "%s: symbex action %a disagrees with the interpreter's \
+                 outcome@.%a"
+                program.Ir.Program.name Symbex.Path.pp path context ()
+            else
+              let meter = Exec.Meter.create (Hw.Model.null ()) in
+              match
+                Exec.Replay.run ~meter ~stubs:[]
+                  ~path_id:path.Symbex.Path.id
+                  ~decisions:path.Symbex.Path.decisions
+                  ~loops:
+                    (List.map
+                       (fun (l : Symbex.Path.pcv_loop) -> l.Symbex.Path.name)
+                       path.Symbex.Path.loops)
+                  ~in_port ~now program (Net.Packet.copy packet)
+              with
+              | replay ->
+                  if
+                    replay.Exec.Interp.ic = direct.Exec.Interp.ic
+                    && replay.Exec.Interp.ma = direct.Exec.Interp.ma
+                  then Pass
+                  else
+                    fail name seed
+                      "%s: replayed path costs IC %d / MA %d, direct run \
+                       costs IC %d / MA %d@.%a"
+                      program.Ir.Program.name replay.Exec.Interp.ic
+                      replay.Exec.Interp.ma direct.Exec.Interp.ic
+                      direct.Exec.Interp.ma context ()
+              | exception Exec.Replay.Divergence msg ->
+                  fail name seed
+                    "%s: the single feasible path does not replay on its \
+                     own concrete input (%s)@.%a"
+                    program.Ir.Program.name msg context ()
+              | exception Exec.Interp.Stuck msg ->
+                  fail name seed
+                    "%s: replay stuck (%s) where the direct run was not@.%a"
+                    program.Ir.Program.name msg context ())
+        | paths ->
+            fail name seed
+              "%s: expected exactly one feasible path on a concrete input, \
+               got %d@.%a"
+              program.Ir.Program.name (List.length paths) context ())
+  in
+  { name; run }
+
 (* ---- Registry -------------------------------------------------------- *)
 
 let all () =
@@ -411,6 +508,7 @@ let all () =
     jobs_determinism ();
     cache_equivalence ();
     obs_neutrality ();
+    concrete_symbex_agreement ();
   ]
 
 let names () = List.map (fun o -> o.name) (all ())

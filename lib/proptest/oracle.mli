@@ -12,7 +12,11 @@
       [jobs:1] and [jobs:n];
     - {b cache-equivalence} — solver verdicts are identical with the
       cache disabled, enabled, and capacity-starved into eviction churn;
-    - {b obs-neutrality} — contract output is unchanged by tracing.
+    - {b obs-neutrality} — contract output is unchanged by tracing;
+    - {b concrete-symbex-agreement} — on a fully-concrete packet the
+      symbolic engine, the fidelity-checked replay and the direct
+      interpreter (all instances of one {!Ir.Eval} walker) agree on
+      path count, outcome and IC/MA.
 
     On failure the counterexample is shrunk ({!Shrink}) before being
     reported, and the report carries a runnable repro command.
@@ -55,8 +59,25 @@ val obs_neutrality :
   unit ->
   t
 
+val concrete_symbex_agreement :
+  ?explore:
+    (concrete:Net.Packet.t * int * int ->
+    models:Symbex.Model.registry ->
+    Ir.Program.t ->
+    Symbex.Engine.result) ->
+  unit ->
+  t
+(** Symbolic execution over a fully-concrete packet must agree with the
+    direct interpreter: exactly one feasible path (none iff the
+    interpreter is stuck), the same outcome kind, and a fidelity-checked
+    replay of the path with identical IC and MA — both sides are
+    instances of the same {!Ir.Eval} walker, so any disagreement is a
+    bug in one of the domains.  [explore] substitutes the engine under
+    test (default {!Symbex.Engine.explore}); tests pass one that
+    tampers with the returned path's assumed decisions. *)
+
 val all : unit -> t list
-(** The four oracles with their real implementations. *)
+(** The five oracles with their real implementations. *)
 
 val names : unit -> string list
 

@@ -1,3 +1,10 @@
+(* The symbolic domain of the unified Ir.Eval traversal: values are
+   Value.t, state is an immutable record, and a branch explores every
+   feasible continuation in order — the fork tree.  The traversal
+   itself (statement dispatch, loop structure, the PCV one-iteration
+   over-approximation) lives in Ir.Eval and is shared verbatim with the
+   concrete interpreter and the fidelity replay. *)
+
 module SM = Map.Make (String)
 
 (* Structural order on constraints: pure variants over ints, strings and
@@ -37,37 +44,18 @@ type st = {
 
 let decide st b = if st.in_pcv then st else { st with decis = b :: st.decis }
 
-(* Variables a block can assign (for PCV-loop havocking). *)
-let rec assigned_vars block =
-  List.concat_map
-    (function
-      | Ir.Stmt.Assign (v, _) -> [ v ]
-      | Ir.Stmt.Call { ret = Some v; _ } -> [ v ]
-      | Ir.Stmt.Call { ret = None; _ } -> []
-      | Ir.Stmt.If (_, a, b) -> assigned_vars a @ assigned_vars b
-      | Ir.Stmt.While (_, _, body) -> assigned_vars body
-      | Ir.Stmt.Pkt_store _ | Ir.Stmt.Return _ | Ir.Stmt.Comment _ -> [])
-    block
-  |> List.sort_uniq String.compare
-
-let rec block_calls block =
-  List.exists
-    (function
-      | Ir.Stmt.Call _ -> true
-      | Ir.Stmt.If (_, a, b) -> block_calls a || block_calls b
-      | Ir.Stmt.While (_, _, body) -> block_calls body
-      | _ -> false)
-    block
-
-let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
+let explore ?(max_paths = 8192) ?(initial = []) ?shared ?concrete ~models
     (program : Ir.Program.t) =
   Obs.Span.with_ ~cat:"symbex" "explore"
     ~args:(fun () -> [ ("program", program.Ir.Program.name) ])
   @@ fun () ->
   let gen, view0 =
-    match shared with
-    | Some (gen, view) -> (gen, view)
-    | None ->
+    match (shared, concrete) with
+    | Some (gen, view), _ -> (gen, view)
+    | None, Some (packet, _, _) ->
+        let gen = Solver.Sym.gen () in
+        (gen, Spacket.view (Spacket.concrete_input gen packet))
+    | None, None ->
         let gen = Solver.Sym.gen () in
         (gen, Spacket.view (Spacket.input gen ()))
   in
@@ -77,7 +65,9 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
   let paths = ref [] in
   let path_count = ref 0 in
   let pruned = ref 0 in
-  let feasible cons = Solver.Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000 cons in
+  let feasible cons =
+    Solver.Cache.is_sat ~max_conjuncts:512 ~max_nodes:4000 cons
+  in
   let add_con st c =
     if Solver.Constr.is_true c || CS.mem c st.conset then st
     else begin
@@ -85,32 +75,8 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
       { st with cons = c :: st.cons; conset = CS.add c st.conset }
     end
   in
-  let drain st =
-    List.fold_left add_con st (Value.take_side ctx)
-  in
-  (* Evaluate an expression, folding load-bounds constraints into [st]. *)
-  let rec eval st (e : Ir.Expr.t) : Value.t * st =
-    match e with
-    | Ir.Expr.Const n -> (Value.of_int n, st)
-    | Ir.Expr.Var v -> (
-        match SM.find_opt v st.env with
-        | Some value -> (value, st)
-        | None -> failwith ("symbex: unbound variable " ^ v))
-    | Ir.Expr.Pkt_len -> (Spacket.length st.view, st)
-    | Ir.Expr.Pkt_load (w, off_e) ->
-        let off, st = eval st off_e in
-        let value, cs = Spacket.load st.view ctx w ~offset:off in
-        let st = List.fold_left add_con st cs in
-        (value, drain st)
-    | Ir.Expr.Unop (op, a) ->
-        let va, st = eval st a in
-        (Value.unop ctx op va, drain st)
-    | Ir.Expr.Binop (op, a, b) ->
-        let va, st = eval st a in
-        let vb, st = eval st b in
-        (Value.binop ctx op va vb, drain st)
-  in
-  let finish st action =
+  let drain st = List.fold_left add_con st (Value.take_side ctx) in
+  let finish_path st action =
     Obs.Metrics.incr c_paths;
     incr path_count;
     if !path_count > max_paths then
@@ -142,156 +108,146 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
         end)
       branches
   in
-  let rec exec_block st block (kont : st -> unit) =
-    match block with
-    | [] -> kont st
-    | stmt :: rest -> exec_stmt st stmt (fun st -> exec_block st rest kont)
-  and exec_stmt st (stmt : Ir.Stmt.t) kont =
-    match stmt with
-    | Ir.Stmt.Comment _ -> kont st
-    | Ir.Stmt.Assign (v, e) ->
-        let value, st = eval st e in
-        kont { st with env = SM.add v value st.env }
-    | Ir.Stmt.Pkt_store (w, off_e, val_e) ->
-        let off, st = eval st off_e in
-        let value, st = eval st val_e in
-        kont { st with view = Spacket.store st.view ctx w ~offset:off ~value }
-    | Ir.Stmt.If (cond_e, then_, else_) ->
-        let cond, st = eval st cond_e in
-        let f = Value.truth cond in
-        fork st
-          [
-            ([ f ], fun st -> exec_block (decide st true) then_ kont);
-            ( [ Solver.Constr.not_ f ],
-              fun st -> exec_block (decide st false) else_ kont );
-          ]
-    | Ir.Stmt.Return action_stmt ->
-        let action, st =
-          match action_stmt with
-          | Ir.Stmt.Forward port_e ->
-              let port, st = eval st port_e in
-              (Path.Forward port, st)
-          | Ir.Stmt.Drop -> (Path.Drop, st)
-          | Ir.Stmt.Flood -> (Path.Flood, st)
-        in
-        finish st action
-    | Ir.Stmt.Call { ret; instance; meth; args } ->
-        let kind =
-          match Ir.Program.kind_of_instance program instance with
-          | Some k -> k
-          | None -> failwith ("symbex: undeclared instance " ^ instance)
-        in
-        let model = Model.find_exn models ~kind ~meth in
-        let argv, st =
-          List.fold_left
-            (fun (acc, st) arg ->
-              let v, st = eval st arg in
-              (v :: acc, st))
-            ([], st) args
-        in
-        let argv = List.rev argv in
-        let branches = model.Model.apply ctx ~args:argv in
-        let st = drain st in
-        fork st
-          (List.map
-             (fun (b : Model.branch) ->
-               ( b.Model.constraints,
-                 fun st ->
-                   let call =
-                     {
-                       Path.index = st.ncalls;
-                       instance;
-                       kind;
-                       meth;
-                       tag = b.Model.tag;
-                       ret = Value.to_lin ctx b.Model.ret;
-                     }
-                   in
-                   let st = drain st in
-                   let st =
-                     {
-                       st with
-                       calls = call :: st.calls;
-                       ncalls = st.ncalls + 1;
-                     }
-                   in
-                   let st =
-                     match ret with
-                     | None -> st
-                     | Some v ->
-                         { st with env = SM.add v b.Model.ret st.env }
-                   in
-                   kont st ))
-             branches)
-    | Ir.Stmt.While (Ir.Stmt.Unroll bound, cond_e, body) ->
-        let rec iteration st k =
-          let cond, st = eval st cond_e in
-          let f = Value.truth cond in
-          if k >= bound then
-            (* the bound is a static guarantee: force exit *)
-            fork st
-              [ ([ Solver.Constr.not_ f ], fun st -> kont (decide st false)) ]
-          else
-            fork st
-              [
-                ([ Solver.Constr.not_ f ], fun st -> kont (decide st false));
-                ( [ f ],
-                  fun st ->
-                    exec_block (decide st true) body (fun st ->
-                        iteration st (k + 1)) );
-              ]
-        in
-        iteration st 0
-    | Ir.Stmt.While (Ir.Stmt.Pcv_loop (name, bound), cond_e, body) ->
-        if block_calls body then
-          failwith
-            ("symbex: stateful call inside PCV loop " ^ name
-           ^ " is unsupported");
-        let cond, st = eval st cond_e in
-        let f = Value.truth cond in
-        let havoc st =
-          List.fold_left
-            (fun st v ->
-              {
-                st with
-                env =
-                  SM.add v
-                    (Value.fresh_opaque ctx ("havoc_" ^ v))
-                    st.env;
-              })
-            st (assigned_vars body)
-        in
-        fork st
-          [
-            (* zero iterations *)
-            ([ Solver.Constr.not_ f ], kont);
-            (* >= 1 iteration: run the body once, havoc, assume exit *)
-            ( [ f ],
-              fun st ->
-                let st =
-                  {
-                    st with
-                    loops = { Path.name; bound } :: st.loops;
-                    in_pcv = true;
-                  }
-                in
-                exec_block st body (fun st ->
-                    let st = havoc st in
-                    let cond', st = eval st cond_e in
-                    let f' = Value.truth cond' in
-                    fork st
-                      [
-                        ( [ Solver.Constr.not_ f' ],
-                          fun st -> kont { st with in_pcv = false } );
-                      ]) );
-          ]
+  let module Dom = struct
+    type value = Value.t
+    type state = st
+
+    let const st n = (Value.of_int n, st)
+
+    let var st v =
+      match SM.find_opt v st.env with
+      | Some value -> (value, st)
+      | None -> failwith ("symbex: unbound variable " ^ v)
+
+    let pkt_len st = (Spacket.length st.view, st)
+
+    let pkt_load st w ~off =
+      let value, cs = Spacket.load st.view ctx w ~offset:off in
+      let st = List.fold_left add_con st cs in
+      let st = drain st in
+      (value, st)
+
+    (* The operator may mint fresh symbols whose defining side
+       constraints are picked up by the *next* drain point, exactly as
+       the pre-unification engine sequenced it. *)
+    let unop st op a =
+      let st = drain st in
+      (Value.unop ctx op a, st)
+
+    let binop st op a b =
+      let st = drain st in
+      (Value.binop ctx op a b, st)
+
+    let assign st v value = { st with env = SM.add v value st.env }
+
+    let pkt_store st w ~off value =
+      { st with view = Spacket.store st.view ctx w ~offset:off ~value }
+
+    let branch st ~record ~true_first c ~on_true ~on_false =
+      let f = Value.truth c in
+      let true_side =
+        ([ f ], fun st -> on_true (if record then decide st true else st))
+      in
+      let false_side =
+        ( [ Solver.Constr.not_ f ],
+          fun st -> on_false (if record then decide st false else st) )
+      in
+      fork st
+        (if true_first then [ true_side; false_side ]
+         else [ false_side; true_side ])
+
+    let bound_exit st ~record ~bound:_ c ~exit =
+      (* the bound is a static guarantee: force exit *)
+      let f = Value.truth c in
+      fork st
+        [
+          ( [ Solver.Constr.not_ f ],
+            fun st -> exit (if record then decide st false else st) );
+        ]
+
+    let assume_exit st c ~exit =
+      let f = Value.truth c in
+      fork st [ ([ Solver.Constr.not_ f ], exit) ]
+
+    let pcv_policy = `Once_havoc
+
+    let pcv_enter st ~name ~bound =
+      { st with loops = { Path.name; bound } :: st.loops; in_pcv = true }
+
+    (* [`Iterate]-only hooks: the symbolic policy is [`Once_havoc]. *)
+    let pcv_iter _ ~name:_ = assert false
+    let pcv_exit _ ~name:_ ~iterations:_ = assert false
+    let pcv_close st = { st with in_pcv = false }
+
+    let havoc st vars =
+      List.fold_left
+        (fun st v ->
+          {
+            st with
+            env = SM.add v (Value.fresh_opaque ctx ("havoc_" ^ v)) st.env;
+          })
+        st vars
+
+    let call st ~program { Ir.Stmt.ret; instance; meth; args = _ } ~args ~k =
+      let kind =
+        match Ir.Program.kind_of_instance program instance with
+        | Some k -> k
+        | None -> failwith ("symbex: undeclared instance " ^ instance)
+      in
+      let model = Model.find_exn models ~kind ~meth in
+      let branches = model.Model.apply ctx ~args in
+      let st = drain st in
+      fork st
+        (List.map
+           (fun (b : Model.branch) ->
+             ( b.Model.constraints,
+               fun st ->
+                 let call =
+                   {
+                     Path.index = st.ncalls;
+                     instance;
+                     kind;
+                     meth;
+                     tag = b.Model.tag;
+                     ret = Value.to_lin ctx b.Model.ret;
+                   }
+                 in
+                 let st = drain st in
+                 let st =
+                   { st with calls = call :: st.calls; ncalls = st.ncalls + 1 }
+                 in
+                 let st =
+                   match ret with
+                   | None -> st
+                   | Some v -> { st with env = SM.add v b.Model.ret st.env }
+                 in
+                 k st ))
+           branches)
+
+    let pre_return st = st
+
+    let finish st (action : Value.t Ir.Eval.action) =
+      finish_path st
+        (match action with
+        | Ir.Eval.Forward port -> Path.Forward port
+        | Ir.Eval.Drop -> Path.Drop
+        | Ir.Eval.Flood -> Path.Flood)
+
+    let fallthrough _ =
+      failwith "symbex: program fell through without returning"
+
+    let unsupported _ msg = failwith ("symbex: " ^ msg)
+  end in
+  let module E = Ir.Eval.Make (Dom) in
+  let in_port_v, now_v =
+    match concrete with
+    | Some (_, in_port, now) when shared = None ->
+        (Value.of_int in_port, Value.of_int now)
+    | _ -> (Value.of_sym in_port, Value.of_sym now)
   in
   let st0 =
     {
-      env =
-        SM.empty
-        |> SM.add "in_port" (Value.of_sym in_port)
-        |> SM.add "now" (Value.of_sym now);
+      env = SM.empty |> SM.add "in_port" in_port_v |> SM.add "now" now_v;
       view = view0;
       cons = List.rev initial;
       conset = CS.of_list initial;
@@ -302,8 +258,7 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ~models
       ncalls = 0;
     }
   in
-  exec_block st0 program.Ir.Program.body (fun _ ->
-      failwith "symbex: program fell through without returning");
+  E.run st0 program;
   {
     paths = List.rev !paths;
     input = Spacket.input_of_view view0;

@@ -23,6 +23,7 @@ val explore :
   ?max_paths:int ->
   ?initial:Solver.Constr.t list ->
   ?shared:Solver.Sym.gen * Spacket.view ->
+  ?concrete:Net.Packet.t * int * int ->
   models:Model.registry ->
   Ir.Program.t ->
   result
@@ -30,5 +31,10 @@ val explore :
     [shared] reuses an existing generator and packet view — that is how
     chain composition executes the downstream NF on the upstream NF's
     symbolic output (§3.4).  [initial] seeds the path constraints.
+    [concrete] is [(packet, in_port, now)]: the program is explored over
+    that fully-concrete input ({!Spacket.concrete_input}), every branch
+    condition folds, and exactly one feasible path can complete — the
+    differential check against {!Exec.Interp}.  [shared] wins over
+    [concrete] if both are given.
     Raises [Failure] if more than [max_paths] (default 8192) complete, or
     if a PCV loop body contains a stateful call (unsupported). *)

@@ -5,6 +5,9 @@ type input = {
   len : Sym.t;
   bytes : (int, Sym.t) Hashtbl.t;
   max_len : int;
+  concrete : Net.Packet.t option;
+      (** fully-concrete mode: loads read these bytes instead of
+          minting symbols (the differential concrete/symbex oracle) *)
 }
 
 let input gen ?(min_len = 60) ?(max_len = 1514) () =
@@ -13,6 +16,17 @@ let input gen ?(min_len = 60) ?(max_len = 1514) () =
     len = Sym.fresh gen ~lo:min_len ~hi:max_len "pkt_len";
     bytes = Hashtbl.create 64;
     max_len;
+    concrete = None;
+  }
+
+let concrete_input gen packet =
+  let len = Net.Packet.length packet in
+  {
+    gen;
+    len = Sym.fresh gen ~lo:len ~hi:len "pkt_len";
+    bytes = Hashtbl.create 8;
+    max_len = len;
+    concrete = Some (Net.Packet.copy packet);
   }
 
 let len_sym t = t.len
@@ -35,9 +49,18 @@ type view = {
   inp : input;
   overlay : (Ir.Expr.width * Value.t) IM.t;
   havocked : bool;  (** a symbolic-offset store clobbered everything *)
+  shadow : Net.Packet.t option;
+      (** concrete mode: this path's private copy of the packet, with
+          its stores materialised *)
 }
 
-let view inp = { inp; overlay = IM.empty; havocked = false }
+let view inp =
+  {
+    inp;
+    overlay = IM.empty;
+    havocked = false;
+    shadow = Option.map Net.Packet.copy inp.concrete;
+  }
 let input_of_view v = v.inp
 
 let width_bytes = Ir.Expr.bytes_of_width
@@ -79,22 +102,58 @@ let read_at v ctx width off =
       else input_field v ctx width off
 
 let load v ctx width ~offset =
-  match Value.is_concrete offset with
-  | Some off when off >= 0 && off + width_bytes width <= v.inp.max_len ->
-      (read_at v ctx width off, [ bounds_constraint v width off ])
-  | _ ->
-      ( Value.fresh_opaque ctx ~lo:0
-          ~hi:(Ir.Expr.max_of_width width)
-          "pkt_sym_load",
-        [] )
+  match v.shadow with
+  | Some shadow ->
+      if v.havocked then
+        ( Value.fresh_opaque ctx ~lo:0
+            ~hi:(Ir.Expr.max_of_width width)
+            "pkt_clobbered",
+          [] )
+      else (
+        match Value.is_concrete offset with
+        | Some off
+          when off >= 0 && off + width_bytes width <= Net.Packet.length shadow
+          ->
+            (Value.of_int (Net.Packet.get shadow width off), [])
+        | _ ->
+            (* the concrete interpreter gets stuck on this load — no
+               real execution continues past it, so neither may the
+               symbolic one *)
+            (Value.of_int 0, [ Constr.False ]))
+  | None -> (
+      match Value.is_concrete offset with
+      | Some off when off >= 0 && off + width_bytes width <= v.inp.max_len ->
+          (read_at v ctx width off, [ bounds_constraint v width off ])
+      | _ ->
+          ( Value.fresh_opaque ctx ~lo:0
+              ~hi:(Ir.Expr.max_of_width width)
+              "pkt_sym_load",
+            [] ))
 
 let store v ctx width ~offset ~value =
   ignore ctx;
-  match Value.is_concrete offset with
-  | Some off -> { v with overlay = IM.add off (width, value) v.overlay }
-  | None -> { v with havocked = true }
+  match v.shadow with
+  | Some shadow -> (
+      match (Value.is_concrete offset, Value.is_concrete value) with
+      | Some off, Some value_c
+        when off >= 0 && off + width_bytes width <= Net.Packet.length shadow
+        ->
+          let shadow = Net.Packet.copy shadow in
+          Net.Packet.set shadow width off value_c;
+          { v with shadow = Some shadow }
+      | _ ->
+          (* a store the concrete packet cannot realise exactly:
+             over-approximate every later load *)
+          { v with havocked = true })
+  | None -> (
+      match Value.is_concrete offset with
+      | Some off -> { v with overlay = IM.add off (width, value) v.overlay }
+      | None -> { v with havocked = true })
 
-let length v = Value.Lin (Linexpr.sym v.inp.len)
+let length v =
+  match v.inp.concrete with
+  | Some packet -> Value.of_int (Net.Packet.length packet)
+  | None -> Value.Lin (Linexpr.sym v.inp.len)
 
 let writes v = IM.bindings v.overlay
 

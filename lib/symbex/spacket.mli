@@ -11,6 +11,15 @@ type input
 (** The shared input layer: byte symbols + the length symbol. *)
 
 val input : Solver.Sym.gen -> ?min_len:int -> ?max_len:int -> unit -> input
+
+val concrete_input : Solver.Sym.gen -> Net.Packet.t -> input
+(** A fully-concrete input: the length is pinned and loads at concrete
+    in-bounds offsets return the packet's actual bytes as concrete
+    values, so every branch condition folds and exactly one path is
+    feasible.  An out-of-bounds load contributes [False] — the concrete
+    interpreter is stuck there, and the path must die with it.  Used by
+    the [concrete_symbex_agreement] differential oracle. *)
+
 val len_sym : input -> Solver.Sym.t
 val byte_sym : input -> int -> Solver.Sym.t
 (** The symbol for input byte [i] (created on first use). *)

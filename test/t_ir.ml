@@ -238,12 +238,88 @@ let test_semantics () =
   | exception Semantics.Undefined _ -> ()
   | _ -> Alcotest.fail "rem by zero"
 
+let test_semantics_operator_edges () =
+  let undefined op a b =
+    match Semantics.apply_binop op a b with
+    | exception Semantics.Undefined _ -> ()
+    | v -> Alcotest.fail (Printf.sprintf "expected Undefined, got %d" v)
+  in
+  undefined Expr.Div 1 0;
+  undefined Expr.Div 0 0;
+  undefined Expr.Rem 7 0;
+  check_int "div truncates toward zero" 2 (Semantics.apply_binop Expr.Div 5 2);
+  (* shift amounts are masked to 6 bits: a shift by the full word width
+     (or any multiple of 64) is the identity, never zero or an
+     exception *)
+  check_int "shl 63" (1 lsl 63) (Semantics.apply_binop Expr.Shl 1 63);
+  check_int "shl 64 is shl 0" 5 (Semantics.apply_binop Expr.Shl 5 64);
+  check_int "shr 64 is shr 0" 5 (Semantics.apply_binop Expr.Shr 5 64);
+  check_int "shr 70 is shr 6" 1 (Semantics.apply_binop Expr.Shr 64 70);
+  (* comparisons are signed over native ints: -1 is less than 1, and a
+     32-bit all-ones value is a large positive, not -1 *)
+  check_int "-1 < 1 (signed)" 1 (Semantics.apply_binop Expr.Lt (-1) 1);
+  check_int "-1 <= 0 (signed)" 1 (Semantics.apply_binop Expr.Le (-1) 0);
+  check_int "0xffffffff not < 0" 0
+    (Semantics.apply_binop Expr.Lt 0xffff_ffff 0);
+  check_int "0 > -5 (signed)" 1 (Semantics.apply_binop Expr.Gt 0 (-5));
+  (* bitwise not is masked to 32 bits *)
+  check_int "bnot 0" 0xffff_ffff (Semantics.apply_unop Expr.Bnot 0);
+  check_int "bnot all-ones" 0 (Semantics.apply_unop Expr.Bnot 0xffff_ffff)
+
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
   let rec loop i =
     i + n <= h && (String.sub haystack i n = needle || loop (i + 1))
   in
   loop 0
+
+(* ---- The unified evaluator's edge behaviour, in both domains --------- *)
+
+(* A loop whose condition never goes false within its static bound. *)
+let runaway_program =
+  Program.make ~name:"runaway_both" ~state:[]
+    [
+      Stmt.assign "i" (Expr.int 0);
+      Stmt.While
+        ( Stmt.Unroll 3,
+          Expr.(var "i" < int 100),
+          [ Stmt.assign "i" (open_expr "i" +! Expr.int 1) ] );
+      Stmt.drop;
+    ]
+
+let test_loop_bound_exceeded_both_domains () =
+  (* concrete domain: the overrun is a runtime contract violation *)
+  (match run_program runaway_program with
+  | exception Exec.Interp.Stuck msg ->
+      check_bool "names the bound" true (contains msg "static bound 3")
+  | _ -> Alcotest.fail "concrete: bound violation not detected");
+  (* symbolic domain: the forced exit at the bound contradicts the
+     always-true condition, so the path is pruned — never completed,
+     never an exception *)
+  let result =
+    Symbex.Engine.explore ~models:(Symbex.Model.registry []) runaway_program
+  in
+  check_int "symbolic: no feasible path" 0
+    (List.length result.Symbex.Engine.paths);
+  check_bool "symbolic: the overrun fork was pruned" true
+    (result.Symbex.Engine.infeasible_pruned > 0)
+
+let test_fallthrough_both_domains () =
+  (* [Program.make] rejects a body with no [Return]; build the record
+     directly to drive the evaluator into its fall-through handler *)
+  let p =
+    { Program.name = "fallthrough"; state = []; body = [ Stmt.assign "x" (Expr.int 1) ] }
+  in
+  (match run_program p with
+  | exception Exec.Interp.Stuck msg ->
+      check_bool "concrete: names the fall-through" true
+        (contains msg "fell through")
+  | _ -> Alcotest.fail "concrete: fall-through not detected");
+  match Symbex.Engine.explore ~models:(Symbex.Model.registry []) p with
+  | exception Failure msg ->
+      check_bool "symbolic: names the fall-through" true
+        (contains msg "fell through")
+  | _ -> Alcotest.fail "symbolic: fall-through not detected"
 
 let test_program_pp () =
   let s = Fmt.to_to_string Program.pp Nf.Nat.program in
@@ -276,6 +352,44 @@ let test_run_batch_amortizes_framing () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "analysis batch accepted")
 
+let test_run_batch_tx_doorbell () =
+  (* the TX framing of a burst must follow the actual outcome mix: one
+     buffer recycle per dropped packet, and exactly one send doorbell
+     iff the burst forwarded or flooded anything *)
+  let p =
+    Program.make ~name:"mix" ~state:[]
+      [
+        Stmt.if_
+          (Expr.Binop (Expr.Eq, open_expr "in_port", Expr.int 1))
+          [ Stmt.forward_port 1 ] [ Stmt.drop ];
+      ]
+  in
+  let total in_ports =
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    let runs =
+      Exec.Interp.run_batch ~meter ~mode:(Exec.Interp.Production []) p
+        (List.map (fun ip -> (Net.Packet.create 64, ip, 100)) in_ports)
+    in
+    ( Exec.Meter.ic meter,
+      List.fold_left (fun acc r -> acc + r.Exec.Interp.ic) 0 runs )
+  in
+  let framing charges =
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    Exec.Interp.charge_rx meter;
+    List.iter (Exec.Interp.charge_tx meter) charges;
+    Exec.Meter.ic meter
+  in
+  let drop = Exec.Interp.Dropped and sent = Exec.Interp.Sent 0 in
+  (* all-drop burst: no doorbell at all *)
+  let ic, body = total [ 0; 0; 0 ] in
+  check_int "all-drop framing" (framing [ drop; drop; drop ] + body) ic;
+  (* mixed burst: per-drop recycles plus exactly one doorbell *)
+  let ic, body = total [ 0; 1; 0; 1 ] in
+  check_int "mixed framing" (framing [ drop; drop; sent ] + body) ic;
+  (* all-forward burst: exactly one doorbell, no recycles *)
+  let ic, body = total [ 1; 1 ] in
+  check_int "all-forward framing" (framing [ sent ] + body) ic
+
 let suite =
   [
     Alcotest.test_case "expr vars" `Quick test_expr_vars;
@@ -293,7 +407,15 @@ let suite =
     Alcotest.test_case "analysis call overhead" `Quick test_analysis_overhead;
     Alcotest.test_case "pcv loop observation" `Quick test_pcv_loop_observation;
     Alcotest.test_case "shared semantics" `Quick test_semantics;
+    Alcotest.test_case "semantics operator edges" `Quick
+      test_semantics_operator_edges;
+    Alcotest.test_case "loop bound exceeded in both domains" `Quick
+      test_loop_bound_exceeded_both_domains;
+    Alcotest.test_case "fall-through in both domains" `Quick
+      test_fallthrough_both_domains;
     Alcotest.test_case "program pretty printing" `Quick test_program_pp;
     Alcotest.test_case "batched run amortizes framing" `Quick
       test_run_batch_amortizes_framing;
+    Alcotest.test_case "batched TX follows the outcome mix" `Quick
+      test_run_batch_tx_doorbell;
   ]

@@ -17,6 +17,25 @@ let test_packet_accessors () =
   check_int "u48" 0x0123456789ab (Net.Packet.get_u48 p 30);
   check_int "second byte" 0x23 (Net.Packet.get_u8 p 31)
 
+let test_width_keyed_accessors () =
+  (* the [Expr.width]-keyed dispatch every IR packet access funnels
+     through (the concrete evaluator domain, witness construction) *)
+  let p = Net.Packet.create 64 in
+  List.iter
+    (fun (w, off, v) ->
+      Net.Packet.set p w off v;
+      check_int "roundtrip" v (Net.Packet.get p w off))
+    [
+      (Ir.Expr.W8, 0, 0x5a);
+      (Ir.Expr.W16, 2, 0xbeef);
+      (Ir.Expr.W32, 4, 0xdeadbeef);
+      (Ir.Expr.W48, 8, 0x0123456789ab);
+    ];
+  (* a wider value stored at W48 keeps only its low 48 bits *)
+  Net.Packet.set p Ir.Expr.W48 20 0x7fff_0123_4567_89ab;
+  check_int "W48 masks to 48 bits" 0x0123_4567_89ab
+    (Net.Packet.get p Ir.Expr.W48 20)
+
 let test_packet_bounds () =
   let p = Net.Packet.create 16 in
   (match Net.Packet.get_u32 p 13 with
@@ -168,6 +187,8 @@ let test_pp () =
 let suite =
   [
     Alcotest.test_case "packet accessors" `Quick test_packet_accessors;
+    Alcotest.test_case "width-keyed accessors" `Quick
+      test_width_keyed_accessors;
     Alcotest.test_case "icmp" `Quick test_icmp;
     Alcotest.test_case "packet pretty printing" `Quick test_pp;
     Alcotest.test_case "packet bounds" `Quick test_packet_bounds;

@@ -95,7 +95,9 @@ let test_runner_deterministic () =
   in
   let a = campaign () and b = campaign () in
   check_bool "same seed, same outcome" true (a = b);
-  check_int "checks = runs x oracles" (3 * 4) a.Proptest.Runner.checks
+  check_int "checks = runs x oracles"
+    (3 * List.length (Proptest.Oracle.all ()))
+    a.Proptest.Runner.checks
 
 let test_runner_deterministic_failures () =
   (* with an always-failing oracle, the failure REPORTS (shrunk
@@ -183,6 +185,34 @@ let test_catches_obs_dependence () =
         "failure names its oracle" "obs_neutrality" f.Proptest.Oracle.oracle
   | Proptest.Oracle.Pass ->
       Alcotest.fail "obs-dependent analyze output was not caught"
+
+let test_catches_tampered_decisions () =
+  (* an engine that flips every assumed branch decision: the structural
+     fidelity check must then raise at the first recorded branch, and
+     the oracle must report it.  Generated programs always open with
+     the [Pkt_len < 34] guard, so every path has at least one
+     decision to flip. *)
+  let explore ~concrete ~models program =
+    let r = Symbex.Engine.explore ~concrete ~models program in
+    {
+      r with
+      Symbex.Engine.paths =
+        List.map
+          (fun (p : Symbex.Path.t) ->
+            {
+              p with
+              Symbex.Path.decisions = List.map not p.Symbex.Path.decisions;
+            })
+          r.Symbex.Engine.paths;
+    }
+  in
+  let o = Proptest.Oracle.concrete_symbex_agreement ~explore () in
+  match first_failure o with
+  | None -> Alcotest.fail "tampered path decisions were not caught"
+  | Some f ->
+      Alcotest.(check string)
+        "failure names its oracle" "concrete_symbex_agreement"
+        f.Proptest.Oracle.oracle
 
 let test_default_oracles_pass () =
   let outcome =
@@ -296,6 +326,8 @@ let suite =
     Alcotest.test_case "catches a stale cache" `Quick test_catches_stale_cache;
     Alcotest.test_case "catches obs dependence" `Slow
       test_catches_obs_dependence;
+    Alcotest.test_case "catches tampered path decisions" `Quick
+      test_catches_tampered_decisions;
     Alcotest.test_case "default oracles pass" `Slow test_default_oracles_pass;
     Alcotest.test_case "divergent witness detected (action)" `Quick
       test_divergent_witness_by_action;
