@@ -24,6 +24,11 @@ lint:
 	if [ -n "$$hits" ]; then \
 	  echo "lint: IR walker duplicated outside lib/ir:"; echo "$$hits"; exit 1; \
 	fi
+	@hits=$$(grep -rn "Interp\.run" lib/distiller --include='*.ml' || true); \
+	if [ -n "$$hits" ]; then \
+	  echo "lint: Distiller per-packet path must stay on Exec.Compiled:"; \
+	  echo "$$hits"; exit 1; \
+	fi
 
 # Regenerate every table and figure of the paper (plus extensions).
 bench:
@@ -34,12 +39,14 @@ bench-quick:
 
 # CI smoke: quick workloads through the parallel pipeline, with the
 # jobs:1 / jobs:N determinism cross-check, solver-cache stats and a
-# Chrome trace of the run (open bench_trace.json in Perfetto).
+# Chrome trace of the run (open bench_trace.json in Perfetto), then the
+# interpreted-vs-compiled throughput comparison (JSON artifact).
 bench-smoke:
 	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
+	dune exec bench/main.exe -- throughput --quick --json BENCH_throughput.json
 
 # CI smoke for the soundness fuzzer: a few deterministic rounds of all
-# five differential oracles (see docs/TESTING.md).  Exits non-zero on a
+# six differential oracles (see docs/TESTING.md).  Exits non-zero on a
 # counterexample and writes the machine-readable outcome next to it.
 fuzz-smoke:
 	dune exec bin/bolt_cli.exe -- fuzz --seed 1 --runs 8 --json fuzz_smoke.json

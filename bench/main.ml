@@ -10,6 +10,9 @@
      dune exec bench/main.exe -- speedup --json BENCH_pipeline.json
                                               — parallel-pipeline speedup +
                                                 solver-cache hit rates
+     dune exec bench/main.exe -- throughput --json BENCH_throughput.json
+                                              — interpreted vs closure-compiled
+                                                packets/sec
      dune exec bench/main.exe -- bechamel     — micro-benchmarks only *)
 
 let quick = ref false
@@ -258,9 +261,131 @@ let conntrack () =
     Fmt.stdout
     (Experiments.Scenarios.conntrack_rows ~params ?jobs:!jobs ())
 
-let throughput () =
+let floors () =
   section "Extension — guaranteed throughput floors (paper §6 future work)";
   Experiments.Extensions.throughput_table Fmt.stdout
+
+(* ---- Wall-clock throughput: interpreter vs compiled closures ----------- *)
+
+(* The same established-flow stream replayed through [Exec.Interp] and
+   through [Exec.Compiled] (translated once, outside the timed region),
+   reporting packets/sec and ns/packet for each.  Null hardware model
+   and a fresh data-structure environment per timed run, so the numbers
+   isolate executor overhead — per-node dispatch and environment
+   bookkeeping vs direct closure calls — over identical metered
+   semantics (the equivalence itself is the compiled test suite's and
+   fuzz oracle's job, not this benchmark's).  Best of three runs per
+   engine; the stream is rebuilt per run because execution mutates
+   packet buffers. *)
+let exec_throughput () =
+  section "Throughput — interpreted vs closure-compiled execution";
+  let packets = if !quick then 4_000 else 40_000 in
+  let nf_names = [ "firewall"; "static_router"; "nat"; "bridge" ] in
+  let stream_of rng =
+    let flows = Workload.Gen.distinct_flows rng 64 in
+    let base = Workload.Gen.packets_of_flows flows in
+    let rec replicate acc n =
+      if n <= 0 then acc else replicate (base @ acc) (n - List.length base)
+    in
+    Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:100
+      (replicate [] packets)
+  in
+  let time_run entry engine =
+    let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
+    let mode = Exec.Interp.Production dss in
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    let program = entry.Nf.Registry.program in
+    let stream = stream_of (Workload.Prng.create ~seed:42) in
+    (* engine dispatch happens once, outside the timed loop *)
+    let process =
+      match engine with
+      | `Interp ->
+          fun ~in_port ~now packet ->
+            Exec.Interp.run ~meter ~mode ~in_port ~now program packet
+      | `Compiled ->
+          let r = Exec.Compiled.runner (Exec.Compiled.compile program) ~meter ~mode in
+          fun ~in_port ~now packet -> r ~in_port ~now packet
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (e : Workload.Stream.entry) ->
+        Exec.Meter.reset_observations meter;
+        ignore
+          (process ~in_port:e.Workload.Stream.in_port
+             ~now:e.Workload.Stream.now e.Workload.Stream.packet))
+      stream;
+    Unix.gettimeofday () -. t0
+  in
+  (* interleave the two engines and keep each one's best wall-clock, so
+     a slow spell on a shared machine penalizes both sides alike *)
+  let measure entry =
+    let reps = if !quick then 3 else 5 in
+    let rec go i (bi, bc) =
+      if i = 0 then (bi, bc)
+      else
+        let wi = time_run entry `Interp in
+        let wc = time_run entry `Compiled in
+        go (i - 1) (Float.min bi wi, Float.min bc wc)
+    in
+    go reps (infinity, infinity)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let entry = Nf.Registry.find name in
+        let wi, wc = measure entry in
+        let pps w = float_of_int packets /. w in
+        let ns w = w *. 1e9 /. float_of_int packets in
+        Fmt.pr
+          "  %-14s interp %9.0f pps (%6.0f ns/pkt)   compiled %9.0f pps \
+           (%6.0f ns/pkt)   speedup x%.2f@."
+          name (pps wi) (ns wi) (pps wc) (ns wc) (wi /. wc);
+        (name, wi, wc))
+      nf_names
+  in
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let j =
+        Perf.Json.Obj
+          [
+            ("artifact", Perf.Json.String "exec_throughput");
+            ("quick", Perf.Json.Bool !quick);
+            ("packets", Perf.Json.Int packets);
+            ( "nfs",
+              Perf.Json.List
+                (List.map
+                   (fun (name, wi, wc) ->
+                     let pps w =
+                       int_of_float (float_of_int packets /. w)
+                     in
+                     let ns w =
+                       int_of_float (w *. 1e9 /. float_of_int packets)
+                     in
+                     Perf.Json.Obj
+                       [
+                         ("nf", Perf.Json.String name);
+                         ("interp_pps", Perf.Json.Int (pps wi));
+                         ("interp_ns_per_packet", Perf.Json.Int (ns wi));
+                         ("compiled_pps", Perf.Json.Int (pps wc));
+                         ("compiled_ns_per_packet", Perf.Json.Int (ns wc));
+                         ( "speedup_pct",
+                           Perf.Json.Int (int_of_float (100. *. wi /. wc)) );
+                       ])
+                   rows) );
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Perf.Json.to_string ~indent:true j);
+          output_string oc "\n");
+      Fmt.pr "  [wrote %s]@." path);
+  let best =
+    List.fold_left (fun acc (_, wi, wc) -> Float.max acc (wi /. wc)) 0. rows
+  in
+  Fmt.pr "@.  best speedup x%.2f (compile once, replay millions)@." best
 
 let chain3 () =
   section "Extension — three-NF chain, jointly analysed";
@@ -443,7 +568,8 @@ let artifacts =
     ("figure6_7", figures5_6_7);
     ("conntrack", conntrack);
     ("speedup", speedup);
-    ("throughput", throughput);
+    ("floors", floors);
+    ("throughput", exec_throughput);
     ("chain3", chain3);
     ("ablations", ablations);
     ("bechamel", bechamel_suite);
@@ -493,7 +619,8 @@ let () =
         figures5_6_7 ();
         conntrack ();
         speedup ();
-        throughput ();
+        floors ();
+        exec_throughput ();
         chain3 ();
         ablations ();
         bechamel_suite ()

@@ -9,7 +9,7 @@ let distill nf_name pcap_path in_port =
     Distiller.Run.run_pcap ~dss entry.Nf.Registry.program ~path:pcap_path
       ~in_port ()
   in
-  Fmt.pr "replayed %d packets@.@." (List.length result.Distiller.Run.reports);
+  Fmt.pr "replayed %d packets@.@." (Distiller.Run.count result);
   let interesting =
     Perf.Pcv.[ expired; collisions; traversals; occupancy; scan ]
   in

@@ -3,7 +3,16 @@
     Feeds a traffic sample through the production build of the NF, logging
     the PCV values each packet induced.  The Distiller never changes the
     contract — it tells the user which contract assumptions held for each
-    packet of the trace. *)
+    packet of the trace.
+
+    The replay runs on the closure-compiled hot path ({!Exec.Compiled},
+    bit-identical to the interpreter) and streams every packet straight
+    into flat arrays: per-packet costs and outcomes are columns, per-call
+    PCV observations live in one flat stream with per-packet offsets, and
+    per-PCV aggregate columns (max and sum) are folded in as the replay
+    runs.  Memory stays proportional to the trace with no per-packet
+    heap structure, and every query below is a precomputed-column read —
+    nothing rescans observations per (packet, PCV) pair. *)
 
 type packet_report = {
   index : int;
@@ -14,12 +23,11 @@ type packet_report = {
   observations : (Perf.Pcv.t * int) list;
       (** per-call PCV observations during this packet *)
 }
+(** A per-packet view, materialized on demand by {!report} / {!iter} —
+    results no longer retain a list of these. *)
 
-type t = {
-  reports : packet_report list;
-  total_ic : int;
-  total_ma : int;
-}
+type t
+(** A finished replay: flat arrays indexed by packet. *)
 
 val run :
   ?hw:Hw.Model.t -> dss:Exec.Ds.env -> Ir.Program.t -> Workload.Stream.t ->
@@ -32,9 +40,32 @@ val run_pcap :
   ?in_port:int -> unit -> t
 (** Convenience: replay a pcap file. *)
 
+val count : t -> int
+(** Packets replayed. *)
+
+val total_ic : t -> int
+val total_ma : t -> int
+
+val outcome : t -> int -> Exec.Interp.outcome
+val ic : t -> int -> int
+val ma : t -> int -> int
+val cycles : t -> int -> int
+
+val observations : t -> int -> (Perf.Pcv.t * int) list
+(** Packet [i]'s per-call observations, in program order. *)
+
+val report : t -> int -> packet_report
+(** The packet's view, built on demand. *)
+
+val iter : t -> (packet_report -> unit) -> unit
+val fold : t -> ('a -> packet_report -> 'a) -> 'a -> 'a
+
+val pcvs : t -> Perf.Pcv.t list
+(** The PCVs the trace exercised, in first-observation order. *)
+
 val pcv_values : t -> Perf.Pcv.t -> int list
 (** Per-packet values of one PCV (max over the packet's calls; 0 when the
-    packet never exercised it). *)
+    packet never exercised it).  A precomputed-column read. *)
 
 val pcv_sums : t -> Perf.Pcv.t -> int list
 (** Per-packet sums (e.g. total expirations each packet triggered). *)

@@ -1,0 +1,809 @@
+(* The closure-compiled concrete hot path.
+
+   [compile] translates a validated [Ir.Program.t] once into a tree of
+   OCaml closures and runs each packet with zero interpretive dispatch:
+   no per-statement match on the IR, no [(value, state)] tuple per
+   expression node, no hashtable environment.  Variable names are
+   resolved at compile time to integer slots in a flat frame, packet
+   loads and stores are specialized per [Expr.width], and every meter
+   charge of [Concrete] is fused into the closure that owes it.
+
+   Semantics are bit-identical to [Concrete]: the same charges in the
+   same order (IC, MA, cycles), the same outcomes, PCV observations,
+   branch events and [Stuck] messages.  Two deliberate asymmetries make
+   that cheap to preserve:
+
+   - Constant folding precomputes the *value* of a constant subtree but
+     still replays its exact charge sequence at run time, so folding
+     never changes a contract number.
+   - [Concrete]'s dynamic [pcv_depth] check (branch events suppressed
+     inside PCV loops) becomes a static [in_pcv] compilation flag: PCV
+     membership is lexical and stateful calls never run IR, so the
+     dynamic counter can only ever agree with the static flag.
+
+   Each program is compiled into TWO bodies sharing the slot layout:
+
+   - an event-faithful body that issues every [Meter] charge exactly
+     as [Concrete] would — same calls, same order — used whenever the
+     meter is tracing, so contract derivation and the differential
+     tests see a bit-identical event stream;
+   - a deferred-charge body for the untraced hot path: instruction
+     charges accumulate in a per-kind counter array and reach the
+     model in batches, and the event-only meter calls (branch and
+     loop markers) are elided outright.  Every model's [instr] is
+     linear in its count argument (realistic branch-mispredict
+     accounting telescopes over the cumulative branch count), so
+     batching is exact for IC, MA and cycles — with one caveat: a
+     model whose [mem] reads instruction-count state
+     ({!Hw.Model.t.coupled_mem}, the realistic simulator's burst
+     window) needs the deferred counts flushed before every memory
+     charge, which the fast body does conditionally.  Counts are also
+     flushed on every exit — return, stuck, fall-through — so meter
+     state is exact at any point the caller can observe it.
+
+   The compiled form supports both modes but no fidelity checking:
+   path replay stays on [Replay] (the interpreter); this module is the
+   production replay path the Distiller and the benchmarks drive. *)
+
+open Ir
+
+(* Per-packet runtime state: what survives of [Concrete.state] once
+   names, widths and PCV depth are resolved at compile time. *)
+type rt = {
+  meter : Meter.t;
+  mutable packet : Net.Packet.t;  (** mutable so {!runner} can reuse [rt] *)
+  frame : int array;
+      (** indices [0, nkinds) hold the deferred per-kind instr charges
+          (fast body); variable slots start at [nkinds] *)
+  minstr : Hw.Cost.kind -> int -> unit;
+  mmem : addr:int -> write:bool -> dependent:bool -> unit;
+      (** charge entry points for the fast body: the model's raw
+          closures when untraced, the full [Meter] wrappers when the
+          meter traces (so a traced caller of the fast helpers — the
+          RX/TX framing in [run_batch] — still records events) *)
+  flush_mem : bool;  (** model couples mem to instr counts — flush first *)
+  mutable stubs : int list;  (** Analysis mode only *)
+  mode : Concrete.mode;
+}
+
+(* Fixed enumeration of {!Hw.Cost.kind} for the deferred-count array. *)
+let nkinds = 9
+
+let kind_index : Hw.Cost.kind -> int = function
+  | Hw.Cost.Alu -> 0
+  | Hw.Cost.Mul -> 1
+  | Hw.Cost.Div -> 2
+  | Hw.Cost.Move -> 3
+  | Hw.Cost.Branch -> 4
+  | Hw.Cost.Load -> 5
+  | Hw.Cost.Store -> 6
+  | Hw.Cost.Call -> 7
+  | Hw.Cost.Ret -> 8
+
+let kind_of_index =
+  Hw.Cost.[| Alu; Mul; Div; Move; Branch; Load; Store; Call; Ret |]
+
+let bump rt i n =
+  let c = rt.frame in
+  Array.unsafe_set c i (Array.unsafe_get c i + n)
+
+let flush rt =
+  let c = rt.frame in
+  for i = 0 to nkinds - 1 do
+    let n = Array.unsafe_get c i in
+    if n > 0 then begin
+      Array.unsafe_set c i 0;
+      rt.minstr (Array.unsafe_get kind_of_index i) n
+    end
+  done
+
+(* A deferred-mode memory charge: coupled models must see the pending
+   instruction counts before pricing the access. *)
+let charge_mem rt ~write addr =
+  if rt.flush_mem then flush rt;
+  rt.mmem ~addr ~write ~dependent:false
+
+let i_alu = kind_index Hw.Cost.Alu
+let i_move = kind_index Hw.Cost.Move
+let i_load = kind_index Hw.Cost.Load
+let i_store = kind_index Hw.Cost.Store
+let i_branch = kind_index Hw.Cost.Branch
+let i_call = kind_index Hw.Cost.Call
+let i_ret = kind_index Hw.Cost.Ret
+
+(* Deferred-mode copies of [Concrete.charge_rx]/[charge_tx]: the same
+   charges, bumped instead of issued. *)
+let fast_charge_rx rt =
+  bump rt i_alu 22;
+  bump rt i_move 8;
+  for i = 0 to 3 do
+    bump rt i_load 1;
+    charge_mem rt ~write:false (Concrete.rx_ring_base + (i * 8))
+  done;
+  bump rt i_branch 2
+
+let fast_charge_tx rt outcome =
+  match outcome with
+  | Concrete.Dropped ->
+      bump rt i_alu 4;
+      bump rt i_store 1;
+      charge_mem rt ~write:true Concrete.rx_ring_base
+  | Concrete.Sent _ | Concrete.Flooded ->
+      bump rt i_alu 14;
+      bump rt i_move 4;
+      for i = 0 to 2 do
+        bump rt i_store 1;
+        charge_mem rt ~write:true (Concrete.rx_ring_base + 64 + (i * 8))
+      done;
+      bump rt i_branch 1
+
+(* A compiled expression: either a subtree whose value is known at
+   compile time — paired with a closure replaying the charges the
+   interpreter would have made computing it — or a closure producing
+   the value (and charging) at run time. *)
+type cexpr = Known of int * (rt -> unit) | Dyn of (rt -> int)
+
+type t = {
+  program : Program.t;
+  nslots : int;
+  in_port_slot : int;
+  now_slot : int;
+  body : rt -> unit;  (** event-faithful; raises [Concrete.Returned] *)
+  fast_body : rt -> unit;  (** deferred charges, no events; same outcomes *)
+}
+
+let no_charge (_ : rt) = ()
+
+let force = function
+  | Known (v, ch) when ch == no_charge -> fun _ -> v
+  | Known (v, ch) ->
+      fun rt ->
+        ch rt;
+        v
+  | Dyn f -> f
+
+let compile (program : Program.t) =
+  let slots = Hashtbl.create 16 in
+  (* slots live above the deferred-count prefix of the frame *)
+  let next_slot = ref nkinds in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None ->
+        let s = !next_slot in
+        incr next_slot;
+        Hashtbl.add slots v s;
+        s
+  in
+  List.iter (fun v -> ignore (slot_of v)) Program.input_vars;
+  let bound =
+    List.fold_left
+      (fun set v -> ignore (slot_of v); v :: set)
+      Program.input_vars
+      (Eval.assigned_vars program.Program.body)
+  in
+  let rec compile_expr (e : Expr.t) : cexpr =
+    match e with
+    | Expr.Const n -> Known (n, no_charge)
+    | Expr.Var v ->
+        if List.mem v bound then
+          let s = slot_of v in
+          Dyn (fun rt -> Array.unsafe_get rt.frame s)
+        else Dyn (fun _ -> Concrete.stuck "unbound variable %s" v)
+    | Expr.Pkt_len ->
+        Dyn
+          (fun rt ->
+            Meter.instr rt.meter Hw.Cost.Move 1;
+            Net.Packet.length rt.packet)
+    | Expr.Pkt_load (w, off_e) -> (
+        let load =
+          match w with
+          | Expr.W8 -> Net.Packet.get_u8
+          | Expr.W16 -> Net.Packet.get_u16
+          | Expr.W32 -> Net.Packet.get_u32
+          | Expr.W48 -> Net.Packet.get_u48
+        in
+        match compile_expr off_e with
+        | Known (off, ch) when off >= 0 ->
+            (* constant non-negative offset: the bounds check against
+               the packet length still runs inside the accessor *)
+            let addr = Concrete.packet_base + off in
+            Dyn
+              (fun rt ->
+                ch rt;
+                Meter.instr rt.meter Hw.Cost.Load 1;
+                Meter.mem rt.meter addr;
+                try load rt.packet off
+                with Invalid_argument msg -> Concrete.stuck "%s" msg)
+        | coff ->
+            let off = force coff in
+            Dyn
+              (fun rt ->
+                let off = off rt in
+                if off < 0 then Concrete.stuck "negative packet offset";
+                Meter.instr rt.meter Hw.Cost.Load 1;
+                Meter.mem rt.meter (Concrete.packet_base + off);
+                try load rt.packet off
+                with Invalid_argument msg -> Concrete.stuck "%s" msg))
+    | Expr.Unop (op, a) -> (
+        match compile_expr a with
+        | Known (v, ch) ->
+            Known
+              ( Semantics.apply_unop op v,
+                fun rt ->
+                  ch rt;
+                  Meter.instr rt.meter Hw.Cost.Alu 1 )
+        | Dyn f ->
+            Dyn
+              (fun rt ->
+                let v = f rt in
+                Meter.instr rt.meter Hw.Cost.Alu 1;
+                Semantics.apply_unop op v))
+    | Expr.Binop (op, a, b) -> (
+        let kind = Concrete.kind_of_binop op in
+        match (compile_expr a, compile_expr b) with
+        | Known (va, cha), Known (vb, chb) -> (
+            let ch rt =
+              cha rt;
+              chb rt;
+              Meter.instr rt.meter kind 1
+            in
+            match Semantics.apply_binop op va vb with
+            | v -> Known (v, ch)
+            | exception Semantics.Undefined msg ->
+                Dyn
+                  (fun rt ->
+                    ch rt;
+                    Concrete.stuck "%s" msg))
+        | ca, cb ->
+            let fa = force ca and fb = force cb in
+            Dyn
+              (fun rt ->
+                let va = fa rt in
+                let vb = fb rt in
+                Meter.instr rt.meter kind 1;
+                try Semantics.apply_binop op va vb
+                with Semantics.Undefined msg -> Concrete.stuck "%s" msg))
+  in
+  let rec compile_block ~in_pcv (block : Stmt.block) : rt -> unit =
+    List.fold_right
+      (fun stmt k ->
+        let c = compile_stmt ~in_pcv stmt in
+        fun rt ->
+          c rt;
+          k rt)
+      block no_charge
+  and compile_stmt ~in_pcv (stmt : Stmt.t) : rt -> unit =
+    match stmt with
+    | Stmt.Comment _ -> no_charge
+    | Stmt.Assign (v, e) ->
+        let value = force (compile_expr e) in
+        let s = slot_of v in
+        fun rt ->
+          let value = value rt in
+          Meter.instr rt.meter Hw.Cost.Move 1;
+          Array.unsafe_set rt.frame s value
+    | Stmt.Pkt_store (w, off_e, val_e) ->
+        let store =
+          match w with
+          | Expr.W8 -> Net.Packet.set_u8
+          | Expr.W16 -> Net.Packet.set_u16
+          | Expr.W32 -> Net.Packet.set_u32
+          | Expr.W48 -> Net.Packet.set_u48
+        in
+        let off = force (compile_expr off_e) in
+        let value = force (compile_expr val_e) in
+        fun rt ->
+          let off = off rt in
+          let value = value rt in
+          if off < 0 then Concrete.stuck "negative packet offset";
+          Meter.instr rt.meter Hw.Cost.Store 1;
+          Meter.mem rt.meter ~write:true (Concrete.packet_base + off);
+          (try store rt.packet off value
+           with Invalid_argument msg -> Concrete.stuck "%s" msg)
+    | Stmt.If (cond_e, then_, else_) ->
+        let cond = force (compile_expr cond_e) in
+        let cthen = compile_block ~in_pcv then_ in
+        let celse = compile_block ~in_pcv else_ in
+        if in_pcv then fun rt ->
+          let c = cond rt in
+          Meter.instr rt.meter Hw.Cost.Branch 1;
+          if c <> 0 then cthen rt else celse rt
+        else fun rt ->
+          let c = cond rt in
+          Meter.instr rt.meter Hw.Cost.Branch 1;
+          let taken = c <> 0 in
+          Meter.branch rt.meter taken;
+          if taken then cthen rt else celse rt
+    | Stmt.While (Stmt.Unroll bound, cond_e, body) ->
+        let cond = force (compile_expr cond_e) in
+        let cbody = compile_block ~in_pcv body in
+        let record = not in_pcv in
+        fun rt ->
+          let rec iteration k =
+            let c = cond rt in
+            Meter.instr rt.meter Hw.Cost.Branch 1;
+            let taken = c <> 0 in
+            if record then Meter.branch rt.meter taken;
+            if k >= bound then begin
+              if taken then
+                Concrete.stuck "loop exceeded its static bound %d" bound
+            end
+            else if taken then begin
+              cbody rt;
+              iteration (k + 1)
+            end
+          in
+          iteration 0
+    | Stmt.While (Stmt.Pcv_loop (name, bound), cond_e, body) ->
+        let cond = force (compile_expr cond_e) in
+        let cbody = compile_block ~in_pcv:true body in
+        let pcv = Perf.Pcv.v name in
+        fun rt ->
+          Meter.loop_head rt.meter name;
+          let rec iteration k =
+            let c = cond rt in
+            Meter.instr rt.meter Hw.Cost.Branch 1;
+            if k >= bound then begin
+              if c <> 0 then
+                Concrete.stuck "loop exceeded its static bound %d" bound;
+              exit k
+            end
+            else if c <> 0 then begin
+              Meter.loop_iter rt.meter name;
+              cbody rt;
+              iteration (k + 1)
+            end
+            else exit k
+          and exit iterations =
+            Meter.loop_exit rt.meter name;
+            Meter.observe rt.meter pcv iterations
+          in
+          iteration 0
+    | Stmt.Call { ret; instance; meth; args } ->
+        let cargs =
+          Array.of_list (List.map (fun a -> force (compile_expr a)) args)
+        in
+        let nargs = Array.length cargs in
+        let ret_slot = Option.map slot_of ret in
+        fun rt ->
+          let argv = Array.make nargs 0 in
+          for i = 0 to nargs - 1 do
+            argv.(i) <- (Array.unsafe_get cargs i) rt
+          done;
+          Obs.Metrics.incr Concrete.c_calls;
+          Meter.instr rt.meter Hw.Cost.Call 1;
+          let result =
+            match rt.mode with
+            | Concrete.Production dss ->
+                (Ds.find dss instance).Ds.call rt.meter meth argv
+            | Concrete.Analysis _ -> (
+                Meter.instr rt.meter Hw.Cost.Move Hw.Cost.cost_call_overhead;
+                match rt.stubs with
+                | v :: rest ->
+                    rt.stubs <- rest;
+                    v
+                | [] -> Concrete.stuck "analysis replay ran out of stub values")
+          in
+          Meter.instr rt.meter Hw.Cost.Ret 1;
+          (match rt.mode with
+          | Concrete.Analysis _ ->
+              Meter.call_event rt.meter ~instance ~meth ~args:argv ~ret:result
+          | Concrete.Production _ -> ());
+          (match ret_slot with
+          | None -> ()
+          | Some s ->
+              Meter.instr rt.meter Hw.Cost.Move 1;
+              Array.unsafe_set rt.frame s result)
+    | Stmt.Return action -> (
+        match action with
+        | Stmt.Forward port_e ->
+            let port = force (compile_expr port_e) in
+            fun rt ->
+              Meter.instr rt.meter Hw.Cost.Ret 1;
+              raise (Concrete.Returned (Concrete.Sent (port rt)))
+        | Stmt.Drop ->
+            fun rt ->
+              Meter.instr rt.meter Hw.Cost.Ret 1;
+              raise (Concrete.Returned Concrete.Dropped)
+        | Stmt.Flood ->
+            fun rt ->
+              Meter.instr rt.meter Hw.Cost.Ret 1;
+              raise (Concrete.Returned Concrete.Flooded))
+  in
+  (* The deferred-charge compiler: same value semantics and the same
+     charge multiset as the faithful body above, but instruction
+     charges are [bump]ed into [rt.counts] instead of issued per node,
+     memory charges go through [charge_mem], and the event-only meter
+     calls (branch records, loop markers, call events) vanish — which
+     also makes [in_pcv] moot here.  Bumps happen at exactly the
+     program points the faithful body charges at, so the deferred
+     counts are exact at every raise site. *)
+  let rec fast_expr (e : Expr.t) : cexpr =
+    match e with
+    | Expr.Const n -> Known (n, no_charge)
+    | Expr.Var v ->
+        if List.mem v bound then
+          let s = slot_of v in
+          Dyn (fun rt -> Array.unsafe_get rt.frame s)
+        else Dyn (fun _ -> Concrete.stuck "unbound variable %s" v)
+    | Expr.Pkt_len ->
+        Dyn
+          (fun rt ->
+            bump rt i_move 1;
+            Net.Packet.length rt.packet)
+    | Expr.Pkt_load (w, off_e) -> (
+        let load =
+          match w with
+          | Expr.W8 -> Net.Packet.get_u8
+          | Expr.W16 -> Net.Packet.get_u16
+          | Expr.W32 -> Net.Packet.get_u32
+          | Expr.W48 -> Net.Packet.get_u48
+        in
+        match fast_expr off_e with
+        | Known (off, ch) when off >= 0 ->
+            let addr = Concrete.packet_base + off in
+            Dyn
+              (fun rt ->
+                ch rt;
+                bump rt i_load 1;
+                charge_mem rt ~write:false addr;
+                try load rt.packet off
+                with Invalid_argument msg -> Concrete.stuck "%s" msg)
+        | coff ->
+            let off = force coff in
+            Dyn
+              (fun rt ->
+                let off = off rt in
+                if off < 0 then Concrete.stuck "negative packet offset";
+                bump rt i_load 1;
+                charge_mem rt ~write:false (Concrete.packet_base + off);
+                try load rt.packet off
+                with Invalid_argument msg -> Concrete.stuck "%s" msg))
+    | Expr.Unop (op, a) -> (
+        match fast_expr a with
+        | Known (v, ch) ->
+            Known
+              ( Semantics.apply_unop op v,
+                fun rt ->
+                  ch rt;
+                  bump rt i_alu 1 )
+        | Dyn f ->
+            Dyn
+              (fun rt ->
+                let v = f rt in
+                bump rt i_alu 1;
+                Semantics.apply_unop op v))
+    | Expr.Binop (op, a, b) -> (
+        let ki = kind_index (Concrete.kind_of_binop op) in
+        match (fast_expr a, fast_expr b) with
+        | Known (va, cha), Known (vb, chb) -> (
+            let ch rt =
+              cha rt;
+              chb rt;
+              bump rt ki 1
+            in
+            match Semantics.apply_binop op va vb with
+            | v -> Known (v, ch)
+            | exception Semantics.Undefined msg ->
+                Dyn
+                  (fun rt ->
+                    ch rt;
+                    Concrete.stuck "%s" msg))
+        | Known (va, cha), Dyn fb when cha == no_charge ->
+            (* constant-operand forms skip a closure call on the hot
+               path; evaluation and charge order are unchanged *)
+            Dyn
+              (fun rt ->
+                let vb = fb rt in
+                bump rt ki 1;
+                try Semantics.apply_binop op va vb
+                with Semantics.Undefined msg -> Concrete.stuck "%s" msg)
+        | Dyn fa, Known (vb, chb) when chb == no_charge ->
+            Dyn
+              (fun rt ->
+                let va = fa rt in
+                bump rt ki 1;
+                try Semantics.apply_binop op va vb
+                with Semantics.Undefined msg -> Concrete.stuck "%s" msg)
+        | ca, cb ->
+            let fa = force ca and fb = force cb in
+            Dyn
+              (fun rt ->
+                let va = fa rt in
+                let vb = fb rt in
+                bump rt ki 1;
+                try Semantics.apply_binop op va vb
+                with Semantics.Undefined msg -> Concrete.stuck "%s" msg))
+  in
+  let rec fast_block (block : Stmt.block) : rt -> unit =
+    List.fold_right
+      (fun stmt k ->
+        let c = fast_stmt stmt in
+        fun rt ->
+          c rt;
+          k rt)
+      block no_charge
+  and fast_stmt (stmt : Stmt.t) : rt -> unit =
+    match stmt with
+    | Stmt.Comment _ -> no_charge
+    | Stmt.Assign (v, e) -> (
+        let s = slot_of v in
+        match fast_expr e with
+        | Known (value, ch) when ch == no_charge ->
+            fun rt ->
+              bump rt i_move 1;
+              Array.unsafe_set rt.frame s value
+        | Known (value, ch) ->
+            fun rt ->
+              ch rt;
+              bump rt i_move 1;
+              Array.unsafe_set rt.frame s value
+        | Dyn f ->
+            fun rt ->
+              let value = f rt in
+              bump rt i_move 1;
+              Array.unsafe_set rt.frame s value)
+    | Stmt.Pkt_store (w, off_e, val_e) ->
+        let store =
+          match w with
+          | Expr.W8 -> Net.Packet.set_u8
+          | Expr.W16 -> Net.Packet.set_u16
+          | Expr.W32 -> Net.Packet.set_u32
+          | Expr.W48 -> Net.Packet.set_u48
+        in
+        let off = force (fast_expr off_e) in
+        let value = force (fast_expr val_e) in
+        fun rt ->
+          let off = off rt in
+          let value = value rt in
+          if off < 0 then Concrete.stuck "negative packet offset";
+          bump rt i_store 1;
+          charge_mem rt ~write:true (Concrete.packet_base + off);
+          (try store rt.packet off value
+           with Invalid_argument msg -> Concrete.stuck "%s" msg)
+    | Stmt.If (cond_e, then_, else_) ->
+        let cond = force (fast_expr cond_e) in
+        let cthen = fast_block then_ in
+        let celse = fast_block else_ in
+        fun rt ->
+          let c = cond rt in
+          bump rt i_branch 1;
+          if c <> 0 then cthen rt else celse rt
+    | Stmt.While (Stmt.Unroll bound, cond_e, body) ->
+        let cond = force (fast_expr cond_e) in
+        let cbody = fast_block body in
+        fun rt ->
+          let rec iteration k =
+            let c = cond rt in
+            bump rt i_branch 1;
+            if k >= bound then begin
+              if c <> 0 then
+                Concrete.stuck "loop exceeded its static bound %d" bound
+            end
+            else if c <> 0 then begin
+              cbody rt;
+              iteration (k + 1)
+            end
+          in
+          iteration 0
+    | Stmt.While (Stmt.Pcv_loop (name, bound), cond_e, body) ->
+        let cond = force (fast_expr cond_e) in
+        let cbody = fast_block body in
+        let pcv = Perf.Pcv.v name in
+        fun rt ->
+          let rec iteration k =
+            let c = cond rt in
+            bump rt i_branch 1;
+            if k >= bound then begin
+              if c <> 0 then
+                Concrete.stuck "loop exceeded its static bound %d" bound;
+              Meter.observe rt.meter pcv k
+            end
+            else if c <> 0 then begin
+              cbody rt;
+              iteration (k + 1)
+            end
+            else Meter.observe rt.meter pcv k
+          in
+          iteration 0
+    | Stmt.Call { ret; instance; meth; args } ->
+        let cargs = Array.of_list (List.map (fun a -> force (fast_expr a)) args) in
+        let nargs = Array.length cargs in
+        let ret_slot = Option.map slot_of ret in
+        fun rt ->
+          let argv = Array.make nargs 0 in
+          for i = 0 to nargs - 1 do
+            argv.(i) <- (Array.unsafe_get cargs i) rt
+          done;
+          Obs.Metrics.incr Concrete.c_calls;
+          bump rt i_call 1;
+          let result =
+            match rt.mode with
+            | Concrete.Production dss ->
+                (* the callee charges the meter directly, so pending
+                   counts must land first when the model couples them *)
+                if rt.flush_mem then flush rt;
+                (Ds.find dss instance).Ds.call rt.meter meth argv
+            | Concrete.Analysis _ -> (
+                bump rt i_move Hw.Cost.cost_call_overhead;
+                match rt.stubs with
+                | v :: rest ->
+                    rt.stubs <- rest;
+                    v
+                | [] -> Concrete.stuck "analysis replay ran out of stub values")
+          in
+          bump rt i_ret 1;
+          (match ret_slot with
+          | None -> ()
+          | Some s ->
+              bump rt i_move 1;
+              Array.unsafe_set rt.frame s result)
+    | Stmt.Return action -> (
+        match action with
+        | Stmt.Forward port_e ->
+            let port = force (fast_expr port_e) in
+            fun rt ->
+              bump rt i_ret 1;
+              raise (Concrete.Returned (Concrete.Sent (port rt)))
+        | Stmt.Drop ->
+            fun rt ->
+              bump rt i_ret 1;
+              raise (Concrete.Returned Concrete.Dropped)
+        | Stmt.Flood ->
+            fun rt ->
+              bump rt i_ret 1;
+              raise (Concrete.Returned Concrete.Flooded))
+  in
+  let body = compile_block ~in_pcv:false program.Program.body in
+  let fast_body = fast_block program.Program.body in
+  {
+    program;
+    nslots = !next_slot;
+    in_port_slot = slot_of "in_port";
+    now_slot = slot_of "now";
+    body;
+    fast_body;
+  }
+
+let program t = t.program
+
+(* a fresh frame per packet keeps compiled programs shareable across
+   [Pool] domains; [Program.validate] guarantees no slot is read
+   before it is written, so zeros need no per-packet refresh *)
+let make_rt t ~meter ~mode ~in_port ~now packet =
+  let frame = Array.make t.nslots 0 in
+  frame.(t.in_port_slot) <- in_port;
+  frame.(t.now_slot) <- now;
+  let minstr, mmem =
+    if Meter.tracing meter then
+      ( (fun kind n -> Meter.instr meter kind n),
+        fun ~addr ~write ~dependent -> Meter.mem meter ~write ~dependent addr )
+    else (Meter.model_instr meter, Meter.model_mem meter)
+  in
+  {
+    meter;
+    packet;
+    frame;
+    minstr;
+    mmem;
+    flush_mem = Meter.coupled_mem meter;
+    stubs = (match mode with Concrete.Analysis stubs -> stubs | _ -> []);
+    mode;
+  }
+
+let process t ~fast ~meter ~mode ~in_port ~now packet =
+  let rt = make_rt t ~meter ~mode ~in_port ~now packet in
+  if fast then
+    (* flush on every exit — normal, stuck or fall-through — so the
+       meter is exact whenever the caller can observe it *)
+    match t.fast_body rt with
+    | () ->
+        flush rt;
+        Concrete.stuck "program fell through without returning"
+    | exception Concrete.Returned outcome ->
+        flush rt;
+        outcome
+    | exception e ->
+        flush rt;
+        raise e
+  else
+    match t.body rt with
+    | () -> Concrete.stuck "program fell through without returning"
+    | exception Concrete.Returned outcome -> outcome
+
+(* One event-faithful packet: RX framing, body, TX framing — exactly
+   [Concrete.process_packet]. *)
+let faithful_packet t rt =
+  Concrete.charge_rx rt.meter;
+  let outcome =
+    match t.body rt with
+    | () -> Concrete.stuck "program fell through without returning"
+    | exception Concrete.Returned outcome -> outcome
+  in
+  Concrete.charge_tx rt.meter outcome;
+  outcome
+
+(* One deferred-charge packet: a single deferral window spans RX, the
+   body and TX — nothing can observe the meter in between, and every
+   abnormal exit flushes so [Stuck] handlers see exact state. *)
+let fast_packet t rt =
+  fast_charge_rx rt;
+  let outcome =
+    match t.fast_body rt with
+    | () ->
+        flush rt;
+        Concrete.stuck "program fell through without returning"
+    | exception Concrete.Returned outcome -> outcome
+    | exception e ->
+        flush rt;
+        raise e
+  in
+  fast_charge_tx rt outcome;
+  flush rt;
+  outcome
+
+let metered_packet t rt ~fast =
+  let meter = rt.meter in
+  let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
+  let cy0 = Meter.cycles meter in
+  let outcome = if fast then fast_packet t rt else faithful_packet t rt in
+  Concrete.record
+    {
+      Concrete.outcome;
+      ic = Meter.ic meter - ic0;
+      ma = Meter.ma meter - ma0;
+      cycles = Meter.cycles meter - cy0;
+    }
+
+let run t ~meter ~mode ?(in_port = 0) ?(now = 0) packet =
+  let rt = make_rt t ~meter ~mode ~in_port ~now packet in
+  metered_packet t rt ~fast:(not (Meter.tracing meter))
+
+(* The steady-state entry point: allocate the frame and runtime record
+   once per (meter, mode) stream and replay every packet through them.
+   Reuse is sound because [Program.validate] guarantees no slot is read
+   before the current packet writes it, and [flush] leaves every
+   deferred count at zero on each exit. *)
+let runner t ~meter ~mode =
+  let rt = make_rt t ~meter ~mode ~in_port:0 ~now:0 (Net.Packet.create 0) in
+  let frame = rt.frame in
+  let stubs0 = rt.stubs in
+  let fast = not (Meter.tracing meter) in
+  fun ?(in_port = 0) ?(now = 0) packet ->
+    rt.packet <- packet;
+    frame.(t.in_port_slot) <- in_port;
+    frame.(t.now_slot) <- now;
+    if stubs0 <> [] then rt.stubs <- stubs0;
+    metered_packet t rt ~fast
+
+let run_batch t ~meter ~mode batch =
+  (match mode with
+  | Concrete.Analysis _ ->
+      invalid_arg "Compiled.run_batch: analysis replay is per-path, not batched"
+  | Concrete.Production _ -> ());
+  let fast = not (Meter.tracing meter) in
+  Concrete.charge_rx meter;
+  let runs =
+    List.map
+      (fun (packet, in_port, now) ->
+        let ic0 = Meter.ic meter and ma0 = Meter.ma meter in
+        let cy0 = Meter.cycles meter in
+        let outcome = process t ~fast ~meter ~mode ~in_port ~now packet in
+        Concrete.record
+          {
+            Concrete.outcome;
+            ic = Meter.ic meter - ic0;
+            ma = Meter.ma meter - ma0;
+            cycles = Meter.cycles meter - cy0;
+          })
+      batch
+  in
+  List.iter
+    (fun r ->
+      if r.Concrete.outcome = Concrete.Dropped then
+        Concrete.charge_tx meter Concrete.Dropped)
+    runs;
+  if List.exists (fun r -> r.Concrete.outcome <> Concrete.Dropped) runs then
+    Concrete.charge_tx meter (Concrete.Sent 0);
+  runs

@@ -1,0 +1,55 @@
+(** Closure-compiled concrete execution — the per-packet hot path.
+
+    {!compile} translates a validated {!Ir.Program.t} once into a tree
+    of OCaml closures: constants folded (values precomputed, charges
+    replayed verbatim), variable names resolved to integer slots in a
+    flat preallocated frame, packet loads/stores specialized per
+    {!Ir.Expr.width}, and every meter charge fused into the closure
+    that owes it.  Running a packet then involves zero interpretive
+    dispatch — no IR matching, no CPS tuple allocation, no hashtable
+    environment.
+
+    Execution is bit-identical to {!Interp.run} / [Concrete]: same IC,
+    MA and cycles, same outcomes, PCV observations, branch events and
+    {!Interp.Stuck} messages — enforced by the [compiled_interp_agreement]
+    differential oracle and golden tests over every registry NF.  The
+    Distiller's streaming replay, the experiment scenarios and the
+    [bench throughput] benchmark all run on this path.
+
+    The input program must satisfy {!Ir.Program.validate} (as anything
+    built by {!Ir.Program.make} does); slot-frame reuse relies on its
+    no-read-before-assign guarantee.  Fidelity-checked path replay is
+    not supported here — that is {!Replay}'s job, on the interpreter. *)
+
+type t
+(** A compiled program: immutable after {!compile}, shareable across
+    {!Pool} domains (each run allocates its own frame). *)
+
+val compile : Ir.Program.t -> t
+val program : t -> Ir.Program.t
+
+val run :
+  t -> meter:Meter.t -> mode:Interp.mode -> ?in_port:int -> ?now:int ->
+  Net.Packet.t -> Interp.run
+(** Process one packet; exactly {!Interp.run} on the compiled form,
+    including the fixed RX/TX framing charges. *)
+
+val runner :
+  t -> meter:Meter.t -> mode:Interp.mode ->
+  ?in_port:int -> ?now:int -> Net.Packet.t -> Interp.run
+(** [runner t ~meter ~mode] is {!run} partially applied the profitable
+    way: the frame and per-packet runtime record are allocated once and
+    reused for every packet the returned closure processes.  This is
+    the steady-state entry point for streaming consumers (the Distiller
+    fold, replay scenarios, the throughput benchmark).  Reuse is sound
+    because {!Ir.Program.validate} guarantees no slot is read before
+    the current packet assigns it.  The closure is single-stream: do
+    not share one runner across concurrent domains (compile once and
+    call [runner] per domain instead). *)
+
+val run_batch :
+  t -> meter:Meter.t -> mode:Interp.mode ->
+  (Net.Packet.t * int * int) list -> Interp.run list
+(** DPDK-style run-to-completion burst; exactly {!Interp.run_batch} on
+    the compiled form (one RX sweep per burst, TX framing per actual
+    outcome mix). *)

@@ -35,6 +35,10 @@ let loop_head t pcv = push t (E_loop_head pcv)
 let loop_iter t pcv = push t (E_loop_iter pcv)
 let loop_exit t pcv = push t (E_loop_exit pcv)
 let observe t pcv value = t.obs <- (pcv, value) :: t.obs
+let tracing t = t.tracing
+let coupled_mem t = t.model.Hw.Model.coupled_mem
+let model_instr t = t.model.Hw.Model.instr
+let model_mem t = t.model.Hw.Model.mem
 let ic t = t.model.Hw.Model.instr_count ()
 let ma t = t.model.Hw.Model.mem_count ()
 let cycles t = t.model.Hw.Model.cycles ()

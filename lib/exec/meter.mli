@@ -41,6 +41,23 @@ val loop_exit : t -> string -> unit
 val observe : t -> Perf.Pcv.t -> int -> unit
 (** Log one PCV observation (one data-structure call's worth). *)
 
+val tracing : t -> bool
+(** Whether this meter records the event trace — clients with a cheaper
+    charging discipline that cannot reproduce the per-event stream
+    (e.g. {!Compiled}'s deferred instruction accounting) must fall back
+    to event-faithful charging when this is set. *)
+
+val coupled_mem : t -> bool
+(** The wrapped model's {!Hw.Model.t.coupled_mem}: deferred [instr]
+    charges must be flushed before every [mem] charge. *)
+
+val model_instr : t -> Hw.Cost.kind -> int -> unit
+(** The wrapped model's raw charge closure.  Bypasses the event trace,
+    so only sound on a meter for which {!tracing} is [false]. *)
+
+val model_mem : t -> addr:int -> write:bool -> dependent:bool -> unit
+(** Raw memory-charge closure; same caveat as {!model_instr}. *)
+
 val ic : t -> int
 val ma : t -> int
 val cycles : t -> int

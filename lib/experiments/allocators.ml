@@ -64,38 +64,40 @@ let run_one scenario allocator (stream, new_flags) =
   let config = config_for scenario allocator in
   let dss, _ = Nf.Nat.setup ~config (Dslib.Layout.allocator ()) in
   let result = Distiller.Run.run ~dss Nf.Nat.program stream in
-  let reports = result.Distiller.Run.reports in
-  let n = List.length reports in
+  let n = Distiller.Run.count result in
   let steady i = i > n / 2 in
+  let flags = Array.of_list new_flags in
   (* latencies of steady-state new-flow packets (Figures 6/7) *)
   let new_flow_latencies =
-    List.filteri (fun i _ -> steady i && List.nth new_flags i) reports
-    |> List.map (fun (r : Distiller.Run.packet_report) ->
-           r.Distiller.Run.cycles)
+    List.rev
+      (Distiller.Run.fold result
+         (fun acc (r : Distiller.Run.packet_report) ->
+           if steady r.Distiller.Run.index && flags.(r.Distiller.Run.index)
+           then r.Distiller.Run.cycles :: acc
+           else acc)
+         [])
   in
-  (* distill s over the allocations themselves *)
-  let scans =
-    List.concat_map
-      (fun (r : Distiller.Run.packet_report) ->
-        List.filter_map
-          (fun (p, v) ->
-            if Perf.Pcv.equal p Perf.Pcv.scan then Some v else None)
-          r.Distiller.Run.observations)
-      (List.filteri (fun i _ -> steady i) reports)
+  (* distill the per-call PCV samples over the allocations themselves *)
+  let steady_samples pcv =
+    List.rev
+      (Distiller.Run.fold result
+         (fun acc (r : Distiller.Run.packet_report) ->
+           if steady r.Distiller.Run.index then
+             List.fold_left
+               (fun acc (p, v) ->
+                 if Perf.Pcv.equal p pcv then v :: acc else acc)
+               acc r.Distiller.Run.observations
+           else acc)
+         [])
   in
+  let scans = steady_samples Perf.Pcv.scan in
   let scan_p95 =
     match scans with [] -> 0 | _ -> Distiller.Stats.percentile scans 0.95
   in
   let traversal_p95 =
-    let ts =
-      List.filteri (fun i _ -> steady i) reports
-      |> List.concat_map (fun (r : Distiller.Run.packet_report) ->
-             List.filter_map
-               (fun (p, v) ->
-                 if Perf.Pcv.equal p Perf.Pcv.traversals then Some v else None)
-               r.Distiller.Run.observations)
-    in
-    match ts with [] -> 1 | _ -> max 1 (Distiller.Stats.percentile ts 0.95)
+    match steady_samples Perf.Pcv.traversals with
+    | [] -> 1
+    | ts -> max 1 (Distiller.Stats.percentile ts 0.95)
   in
   (* Figure 5: the new-flow bound with the allocator's contract, at the
      distilled PCVs (expiry excluded — the comparison is about the

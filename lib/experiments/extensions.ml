@@ -19,11 +19,9 @@ let observed_pps ~dss program stream =
   let hw = Hw.Model.realistic () in
   let result = Distiller.Run.run ~hw ~dss program stream in
   let total =
-    List.fold_left
-      (fun acc (r : Distiller.Run.packet_report) -> acc + r.Distiller.Run.cycles)
-      0 result.Distiller.Run.reports
+    List.fold_left ( + ) 0 (Distiller.Run.latencies result)
   in
-  let n = List.length result.Distiller.Run.reports in
+  let n = Distiller.Run.count result in
   if total = 0 then 0.
   else float_of_int freq_hz /. (float_of_int total /. float_of_int n)
 
@@ -70,6 +68,7 @@ let throughput_table ppf =
   let batched_pps =
     let hw = Hw.Model.realistic () in
     let meter = Exec.Meter.create hw in
+    let compiled = Exec.Compiled.compile Nf.Nat.program in
     let rec bursts acc = function
       | [] -> acc
       | entries ->
@@ -78,8 +77,8 @@ let throughput_table ppf =
           let rest = List.filteri (fun i _ -> i >= take) entries in
           hw.Hw.Model.boundary [ (Exec.Interp.packet_base, 2048) ];
           let runs =
-            Exec.Interp.run_batch ~meter ~mode:(Exec.Interp.Production dss)
-              Nf.Nat.program
+            Exec.Compiled.run_batch compiled ~meter
+              ~mode:(Exec.Interp.Production dss)
               (List.map
                  (fun (e : Workload.Stream.entry) ->
                    ( e.Workload.Stream.packet,

@@ -31,7 +31,7 @@ let run ~worst ~dss program stream =
   in
   let violations = ref [] in
   let headroom = ref 100. in
-  List.iter
+  Distiller.Run.iter result
     (fun (r : Distiller.Run.packet_report) ->
       let binding = binding_of r extra_pcvs in
       let check metric measured =
@@ -52,10 +52,9 @@ let run ~worst ~dss program stream =
               (100. *. float_of_int (bound - measured) /. float_of_int bound)
       in
       check Perf.Metric.Instructions r.Distiller.Run.ic;
-      check Perf.Metric.Memory_accesses r.Distiller.Run.ma)
-    result.Distiller.Run.reports;
+      check Perf.Metric.Memory_accesses r.Distiller.Run.ma);
   {
-    packets = List.length result.Distiller.Run.reports;
+    packets = Distiller.Run.count result;
     violations = List.rev !violations;
     worst_headroom_pct = !headroom;
   }

@@ -26,23 +26,12 @@ let run ~granularity ?(packets = 20_000) ?(pool = 1024) () =
   in
   let result = Distiller.Run.run ~dss Nf.Nat.program stream in
   (* skip the first portion: the table is still filling *)
-  let steady =
-    let n = List.length result.Distiller.Run.reports in
-    List.filteri (fun i _ -> i > n / 4) result.Distiller.Run.reports
-  in
+  let n = Distiller.Run.count result in
+  let steady values = List.filteri (fun i _ -> i > n / 4) values in
   let expired_per_packet =
-    List.map
-      (fun (r : Distiller.Run.packet_report) ->
-        List.fold_left
-          (fun acc (p, v) ->
-            if Perf.Pcv.equal p Perf.Pcv.expired then acc + v else acc)
-          0 r.Distiller.Run.observations)
-      steady
+    steady (Distiller.Run.pcv_sums result Perf.Pcv.expired)
   in
-  let latencies =
-    List.map (fun (r : Distiller.Run.packet_report) -> r.Distiller.Run.cycles)
-      steady
-  in
+  let latencies = steady (Distiller.Run.latencies result) in
   {
     expiry_density =
       Distiller.Stats.density_binned

@@ -6,14 +6,20 @@ type t = {
   instr_count : unit -> int;
   mem_count : unit -> int;
   boundary : (int * int) list -> unit;
+  coupled_mem : bool;
 }
 
 let conservative () =
   let m = Conservative.create () in
   {
     name = "conservative";
-    instr = Conservative.instr m;
-    mem = Conservative.mem m;
+    coupled_mem = false;
+    (* eta-expanded so the stored closures carry their full arity:
+       a bare partial application is applied one argument at a time,
+       allocating an intermediate closure on every single charge *)
+    instr = (fun kind n -> Conservative.instr m kind n);
+    mem =
+      (fun ~addr ~write ~dependent -> Conservative.mem m ~addr ~write ~dependent);
     cycles = (fun () -> Conservative.cycles m);
     instr_count = (fun () -> Conservative.instr_count m);
     mem_count = (fun () -> Conservative.mem_count m);
@@ -23,8 +29,10 @@ let conservative () =
 let of_realistic m =
   {
     name = "realistic";
-    instr = Realistic.instr m;
-    mem = Realistic.mem m;
+    coupled_mem = true;
+    instr = (fun kind n -> Realistic.instr m kind n);
+    mem =
+      (fun ~addr ~write ~dependent -> Realistic.mem m ~addr ~write ~dependent);
     cycles = (fun () -> Realistic.cycles m);
     instr_count = (fun () -> Realistic.instr_count m);
     mem_count = (fun () -> Realistic.mem_count m);
@@ -37,6 +45,7 @@ let dram_only () =
   let instrs = ref 0 and mems = ref 0 and cycles = ref 0 in
   {
     name = "dram_only";
+    coupled_mem = false;
     instr =
       (fun kind n ->
         instrs := !instrs + n;
@@ -55,6 +64,7 @@ let null () =
   let instrs = ref 0 and mems = ref 0 in
   {
     name = "null";
+    coupled_mem = false;
     instr = (fun _ n -> instrs := !instrs + n);
     mem = (fun ~addr:_ ~write:_ ~dependent:_ -> incr mems);
     cycles = (fun () -> 0);

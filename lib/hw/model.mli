@@ -14,6 +14,13 @@ type t = {
   boundary : (int * int) list -> unit;
       (** Per-packet hook: the given [(base, size)] regions were rewritten
           by DMA.  No-op except in the realistic simulator. *)
+  coupled_mem : bool;
+      (** [mem] reads instruction-count state (the realistic simulator's
+          burst-window overlap detection), so a client that batches
+          deferred [instr] charges must flush them before every [mem]
+          charge to keep cycle counts exact.  [instr] itself is linear
+          in its count argument in every model — same-kind charges may
+          be merged freely between memory accesses. *)
 }
 
 val conservative : unit -> t

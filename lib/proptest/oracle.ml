@@ -134,12 +134,15 @@ let conservativeness ?(weaken = Fun.id) () =
         Distiller.Run.run ~hw:(Hw.Model.null ()) ~dss
           entry.Nf.Registry.program stream
       in
-      List.concat_map
-        (fun (r : Distiller.Run.packet_report) ->
-          check_packet ~worst ~index:r.Distiller.Run.index
-            ~ic:r.Distiller.Run.ic ~ma:r.Distiller.Run.ma
-            r.Distiller.Run.observations)
-        result.Distiller.Run.reports
+      List.rev
+        (Distiller.Run.fold result
+           (fun acc (r : Distiller.Run.packet_report) ->
+             List.rev_append
+               (check_packet ~worst ~index:r.Distiller.Run.index
+                  ~ic:r.Distiller.Run.ic ~ma:r.Distiller.Run.ma
+                  r.Distiller.Run.observations)
+               acc)
+           [])
     in
     let stream =
       Gen_net.stream_for rng ~nf:entry.Nf.Registry.name
@@ -500,6 +503,142 @@ let concrete_symbex_agreement ?(explore = real_explore) () =
   in
   { name; run }
 
+let real_compile program = Exec.Compiled.compile program
+
+(* The closure-compiled hot path and the interpreter are two
+   implementations of one concrete semantics, so on any subject and any
+   stream they must tell bit-for-bit the same story: outcome, IC, MA,
+   cycles, PCV observations, the full traced event stream and the
+   packet bytes left behind — Stuck runs included, message for message.
+   For stateless generated subjects a third leg cross-checks the
+   fidelity replay: symbex on the concrete input yields one path, and
+   replaying its assumed decisions must reproduce the compiled run's
+   IC/MA exactly. *)
+let compiled_interp_agreement ?(compile = real_compile) () =
+  let name = "compiled_interp_agreement" in
+  let run ~seed =
+    let rng = P.create ~seed in
+    let subject = pick_subject rng in
+    let program = subject_program subject in
+    let packets = 20 + P.below rng 40 in
+    let stream =
+      match subject with
+      | Registry e -> Gen_net.stream_for rng ~nf:e.Nf.Registry.name ~packets
+      | Generated _ ->
+          List.init packets (fun i ->
+              Gen_net.entry rng ~now:(1000 + (i * 100)) (Gen_net.packet rng))
+    in
+    let fresh_dss () =
+      match subject with
+      | Registry e -> e.Nf.Registry.setup (Dslib.Layout.allocator ())
+      | Generated _ -> []
+    in
+    let replay engine =
+      let meter = Exec.Meter.create ~trace:true (Hw.Model.null ()) in
+      let mode = Exec.Interp.Production (fresh_dss ()) in
+      let compiled =
+        match engine with `Interp -> None | `Compiled -> Some (compile program)
+      in
+      List.map
+        (fun { Workload.Stream.packet; now; in_port } ->
+          let packet = Net.Packet.copy packet in
+          Exec.Meter.reset_observations meter;
+          let outcome =
+            match
+              match compiled with
+              | None -> Exec.Interp.run ~meter ~mode ~in_port ~now program packet
+              | Some c -> Exec.Compiled.run c ~meter ~mode ~in_port ~now packet
+            with
+            | r -> Ok r
+            | exception Exec.Interp.Stuck msg -> Error msg
+          in
+          ( outcome,
+            Exec.Meter.observations meter,
+            Exec.Meter.events meter,
+            Net.Packet.to_bytes packet ))
+        stream
+    in
+    let interp = replay `Interp and compiled = replay `Compiled in
+    let disagreement =
+      List.find_index (fun (a, b) -> a <> b) (List.combine interp compiled)
+    in
+    match disagreement with
+    | Some i ->
+        let pp_side ppf (outcome, obs, _events, _bytes) =
+          (match outcome with
+          | Ok (r : Exec.Interp.run) ->
+              Format.fprintf ppf "ic %d ma %d cycles %d" r.Exec.Interp.ic
+                r.Exec.Interp.ma r.Exec.Interp.cycles
+          | Error msg -> Format.fprintf ppf "stuck: %s" msg);
+          Format.fprintf ppf ", %d observation(s)" (List.length obs)
+        in
+        fail name seed
+          "%s: compiled execution diverges from the interpreter at packet \
+           %d@.interp:   %a@.compiled: %a"
+          (subject_name subject) i pp_side (List.nth interp i) pp_side
+          (List.nth compiled i)
+    | None -> (
+        match (subject, stream) with
+        | Generated _, { Workload.Stream.packet; now; in_port } :: _ -> (
+            (* third leg: fidelity replay of the symbex path against the
+               compiled run of the same input *)
+            let compiled_run =
+              let meter = Exec.Meter.create (Hw.Model.null ()) in
+              match
+                Exec.Compiled.run (compile program) ~meter
+                  ~mode:(Exec.Interp.Production []) ~in_port ~now
+                  (Net.Packet.copy packet)
+              with
+              | r -> Some r
+              | exception Exec.Interp.Stuck _ -> None
+            in
+            let result =
+              Symbex.Engine.explore ~concrete:(packet, in_port, now)
+                ~models:Bolt.Ds_models.default program
+            in
+            match (compiled_run, result.Symbex.Engine.paths) with
+            | Some direct, [ path ] -> (
+                let meter = Exec.Meter.create (Hw.Model.null ()) in
+                match
+                  Exec.Replay.run ~meter ~stubs:[]
+                    ~path_id:path.Symbex.Path.id
+                    ~decisions:path.Symbex.Path.decisions
+                    ~loops:
+                      (List.map
+                         (fun (l : Symbex.Path.pcv_loop) -> l.Symbex.Path.name)
+                         path.Symbex.Path.loops)
+                    ~in_port ~now program (Net.Packet.copy packet)
+                with
+                | replay ->
+                    if
+                      replay.Exec.Interp.ic = direct.Exec.Interp.ic
+                      && replay.Exec.Interp.ma = direct.Exec.Interp.ma
+                    then Pass
+                    else
+                      fail name seed
+                        "%s: fidelity replay costs IC %d / MA %d, compiled \
+                         run costs IC %d / MA %d"
+                        (subject_name subject) replay.Exec.Interp.ic
+                        replay.Exec.Interp.ma direct.Exec.Interp.ic
+                        direct.Exec.Interp.ma
+                | exception Exec.Replay.Divergence msg ->
+                    fail name seed
+                      "%s: compiled-agreeing path does not replay (%s)"
+                      (subject_name subject) msg
+                | exception Exec.Interp.Stuck msg ->
+                    fail name seed
+                      "%s: fidelity replay stuck (%s) where the compiled run \
+                       was not"
+                      (subject_name subject) msg)
+            | _ ->
+                (* stuck input or multi-path disagreements belong to
+                   [concrete_symbex_agreement]; both engines already
+                   agreed above *)
+                Pass)
+        | _ -> Pass)
+  in
+  { name; run }
+
 (* ---- Registry -------------------------------------------------------- *)
 
 let all () =
@@ -509,6 +648,7 @@ let all () =
     cache_equivalence ();
     obs_neutrality ();
     concrete_symbex_agreement ();
+    compiled_interp_agreement ();
   ]
 
 let names () = List.map (fun o -> o.name) (all ())

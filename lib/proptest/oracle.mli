@@ -16,7 +16,12 @@
     - {b concrete-symbex-agreement} — on a fully-concrete packet the
       symbolic engine, the fidelity-checked replay and the direct
       interpreter (all instances of one {!Ir.Eval} walker) agree on
-      path count, outcome and IC/MA.
+      path count, outcome and IC/MA;
+    - {b compiled-interp-agreement} — the closure-compiled executor
+      ({!Exec.Compiled}) is bit-identical to the interpreter over whole
+      streams (outcome, IC/MA/cycles, observations, traced events,
+      packet bytes, Stuck messages), and on stateless subjects the
+      fidelity replay reproduces the compiled run's IC/MA.
 
     On failure the counterexample is shrunk ({!Shrink}) before being
     reported, and the report carries a runnable repro command.
@@ -76,8 +81,19 @@ val concrete_symbex_agreement :
     test (default {!Symbex.Engine.explore}); tests pass one that
     tampers with the returned path's assumed decisions. *)
 
+val compiled_interp_agreement :
+  ?compile:(Ir.Program.t -> Exec.Compiled.t) -> unit -> t
+(** The compiled hot path and the interpreter must tell bit-for-bit the
+    same story on any subject and stream — outcome, IC, MA, cycles, PCV
+    observations, the full traced event list and the final packet
+    bytes, with Stuck runs matching message for message.  Registry
+    subjects get one fresh data-structure environment per engine so
+    state evolves independently but identically.  [compile] substitutes
+    the compiler under test (default {!Exec.Compiled.compile}); tests
+    pass one that compiles a tampered program. *)
+
 val all : unit -> t list
-(** The five oracles with their real implementations. *)
+(** The six oracles with their real implementations. *)
 
 val names : unit -> string list
 

@@ -20,11 +20,20 @@
    the lock, so concurrent misses on distinct keys proceed in parallel
    (two simultaneous misses on the *same* key both solve and agree). *)
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  fingerprints : int;
+}
 
 let hit_rate { hits; misses; _ } =
   let total = hits + misses in
   if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+let mean_probe_cost { hits; misses; fingerprints; _ } =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int fingerprints /. float_of_int total
 
 (* Stdlib structural compare is a total order on [Constr.t]: pure
    variants over ints, strings and lists. *)
@@ -33,17 +42,53 @@ let normalize constraints =
   |> List.filter (fun c -> not (Constr.is_true c))
   |> List.sort_uniq Stdlib.compare
 
-type key = { max_conjuncts : int; max_nodes : int; atoms : Constr.t list }
+type key = {
+  fp : int;  (** structural fingerprint, computed once at normalization *)
+  max_conjuncts : int;
+  max_nodes : int;
+  atoms : Constr.t list;
+}
+
+(* The full structural hash, walking every node exactly once.  Stored in
+   the key so table probes compare the precomputed word verbatim instead
+   of re-sampling the constraint tree per probe (the previous scheme,
+   [Hashtbl.hash_param 256 512], re-walked up to 512 nodes on every
+   lookup).  Symbol names are skipped: ids arbitrate, and a collision
+   only costs the structural-equality fallback. *)
+let mix h x = ((h lsl 5) + h) lxor x
+
+let rec fp_constr h (c : Constr.t) =
+  match c with
+  | Constr.True -> mix h 1
+  | Constr.False -> mix h 2
+  | Constr.Atom (Constr.Le l) -> fp_lin (mix h 3) l
+  | Constr.Atom (Constr.Eqz l) -> fp_lin (mix h 4) l
+  | Constr.And l -> mix (List.fold_left fp_constr (mix h 5) l) 7
+  | Constr.Or l -> mix (List.fold_left fp_constr (mix h 6) l) 8
+
+and fp_lin h l =
+  let h = mix h (Linexpr.const_part l) in
+  List.fold_left
+    (fun h (s, c) ->
+      let lo, hi = Sym.bounds s in
+      mix (mix (mix (mix h (Sym.id s)) lo) hi) c)
+    h (Linexpr.terms l)
+
+let fingerprint ~max_conjuncts ~max_nodes atoms =
+  List.fold_left fp_constr (mix (mix 0 max_conjuncts) max_nodes) atoms
 
 module H = Hashtbl.Make (struct
   type t = key
 
-  let equal = ( = )
+  (* the fingerprint covers the whole structure, so almost every
+     non-equal probe is rejected on the first word *)
+  let equal a b =
+    a.fp = b.fp
+    && a.max_conjuncts = b.max_conjuncts
+    && a.max_nodes = b.max_nodes
+    && a.atoms = b.atoms
 
-  (* The default [Hashtbl.hash] only samples 10 meaningful nodes — far
-     too few to discriminate constraint sets that share a long common
-     prefix.  Sample deeply instead; equality still arbitrates. *)
-  let hash k = Hashtbl.hash_param 256 512 k
+  let hash k = k.fp
 end)
 
 type entry = { verdict : Solve.result; mutable referenced : bool }
@@ -59,6 +104,7 @@ let capacity = ref default_capacity
 let hits = ref 0
 let misses = ref 0
 let evictions = ref 0
+let fingerprints = ref 0
 let c_hits = Obs.Metrics.counter "solver.cache.hits"
 let c_misses = Obs.Metrics.counter "solver.cache.misses"
 let c_evictions = Obs.Metrics.counter "solver.cache.evictions"
@@ -96,9 +142,12 @@ let check ?(max_conjuncts = 4096) ?(max_nodes = 20_000) constraints =
   if Atomic.get bypass then
     Solve.check ~max_conjuncts ~max_nodes constraints
   else
-  let key = { max_conjuncts; max_nodes; atoms = normalize constraints } in
+  let atoms = normalize constraints in
+  let fp = fingerprint ~max_conjuncts ~max_nodes atoms in
+  let key = { fp; max_conjuncts; max_nodes; atoms } in
   let cached =
     Mutex.protect lock (fun () ->
+        incr fingerprints;
         match H.find_opt table key with
         | Some e ->
             e.referenced <- true;
@@ -124,7 +173,12 @@ let is_sat ?max_conjuncts ?max_nodes constraints =
 
 let stats () =
   Mutex.protect lock (fun () ->
-      { hits = !hits; misses = !misses; evictions = !evictions })
+      {
+        hits = !hits;
+        misses = !misses;
+        evictions = !evictions;
+        fingerprints = !fingerprints;
+      })
 
 let size () = Mutex.protect lock (fun () -> H.length table)
 
@@ -142,4 +196,5 @@ let reset () =
       Queue.clear clock;
       hits := 0;
       misses := 0;
-      evictions := 0)
+      evictions := 0;
+      fingerprints := 0)

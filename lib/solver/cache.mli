@@ -15,7 +15,16 @@
     re-querying an evicted key re-solves to the identical answer — so
     [--jobs] determinism is preserved at any capacity. *)
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  fingerprints : int;
+      (** structural hashes computed — exactly one per lookup.  Keys
+          store their fingerprint, so table probes compare the
+          precomputed word verbatim instead of re-walking the
+          constraint tree per probe. *)
+}
 
 val check :
   ?max_conjuncts:int -> ?max_nodes:int -> Constr.t list -> Solve.result
@@ -33,6 +42,11 @@ val stats : unit -> stats
 
 val hit_rate : stats -> float
 (** Hits over total lookups, in [0, 1]; [0.] when no lookups. *)
+
+val mean_probe_cost : stats -> float
+(** Fingerprint computations per lookup; [1.0] exactly when every
+    lookup hashed its constraint set once (the invariant the
+    fingerprinted-key scheme guarantees — regression-tested). *)
 
 val size : unit -> int
 (** Entries currently held; always [<= capacity]. *)

@@ -7,6 +7,7 @@ let () =
       ("hw", T_hw.suite);
       ("ir", T_ir.suite);
       ("exec", T_exec.suite);
+      ("compiled", T_compiled.suite);
       ("pool", T_pool.suite);
       ("dslib", T_dslib.suite);
       ("symbex", T_symbex.suite);

@@ -56,7 +56,7 @@ let test_distiller_run () =
       (Workload.Gen.packets_of_flows flows)
   in
   let result = Distiller.Run.run ~dss Nf.Nat.program stream in
-  check_int "report per packet" 10 (List.length result.Distiller.Run.reports);
+  check_int "report per packet" 10 (Distiller.Run.count result);
   (* every packet of a new flow observes traversal counts *)
   check_int "pcv rows" 10
     (List.length (Distiller.Run.pcv_values result Perf.Pcv.traversals));
@@ -77,8 +77,7 @@ let test_distiller_pcap () =
       let result =
         Distiller.Run.run_pcap ~dss Nf.Nat.program ~path ~in_port:0 ()
       in
-      check_int "replayed from pcap" 5
-        (List.length result.Distiller.Run.reports))
+      check_int "replayed from pcap" 5 (Distiller.Run.count result))
 
 let test_vignat_batching_detected () =
   (* the Distiller must show batching with coarse stamps and not with

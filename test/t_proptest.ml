@@ -214,6 +214,28 @@ let test_catches_tampered_decisions () =
         "failure names its oracle" "concrete_symbex_agreement"
         f.Proptest.Oracle.oracle
 
+let test_catches_tampered_compile () =
+  (* a compiler that sneaks one extra assignment into the program before
+     compiling: every packet then costs one Move more than the
+     interpreter charges, and the per-packet IC comparison must flag
+     it.  The assigned variable is fresh, so the outcome is unchanged —
+     only the exact-cost check can catch this. *)
+  let compile (p : Ir.Program.t) =
+    Exec.Compiled.compile
+      {
+        p with
+        Ir.Program.body =
+          Ir.Stmt.assign "__tamper" (Ir.Expr.int 0) :: p.Ir.Program.body;
+      }
+  in
+  let o = Proptest.Oracle.compiled_interp_agreement ~compile () in
+  match first_failure o with
+  | None -> Alcotest.fail "a tampered compiled program was not caught"
+  | Some f ->
+      Alcotest.(check string)
+        "failure names its oracle" "compiled_interp_agreement"
+        f.Proptest.Oracle.oracle
+
 let test_default_oracles_pass () =
   let outcome =
     Proptest.Runner.run ~seed:2025 ~runs:3 ~oracles:(Proptest.Oracle.all ()) ()
@@ -328,6 +350,8 @@ let suite =
       test_catches_obs_dependence;
     Alcotest.test_case "catches tampered path decisions" `Quick
       test_catches_tampered_decisions;
+    Alcotest.test_case "catches a tampered compile" `Quick
+      test_catches_tampered_compile;
     Alcotest.test_case "default oracles pass" `Slow test_default_oracles_pass;
     Alcotest.test_case "divergent witness detected (action)" `Quick
       test_divergent_witness_by_action;

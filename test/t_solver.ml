@@ -254,7 +254,39 @@ let test_cache_stats () =
       Cache.reset ();
       let s = Cache.stats () in
       check_int "reset misses" 0 s.Cache.misses;
-      check_int "reset hits" 0 s.Cache.hits)
+      check_int "reset hits" 0 s.Cache.hits;
+      check_int "reset fingerprints" 0 s.Cache.fingerprints)
+
+(* Regression for the fingerprinted-key scheme: the structural hash is
+   computed exactly once per lookup (at normalization) and stored in
+   the key — table probes must never re-hash the constraint tree, so
+   the mean probe cost stays pinned at 1.0 however hit-heavy or
+   collision-prone the workload gets. *)
+let test_cache_probe_cost () =
+  with_syms (fun _ x y ->
+      Cache.reset ();
+      let xl = Linexpr.sym x and yl = Linexpr.sym y in
+      let query k =
+        [ Constr.le xl (Linexpr.const k); Constr.ge yl (Linexpr.const 1) ]
+      in
+      let lookups = ref 0 in
+      for k = 1 to 16 do
+        ignore (Cache.is_sat (query k));
+        incr lookups
+      done;
+      (* hammer the same keys: hits must not add fingerprint work *)
+      for _ = 1 to 4 do
+        for k = 1 to 16 do
+          ignore (Cache.is_sat (query k));
+          incr lookups
+        done
+      done;
+      let s = Cache.stats () in
+      check_int "one fingerprint per lookup" !lookups s.Cache.fingerprints;
+      check_int "lookups accounted" !lookups (s.Cache.hits + s.Cache.misses);
+      check_bool "mean probe cost pinned at 1.0" true
+        (Float.abs (Cache.mean_probe_cost s -. 1.0) < 1e-9);
+      Cache.reset ())
 
 let test_cache_eviction () =
   with_syms (fun _ x _ ->
@@ -330,6 +362,7 @@ let suite =
   [
     Alcotest.test_case "linexpr" `Quick test_linexpr;
     Alcotest.test_case "cache stats" `Quick test_cache_stats;
+    Alcotest.test_case "cache probe cost" `Quick test_cache_probe_cost;
     Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
     Alcotest.test_case "unknown is conservative" `Quick
       test_unknown_is_conservative;

@@ -35,7 +35,7 @@ let binding_of_report ~worst (r : Distiller.Run.packet_report) =
     universe
 
 let assert_packets_bounded ~what worst (result : Distiller.Run.t) =
-  List.iter
+  Distiller.Run.iter result
     (fun (r : Distiller.Run.packet_report) ->
       let binding = binding_of_report ~worst r in
       let bound metric = Perf.Cost_vec.eval_exn binding worst metric in
@@ -52,7 +52,6 @@ let assert_packets_bounded ~what worst (result : Distiller.Run.t) =
       in
       check Perf.Metric.Instructions r.Distiller.Run.ic;
       check Perf.Metric.Memory_accesses r.Distiller.Run.ma)
-    result.Distiller.Run.reports
 
 let prop_nat_random_traffic =
   QCheck2.Test.make ~count:8 ~name:"NAT: per-packet contract soundness"
