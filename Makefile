@@ -29,6 +29,12 @@ lint:
 	  echo "lint: Distiller per-packet path must stay on Exec.Compiled:"; \
 	  echo "$$hits"; exit 1; \
 	fi
+	@hits=$$(grep -n "Ds\.find\|\.Ds\.call\|Meter\.instr" lib/exec/specialize.ml || true); \
+	if [ -n "$$hits" ]; then \
+	  echo "lint: specialized fast bodies must stay off the generic Ds dispatch"; \
+	  echo "      and per-event meter charges (use fast paths and batched charging):"; \
+	  echo "$$hits"; exit 1; \
+	fi
 
 # Regenerate every table and figure of the paper (plus extensions).
 bench:
@@ -40,7 +46,11 @@ bench-quick:
 # CI smoke: quick workloads through the parallel pipeline, with the
 # jobs:1 / jobs:N determinism cross-check, solver-cache stats and a
 # Chrome trace of the run (open bench_trace.json in Perfetto), then the
-# interpreted-vs-compiled throughput comparison (JSON artifact).
+# interpreted / compiled / config-specialized throughput comparison
+# (JSON artifact).  The throughput run replays the specialized engine
+# against the interpreter before timing anything and exits non-zero on
+# any divergence, so this target doubles as a specialization parity
+# gate.
 bench-smoke:
 	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
 	dune exec bench/main.exe -- throughput --quick --json BENCH_throughput.json

@@ -265,30 +265,79 @@ let floors () =
   section "Extension — guaranteed throughput floors (paper §6 future work)";
   Experiments.Extensions.throughput_table Fmt.stdout
 
-(* ---- Wall-clock throughput: interpreter vs compiled closures ----------- *)
+(* ---- Wall-clock throughput: interpreter vs compiled vs specialized ----- *)
 
-(* The same established-flow stream replayed through [Exec.Interp] and
-   through [Exec.Compiled] (translated once, outside the timed region),
-   reporting packets/sec and ns/packet for each.  Null hardware model
-   and a fresh data-structure environment per timed run, so the numbers
-   isolate executor overhead — per-node dispatch and environment
-   bookkeeping vs direct closure calls — over identical metered
-   semantics (the equivalence itself is the compiled test suite's and
-   fuzz oracle's job, not this benchmark's).  Best of three runs per
+(* The same established-flow stream replayed through [Exec.Interp],
+   [Exec.Compiled] (translated once, outside the timed region) and
+   [Exec.Specialize] (additionally frozen against the stream's
+   configuration), reporting packets/sec and ns/packet for each.  Null
+   hardware model and a fresh data-structure environment per timed run,
+   so the numbers isolate executor overhead over identical metered
+   semantics.  Every stream entry carries its own packet copy — several
+   NFs rewrite headers in place (TTL decrement, NAT translation), and a
+   shared buffer would feed each replica its predecessor's output
+   instead of fresh traffic.  Before anything is timed, the specialized
+   engine is replayed against the interpreter on the head of the stream
+   and must agree exactly (outcomes, costs, observations, packet
+   bytes) — a standing guard against specialization drift in the very
+   binary producing the numbers; the deep equivalence campaign lives in
+   the test suite and fuzz oracle.  Best of several interleaved runs per
    engine; the stream is rebuilt per run because execution mutates
-   packet buffers. *)
+   packet buffers.  The specialized row also reports steady-state
+   minor-heap allocation, which Exec.Specialize pins at exactly 0
+   words/packet. *)
 let exec_throughput () =
-  section "Throughput — interpreted vs closure-compiled execution";
+  section "Throughput — interpreted vs compiled vs config-specialized";
   let packets = if !quick then 4_000 else 40_000 in
   let nf_names = [ "firewall"; "static_router"; "nat"; "bridge" ] in
-  let stream_of rng =
+  let stream_of ?(packets = packets) rng =
     let flows = Workload.Gen.distinct_flows rng 64 in
     let base = Workload.Gen.packets_of_flows flows in
     let rec replicate acc n =
-      if n <= 0 then acc else replicate (base @ acc) (n - List.length base)
+      if n <= 0 then acc
+      else
+        replicate
+          (List.map (fun p -> Net.Packet.copy p) base @ acc)
+          (n - List.length base)
     in
     Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:100
       (replicate [] packets)
+  in
+  let parity_check (entry : Nf.Registry.entry) =
+    let n = 256 in
+    let replay exec =
+      List.map
+        (fun (e : Workload.Stream.entry) ->
+          let r =
+            exec ~in_port:e.Workload.Stream.in_port ~now:e.Workload.Stream.now
+              e.Workload.Stream.packet
+          in
+          (r, Net.Packet.to_bytes e.Workload.Stream.packet))
+        (stream_of ~packets:n (Workload.Prng.create ~seed:42))
+    in
+    let interp =
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
+      replay (fun ~in_port ~now packet ->
+          Exec.Meter.reset_observations meter;
+          let r =
+            Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss) ~in_port
+              ~now entry.Nf.Registry.program packet
+          in
+          (r, Exec.Meter.observations meter))
+    in
+    let spec =
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let sp, _ = Nf.Registry.specialize entry ~meter in
+      replay (fun ~in_port ~now packet ->
+          Exec.Meter.reset_observations meter;
+          let r = Exec.Specialize.run sp ~in_port ~now packet in
+          (r, Exec.Meter.observations meter))
+    in
+    if interp <> spec then
+      failwith
+        (entry.Nf.Registry.name
+       ^ ": specialized execution diverged from the interpreter")
   in
   let time_run entry engine =
     let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
@@ -297,50 +346,86 @@ let exec_throughput () =
     let program = entry.Nf.Registry.program in
     let stream = stream_of (Workload.Prng.create ~seed:42) in
     (* engine dispatch happens once, outside the timed loop *)
-    let process =
+    let process : in_port:int -> now:int -> Net.Packet.t -> unit =
       match engine with
       | `Interp ->
           fun ~in_port ~now packet ->
-            Exec.Interp.run ~meter ~mode ~in_port ~now program packet
+            ignore (Exec.Interp.run ~meter ~mode ~in_port ~now program packet)
       | `Compiled ->
-          let r = Exec.Compiled.runner (Exec.Compiled.compile program) ~meter ~mode in
-          fun ~in_port ~now packet -> r ~in_port ~now packet
+          let r =
+            Exec.Compiled.runner (Exec.Compiled.compile program) ~meter ~mode
+          in
+          fun ~in_port ~now packet -> ignore (r ~in_port ~now packet)
+      | `Specialized ->
+          let sp, _ = Nf.Registry.specialize entry ~meter in
+          fun ~in_port ~now packet ->
+            ignore (Exec.Specialize.exec sp ~in_port ~now packet : int)
     in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun (e : Workload.Stream.entry) ->
         Exec.Meter.reset_observations meter;
-        ignore
-          (process ~in_port:e.Workload.Stream.in_port
-             ~now:e.Workload.Stream.now e.Workload.Stream.packet))
+        process ~in_port:e.Workload.Stream.in_port ~now:e.Workload.Stream.now
+          e.Workload.Stream.packet)
       stream;
     Unix.gettimeofday () -. t0
   in
-  (* interleave the two engines and keep each one's best wall-clock, so
-     a slow spell on a shared machine penalizes both sides alike *)
+  (* steady-state minor-heap words per packet on the specialized path,
+     measured after a warm-up pass (tables populated, meter observation
+     arrays grown); the two trailing [Gc.minor_words] reads cancel the
+     cost of the measurement itself *)
+  let alloc_per_packet entry =
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    let sp, _ = Nf.Registry.specialize entry ~meter in
+    let n = 2048 in
+    let stream =
+      Array.of_list
+        (stream_of ~packets:(2 * n) (Workload.Prng.create ~seed:42))
+    in
+    let run lo hi =
+      for i = lo to hi - 1 do
+        let e = stream.(i) in
+        Exec.Meter.reset_observations meter;
+        ignore
+          (Exec.Specialize.exec sp ~in_port:e.Workload.Stream.in_port
+             ~now:e.Workload.Stream.now e.Workload.Stream.packet
+            : int)
+      done
+    in
+    run 0 n;
+    let w0 = Gc.minor_words () in
+    run n (2 * n);
+    let w1 = Gc.minor_words () in
+    let w2 = Gc.minor_words () in
+    (w1 -. w0 -. (w2 -. w1)) /. float_of_int n
+  in
+  (* interleave the three engines and keep each one's best wall-clock,
+     so a slow spell on a shared machine penalizes all sides alike *)
   let measure entry =
     let reps = if !quick then 3 else 5 in
-    let rec go i (bi, bc) =
-      if i = 0 then (bi, bc)
+    let rec go i (bi, bc, bs) =
+      if i = 0 then (bi, bc, bs)
       else
         let wi = time_run entry `Interp in
         let wc = time_run entry `Compiled in
-        go (i - 1) (Float.min bi wi, Float.min bc wc)
+        let ws = time_run entry `Specialized in
+        go (i - 1) (Float.min bi wi, Float.min bc wc, Float.min bs ws)
     in
-    go reps (infinity, infinity)
+    go reps (infinity, infinity, infinity)
   in
   let rows =
     List.map
       (fun name ->
         let entry = Nf.Registry.find name in
-        let wi, wc = measure entry in
+        parity_check entry;
+        let wi, wc, ws = measure entry in
+        let words = alloc_per_packet entry in
         let pps w = float_of_int packets /. w in
-        let ns w = w *. 1e9 /. float_of_int packets in
         Fmt.pr
-          "  %-14s interp %9.0f pps (%6.0f ns/pkt)   compiled %9.0f pps \
-           (%6.0f ns/pkt)   speedup x%.2f@."
-          name (pps wi) (ns wi) (pps wc) (ns wc) (wi /. wc);
-        (name, wi, wc))
+          "  %-14s interp %8.0f pps   compiled %8.0f pps (x%.2f)   \
+           specialized %9.0f pps (x%.2f)   alloc %.2f w/pkt@."
+          name (pps wi) (pps wc) (wi /. wc) (pps ws) (wi /. ws) words;
+        (name, wi, wc, ws, words))
       nf_names
   in
   (match !json_path with
@@ -355,7 +440,7 @@ let exec_throughput () =
             ( "nfs",
               Perf.Json.List
                 (List.map
-                   (fun (name, wi, wc) ->
+                   (fun (name, wi, wc, ws, words) ->
                      let pps w =
                        int_of_float (float_of_int packets /. w)
                      in
@@ -371,6 +456,13 @@ let exec_throughput () =
                          ("compiled_ns_per_packet", Perf.Json.Int (ns wc));
                          ( "speedup_pct",
                            Perf.Json.Int (int_of_float (100. *. wi /. wc)) );
+                         ("specialized_pps", Perf.Json.Int (pps ws));
+                         ( "specialized_ns_per_packet",
+                           Perf.Json.Int (ns ws) );
+                         ( "specialized_speedup_pct",
+                           Perf.Json.Int (int_of_float (100. *. wi /. ws)) );
+                         ( "alloc_minor_words_per_packet",
+                           Perf.Json.Int (int_of_float (Float.round words)) );
                        ])
                    rows) );
           ]
@@ -383,9 +475,11 @@ let exec_throughput () =
           output_string oc "\n");
       Fmt.pr "  [wrote %s]@." path);
   let best =
-    List.fold_left (fun acc (_, wi, wc) -> Float.max acc (wi /. wc)) 0. rows
+    List.fold_left
+      (fun acc (_, wi, _, ws, _) -> Float.max acc (wi /. ws))
+      0. rows
   in
-  Fmt.pr "@.  best speedup x%.2f (compile once, replay millions)@." best
+  Fmt.pr "@.  best speedup x%.2f (specialize once, replay millions)@." best
 
 let chain3 () =
   section "Extension — three-NF chain, jointly analysed";

@@ -38,7 +38,7 @@ let to_ds t =
     | "is_alive" -> is_alive t meter ~backend:args.(0) ~now:args.(1)
     | other -> invalid_arg ("backend_pool: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  Exec.Ds.make ~kind call
 
 module Recipe = struct
   open Perf

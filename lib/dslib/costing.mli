@@ -18,6 +18,36 @@ val charge_store : Exec.Meter.t -> addr:int -> unit -> unit
 val charge_hash : Exec.Meter.t -> key_len:int -> unit
 (** Multiplicative word-by-word hash of a register-resident key. *)
 
+(** Sink-flavoured twins of the [charge_*] helpers, for the specialized
+    fast paths ({!Exec.Ds.sink}): instruction charges bump the deferred
+    per-kind counters, memory charges fire at the access point.  Each
+    twin charges exactly what its metered counterpart does. *)
+module Sink : sig
+  val alu : Exec.Ds.sink -> int -> unit
+  val branch : Exec.Ds.sink -> int -> unit
+  val move : Exec.Ds.sink -> int -> unit
+  val mul : Exec.Ds.sink -> int -> unit
+  val load : Exec.Ds.sink -> ?dependent:bool -> addr:int -> unit -> unit
+  val store : Exec.Ds.sink -> addr:int -> unit -> unit
+  val hash : Exec.Ds.sink -> key_len:int -> unit
+  val observe : Exec.Ds.sink -> Perf.Pcv.t -> int -> unit
+
+  val batched : Exec.Ds.sink -> bool
+  (** {!Exec.Ds.sink.s_mem_batched}: when [true] a fast path may charge
+      [n] statically-counted accesses with one [loads_b]/[stores_b]
+      bump pair instead of per-access [load]/[store] calls.  The
+      per-access address (and [dependent] flag) is priced identically
+      either way on such a model, so the totals cannot differ — only
+      the number of charging calls does. *)
+
+  val loads_b : Exec.Ds.sink -> int -> unit
+  (** [n] batched loads: bumps the load counter and the deferred
+      access batch by [n].  Only sound when {!batched} holds. *)
+
+  val stores_b : Exec.Ds.sink -> int -> unit
+  (** [n] batched stores; same contract as {!loads_b}. *)
+end
+
 val ic_hash : key_len:int -> int
 val ma_hash : key_len:int -> int
 

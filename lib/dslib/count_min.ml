@@ -77,7 +77,7 @@ let to_ds t =
     | "estimate" -> estimate t meter ~key
     | other -> invalid_arg ("count_min: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  Exec.Ds.make ~kind call
 
 module Recipe = struct
   open Perf

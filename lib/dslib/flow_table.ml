@@ -12,12 +12,15 @@ type t = {
   timeout : int;
   granularity : int;
   on_expire : (Exec.Meter.t -> value:int -> unit) option;
+  on_expire_fast : (Exec.Ds.sink -> value:int -> unit) option;
+      (** sink twin of [on_expire]; when absent while [on_expire] is
+          present, [expire] cannot be specialized *)
 }
 
 let kind = "flow_table"
 
 let create ?seed ~base ~key_len ~capacity ~buckets ~timeout
-    ?(granularity = 1) ?on_expire () =
+    ?(granularity = 1) ?on_expire ?on_expire_fast () =
   if timeout <= 0 || granularity <= 0 then
     invalid_arg "Flow_table.create: timeout and granularity must be positive";
   {
@@ -31,6 +34,7 @@ let create ?seed ~base ~key_len ~capacity ~buckets ~timeout
     timeout;
     granularity;
     on_expire;
+    on_expire_fast;
   }
 
 let size t = Hash_map.size t.map
@@ -156,6 +160,154 @@ let oldest_first t =
   in
   loop t.lru_head []
 
+(* ---- specialized fast paths ----------------------------------------
+
+   Sink twins of the metered operations above; see {!Hash_map} for the
+   discipline.  [fast_expire] is only offered when the [on_expire]
+   callback has a sink twin (or there is no callback at all). *)
+
+module S = Costing.Sink
+
+let fast_lru_append t s i =
+  S.store s ~addr:(meta_addr t i) ();
+  S.store s ~addr:(meta_addr t i + 8) ();
+  S.move s 2;
+  t.lru_prev.(i) <- t.lru_tail;
+  t.lru_next.(i) <- -1;
+  if t.lru_tail >= 0 then begin
+    S.store s ~addr:(meta_addr t t.lru_tail + 16) ();
+    t.lru_next.(t.lru_tail) <- i
+  end
+  else t.lru_head <- i;
+  t.lru_tail <- i
+
+let fast_lru_unlink t s i =
+  S.store s ~addr:(meta_addr t i) ();
+  S.move s 2;
+  let prev = t.lru_prev.(i) and next = t.lru_next.(i) in
+  (if prev >= 0 then begin
+     S.store s ~addr:(meta_addr t prev + 16) ();
+     t.lru_next.(prev) <- next
+   end
+   else t.lru_head <- next);
+  if next >= 0 then begin
+    S.store s ~addr:(meta_addr t next + 8) ();
+    t.lru_prev.(next) <- prev
+  end
+  else t.lru_tail <- prev
+
+(* Batched twin of the unlink+append charges: the timestamp store, the
+   self-link stores (1 unlink + 2 append), the two moves each side, and
+   one neighbour store per live neighbour — counted, then bulk-bumped. *)
+let fast_refresh_batched t s i ~now =
+  S.alu s 1;
+  S.move s 4;
+  t.ts.(i) <- stamp t now;
+  let prev = t.lru_prev.(i) and next = t.lru_next.(i) in
+  let n1 =
+    if prev >= 0 then begin
+      t.lru_next.(prev) <- next;
+      1
+    end
+    else begin
+      t.lru_head <- next;
+      0
+    end
+  in
+  let n2 =
+    if next >= 0 then begin
+      t.lru_prev.(next) <- prev;
+      1
+    end
+    else begin
+      t.lru_tail <- prev;
+      0
+    end
+  in
+  t.lru_prev.(i) <- t.lru_tail;
+  t.lru_next.(i) <- -1;
+  let n3 =
+    if t.lru_tail >= 0 then begin
+      t.lru_next.(t.lru_tail) <- i;
+      1
+    end
+    else begin
+      t.lru_head <- i;
+      0
+    end
+  in
+  t.lru_tail <- i;
+  S.stores_b s (4 + n1 + n2 + n3)
+
+let fast_refresh t s i ~now =
+  if S.batched s then fast_refresh_batched t s i ~now
+  else begin
+    S.store s ~addr:(meta_addr t i + 24) ();
+    S.alu s 1;
+    t.ts.(i) <- stamp t now;
+    fast_lru_unlink t s i;
+    fast_lru_append t s i
+  end
+
+let fast_refresh_entry = fast_refresh
+
+let fast_expire t s ~now =
+  let count = ref 0 in
+  S.alu s 2;
+  let continue = ref true in
+  while !continue do
+    S.branch s 1;
+    if t.lru_head < 0 then continue := false
+    else begin
+      let i = t.lru_head in
+      S.load s ~addr:(meta_addr t i + 24) ();
+      S.alu s 1;
+      if t.ts.(i) + t.timeout > now then continue := false
+      else begin
+        incr count;
+        for w = 0 to Hash_map.key_len t.map - 1 do
+          S.load s ~addr:(Hash_map.node_addr t.map i + (8 * w)) ()
+        done;
+        let value = Hash_map.fast_value_of t.map s i in
+        let r = Hash_map.fast_remove_node t.map s i in
+        assert (r = i);
+        fast_lru_unlink t s i;
+        (* direct match, not [Option.iter]: no closure allocation on the
+           zero-alloc path *)
+        (match t.on_expire_fast with None -> () | Some f -> f s ~value)
+      end
+    end
+  done;
+  S.observe s Perf.Pcv.expired !count;
+  !count
+
+let fast_get t s (key : int array) ~off ~now =
+  let node = Hash_map.fast_get t.map s key ~off in
+  if node < 0 then -1
+  else begin
+    fast_refresh t s node ~now;
+    Hash_map.fast_value_of t.map s node
+  end
+
+let fast_put t s (key : int array) ~off ~value ~now =
+  let size_before = Hash_map.size t.map in
+  let i = Hash_map.fast_put t.map s key ~off value in
+  if i >= 0 then
+    if Hash_map.size t.map > size_before then begin
+      S.store s ~addr:(meta_addr t i + 24) ();
+      t.ts.(i) <- stamp t now;
+      fast_lru_append t s i
+    end
+    else fast_refresh t s i ~now;
+  i
+
+let fast_size t s =
+  S.alu s 1;
+  S.load s ~addr:(t.meta_base - 8) ();
+  size t
+
+let key_word_at t i w = Hash_map.key_word t.map i w
+
 let to_ds t =
   let k = key_len t in
   let call meter meth (args : int array) =
@@ -179,7 +331,32 @@ let to_ds t =
         size t
     | other -> invalid_arg ("flow_table: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  let expire_ok =
+    match (t.on_expire, t.on_expire_fast) with
+    | Some _, None -> false
+    | _ -> true
+  in
+  let fast_path (s : Exec.Ds.sink) meth =
+    match meth with
+    | "expire" when expire_ok ->
+        Some
+          (fun (args : int array) ->
+            if Array.length args <> 1 then invalid_arg "flow_table.expire/1";
+            fast_expire t s ~now:args.(0))
+    | "get" ->
+        Some
+          (fun args ->
+            if Array.length args <> k + 1 then invalid_arg "flow_table.get";
+            fast_get t s args ~off:0 ~now:args.(k))
+    | "put" ->
+        Some
+          (fun args ->
+            if Array.length args <> k + 2 then invalid_arg "flow_table.put";
+            fast_put t s args ~off:0 ~value:args.(k) ~now:args.(k + 1))
+    | "size" -> Some (fun _ -> fast_size t s)
+    | _ -> None
+  in
+  Exec.Ds.make ~fast_path ~kind call
 
 module Recipe = struct
   open Perf

@@ -17,11 +17,14 @@ type t
 val create :
   ?seed:int -> base:int -> key_len:int -> capacity:int -> buckets:int ->
   timeout:int -> ?granularity:int ->
-  ?on_expire:(Exec.Meter.t -> value:int -> unit) -> unit -> t
+  ?on_expire:(Exec.Meter.t -> value:int -> unit) ->
+  ?on_expire_fast:(Exec.Ds.sink -> value:int -> unit) -> unit -> t
 (** [timeout] and [granularity] are in the same time unit as [now]
     (microseconds by convention; granularity defaults to 1 — exact
     timestamps). [on_expire] runs for each expired entry (the NAT frees
-    the flow's external port there). *)
+    the flow's external port there); [on_expire_fast] is its sink twin —
+    without it, a table with an [on_expire] callback offers no
+    specialized [expire]. *)
 
 val size : t -> int
 val capacity : t -> int
@@ -58,9 +61,30 @@ val hash_of_key : t -> int array -> int
 val oldest_first : t -> int list
 (** Node indices in LRU order (uncharged — tests). *)
 
+(** {1 Specialized fast paths}
+
+    Sink twins of the metered operations; see {!Hash_map}. *)
+
+val fast_expire : t -> Exec.Ds.sink -> now:int -> int
+(** Only sound when [on_expire] is absent or has its sink twin. *)
+
+val fast_get : t -> Exec.Ds.sink -> int array -> off:int -> now:int -> int
+(** Value or [-1] (the [to_ds] "get" encoding); refreshes on hit. *)
+
+val fast_put :
+  t -> Exec.Ds.sink -> int array -> off:int -> value:int -> now:int -> int
+
+val fast_refresh_entry : t -> Exec.Ds.sink -> int -> now:int -> unit
+val fast_size : t -> Exec.Ds.sink -> int
+
+val key_word_at : t -> int -> int -> int
+(** In-place key word read (no charges, no copy). *)
+
 val to_ds : t -> Exec.Ds.t
 (** Methods: [expire(now)] → count; [get(key…, now)] → value or -1;
-    [put(key…, value, now)] → index or -1; [size()]. *)
+    [put(key…, value, now)] → index or -1; [size()].  All four methods
+    carry fast paths (expire only when specializable — see
+    {!create}). *)
 
 val kind : string
 

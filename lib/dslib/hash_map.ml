@@ -6,6 +6,9 @@ type t = {
   key_len : int;
   capacity : int;
   buckets : int;
+  bmask : int;
+      (** [buckets - 1] when [buckets] is a power of two (the bucket
+          reduction is then a mask, same result as [mod]), else 0 *)
   bucket_base : int;
   entries_base : int;
   keys : int array;  (** capacity * key_len, flattened *)
@@ -16,6 +19,11 @@ type t = {
   mutable free : int;  (** free-list head through [next] *)
   mutable size : int;
   mutable seed : int;
+  (* probe counters of the last fast walk, kept here so the fast entry
+     points can return a bare int (no probe record allocation) *)
+  mutable fw_pred : int;
+  mutable fw_collisions : int;
+  mutable fw_traversals : int;
 }
 
 let node_size = 64
@@ -31,6 +39,7 @@ let create ?(seed = 17) ~base ~key_len ~capacity ~buckets () =
     key_len;
     capacity;
     buckets;
+    bmask = (if buckets land (buckets - 1) = 0 then buckets - 1 else 0);
     bucket_base = base;
     entries_base = base + (8 * buckets);
     keys = Array.make (capacity * key_len) 0;
@@ -41,6 +50,9 @@ let create ?(seed = 17) ~base ~key_len ~capacity ~buckets () =
     free = 0;
     size = 0;
     seed;
+    fw_pred = -1;
+    fw_collisions = 0;
+    fw_traversals = 0;
   }
 
 let capacity t = t.capacity
@@ -213,6 +225,247 @@ let remove t meter key =
   { result = node; collisions; traversals }
 
 let key_words t i = Array.sub t.keys (i * t.key_len) t.key_len
+let key_word t i w = t.keys.((i * t.key_len) + w)
+
+(* ---- specialized fast paths ----------------------------------------
+
+   Sink twins of get/put/remove/reseed: same state mutations, same PCV
+   observations and charge-for-charge the same costs as the metered
+   versions above, but keys are read in place from the caller's array
+   (argv or [t.keys] itself — no copies) and instruction charges bump
+   the sink's deferred counters.  Kept adjacent to their twins; any edit
+   to a metered operation must be mirrored here (the differential oracle
+   and the golden parity tests catch drift). *)
+
+module S = Costing.Sink
+
+let last_fast_traversals t = t.fw_traversals
+
+let fast_hash t (a : int array) off =
+  let h = ref (t.seed * 0x85ebca77 land max_int) in
+  for w = 0 to t.key_len - 1 do
+    h := ((!h * 0x9e3779b1) + Array.unsafe_get a (off + w)) land max_int
+  done;
+  if t.bmask > 0 then !h land t.bmask else !h mod t.buckets
+
+let fast_prologue t s b =
+  if S.batched s then begin
+    (* same charges as the metered arm, folded: alu 2 + hash
+       (mul k, alu 2k+1) + alu 1 + the bucket-head load *)
+    S.mul s t.key_len;
+    S.alu s ((2 * t.key_len) + 4);
+    S.loads_b s 1
+  end
+  else begin
+    S.alu s 2;
+    S.hash s ~key_len:t.key_len;
+    S.alu s 1;
+    S.load s ~addr:(bucket_addr t b) ()
+  end
+
+let fast_epilogue s =
+  S.alu s 1;
+  S.branch s 1
+
+let fast_compare t s (key : int array) off i =
+  let addr = node_addr t i in
+  let diff = ref 0 in
+  for w = 0 to t.key_len - 1 do
+    S.load s ~addr:(addr + (8 * w)) ();
+    S.alu s 1;
+    diff := !diff lor (t.keys.((i * t.key_len) + w) lxor key.(off + w))
+  done;
+  S.branch s 1;
+  !diff = 0
+
+let fast_visit t s i =
+  S.load s ~dependent:true ~addr:(node_addr t i) ();
+  S.alu s 1;
+  S.branch s 1
+
+(* Key equality without charges, for the batched walk (whose per-node
+   charges are bulk-counted up front).  The metered compare reads every
+   word unconditionally, so the batched counts do too; only the data
+   comparison may exit early. *)
+let rec key_eq_from t (key : int array) off i w =
+  w >= t.key_len
+  || Array.unsafe_get t.keys ((i * t.key_len) + w)
+     = Array.unsafe_get key (off + w)
+     && key_eq_from t key off i (w + 1)
+
+(* Top-level recursion, not a local closure: the walk runs on the
+   zero-allocation path, and a local [let rec] capturing its context
+   would allocate a closure block per probe. *)
+let rec fast_walk_from t s key off ~pred_move i pred collisions traversals =
+  if i < 0 then begin
+    t.fw_pred <- pred;
+    t.fw_collisions <- collisions;
+    t.fw_traversals <- traversals;
+    -1
+  end
+  else begin
+    fast_visit t s i;
+    if pred_move then S.move s 1;
+    if fast_compare t s key off i then begin
+      t.fw_pred <- pred;
+      t.fw_collisions <- collisions;
+      t.fw_traversals <- traversals + 1;
+      i
+    end
+    else
+      fast_walk_from t s key off ~pred_move t.next.(i) i (collisions + 1)
+        (traversals + 1)
+  end
+
+(* Batched twin of [fast_walk_from]: per node, [fast_visit] (one
+   dependent load, alu, branch) plus [fast_compare] (key_len loads and
+   alus, branch) fold into three bulk bumps. *)
+let rec fast_walk_from_b t s key off ~pred_move i pred collisions traversals =
+  if i < 0 then begin
+    t.fw_pred <- pred;
+    t.fw_collisions <- collisions;
+    t.fw_traversals <- traversals;
+    -1
+  end
+  else begin
+    S.loads_b s (1 + t.key_len);
+    S.alu s (1 + t.key_len);
+    S.branch s 2;
+    if pred_move then S.move s 1;
+    if key_eq_from t key off i 0 then begin
+      t.fw_pred <- pred;
+      t.fw_collisions <- collisions;
+      t.fw_traversals <- traversals + 1;
+      i
+    end
+    else
+      fast_walk_from_b t s key off ~pred_move t.next.(i) i (collisions + 1)
+        (traversals + 1)
+  end
+
+let fast_walk t s key off b ~pred_move =
+  if S.batched s then fast_walk_from_b t s key off ~pred_move t.head.(b) (-1) 0 0
+  else fast_walk_from t s key off ~pred_move t.head.(b) (-1) 0 0
+
+let fast_observe t s =
+  S.observe s Perf.Pcv.collisions t.fw_collisions;
+  S.observe s Perf.Pcv.traversals t.fw_traversals
+
+let fast_get t s (key : int array) ~off =
+  let b = fast_hash t key off in
+  fast_prologue t s b;
+  let node = fast_walk t s key off b ~pred_move:false in
+  fast_epilogue s;
+  fast_observe t s;
+  node
+
+let fast_value_of t s i =
+  S.load s ~addr:(node_addr t i + 56) ();
+  t.values.(i)
+
+let fast_set_value t s i v =
+  S.store s ~addr:(node_addr t i + 56) ();
+  t.values.(i) <- v
+
+let fast_put t s (key : int array) ~off value =
+  let b = fast_hash t key off in
+  fast_prologue t s b;
+  let node = fast_walk t s key off b ~pred_move:false in
+  let result =
+    if node >= 0 then begin
+      S.store s ~addr:(node_addr t node + 56) ();
+      S.alu s 1;
+      t.values.(node) <- value;
+      node
+    end
+    else begin
+      S.branch s 1;
+      S.alu s 1;
+      if t.free < 0 then -1
+      else begin
+        let i = t.free in
+        S.load s ~addr:(node_addr t i) ();
+        t.free <- t.next.(i);
+        S.move s 2;
+        let addr = node_addr t i in
+        for w = 0 to t.key_len - 1 do
+          S.store s ~addr:(addr + (8 * w)) ();
+          t.keys.((i * t.key_len) + w) <- key.(off + w)
+        done;
+        S.store s ~addr:(addr + 56) ();
+        t.values.(i) <- value;
+        S.store s ~addr:(addr + 48) ();
+        t.next.(i) <- t.head.(b);
+        S.store s ~addr:(bucket_addr t b) ();
+        t.head.(b) <- i;
+        t.occupied.(i) <- true;
+        S.alu s 1;
+        t.size <- t.size + 1;
+        i
+      end
+    end
+  in
+  fast_epilogue s;
+  fast_observe t s;
+  result
+
+(* Remove the entry at node [n], reading its key in place from [t.keys]
+   (what the flow table's expiry does, sans the [Array.sub]). *)
+let fast_remove_node t s n =
+  let off = n * t.key_len in
+  let b = fast_hash t t.keys off in
+  fast_prologue t s b;
+  let node = fast_walk t s t.keys off b ~pred_move:true in
+  let pred = t.fw_pred in
+  if node >= 0 then begin
+    (if pred < 0 then begin
+       S.store s ~addr:(bucket_addr t b) ();
+       t.head.(b) <- t.next.(node)
+     end
+     else begin
+       S.store s ~addr:(node_addr t pred + 48) ();
+       t.next.(pred) <- t.next.(node)
+     end);
+    S.store s ~addr:(node_addr t node + 48) ();
+    S.move s 1;
+    t.next.(node) <- t.free;
+    t.free <- node;
+    t.occupied.(node) <- false;
+    S.alu s 1;
+    t.size <- t.size - 1
+  end;
+  fast_epilogue s;
+  fast_observe t s;
+  node
+
+let rec fast_chain_visit t s j =
+  if j >= 0 then begin
+    fast_visit t s j;
+    fast_chain_visit t s t.next.(j)
+  end
+
+let fast_reseed t s ~seed =
+  t.seed <- seed;
+  for b = 0 to t.buckets - 1 do
+    S.store s ~addr:(bucket_addr t b) ();
+    t.head.(b) <- -1
+  done;
+  for i = 0 to t.capacity - 1 do
+    S.branch s 1;
+    if t.occupied.(i) then begin
+      for w = 0 to t.key_len - 1 do
+        S.load s ~addr:(node_addr t i + (8 * w)) ()
+      done;
+      S.hash s ~key_len:t.key_len;
+      let b = fast_hash t t.keys (i * t.key_len) in
+      S.load s ~addr:(bucket_addr t b) ();
+      fast_chain_visit t s t.head.(b);
+      S.store s ~addr:(node_addr t i + 48) ();
+      t.next.(i) <- t.head.(b);
+      S.store s ~addr:(bucket_addr t b) ();
+      t.head.(b) <- i
+    end
+  done
 
 let reseed t meter ~seed =
   t.seed <- seed;

@@ -54,6 +54,33 @@ val remove : t -> Exec.Meter.t -> int array -> probe
 val key_words : t -> int -> int array
 (** Copy of the key stored at a node index (no charges — debug/test). *)
 
+val key_word : t -> int -> int -> int
+(** [key_word t i w] is word [w] of node [i]'s key, read in place (no
+    charges, no copy). *)
+
+(** {1 Specialized fast paths}
+
+    Sink twins of the metered operations: observationally identical
+    (state, result, PCV observations, charges) but allocation-free —
+    keys are read in place from the caller's array at an offset, and
+    instruction charges bump the sink's deferred counters.  Only sound
+    under an untraced, non-coupled model; {!Exec.Specialize} guarantees
+    that. *)
+
+val fast_get : t -> Exec.Ds.sink -> int array -> off:int -> int
+(** Node index or [-1]; the key is [key.(off) .. key.(off+key_len-1)]. *)
+
+val fast_put : t -> Exec.Ds.sink -> int array -> off:int -> int -> int
+val fast_remove_node : t -> Exec.Ds.sink -> int -> int
+(** Remove the entry at a node index, reading its key in place. *)
+
+val fast_value_of : t -> Exec.Ds.sink -> int -> int
+val fast_set_value : t -> Exec.Ds.sink -> int -> int -> unit
+val fast_reseed : t -> Exec.Ds.sink -> seed:int -> unit
+
+val last_fast_traversals : t -> int
+(** Traversal count of the most recent fast probe (uncharged). *)
+
 val fold : (int -> acc:'a -> 'a) -> t -> 'a -> 'a
 (** Fold over occupied node indices (no charges — used by rehash and
     tests). *)

@@ -86,7 +86,7 @@ let to_ds t =
     | "backend_for" -> backend_for t meter args.(0)
     | other -> invalid_arg ("hash_ring: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  Exec.Ds.make ~kind call
 
 module Recipe = struct
   open Perf

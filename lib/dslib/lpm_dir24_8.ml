@@ -105,7 +105,7 @@ let to_ds t =
     | "lookup" -> lookup t meter args.(0)
     | other -> invalid_arg ("lpm: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  Exec.Ds.make ~kind call
 
 module Recipe = struct
   open Perf

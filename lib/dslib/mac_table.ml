@@ -66,6 +66,50 @@ let lookup t meter ~mac =
   if probe.Hash_map.result < 0 then -1
   else Hash_map.value_of map meter probe.Hash_map.result
 
+(* ---- specialized fast paths ----------------------------------------
+
+   Sink twins of the metered operations; see {!Hash_map} for the
+   discipline.  The MAC key is read in place from argv (key_len = 1, so
+   [key.(off)] is the MAC). *)
+
+module S = Costing.Sink
+
+let fast_expire t s ~now = Flow_table.fast_expire t.ft s ~now
+
+let fast_learn t s (key : int array) ~off ~port ~now =
+  let map = Flow_table.map t.ft in
+  (* inline [Flow_table.get_probe]: probe, then refresh + value read on
+     a hit *)
+  let node = Hash_map.fast_get map s key ~off in
+  let value =
+    if node < 0 then -1
+    else begin
+      Flow_table.fast_refresh_entry t.ft s node ~now;
+      Hash_map.fast_value_of map s node
+    end
+  in
+  t.last_traversals <- Hash_map.last_fast_traversals map;
+  S.observe s Perf.Pcv.occupancy (Flow_table.size t.ft);
+  S.branch s 1;
+  if node >= 0 then begin
+    S.branch s 1;
+    if value <> port then Hash_map.fast_set_value map s node port
+  end
+  else begin
+    S.alu s 1;
+    S.branch s 1;
+    if Hash_map.last_fast_traversals map > t.threshold then begin
+      t.rehashes <- t.rehashes + 1;
+      Hash_map.fast_reseed map s ~seed:(next_seed t)
+    end;
+    ignore (Flow_table.fast_put t.ft s key ~off ~value:port ~now)
+  end
+
+let fast_lookup t s (key : int array) ~off =
+  let map = Flow_table.map t.ft in
+  let node = Hash_map.fast_get map s key ~off in
+  if node < 0 then -1 else Hash_map.fast_value_of map s node
+
 let to_ds t =
   let call meter meth (args : int array) =
     match meth with
@@ -76,7 +120,18 @@ let to_ds t =
     | "lookup" -> lookup t meter ~mac:args.(0)
     | other -> invalid_arg ("mac_table: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  let fast_path (s : Exec.Ds.sink) meth =
+    match meth with
+    | "expire" -> Some (fun (args : int array) -> fast_expire t s ~now:args.(0))
+    | "learn" ->
+        Some
+          (fun args ->
+            fast_learn t s args ~off:0 ~port:args.(1) ~now:args.(2);
+            0)
+    | "lookup" -> Some (fun args -> fast_lookup t s args ~off:0)
+    | _ -> None
+  in
+  Exec.Ds.make ~fast_path ~kind call
 
 module Recipe = struct
   open Perf

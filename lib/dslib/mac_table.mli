@@ -36,8 +36,19 @@ val last_learn_traversals : t -> int
 (** Probe length of the most recent [learn] (uncharged — tests and the
     Distiller read it). *)
 
+(** {1 Specialized fast paths}
+
+    Sink twins of the metered operations; see {!Dslib.Hash_map}.  The
+    one-word MAC key is read in place at [key.(off)]. *)
+
+val fast_expire : t -> Exec.Ds.sink -> now:int -> int
+val fast_learn :
+  t -> Exec.Ds.sink -> int array -> off:int -> port:int -> now:int -> unit
+val fast_lookup : t -> Exec.Ds.sink -> int array -> off:int -> int
+
 val to_ds : t -> Exec.Ds.t
-(** Methods: [expire(now)], [learn(mac, port, now)], [lookup(mac)]. *)
+(** Methods: [expire(now)], [learn(mac, port, now)], [lookup(mac)].
+    All three carry fast paths. *)
 
 val kind : string
 

@@ -27,9 +27,17 @@ let create ~base ~capacity ~buckets ~timeout ?granularity ~alloc ~port_lo
         t.ext.(value - port_lo) <- -1;
         Port_alloc.free t.alloc meter value
   in
+  let on_expire_fast s ~value =
+    match !cell with
+    | None -> assert false
+    | Some t ->
+        Costing.Sink.store s ~addr:(ext_base + (8 * (value - port_lo))) ();
+        t.ext.(value - port_lo) <- -1;
+        Port_alloc.fast_free t.alloc s value
+  in
   let ft =
     Flow_table.create ~base ~key_len ~capacity ~buckets ~timeout ?granularity
-      ~on_expire ()
+      ~on_expire ~on_expire_fast ()
   in
   let t = { ft; ext; ext_base; alloc; port_lo; port_hi } in
   cell := Some t;
@@ -88,6 +96,56 @@ let int_field t meter ~handle ~field =
 let flow_key_quiet t handle = Flow_table.key_at t.ft handle
 let hash_of_flow t key = Flow_table.hash_of_key t.ft key
 
+(* ---- specialized fast paths ----------------------------------------
+
+   Sink twins of the metered operations; see {!Hash_map} for the
+   discipline.  Keys are read in place from the caller's argv. *)
+
+module S = Costing.Sink
+
+let fast_expire t s ~now = Flow_table.fast_expire t.ft s ~now
+
+let fast_lookup_int t s (key : int array) ~off ~now =
+  Flow_table.fast_get t.ft s key ~off ~now
+
+let fast_add_int t s (key : int array) ~off ~now =
+  let port = Port_alloc.fast_alloc t.alloc s in
+  S.branch s 1;
+  if port < 0 then -1
+  else begin
+    let handle = Flow_table.fast_put t.ft s key ~off ~value:port ~now in
+    S.branch s 1;
+    if handle < 0 then begin
+      Port_alloc.fast_free t.alloc s port;
+      -1
+    end
+    else begin
+      S.store s ~addr:(ext_addr t (port - t.port_lo)) ();
+      S.alu s 1;
+      t.ext.(port - t.port_lo) <- handle;
+      port
+    end
+  end
+
+let fast_lookup_ext t s ~port ~now =
+  S.alu s 2;
+  S.branch s 1;
+  if port < t.port_lo || port > t.port_hi then -1
+  else begin
+    let i = port - t.port_lo in
+    S.load s ~addr:(ext_addr t i) ();
+    S.branch s 1;
+    let handle = t.ext.(i) in
+    if handle >= 0 then Flow_table.fast_refresh_entry t.ft s handle ~now;
+    handle
+  end
+
+let fast_int_field t s ~handle ~field =
+  if field < 0 || field >= key_len then invalid_arg "Nat_table.int_field";
+  S.load s ~addr:(0x100 + (handle * 64) + (8 * field)) ();
+  S.alu s 1;
+  Flow_table.key_word_at t.ft handle field
+
 let to_ds t =
   let call meter meth (args : int array) =
     let key_of_args () = Array.sub args 0 key_len in
@@ -99,7 +157,20 @@ let to_ds t =
     | "int_field" -> int_field t meter ~handle:args.(0) ~field:args.(1)
     | other -> invalid_arg ("nat_table: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  let fast_path (s : Exec.Ds.sink) meth =
+    match meth with
+    | "expire" -> Some (fun (args : int array) -> fast_expire t s ~now:args.(0))
+    | "lookup_int" ->
+        Some (fun args -> fast_lookup_int t s args ~off:0 ~now:args.(key_len))
+    | "add_int" ->
+        Some (fun args -> fast_add_int t s args ~off:0 ~now:args.(key_len))
+    | "lookup_ext" ->
+        Some (fun args -> fast_lookup_ext t s ~port:args.(0) ~now:args.(1))
+    | "int_field" ->
+        Some (fun args -> fast_int_field t s ~handle:args.(0) ~field:args.(1))
+    | _ -> None
+  in
+  Exec.Ds.make ~fast_path ~kind call
 
 module Recipe = struct
   open Perf

@@ -32,6 +32,16 @@ val lookup_ext : t -> Exec.Meter.t -> port:int -> now:int -> int
 val int_field : t -> Exec.Meter.t -> handle:int -> field:int -> int
 (** Read word [field] (0–4) of the internal flow key behind [handle]. *)
 
+(** {1 Specialized fast paths}
+
+    Sink twins of the metered operations; see {!Dslib.Hash_map}. *)
+
+val fast_expire : t -> Exec.Ds.sink -> now:int -> int
+val fast_lookup_int : t -> Exec.Ds.sink -> int array -> off:int -> now:int -> int
+val fast_add_int : t -> Exec.Ds.sink -> int array -> off:int -> now:int -> int
+val fast_lookup_ext : t -> Exec.Ds.sink -> port:int -> now:int -> int
+val fast_int_field : t -> Exec.Ds.sink -> handle:int -> field:int -> int
+
 val flow_key_quiet : t -> int -> int array
 val hash_of_flow : t -> int array -> int
 (** Bucket a flow key chains into (uncharged — adversarial synthesis). *)

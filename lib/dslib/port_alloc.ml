@@ -140,6 +140,105 @@ let free t meter port =
       a.busy.(i) <- false;
       t.allocated <- t.allocated - 1
 
+(* ---- specialized fast paths ----------------------------------------
+
+   Sink twins of alloc/free; see {!Hash_map} for the discipline. *)
+
+module S = Costing.Sink
+
+(* Top-level recursions (see {!Hash_map.fast_walk_from}): a local
+   [let rec] would allocate its closure on the zero-allocation path.
+   [skip]'s word index and scan count increment in lockstep from 0, so
+   the fast twin returns the single index instead of the pair. *)
+let rec arr_range_full (busy : bool array) hi i =
+  i > hi || (busy.(i) && arr_range_full busy hi (i + 1))
+
+let arr_word_full t (busy : bool array) w =
+  let hi = min t.cap ((w + 1) * 64) - 1 in
+  arr_range_full busy hi (w * 64)
+
+let rec fast_arr_skip t s (busy : bool array) words w =
+  S.load s ~addr:(word_addr t w) ();
+  S.alu s 1;
+  S.branch s 1;
+  if w < words - 1 && arr_word_full t busy w then
+    fast_arr_skip t s busy words (w + 1)
+  else w
+
+let rec arr_first_free (busy : bool array) i =
+  if busy.(i) then arr_first_free busy (i + 1) else i
+
+let fast_alloc t s =
+  match t.impl with
+  | Dll d ->
+      S.load s ~dependent:true ~addr:(t.base - 16) ();
+      S.branch s 1;
+      if d.head < 0 then -1
+      else begin
+        let i = d.head in
+        S.load s ~dependent:true ~addr:(node_addr t i) ();
+        let nxt = d.next.(i) in
+        S.store s ~addr:(t.base - 16) ();
+        d.head <- nxt;
+        if nxt >= 0 then begin
+          S.store s ~addr:(node_addr t nxt) ();
+          d.prev.(nxt) <- -1
+        end;
+        S.move s 2;
+        S.alu s 1;
+        d.taken.(i) <- true;
+        t.allocated <- t.allocated + 1;
+        i + t.port_lo
+      end
+  | Arr a ->
+      S.alu s 2;
+      S.branch s 1;
+      if t.allocated >= t.cap then begin
+        S.observe s Perf.Pcv.scan 0;
+        -1
+      end
+      else begin
+        let words = (t.cap + 63) / 64 in
+        let w = fast_arr_skip t s a.busy words 0 in
+        let scanned = w in
+        let i = arr_first_free a.busy (w * 64) in
+        S.alu s 4;
+        S.store s ~addr:(word_addr t w) ();
+        S.alu s 1;
+        a.busy.(i) <- true;
+        t.allocated <- t.allocated + 1;
+        S.observe s Perf.Pcv.scan scanned;
+        i + t.port_lo
+      end
+
+let fast_free t s port =
+  let i = port - t.port_lo in
+  if i < 0 || i >= t.cap || not (is_allocated t port) then
+    invalid_arg (Printf.sprintf "Port_alloc.free: port %d not allocated" port);
+  match t.impl with
+  | Dll d ->
+      S.load s ~dependent:true ~addr:(t.base - 16) ();
+      S.store s ~addr:(node_addr t i) ();
+      S.store s ~addr:(node_addr t i + 8) ();
+      d.prev.(i) <- -1;
+      d.next.(i) <- d.head;
+      if d.head >= 0 then begin
+        S.store s ~addr:(node_addr t d.head) ();
+        d.prev.(d.head) <- i
+      end;
+      S.store s ~addr:(t.base - 16) ();
+      d.head <- i;
+      S.move s 1;
+      S.alu s 1;
+      d.taken.(i) <- false;
+      t.allocated <- t.allocated - 1
+  | Arr a ->
+      S.load s ~addr:(word_addr t (i / 64)) ();
+      S.store s ~addr:(word_addr t (i / 64)) ();
+      S.alu s 2;
+      a.busy.(i) <- false;
+      t.allocated <- t.allocated - 1
+
 module Recipe = struct
   open Perf
 

@@ -33,6 +33,13 @@ val allocated : t -> int
 val capacity : t -> int
 val is_allocated : t -> int -> bool
 
+(** {1 Specialized fast paths}
+
+    Sink twins of {!alloc}/{!free}; see {!Hash_map}. *)
+
+val fast_alloc : t -> Exec.Ds.sink -> int
+val fast_free : t -> Exec.Ds.sink -> int -> unit
+
 (** {1 Contract recipes} *)
 
 module Recipe : sig

@@ -47,7 +47,7 @@ let to_ds t =
     | "conform" -> conform t meter ~bytes:args.(0) ~now:args.(1)
     | other -> invalid_arg ("token_bucket: unknown method " ^ other)
   in
-  { Exec.Ds.kind; call }
+  Exec.Ds.make ~kind call
 
 module Recipe = struct
   open Perf

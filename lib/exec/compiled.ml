@@ -66,22 +66,11 @@ type rt = {
   mode : Concrete.mode;
 }
 
-(* Fixed enumeration of {!Hw.Cost.kind} for the deferred-count array. *)
-let nkinds = 9
-
-let kind_index : Hw.Cost.kind -> int = function
-  | Hw.Cost.Alu -> 0
-  | Hw.Cost.Mul -> 1
-  | Hw.Cost.Div -> 2
-  | Hw.Cost.Move -> 3
-  | Hw.Cost.Branch -> 4
-  | Hw.Cost.Load -> 5
-  | Hw.Cost.Store -> 6
-  | Hw.Cost.Call -> 7
-  | Hw.Cost.Ret -> 8
-
-let kind_of_index =
-  Hw.Cost.[| Alu; Mul; Div; Move; Branch; Load; Store; Call; Ret |]
+(* The fixed {!Hw.Cost.kind} enumeration for the deferred-count array —
+   shared with the dslib fast paths through {!Ds.sink}. *)
+let nkinds = Hw.Cost.nkinds
+let kind_index = Hw.Cost.kind_index
+let kind_of_index = Hw.Cost.kind_of_index
 
 let bump rt i n =
   let c = rt.frame in

@@ -1,5 +1,20 @@
-type t = { kind : string; call : Meter.t -> string -> int array -> int }
+type sink = {
+  s_counts : int array;
+  s_mem : addr:int -> write:bool -> dependent:bool -> unit;
+  s_mem_batched : bool;
+  s_meter : Meter.t;
+}
+
+type t = {
+  kind : string;
+  call : Meter.t -> string -> int array -> int;
+  fast_path : sink -> string -> (int array -> int) option;
+}
+
 type env = (string * t) list
+
+let no_fast_path _ _ = None
+let make ?(fast_path = no_fast_path) ~kind call = { kind; call; fast_path }
 
 let find env instance =
   match List.assoc_opt instance env with

@@ -58,6 +58,11 @@ val model_instr : t -> Hw.Cost.kind -> int -> unit
 val model_mem : t -> addr:int -> write:bool -> dependent:bool -> unit
 (** Raw memory-charge closure; same caveat as {!model_instr}. *)
 
+val model_mem_bulk : t -> (int -> unit) option
+(** The wrapped model's {!Hw.Model.t.mem_bulk}: [Some f] only when the
+    model prices accesses independently of their address, so statically
+    countable accesses may be batched. *)
+
 val ic : t -> int
 val ma : t -> int
 val cycles : t -> int

@@ -1,6 +1,20 @@
 type kind = Alu | Mul | Div | Move | Branch | Load | Store | Call | Ret
 
 let all_kinds = [ Alu; Mul; Div; Move; Branch; Load; Store; Call; Ret ]
+let nkinds = 9
+
+let kind_index = function
+  | Alu -> 0
+  | Mul -> 1
+  | Div -> 2
+  | Move -> 3
+  | Branch -> 4
+  | Load -> 5
+  | Store -> 6
+  | Call -> 7
+  | Ret -> 8
+
+let kind_of_index = [| Alu; Mul; Div; Move; Branch; Load; Store; Call; Ret |]
 
 let kind_to_string = function
   | Alu -> "alu"

@@ -23,6 +23,17 @@ type kind =
 val all_kinds : kind list
 val kind_to_string : kind -> string
 
+val nkinds : int
+(** Number of instruction kinds (length of {!all_kinds}). *)
+
+val kind_index : kind -> int
+(** Dense index of a kind in [0, nkinds): the shared layout for deferred
+    per-kind instruction counters in the compiled fast path and the dslib
+    specialized fast paths. *)
+
+val kind_of_index : kind array
+(** Inverse of {!kind_index}. *)
+
 val worst_case_cycles : kind -> int
 (** Conservative per-instruction latency, as BOLT takes from the Intel
     optimisation manual's worst cases (paper §3.5). *)

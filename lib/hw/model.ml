@@ -6,6 +6,7 @@ type t = {
   instr_count : unit -> int;
   mem_count : unit -> int;
   boundary : (int * int) list -> unit;
+  mem_bulk : (int -> unit) option;
   coupled_mem : bool;
 }
 
@@ -13,6 +14,7 @@ let conservative () =
   let m = Conservative.create () in
   {
     name = "conservative";
+    mem_bulk = None;
     coupled_mem = false;
     (* eta-expanded so the stored closures carry their full arity:
        a bare partial application is applied one argument at a time,
@@ -29,6 +31,7 @@ let conservative () =
 let of_realistic m =
   {
     name = "realistic";
+    mem_bulk = None;
     coupled_mem = true;
     instr = (fun kind n -> Realistic.instr m kind n);
     mem =
@@ -45,6 +48,11 @@ let dram_only () =
   let instrs = ref 0 and mems = ref 0 and cycles = ref 0 in
   {
     name = "dram_only";
+    mem_bulk =
+      Some
+        (fun n ->
+          mems := !mems + n;
+          cycles := !cycles + (n * Cost.dram_cycles));
     coupled_mem = false;
     instr =
       (fun kind n ->
@@ -64,6 +72,7 @@ let null () =
   let instrs = ref 0 and mems = ref 0 in
   {
     name = "null";
+    mem_bulk = Some (fun n -> mems := !mems + n);
     coupled_mem = false;
     instr = (fun _ n -> instrs := !instrs + n);
     mem = (fun ~addr:_ ~write:_ ~dependent:_ -> incr mems);

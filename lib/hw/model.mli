@@ -14,6 +14,14 @@ type t = {
   boundary : (int * int) list -> unit;
       (** Per-packet hook: the given [(base, size)] regions were rewritten
           by DMA.  No-op except in the realistic simulator. *)
+  mem_bulk : (int -> unit) option;
+      (** [Some f] when the model prices every access identically —
+          ignoring address, direction and dependence — with [f n]
+          equivalent to [n] individual {!mem} charges.  Lets a client
+          with statically countable accesses batch them like deferred
+          instruction charges.  [None] for address-sensitive models
+          (L1 tracking, burst windows), whose clients must report each
+          access at its real address. *)
   coupled_mem : bool;
       (** [mem] reads instruction-count state (the realistic simulator's
           burst-window overlap detection), so a client that batches

@@ -15,41 +15,61 @@ let check t off width =
       (Printf.sprintf "Packet: offset %d+%d out of bounds (len %d)" off width
          (Bytes.length t.data))
 
+(* One bounds check per access, at the full width, then unchecked byte
+   reads — [check] already proved every byte in range.  The check's
+   message (width included) is part of the stuck-message contract. *)
+let byte t off = Char.code (Bytes.unsafe_get t.data off)
+
 let get_u8 t off =
   check t off 1;
-  Char.code (Bytes.get t.data off)
+  byte t off
 
 let get_u16 t off =
   check t off 2;
-  (Char.code (Bytes.get t.data off) lsl 8)
-  lor Char.code (Bytes.get t.data (off + 1))
+  (byte t off lsl 8) lor byte t (off + 1)
 
 let get_u32 t off =
   check t off 4;
-  (get_u16 t off lsl 16) lor get_u16 t (off + 2)
+  (byte t off lsl 24)
+  lor (byte t (off + 1) lsl 16)
+  lor (byte t (off + 2) lsl 8)
+  lor byte t (off + 3)
 
 let get_u48 t off =
   check t off 6;
-  (get_u16 t off lsl 32) lor get_u32 t (off + 2)
+  (byte t off lsl 40)
+  lor (byte t (off + 1) lsl 32)
+  lor (byte t (off + 2) lsl 24)
+  lor (byte t (off + 3) lsl 16)
+  lor (byte t (off + 4) lsl 8)
+  lor byte t (off + 5)
+
+let put t off v = Bytes.unsafe_set t.data off (Char.unsafe_chr (v land 0xff))
 
 let set_u8 t off v =
   check t off 1;
-  Bytes.set t.data off (Char.chr (v land 0xff))
+  put t off v
 
 let set_u16 t off v =
   check t off 2;
-  set_u8 t off (v lsr 8);
-  set_u8 t (off + 1) v
+  put t off (v lsr 8);
+  put t (off + 1) v
 
 let set_u32 t off v =
   check t off 4;
-  set_u16 t off (v lsr 16);
-  set_u16 t (off + 2) v
+  put t off (v lsr 24);
+  put t (off + 1) (v lsr 16);
+  put t (off + 2) (v lsr 8);
+  put t (off + 3) v
 
 let set_u48 t off v =
   check t off 6;
-  set_u16 t off (v lsr 32);
-  set_u32 t (off + 2) v
+  put t off (v lsr 40);
+  put t (off + 1) (v lsr 32);
+  put t (off + 2) (v lsr 24);
+  put t (off + 3) (v lsr 16);
+  put t (off + 4) (v lsr 8);
+  put t (off + 5) v
 
 (* The one width dispatch: every consumer of IR packet accesses — the
    concrete evaluator domain, witness construction, tests — goes

@@ -2,104 +2,113 @@
    ingredients, so drivers (CLI, bench, examples, tests) stop re-wiring
    programs, contracts and classes by hand. *)
 
+type frozen = { knobs : (string * string) list }
+
 type entry = {
   name : string;
   program : Ir.Program.t;
   contracts : Perf.Ds_contract.library;
   classes : Symbex.Iclass.t list;
   setup : Dslib.Layout.allocator -> Exec.Ds.env;
+  frozen : frozen option;
 }
+
+(* The default entry: no frozen-config descriptor.  Benched NFs override
+   [frozen] with the knobs their default [setup] bakes in, which is what
+   a specialized stream freezes against. *)
+let entry ~name ~program ~contracts ~classes ~setup =
+  { name; program; contracts; classes; setup; frozen = None }
 
 let all () =
   [
     {
-      name = "bridge";
-      program = Bridge.program;
-      contracts = Bridge.contracts ();
-      classes = Bridge.classes ();
-      setup = (fun alloc -> fst (Bridge.setup alloc));
+      (entry ~name:"bridge" ~program:Bridge.program
+         ~contracts:(Bridge.contracts ()) ~classes:(Bridge.classes ())
+         ~setup:(fun alloc -> fst (Bridge.setup alloc)))
+      with
+      frozen =
+        Some
+          {
+            knobs =
+              [
+                ("capacity", "4096");
+                ("buckets", "4096");
+                ("timeout", "300000000");
+                ("threshold", "6");
+                ("seed", "42");
+              ];
+          };
     };
     {
-      name = "nat";
-      program = Nat.program;
-      contracts = Nat.contracts ();
-      classes = Nat.classes ();
-      setup = (fun alloc -> fst (Nat.setup alloc));
+      (entry ~name:"nat" ~program:Nat.program ~contracts:(Nat.contracts ())
+         ~classes:(Nat.classes ())
+         ~setup:(fun alloc -> fst (Nat.setup alloc)))
+      with
+      frozen =
+        Some
+          {
+            knobs =
+              [
+                ("capacity", "4096");
+                ("buckets", "4096");
+                ("timeout", "10000000");
+                ("ports", "1024-9215");
+                ("allocator", "dll");
+              ];
+          };
+    };
+    entry ~name:"maglev" ~program:Maglev.program
+      ~contracts:(Maglev.contracts ()) ~classes:(Maglev.classes ())
+      ~setup:(fun alloc -> fst (Maglev.setup alloc));
+    entry ~name:"lpm_router" ~program:Router_lpm.program
+      ~contracts:(Router_lpm.contracts ()) ~classes:(Router_lpm.classes ())
+      ~setup:(fun alloc ->
+        fst
+          (Router_lpm.setup alloc
+             ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
+    entry ~name:"trie_router" ~program:Router_trie.program
+      ~contracts:(Router_trie.contracts ()) ~classes:(Router_trie.classes ())
+      ~setup:(fun alloc ->
+        fst
+          (Router_trie.setup alloc
+             ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
+    entry ~name:"conntrack" ~program:Conntrack.program
+      ~contracts:(Conntrack.contracts ()) ~classes:(Conntrack.classes ())
+      ~setup:(fun alloc -> fst (Conntrack.setup alloc));
+    entry ~name:"limiter" ~program:Limiter.program
+      ~contracts:(Limiter.contracts ()) ~classes:(Limiter.classes ())
+      ~setup:(fun alloc -> fst (Limiter.setup alloc));
+    entry ~name:"policer" ~program:Policer.program
+      ~contracts:(Policer.contracts ()) ~classes:(Policer.classes ())
+      ~setup:(fun alloc -> fst (Policer.setup alloc));
+    entry ~name:"responder" ~program:Responder.program
+      ~contracts:(Perf.Ds_contract.library [])
+      ~classes:(Responder.classes ())
+      ~setup:(fun _ -> []);
+    {
+      (entry ~name:"firewall" ~program:Firewall.program
+         ~contracts:(Perf.Ds_contract.library [])
+         ~classes:(Firewall.classes ())
+         ~setup:(fun _ -> []))
+      with
+      frozen = Some { knobs = [ ("ruleset", "builtin") ] };
     };
     {
-      name = "maglev";
-      program = Maglev.program;
-      contracts = Maglev.contracts ();
-      classes = Maglev.classes ();
-      setup = (fun alloc -> fst (Maglev.setup alloc));
-    };
-    {
-      name = "lpm_router";
-      program = Router_lpm.program;
-      contracts = Router_lpm.contracts ();
-      classes = Router_lpm.classes ();
-      setup =
-        (fun alloc ->
-          fst
-            (Router_lpm.setup alloc
-               ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
-    };
-    {
-      name = "trie_router";
-      program = Router_trie.program;
-      contracts = Router_trie.contracts ();
-      classes = Router_trie.classes ();
-      setup =
-        (fun alloc ->
-          fst
-            (Router_trie.setup alloc
-               ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
-    };
-    {
-      name = "conntrack";
-      program = Conntrack.program;
-      contracts = Conntrack.contracts ();
-      classes = Conntrack.classes ();
-      setup = (fun alloc -> fst (Conntrack.setup alloc));
-    };
-    {
-      name = "limiter";
-      program = Limiter.program;
-      contracts = Limiter.contracts ();
-      classes = Limiter.classes ();
-      setup = (fun alloc -> fst (Limiter.setup alloc));
-    };
-    {
-      name = "policer";
-      program = Policer.program;
-      contracts = Policer.contracts ();
-      classes = Policer.classes ();
-      setup = (fun alloc -> fst (Policer.setup alloc));
-    };
-    {
-      name = "responder";
-      program = Responder.program;
-      contracts = Perf.Ds_contract.library [];
-      classes = Responder.classes ();
-      setup = (fun _ -> []);
-    };
-    {
-      name = "firewall";
-      program = Firewall.program;
-      contracts = Perf.Ds_contract.library [];
-      classes = Firewall.classes ();
-      setup = (fun _ -> []);
-    };
-    {
-      name = "static_router";
-      program = Static_router.program;
-      contracts = Perf.Ds_contract.library [];
-      classes = Static_router.classes ();
-      setup = (fun _ -> []);
+      (entry ~name:"static_router" ~program:Static_router.program
+         ~contracts:(Perf.Ds_contract.library [])
+         ~classes:(Static_router.classes ())
+         ~setup:(fun _ -> []))
+      with
+      frozen = Some { knobs = [ ("fib", "builtin") ] };
     };
   ]
 
 let names () = List.map (fun e -> e.name) (all ())
+
+let specialize e ~meter =
+  let dss = e.setup (Dslib.Layout.allocator ()) in
+  let ct = Exec.Compiled.compile e.program in
+  (Exec.Specialize.bind ct ~meter ~mode:(Exec.Interp.Production dss), dss)
 
 let find name =
   match List.find_opt (fun e -> e.name = name) (all ()) with

@@ -6,6 +6,14 @@
     production data structures — so the CLI, bench, examples and tests
     look NFs up by name instead of re-wiring those four by hand. *)
 
+type frozen = {
+  knobs : (string * string) list;
+      (** configuration the default [setup] bakes in, knob → value —
+          what a config-specialized stream freezes against *)
+}
+(** Frozen-config descriptor for NFs whose per-stream configuration is
+    fixed (static router FIB, firewall ruleset, table geometries). *)
+
 type entry = {
   name : string;
   program : Ir.Program.t;
@@ -14,6 +22,9 @@ type entry = {
   setup : Dslib.Layout.allocator -> Exec.Ds.env;
       (** builds the production data-structure environment (empty for
           stateless NFs) *)
+  frozen : frozen option;
+      (** present for the benched NFs whose configuration is frozen per
+          stream and therefore eligible for {!Exec.Specialize} *)
 }
 
 val all : unit -> entry list
@@ -24,3 +35,10 @@ val names : unit -> string list
 val find : string -> entry
 (** Look an NF up by [name]; raises [Invalid_argument] with the list of
     known names on a miss. *)
+
+val specialize : entry -> meter:Exec.Meter.t -> Exec.Specialize.t * Exec.Ds.env
+(** Build a production environment with a fresh allocator, compile the
+    program and bind it to [meter] via {!Exec.Specialize.bind}.  Returns
+    the bound stream (specialized when every call site has a fast path,
+    the generic compiled runner otherwise) and the environment, so
+    callers can drive the interpreter against the same state. *)

@@ -504,17 +504,25 @@ let concrete_symbex_agreement ?(explore = real_explore) () =
   { name; run }
 
 let real_compile program = Exec.Compiled.compile program
+let real_specialize ct ~meter ~mode = Exec.Specialize.bind ct ~meter ~mode
 
 (* The closure-compiled hot path and the interpreter are two
    implementations of one concrete semantics, so on any subject and any
    stream they must tell bit-for-bit the same story: outcome, IC, MA,
    cycles, PCV observations, the full traced event stream and the
    packet bytes left behind — Stuck runs included, message for message.
-   For stateless generated subjects a third leg cross-checks the
-   fidelity replay: symbex on the concrete input yields one path, and
-   replaying its assumed decisions must reproduce the compiled run's
-   IC/MA exactly. *)
-let compiled_interp_agreement ?(compile = real_compile) () =
+   A further leg binds the compiled program to the stream's frozen
+   configuration ({!Exec.Specialize.bind}) and replays the same stream
+   through the specialized closures on an untraced meter (tracing would
+   force the fallback and leave the fast body unexercised), comparing
+   outcome, costs, observations and packet bytes per packet — Stuck
+   packets compare by message, which is exactly the charge-equivalence
+   contract of DESIGN §12.  For stateless generated subjects a final
+   leg cross-checks the fidelity replay: symbex on the concrete input
+   yields one path, and replaying its assumed decisions must reproduce
+   the compiled run's IC/MA exactly. *)
+let compiled_interp_agreement ?(compile = real_compile)
+    ?(specialize = real_specialize) () =
   let name = "compiled_interp_agreement" in
   let run ~seed =
     let rng = P.create ~seed in
@@ -558,6 +566,41 @@ let compiled_interp_agreement ?(compile = real_compile) () =
             Net.Packet.to_bytes packet ))
         stream
     in
+    (* specialized legs run untraced: a tracing meter makes [bind] fall
+       back to the generic runner and the fast body would go untested *)
+    let replay_untraced engine =
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let mode = Exec.Interp.Production (fresh_dss ()) in
+      let exec =
+        match engine with
+        | `Interp ->
+            fun ~in_port ~now packet ->
+              Exec.Interp.run ~meter ~mode ~in_port ~now program packet
+        | `Specialized ->
+            let sp = specialize (compile program) ~meter ~mode in
+            fun ~in_port ~now packet ->
+              Exec.Specialize.run sp ~in_port ~now packet
+      in
+      List.map
+        (fun { Workload.Stream.packet; now; in_port } ->
+          let packet = Net.Packet.copy packet in
+          Exec.Meter.reset_observations meter;
+          let outcome =
+            match exec ~in_port ~now packet with
+            | r -> Ok r
+            | exception Exec.Interp.Stuck msg -> Error msg
+          in
+          (outcome, Exec.Meter.observations meter, Net.Packet.to_bytes packet))
+        stream
+    in
+    let pp_run ppf (outcome, obs) =
+      (match outcome with
+      | Ok (r : Exec.Interp.run) ->
+          Format.fprintf ppf "ic %d ma %d cycles %d" r.Exec.Interp.ic
+            r.Exec.Interp.ma r.Exec.Interp.cycles
+      | Error msg -> Format.fprintf ppf "stuck: %s" msg);
+      Format.fprintf ppf ", %d observation(s)" (List.length obs)
+    in
     let interp = replay `Interp and compiled = replay `Compiled in
     let disagreement =
       List.find_index (fun (a, b) -> a <> b) (List.combine interp compiled)
@@ -565,12 +608,7 @@ let compiled_interp_agreement ?(compile = real_compile) () =
     match disagreement with
     | Some i ->
         let pp_side ppf (outcome, obs, _events, _bytes) =
-          (match outcome with
-          | Ok (r : Exec.Interp.run) ->
-              Format.fprintf ppf "ic %d ma %d cycles %d" r.Exec.Interp.ic
-                r.Exec.Interp.ma r.Exec.Interp.cycles
-          | Error msg -> Format.fprintf ppf "stuck: %s" msg);
-          Format.fprintf ppf ", %d observation(s)" (List.length obs)
+          pp_run ppf (outcome, obs)
         in
         fail name seed
           "%s: compiled execution diverges from the interpreter at packet \
@@ -578,6 +616,21 @@ let compiled_interp_agreement ?(compile = real_compile) () =
           (subject_name subject) i pp_side (List.nth interp i) pp_side
           (List.nth compiled i)
     | None -> (
+        let s_interp = replay_untraced `Interp
+        and s_spec = replay_untraced `Specialized in
+        match
+          List.find_index
+            (fun (a, b) -> a <> b)
+            (List.combine s_interp s_spec)
+        with
+        | Some i ->
+            let pp_side ppf (outcome, obs, _bytes) = pp_run ppf (outcome, obs) in
+            fail name seed
+              "%s: specialized execution diverges from the interpreter at \
+               packet %d@.interp:      %a@.specialized: %a"
+              (subject_name subject) i pp_side (List.nth s_interp i) pp_side
+              (List.nth s_spec i)
+        | None -> (
         match (subject, stream) with
         | Generated _, { Workload.Stream.packet; now; in_port } :: _ -> (
             (* third leg: fidelity replay of the symbex path against the
@@ -635,7 +688,7 @@ let compiled_interp_agreement ?(compile = real_compile) () =
                    [concrete_symbex_agreement]; both engines already
                    agreed above *)
                 Pass)
-        | _ -> Pass)
+        | _ -> Pass))
   in
   { name; run }
 

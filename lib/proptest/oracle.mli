@@ -20,8 +20,10 @@
     - {b compiled-interp-agreement} — the closure-compiled executor
       ({!Exec.Compiled}) is bit-identical to the interpreter over whole
       streams (outcome, IC/MA/cycles, observations, traced events,
-      packet bytes, Stuck messages), and on stateless subjects the
-      fidelity replay reproduces the compiled run's IC/MA.
+      packet bytes, Stuck messages), the config-specialized executor
+      ({!Exec.Specialize}) agrees packet for packet on the same stream
+      (Stuck packets by message — charge equivalence), and on stateless
+      subjects the fidelity replay reproduces the compiled run's IC/MA.
 
     On failure the counterexample is shrunk ({!Shrink}) before being
     reported, and the report carries a runnable repro command.
@@ -82,15 +84,28 @@ val concrete_symbex_agreement :
     tampers with the returned path's assumed decisions. *)
 
 val compiled_interp_agreement :
-  ?compile:(Ir.Program.t -> Exec.Compiled.t) -> unit -> t
+  ?compile:(Ir.Program.t -> Exec.Compiled.t) ->
+  ?specialize:
+    (Exec.Compiled.t ->
+    meter:Exec.Meter.t ->
+    mode:Exec.Interp.mode ->
+    Exec.Specialize.t) ->
+  unit ->
+  t
 (** The compiled hot path and the interpreter must tell bit-for-bit the
     same story on any subject and stream — outcome, IC, MA, cycles, PCV
     observations, the full traced event list and the final packet
-    bytes, with Stuck runs matching message for message.  Registry
+    bytes, with Stuck runs matching message for message.  A further leg
+    binds the compiled program to the frozen configuration
+    ({!Exec.Specialize.bind}) and replays the same stream through the
+    specialized closures on an untraced meter, comparing outcome,
+    costs, observations and packet bytes per packet (Stuck packets by
+    message — the charge-equivalence contract, DESIGN §12).  Registry
     subjects get one fresh data-structure environment per engine so
     state evolves independently but identically.  [compile] substitutes
-    the compiler under test (default {!Exec.Compiled.compile}); tests
-    pass one that compiles a tampered program. *)
+    the compiler under test (default {!Exec.Compiled.compile}) and
+    [specialize] the specializer (default {!Exec.Specialize.bind});
+    tests pass ones that compile or bind a tampered program. *)
 
 val all : unit -> t list
 (** The six oracles with their real implementations. *)

@@ -8,6 +8,7 @@ let () =
       ("ir", T_ir.suite);
       ("exec", T_exec.suite);
       ("compiled", T_compiled.suite);
+      ("specialize", T_specialize.suite);
       ("pool", T_pool.suite);
       ("dslib", T_dslib.suite);
       ("symbex", T_symbex.suite);

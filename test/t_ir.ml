@@ -127,14 +127,10 @@ let test_interp_division_by_zero () =
   | _ -> Alcotest.fail "division by zero not detected"
 
 let counting_ds calls =
-  {
-    Exec.Ds.kind = "counter";
-    call =
-      (fun meter meth args ->
-        Exec.Meter.instr meter Hw.Cost.Alu 5;
-        calls := (meth, Array.to_list args) :: !calls;
-        Array.fold_left ( + ) 0 args);
-  }
+  Exec.Ds.make ~kind:"counter" (fun meter meth args ->
+      Exec.Meter.instr meter Hw.Cost.Alu 5;
+      calls := (meth, Array.to_list args) :: !calls;
+      Array.fold_left ( + ) 0 args)
 
 let test_interp_calls_production () =
   let calls = ref [] in
@@ -195,7 +191,7 @@ let test_analysis_overhead () =
       [ Stmt.call ~ret:"x" "ctr" "add" [ Expr.int 1 ]; Stmt.drop ]
   in
   let null_ds =
-    { Exec.Ds.kind = "counter"; call = (fun _ _ _ -> 1) }
+    Exec.Ds.make ~kind:"counter" (fun _ _ _ -> 1)
   in
   let m1 = Exec.Meter.create (Hw.Model.null ()) in
   let r1 =

@@ -236,6 +236,48 @@ let test_catches_tampered_compile () =
         "failure names its oracle" "compiled_interp_agreement"
         f.Proptest.Oracle.oracle
 
+let test_catches_tampered_specialize () =
+  (* the traced compiled legs stay honest (real compiler), but the
+     specializer binds a program with one smuggled assignment: only the
+     specialized-vs-interp comparison can see the extra Move, so a
+     failure here pins the specialized leg specifically.  [compile]
+     records the subject so the tampering hook — which only receives
+     the already-compiled form — can rebuild a modified source. *)
+  let last = ref None in
+  let compile p =
+    last := Some p;
+    Exec.Compiled.compile p
+  in
+  let specialize _ct ~meter ~mode =
+    let p = Option.get !last in
+    let tampered =
+      {
+        p with
+        Ir.Program.body =
+          Ir.Stmt.assign "__tamper" (Ir.Expr.int 0) :: p.Ir.Program.body;
+      }
+    in
+    Exec.Specialize.bind (Exec.Compiled.compile tampered) ~meter ~mode
+  in
+  let o = Proptest.Oracle.compiled_interp_agreement ~compile ~specialize () in
+  match first_failure o with
+  | None -> Alcotest.fail "a tampered specialization was not caught"
+  | Some f ->
+      Alcotest.(check string)
+        "failure names its oracle" "compiled_interp_agreement"
+        f.Proptest.Oracle.oracle;
+      let mentions_specialized =
+        let detail = f.Proptest.Oracle.detail in
+        let needle = "specialized execution diverges" in
+        let n = String.length needle and l = String.length detail in
+        let rec scan i =
+          i + n <= l && (String.equal (String.sub detail i n) needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check_bool "the specialized leg (not the compiled one) flagged it" true
+        mentions_specialized
+
 let test_default_oracles_pass () =
   let outcome =
     Proptest.Runner.run ~seed:2025 ~runs:3 ~oracles:(Proptest.Oracle.all ()) ()
@@ -352,6 +394,8 @@ let suite =
       test_catches_tampered_decisions;
     Alcotest.test_case "catches a tampered compile" `Quick
       test_catches_tampered_compile;
+    Alcotest.test_case "catches a tampered specialization" `Quick
+      test_catches_tampered_specialize;
     Alcotest.test_case "default oracles pass" `Slow test_default_oracles_pass;
     Alcotest.test_case "divergent witness detected (action)" `Quick
       test_divergent_witness_by_action;

@@ -1,0 +1,292 @@
+(* Equivalence and zero-allocation guarantees for the config-specialized
+   executor (Exec.Specialize, DESIGN §12):
+
+   - parity: on every registry NF the specialized stream must agree with
+     the interpreter packet for packet — outcome, IC, MA, cycles, PCV
+     observations and final packet bytes — on both an address-blind
+     (null, mem-batched) and an address-insensitive-but-unbatched
+     (conservative) model;
+   - zero allocation: the four benched NFs allocate exactly 0 minor
+     words per packet through [Exec.Specialize.exec] in steady state;
+   - stuck parity: runtime-contract violations raise the same message as
+     the interpreter (charges are equivalent, not identical — the final
+     segment's pack may differ, so only the message is compared);
+   - fallbacks: a tracing meter, a coupled-memory model and analysis
+     mode must each decline to specialize yet still execute exactly. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+type side = {
+  run : (Exec.Interp.run, string) result;
+  observations : (Perf.Pcv.t * int) list;
+  bytes : Bytes.t;
+}
+
+let copy_stream stream =
+  List.map
+    (fun e ->
+      { e with Workload.Stream.packet = Net.Packet.copy e.Workload.Stream.packet })
+    stream
+
+let replay ~engine ~model ?(must_specialize = false)
+    (entry : Nf.Registry.entry) stream =
+  let meter = Exec.Meter.create (model ()) in
+  let exec =
+    match engine with
+    | `Interp ->
+        let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
+        fun ~in_port ~now packet ->
+          Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss) ~in_port
+            ~now entry.Nf.Registry.program packet
+    | `Specialized ->
+        let sp, _ = Nf.Registry.specialize entry ~meter in
+        if must_specialize then
+          check_bool
+            (entry.Nf.Registry.name ^ " runs the specialized body")
+            true
+            (Exec.Specialize.specialized sp);
+        fun ~in_port ~now packet -> Exec.Specialize.run sp ~in_port ~now packet
+  in
+  List.map
+    (fun { Workload.Stream.packet; now; in_port } ->
+      Exec.Meter.reset_observations meter;
+      let run =
+        match exec ~in_port ~now packet with
+        | r -> Ok r
+        | exception Exec.Interp.Stuck msg -> Error msg
+      in
+      {
+        run;
+        observations = Exec.Meter.observations meter;
+        bytes = Net.Packet.to_bytes packet;
+      })
+    stream
+
+let check_parity ?(packets = 200) ?(seed = 77) ?must_specialize ~model ~mname
+    nf =
+  let entry = Nf.Registry.find nf in
+  let stream =
+    Proptest.Gen_net.stream_for (Workload.Prng.create ~seed) ~nf ~packets
+  in
+  let interp = replay ~engine:`Interp ~model entry (copy_stream stream) in
+  let spec =
+    replay ~engine:`Specialized ~model ?must_specialize entry
+      (copy_stream stream)
+  in
+  List.iteri
+    (fun i (a, b) ->
+      let ctx what = Printf.sprintf "%s/%s packet %d %s" nf mname i what in
+      check_bool (ctx "run") true (a.run = b.run);
+      check_bool (ctx "observations") true (a.observations = b.observations);
+      check_bool (ctx "bytes") true (Bytes.equal a.bytes b.bytes))
+    (List.combine interp spec)
+
+(* The four NFs the throughput benchmark freezes; each must actually
+   take the specialized body (not the fallback) under both models. *)
+let benched = [ "firewall"; "static_router"; "nat"; "bridge" ]
+
+let test_parity_null () =
+  List.iter
+    (check_parity ~model:Hw.Model.null ~mname:"null" ~must_specialize:true)
+    benched
+
+let test_parity_conservative () =
+  List.iter
+    (check_parity ~model:Hw.Model.conservative ~mname:"conservative"
+       ~must_specialize:true)
+    benched
+
+(* Every other registry NF must at least agree (specialized or not). *)
+let test_parity_all_nfs () =
+  List.iter
+    (fun nf ->
+      check_parity ~packets:120 ~model:Hw.Model.null ~mname:"null" nf)
+    (Nf.Registry.names ())
+
+(* Longer, differently-seeded streams for the two stateful NFs whose
+   fast paths carry the most machinery: NAT translation rewrites both
+   directions through the port allocator, and the bridge walks
+   collision chains as the MAC table fills. *)
+let test_nat_stress_parity () =
+  check_parity ~packets:800 ~seed:91 ~model:Hw.Model.null ~mname:"null"
+    ~must_specialize:true "nat"
+
+let test_bridge_stress_parity () =
+  check_parity ~packets:800 ~seed:91 ~model:Hw.Model.null ~mname:"null"
+    ~must_specialize:true "bridge"
+
+(* ---- Zero allocation -------------------------------------------------- *)
+
+(* Steady state through [exec]: warm one pass (tables populated, meter
+   observation buffers grown), then demand EXACTLY zero minor words per
+   packet.  The two trailing [Gc.minor_words] reads measure the probe's
+   own cost so it can be subtracted. *)
+let test_zero_alloc () =
+  List.iter
+    (fun nf ->
+      let entry = Nf.Registry.find nf in
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let sp, _ = Nf.Registry.specialize entry ~meter in
+      let n = 1024 in
+      let flows =
+        Workload.Gen.distinct_flows (Workload.Prng.create ~seed:42) 64
+      in
+      let base = Workload.Gen.packets_of_flows flows in
+      let rec replicate acc k =
+        if k <= 0 then acc
+        else
+          replicate
+            (List.map (fun p -> Net.Packet.copy p) base @ acc)
+            (k - List.length base)
+      in
+      let stream =
+        Array.of_list
+          (Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:100
+             (replicate [] (2 * n)))
+      in
+      let run lo hi =
+        for i = lo to hi - 1 do
+          let e = stream.(i) in
+          Exec.Meter.reset_observations meter;
+          ignore
+            (Exec.Specialize.exec sp ~in_port:e.Workload.Stream.in_port
+               ~now:e.Workload.Stream.now e.Workload.Stream.packet
+              : int)
+        done
+      in
+      run 0 n;
+      let w0 = Gc.minor_words () in
+      run n (2 * n);
+      let w1 = Gc.minor_words () in
+      let w2 = Gc.minor_words () in
+      let words = w1 -. w0 -. (w2 -. w1) in
+      check_int (nf ^ " minor words over a steady-state pass") 0
+        (int_of_float words))
+    benched
+
+(* ---- Stuck parity ----------------------------------------------------- *)
+
+(* Charge equivalence, not identity: a Stuck packet may differ from the
+   interpreter by part of its final segment's pack, so only the message
+   (and the fact of being stuck) is pinned here. *)
+let run_stuck program packet engine =
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  let mode = Exec.Interp.Production [] in
+  match
+    match engine with
+    | `Interp -> Exec.Interp.run ~meter ~mode program packet
+    | `Specialized ->
+        Exec.Specialize.run
+          (Exec.Specialize.bind (Exec.Compiled.compile program) ~meter ~mode)
+          packet
+  with
+  | (_ : Exec.Interp.run) -> "no-stuck"
+  | exception Exec.Interp.Stuck msg -> msg
+
+let check_stuck_parity name program =
+  let packet = Net.Packet.create 64 in
+  let msg_i = run_stuck program (Net.Packet.copy packet) `Interp in
+  let msg_s = run_stuck program (Net.Packet.copy packet) `Specialized in
+  check_bool (name ^ " stuck at all") true (msg_i <> "no-stuck");
+  check_string (name ^ " message") msg_i msg_s
+
+let test_stuck_parity () =
+  let open Ir in
+  check_stuck_parity "folded division by zero"
+    (Program.make ~name:"divz" ~state:[]
+       [ Stmt.assign "x" Expr.(int 1 / int 0); Stmt.drop ]);
+  check_stuck_parity "dynamic division by zero"
+    (Program.make ~name:"divz_dyn" ~state:[]
+       [
+         Stmt.assign "z" Expr.(load8 (int 0));
+         Stmt.assign "x" Expr.(int 1 / var "z");
+         Stmt.drop;
+       ]);
+  check_stuck_parity "negative packet offset"
+    (Program.make ~name:"negoff" ~state:[]
+       [ Stmt.assign "x" (Expr.load8 Expr.(int 0 - int 4)); Stmt.drop ]);
+  check_stuck_parity "out-of-bounds load"
+    (Program.make ~name:"oob" ~state:[]
+       [ Stmt.assign "x" (Expr.load32 (Expr.int 2000)); Stmt.drop ]);
+  check_stuck_parity "out-of-bounds store"
+    (Program.make ~name:"oob_store" ~state:[]
+       [ Stmt.store16 (Expr.int 63) (Expr.int 7); Stmt.drop ])
+
+(* ---- Fallbacks -------------------------------------------------------- *)
+
+(* [bind] must decline to specialize — and still execute exactly —
+   whenever its charging discipline cannot reproduce what the
+   configuration demands: a tracing meter (per-event stream), a model
+   that couples memory pricing to instruction counts, or analysis
+   mode. *)
+let test_fallback_tracing () =
+  let entry = Nf.Registry.find "firewall" in
+  let meter = Exec.Meter.create ~trace:true (Hw.Model.null ()) in
+  let sp, _ = Nf.Registry.specialize entry ~meter in
+  check_bool "tracing meter falls back" false (Exec.Specialize.specialized sp)
+
+let test_fallback_coupled_mem () =
+  let entry = Nf.Registry.find "firewall" in
+  let meter = Exec.Meter.create (Hw.Model.realistic ()) in
+  let sp, _ = Nf.Registry.specialize entry ~meter in
+  check_bool "coupled-memory model falls back" false
+    (Exec.Specialize.specialized sp)
+
+let test_fallback_analysis_mode () =
+  let program =
+    Ir.(
+      Program.make ~name:"t_specialize_analysis"
+        ~state:[ { Ir.Program.instance = "ft"; kind = "flow_table" } ]
+        [
+          Stmt.assign "h" Expr.(load32 (int 26));
+          Stmt.call ~ret:"r" "ft" "get" [ Expr.var "h"; Expr.var "now" ];
+          Stmt.if_
+            Expr.(var "r" != int 0)
+            [ Stmt.forward Expr.(var "r" - int 1) ]
+            [ Stmt.call "ft" "put" [ Expr.var "h" ]; Stmt.drop ];
+        ])
+  in
+  let run engine =
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    let mode = Exec.Interp.Analysis [ 3; 0 ] in
+    let packet = Net.Packet.create 64 in
+    let r =
+      match engine with
+      | `Interp -> Exec.Interp.run ~meter ~mode ~in_port:1 ~now:5 program packet
+      | `Specialized ->
+          let sp =
+            Exec.Specialize.bind (Exec.Compiled.compile program) ~meter ~mode
+          in
+          check_bool "analysis mode falls back" false
+            (Exec.Specialize.specialized sp);
+          Exec.Specialize.run sp ~in_port:1 ~now:5 packet
+    in
+    (r, Exec.Meter.observations meter)
+  in
+  check_bool "analysis run equal" true (run `Interp = run `Specialized)
+
+(* Fallback streams still agree over a whole stateful replay. *)
+let test_fallback_parity () =
+  check_parity ~packets:120 ~model:Hw.Model.realistic ~mname:"realistic"
+    "firewall"
+
+let suite =
+  [
+    Alcotest.test_case "parity on the null model" `Quick test_parity_null;
+    Alcotest.test_case "parity on the conservative model" `Quick
+      test_parity_conservative;
+    Alcotest.test_case "parity across the whole registry" `Quick
+      test_parity_all_nfs;
+    Alcotest.test_case "nat stress parity" `Quick test_nat_stress_parity;
+    Alcotest.test_case "bridge stress parity" `Quick test_bridge_stress_parity;
+    Alcotest.test_case "zero minor words per packet" `Quick test_zero_alloc;
+    Alcotest.test_case "stuck message parity" `Quick test_stuck_parity;
+    Alcotest.test_case "tracing meter falls back" `Quick test_fallback_tracing;
+    Alcotest.test_case "coupled-memory model falls back" `Quick
+      test_fallback_coupled_mem;
+    Alcotest.test_case "analysis mode falls back" `Quick
+      test_fallback_analysis_mode;
+    Alcotest.test_case "fallback stream parity" `Quick test_fallback_parity;
+  ]
