@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick bench-smoke fuzz-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke fuzz-smoke tune-smoke examples doc clean
 
 all: build
 
@@ -24,9 +24,9 @@ lint:
 	if [ -n "$$hits" ]; then \
 	  echo "lint: IR walker duplicated outside lib/ir:"; echo "$$hits"; exit 1; \
 	fi
-	@hits=$$(grep -rn "Interp\.run" lib/distiller --include='*.ml' || true); \
+	@hits=$$(grep -rn "Interp\.run" lib/distiller lib/tuner --include='*.ml' || true); \
 	if [ -n "$$hits" ]; then \
-	  echo "lint: Distiller per-packet path must stay on Exec.Compiled:"; \
+	  echo "lint: Distiller and tuner per-packet paths must stay on Exec.Compiled:"; \
 	  echo "$$hits"; exit 1; \
 	fi
 	@hits=$$(grep -n "Ds\.find\|\.Ds\.call\|Meter\.instr" lib/exec/specialize.ml || true); \
@@ -54,6 +54,13 @@ bench-quick:
 bench-smoke:
 	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
 	dune exec bench/main.exe -- throughput --quick --json BENCH_throughput.json
+
+# CI smoke for the autotuner: a small router grid (two LPM backends x
+# three route-table sizes) priced analytically, winner validated by
+# compiled replay; the JSON artifact carries the Pareto front and the
+# predicted-vs-measured error.
+tune-smoke:
+	dune exec bin/bolt_cli.exe -- tune trie_router --packets 128 --json BENCH_tuner.json
 
 # CI smoke for the soundness fuzzer: a few deterministic rounds of all
 # six differential oracles (see docs/TESTING.md).  Exits non-zero on a

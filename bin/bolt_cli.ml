@@ -161,6 +161,30 @@ let fuzz_cmd seed runs oracle_names list_only json_path =
     if outcome.Proptest.Runner.failures <> [] then exit 1
   end
 
+(* Contract-guided autotuning: enumerate a deterministic grid of specs,
+   price each point analytically, print the Pareto front and validate
+   the winner by compiled replay. *)
+let tune_cmd nf_name backends capacities packets jobs seed json_path =
+  let opt = function [] -> None | l -> Some l in
+  let result =
+    try
+      Tuner.Tune.run ~nf:nf_name ?backends:(opt backends)
+        ?capacities:(opt capacities) ~packets ?jobs ~seed ()
+    with Invalid_argument msg ->
+      Fmt.epr "tune: %s@." msg;
+      exit 1
+  in
+  Fmt.pr "%a" Tuner.Tune.pp result;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Perf.Json.to_string ~indent:true (Tuner.Tune.to_json result));
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+
 open Cmdliner
 
 let nf_arg =
@@ -358,6 +382,61 @@ let predict_t =
        ~doc:"Evaluate an exported contract at concrete PCV values")
     Term.(const predict_cmd $ const "" $ file_arg $ bindings_arg $ metric_arg)
 
+let tune_t =
+  let backends_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "backends" ] ~docv:"B1,B2"
+          ~doc:
+            "Backend axis of the grid (default: every registered backend \
+             for the NF's family — dir24_8,trie for the routers, \
+             dll,array for the NAT, flow for the flow-table NFs).")
+  in
+  let capacities_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "capacities"; "grid" ] ~docv:"N1,N2,N3"
+          ~doc:
+            "Capacity axis (table capacity, or route-table size for the \
+             routers; default: three family-appropriate sizes).")
+  in
+  let packets_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "packets" ] ~docv:"N" ~doc:"Workload length in packets.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Workload seed.  The whole run is a pure function of \
+             (nf, backends, capacities, packets, seed).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the grid, Pareto front and winner validation as JSON \
+             to $(docv) (e.g. BENCH_tuner.json).")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Contract-guided design-space exploration: price a grid of \
+          backend/capacity specs analytically (contracts instantiated \
+          with Distiller-harvested PCV distributions — nothing is \
+          timed), print the Pareto front over predicted p50/p99 \
+          cycles and memory footprint, then confirm the winner by \
+          compiled replay of the same workload")
+    Term.(
+      const tune_cmd $ nf_arg $ backends_arg $ capacities_arg $ packets_arg
+      $ jobs_arg $ seed_arg $ json_arg)
+
 let paths_t =
   Cmd.v
     (Cmd.info "paths" ~doc:"List the feasible paths and per-path costs")
@@ -399,5 +478,5 @@ let () =
        (Cmd.group info
           [
             contract_t; stats_t; predict_t; diff_t; validate_t; fuzz_t;
-            paths_t; report_t; program_t;
+            tune_t; paths_t; report_t; program_t;
           ]))

@@ -99,6 +99,11 @@ let lookup_quiet t ip =
 
 let uses_tbl8 t ip = tbl24_get t (ip lsr 8) land extended_flag <> 0
 
+(* The first tier is a fixed 16 MiB reservation (the address arithmetic in
+   [lookup] places [tbl8_base] at base + 16 MiB); each second-tier group
+   spans 256 consecutive byte slots. *)
+let footprint_bytes t = (16 * 1024 * 1024) + (256 * t.next_group)
+
 let to_ds t =
   let call meter meth (args : int array) =
     match meth with

@@ -20,6 +20,10 @@ val lookup_quiet : t -> int -> int
 val uses_tbl8 : t -> int -> bool
 (** Does this destination take the two-lookup path?  (tests/workloads) *)
 
+val footprint_bytes : t -> int
+(** Bytes of the layout's address space this table occupies: the fixed
+    16 MiB first tier plus 256 B per allocated second-tier group. *)
+
 val to_ds : t -> Exec.Ds.t
 (** Method: [lookup(dst_ip)]. *)
 

@@ -75,6 +75,10 @@ let lookup t meter ip =
 
 let lookup_quiet t ip = lookup t (Exec.Meter.create (Hw.Model.null ())) ip
 
+(* One 64-byte line per node, root included (node addresses are
+   [base + 64*i]). *)
+let footprint_bytes t = 64 * (t.node_count + 1)
+
 let matched_len t ip =
   let rec walk node i =
     if i >= 32 then i

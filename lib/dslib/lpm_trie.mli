@@ -19,6 +19,10 @@ val lookup_quiet : t -> int -> int
 val matched_len : t -> int -> int
 (** Depth at which the walk for this address stops (uncharged). *)
 
+val footprint_bytes : t -> int
+(** Bytes of the layout's address space the trie occupies: one 64-byte
+    node per line, root included. *)
+
 val to_ds : t -> Exec.Ds.t
 val kind : string
 

@@ -1,11 +1,16 @@
 (* The NF catalogue: look NFs up by name and bundle their analysis
    ingredients, so drivers (CLI, bench, examples, tests) stop re-wiring
-   programs, contracts and classes by hand. *)
+   programs, contracts and classes by hand.  Every entry is derived from
+   a value-level Spec.t — the same values the tuner enumerates — rather
+   than hand-wired per file. *)
 
-type frozen = { knobs : (string * string) list }
+type frozen = { knobs : Spec.knob list }
+
+let to_strings f = Spec.to_strings f.knobs
 
 type entry = {
   name : string;
+  spec : Spec.t;
   program : Ir.Program.t;
   contracts : Perf.Ds_contract.library;
   classes : Symbex.Iclass.t list;
@@ -13,96 +18,61 @@ type entry = {
   frozen : frozen option;
 }
 
-(* The default entry: no frozen-config descriptor.  Benched NFs override
-   [frozen] with the knobs their default [setup] bakes in, which is what
-   a specialized stream freezes against. *)
-let entry ~name ~program ~contracts ~classes ~setup =
-  { name; program; contracts; classes; setup; frozen = None }
+let of_spec spec =
+  let name = Spec.name spec in
+  let frozen =
+    Option.map (fun knobs -> { knobs }) (Spec.frozen_knobs spec)
+  in
+  let stateless = Perf.Ds_contract.library [] in
+  let program, contracts, classes, setup =
+    match spec with
+    | Spec.Bridge c ->
+        ( Bridge.program,
+          Bridge.contracts ~config:c (),
+          Bridge.classes ~config:c (),
+          fun alloc -> fst (Bridge.setup ~config:c alloc) )
+    | Spec.Nat c ->
+        ( Nat.program,
+          Nat.contracts ~config:c (),
+          Nat.classes ~config:c (),
+          fun alloc -> fst (Nat.setup ~config:c alloc) )
+    | Spec.Maglev c ->
+        ( Maglev.program,
+          Maglev.contracts ~config:c (),
+          Maglev.classes ~config:c (),
+          fun alloc -> fst (Maglev.setup ~config:c alloc) )
+    | Spec.Router r ->
+        ( Router.program r.Spec.backend,
+          Router.contracts r.Spec.backend,
+          Router.classes r.Spec.backend,
+          fun alloc ->
+            fst (Router.setup r.Spec.backend alloc ~routes:r.Spec.routes) )
+    | Spec.Conntrack c ->
+        ( Conntrack.program,
+          Conntrack.contracts ~config:c (),
+          Conntrack.classes ~config:c (),
+          fun alloc -> fst (Conntrack.setup ~config:c alloc) )
+    | Spec.Limiter c ->
+        ( Limiter.program,
+          Limiter.contracts ~config:c (),
+          Limiter.classes (),
+          fun alloc -> fst (Limiter.setup ~config:c alloc) )
+    | Spec.Policer c ->
+        ( Policer.program,
+          Policer.contracts (),
+          Policer.classes (),
+          fun alloc -> fst (Policer.setup ~config:c alloc) )
+    | Spec.Responder ->
+        (Responder.program, stateless, Responder.classes (), fun _ -> [])
+    | Spec.Firewall ->
+        (Firewall.program, stateless, Firewall.classes (), fun _ -> [])
+    | Spec.Static_router ->
+        (Static_router.program, stateless, Static_router.classes (), fun _ ->
+          [])
+  in
+  { name; spec; program; contracts; classes; setup; frozen }
 
-let all () =
-  [
-    {
-      (entry ~name:"bridge" ~program:Bridge.program
-         ~contracts:(Bridge.contracts ()) ~classes:(Bridge.classes ())
-         ~setup:(fun alloc -> fst (Bridge.setup alloc)))
-      with
-      frozen =
-        Some
-          {
-            knobs =
-              [
-                ("capacity", "4096");
-                ("buckets", "4096");
-                ("timeout", "300000000");
-                ("threshold", "6");
-                ("seed", "42");
-              ];
-          };
-    };
-    {
-      (entry ~name:"nat" ~program:Nat.program ~contracts:(Nat.contracts ())
-         ~classes:(Nat.classes ())
-         ~setup:(fun alloc -> fst (Nat.setup alloc)))
-      with
-      frozen =
-        Some
-          {
-            knobs =
-              [
-                ("capacity", "4096");
-                ("buckets", "4096");
-                ("timeout", "10000000");
-                ("ports", "1024-9215");
-                ("allocator", "dll");
-              ];
-          };
-    };
-    entry ~name:"maglev" ~program:Maglev.program
-      ~contracts:(Maglev.contracts ()) ~classes:(Maglev.classes ())
-      ~setup:(fun alloc -> fst (Maglev.setup alloc));
-    entry ~name:"lpm_router" ~program:Router_lpm.program
-      ~contracts:(Router_lpm.contracts ()) ~classes:(Router_lpm.classes ())
-      ~setup:(fun alloc ->
-        fst
-          (Router_lpm.setup alloc
-             ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
-    entry ~name:"trie_router" ~program:Router_trie.program
-      ~contracts:(Router_trie.contracts ()) ~classes:(Router_trie.classes ())
-      ~setup:(fun alloc ->
-        fst
-          (Router_trie.setup alloc
-             ~routes:[ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]));
-    entry ~name:"conntrack" ~program:Conntrack.program
-      ~contracts:(Conntrack.contracts ()) ~classes:(Conntrack.classes ())
-      ~setup:(fun alloc -> fst (Conntrack.setup alloc));
-    entry ~name:"limiter" ~program:Limiter.program
-      ~contracts:(Limiter.contracts ()) ~classes:(Limiter.classes ())
-      ~setup:(fun alloc -> fst (Limiter.setup alloc));
-    entry ~name:"policer" ~program:Policer.program
-      ~contracts:(Policer.contracts ()) ~classes:(Policer.classes ())
-      ~setup:(fun alloc -> fst (Policer.setup alloc));
-    entry ~name:"responder" ~program:Responder.program
-      ~contracts:(Perf.Ds_contract.library [])
-      ~classes:(Responder.classes ())
-      ~setup:(fun _ -> []);
-    {
-      (entry ~name:"firewall" ~program:Firewall.program
-         ~contracts:(Perf.Ds_contract.library [])
-         ~classes:(Firewall.classes ())
-         ~setup:(fun _ -> []))
-      with
-      frozen = Some { knobs = [ ("ruleset", "builtin") ] };
-    };
-    {
-      (entry ~name:"static_router" ~program:Static_router.program
-         ~contracts:(Perf.Ds_contract.library [])
-         ~classes:(Static_router.classes ())
-         ~setup:(fun _ -> []))
-      with
-      frozen = Some { knobs = [ ("fib", "builtin") ] };
-    };
-  ]
-
+let all () = List.map of_spec (Spec.defaults ())
 let names () = List.map (fun e -> e.name) (all ())
 
 let specialize e ~meter =

@@ -4,18 +4,28 @@
     network function — its IR program, the contract library for its
     stateful calls, its input classes, and a [setup] that builds the
     production data structures — so the CLI, bench, examples and tests
-    look NFs up by name instead of re-wiring those four by hand. *)
+    look NFs up by name instead of re-wiring those four by hand.
+
+    Every entry is {e derived} from a value-level {!Spec.t} by
+    {!of_spec}; the default catalogue is [Spec.defaults ()] mapped
+    through it, so the tuner's search space and the registry's
+    construction path share one definition. *)
 
 type frozen = {
-  knobs : (string * string) list;
-      (** configuration the default [setup] bakes in, knob → value —
-          what a config-specialized stream freezes against *)
+  knobs : Spec.knob list;
+      (** typed configuration the default [setup] bakes in — what a
+          config-specialized stream freezes against *)
 }
 (** Frozen-config descriptor for NFs whose per-stream configuration is
     fixed (static router FIB, firewall ruleset, table geometries). *)
 
+val to_strings : frozen -> (string * string) list
+(** The historic stringly [knob → value] rendering, for printers and the
+    specialize gate. *)
+
 type entry = {
   name : string;
+  spec : Spec.t;  (** the value-level description this entry was built from *)
   program : Ir.Program.t;
   contracts : Perf.Ds_contract.library;
   classes : Symbex.Iclass.t list;
@@ -26,6 +36,11 @@ type entry = {
       (** present for the benched NFs whose configuration is frozen per
           stream and therefore eligible for {!Exec.Specialize} *)
 }
+
+val of_spec : Spec.t -> entry
+(** Derive a full entry — program, contracts, classes, setup, frozen
+    knobs — from a value-level spec.  This is the only construction
+    path; [all ()] is [Spec.defaults ()] mapped through it. *)
 
 val all : unit -> entry list
 (** Every registered NF, in presentation order. *)

@@ -1,0 +1,88 @@
+(* One router, two LPM backends.  The backend choice is a value
+   (Dslib.Backends.Lpm.choice), not a source-level pick: program text,
+   contracts and input classes are all derived from it, and the historic
+   `lpm_router` / `trie_router` registry names map to the two choices.
+
+   The per-backend differences are deliberate and preserved bit-exactly
+   from the pre-refactor modules: the dir-24-8 router models a production
+   forwarder (it decrements TTL and recomputes the checksum), while the
+   trie router is the paper's stylised running example (§2.1, Algorithm 1)
+   and forwards the packet untouched. *)
+
+let instance = "lpm"
+
+open Ir.Expr
+open Ir.Stmt
+
+let name backend =
+  match backend with `Dir24_8 -> "lpm_router" | `Trie -> "trie_router"
+
+let of_name = function
+  | "lpm_router" -> Some `Dir24_8
+  | "trie_router" -> Some `Trie
+  | _ -> None
+
+let program backend =
+  let prologue comment =
+    [
+      Comment comment;
+      if_ (Pkt_len < int 34) [ drop ] [];
+      assign "ethertype" Hdr.ethertype;
+      if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
+      assign "dst_ip" Hdr.dst_ip;
+      call ~ret:"port" instance "lookup" [ var "dst_ip" ];
+    ]
+  in
+  let state =
+    [ { Ir.Program.instance; kind = Dslib.Backends.Lpm.kind backend } ]
+  in
+  match backend with
+  | `Dir24_8 ->
+      Ir.Program.make ~name:(name backend) ~state
+        (prologue "parse: Ethernet + IPv4"
+        @ Hdr.decrement_ttl
+        @ [ forward (var "port") ])
+  | `Trie ->
+      Ir.Program.make ~name:(name backend) ~state
+        (prologue "Algorithm 1: classify, then LPM lookup"
+        @ [ forward (var "port") ])
+
+let setup backend alloc ~routes =
+  let lpm =
+    Dslib.Backends.Lpm.create backend
+      ~base:(Dslib.Layout.region alloc)
+      ~default_port:0
+  in
+  List.iter
+    (fun (prefix, len, port) ->
+      Dslib.Backends.Lpm.add_route lpm ~prefix ~len ~port)
+    routes;
+  ([ (instance, lpm.Dslib.Backends.Lpm.ds) ], lpm)
+
+let contracts backend =
+  Perf.Ds_contract.library (Dslib.Backends.Lpm.contract backend)
+
+open Symbex
+
+let classes backend =
+  match backend with
+  | `Dir24_8 ->
+      [
+        Iclass.make ~name:"LPM1"
+          ~description:"unconstrained traffic (worst case: two lookups)" ();
+        Iclass.make ~name:"LPM2"
+          ~description:"matched prefixes of <= 24 bits (one lookup)"
+          ~requires:[ Iclass.req instance "lookup" "short" ]
+          ();
+      ]
+  | `Trie ->
+      [
+        Iclass.make ~name:"Invalid packets"
+          ~description:"non-IPv4 ethertype: dropped immediately"
+          ~predicate:(Iclass.field_ne Ir.Expr.W16 12 Hdr.ipv4_ethertype)
+          ();
+        Iclass.make ~name:"Valid packets" ~description:"IPv4: trie lookup"
+          ~predicate:(Iclass.field_eq Ir.Expr.W16 12 Hdr.ipv4_ethertype)
+          ~requires:[ Iclass.req instance "lookup" "ok" ]
+          ();
+      ]

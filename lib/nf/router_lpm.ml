@@ -1,44 +1,15 @@
-let instance = "lpm"
+(* Thin alias over the spec-parameterized Router with the `Dir24_8
+   backend; kept so existing call sites (and the typed setup return)
+   survive the dedup. *)
 
-open Ir.Expr
-open Ir.Stmt
-
-let program =
-  Ir.Program.make ~name:"lpm_router"
-    ~state:[ { Ir.Program.instance; kind = Dslib.Lpm_dir24_8.kind } ]
-    ([
-       Comment "parse: Ethernet + IPv4";
-       if_ (Pkt_len < int 34) [ drop ] [];
-       assign "ethertype" Hdr.ethertype;
-       if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
-       assign "dst_ip" Hdr.dst_ip;
-       call ~ret:"port" instance "lookup" [ var "dst_ip" ];
-     ]
-    @ Hdr.decrement_ttl
-    @ [ forward (var "port") ])
+let instance = Router.instance
+let program = Router.program `Dir24_8
 
 let setup alloc ~routes =
-  let lpm =
-    Dslib.Lpm_dir24_8.create
-      ~base:(Dslib.Layout.region alloc)
-      ~default_port:0
-  in
-  List.iter
-    (fun (prefix, len, port) ->
-      Dslib.Lpm_dir24_8.add_route lpm ~prefix ~len ~port)
-    routes;
-  ([ (instance, Dslib.Lpm_dir24_8.to_ds lpm) ], lpm)
+  let env, lpm = Router.setup `Dir24_8 alloc ~routes in
+  match lpm.Dslib.Backends.Lpm.repr with
+  | Dslib.Backends.Lpm.Dir24_8 t -> (env, t)
+  | _ -> assert false
 
-let contracts () = Perf.Ds_contract.library Dslib.Lpm_dir24_8.Recipe.contract
-
-open Symbex
-
-let classes () =
-  [
-    Iclass.make ~name:"LPM1"
-      ~description:"unconstrained traffic (worst case: two lookups)" ();
-    Iclass.make ~name:"LPM2"
-      ~description:"matched prefixes of <= 24 bits (one lookup)"
-      ~requires:[ Iclass.req instance "lookup" "short" ]
-      ();
-  ]
+let contracts () = Router.contracts `Dir24_8
+let classes () = Router.classes `Dir24_8

@@ -1,46 +1,18 @@
-let instance = "lpm"
+(* Thin alias over the spec-parameterized Router with the `Trie backend,
+   plus the paper's stylised Table 1 contract (which belongs to the trie
+   method specifically). *)
 
-open Ir.Expr
-open Ir.Stmt
-
-let program =
-  Ir.Program.make ~name:"trie_router"
-    ~state:[ { Ir.Program.instance; kind = Dslib.Lpm_trie.kind } ]
-    [
-      Comment "Algorithm 1: classify, then LPM lookup";
-      if_ (Pkt_len < int 34) [ drop ] [];
-      assign "ethertype" Hdr.ethertype;
-      if_ (var "ethertype" != int Hdr.ipv4_ethertype) [ drop ] [];
-      assign "dst_ip" Hdr.dst_ip;
-      call ~ret:"port" instance "lookup" [ var "dst_ip" ];
-      forward (var "port");
-    ]
+let instance = Router.instance
+let program = Router.program `Trie
 
 let setup alloc ~routes =
-  let trie =
-    Dslib.Lpm_trie.create ~base:(Dslib.Layout.region alloc) ~default_port:0
-  in
-  List.iter
-    (fun (prefix, len, port) ->
-      Dslib.Lpm_trie.add_route trie ~prefix ~len ~port)
-    routes;
-  ([ (instance, Dslib.Lpm_trie.to_ds trie) ], trie)
+  let env, lpm = Router.setup `Trie alloc ~routes in
+  match lpm.Dslib.Backends.Lpm.repr with
+  | Dslib.Backends.Lpm.Trie t -> (env, t)
+  | _ -> assert false
 
-let contracts () = Perf.Ds_contract.library Dslib.Lpm_trie.Recipe.contract
-
-open Symbex
-
-let classes () =
-  [
-    Iclass.make ~name:"Invalid packets"
-      ~description:"non-IPv4 ethertype: dropped immediately"
-      ~predicate:(Iclass.field_ne Ir.Expr.W16 12 Hdr.ipv4_ethertype)
-      ();
-    Iclass.make ~name:"Valid packets" ~description:"IPv4: trie lookup"
-      ~predicate:(Iclass.field_eq Ir.Expr.W16 12 Hdr.ipv4_ethertype)
-      ~requires:[ Iclass.req instance "lookup" "ok" ]
-      ();
-  ]
+let contracts () = Router.contracts `Trie
+let classes () = Router.classes `Trie
 
 let stylized_contract =
   let open Perf in

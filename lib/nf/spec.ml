@@ -1,0 +1,238 @@
+(* Value-level NF variant descriptions.  A Spec.t names one point in the
+   design space — which backend implements each abstraction, and the
+   typed geometry knobs — and the registry derives its entry (program,
+   contracts, classes, setup, frozen knobs) from the spec instead of
+   hand-wiring them per file.  The tuner enumerates and mutates these
+   same values, so its search space and the registry's construction path
+   cannot drift apart. *)
+
+type knob =
+  | Capacity of int
+  | Buckets of int
+  | Timeout of int
+  | Threshold of int
+  | Seed of int
+  | Granularity of int
+  | Ports of int * int
+  | Allocator of Dslib.Backends.alloc
+  | Lpm_backend of Dslib.Backends.lpm
+  | Routes of int
+  | Rows of int
+  | Width of int
+  | Rate of int
+  | Burst of int
+  | Backend_count of int
+  | Ring_size of int
+  | Backend_timeout of int
+  | Ruleset of string
+  | Fib of string
+
+let knob_name = function
+  | Capacity _ -> "capacity"
+  | Buckets _ -> "buckets"
+  | Timeout _ -> "timeout"
+  | Threshold _ -> "threshold"
+  | Seed _ -> "seed"
+  | Granularity _ -> "granularity"
+  | Ports _ -> "ports"
+  | Allocator _ -> "allocator"
+  | Lpm_backend _ -> "lpm"
+  | Routes _ -> "routes"
+  | Rows _ -> "rows"
+  | Width _ -> "width"
+  | Rate _ -> "rate"
+  | Burst _ -> "burst"
+  | Backend_count _ -> "backends"
+  | Ring_size _ -> "ring_size"
+  | Backend_timeout _ -> "backend_timeout"
+  | Ruleset _ -> "ruleset"
+  | Fib _ -> "fib"
+
+let knob_value = function
+  | Capacity n | Buckets n | Timeout n | Threshold n | Seed n
+  | Granularity n | Routes n | Rows n | Width n | Rate n | Burst n
+  | Backend_count n | Ring_size n | Backend_timeout n ->
+      string_of_int n
+  | Ports (lo, hi) -> Printf.sprintf "%d-%d" lo hi
+  | Allocator a -> Dslib.Backends.Alloc.name a
+  | Lpm_backend b -> Dslib.Backends.Lpm.name b
+  | Ruleset s | Fib s -> s
+
+let to_strings knobs =
+  List.map (fun k -> (knob_name k, knob_value k)) knobs
+
+type router = {
+  backend : Dslib.Backends.lpm;
+  routes : (int * int * int) list;
+}
+
+type t =
+  | Bridge of Bridge.config
+  | Nat of Nat.config
+  | Maglev of Maglev.config
+  | Router of router
+  | Conntrack of Conntrack.config
+  | Limiter of Limiter.config
+  | Policer of Policer.config
+  | Responder
+  | Firewall
+  | Static_router
+
+let name = function
+  | Bridge _ -> "bridge"
+  | Nat _ -> "nat"
+  | Maglev _ -> "maglev"
+  | Router r -> Router.name r.backend
+  | Conntrack _ -> "conntrack"
+  | Limiter _ -> "limiter"
+  | Policer _ -> "policer"
+  | Responder -> "responder"
+  | Firewall -> "firewall"
+  | Static_router -> "static_router"
+
+let default_routes = [ (Net.Ipv4.addr_of_parts 10 0 0 0, 16, 1) ]
+
+(* Presentation order — this is what fixes [Registry.names ()]. *)
+let defaults () =
+  [
+    Bridge Bridge.default_config;
+    Nat Nat.default_config;
+    Maglev Maglev.default_config;
+    Router { backend = `Dir24_8; routes = default_routes };
+    Router { backend = `Trie; routes = default_routes };
+    Conntrack Conntrack.default_config;
+    Limiter Limiter.default_config;
+    Policer Policer.default_config;
+    Responder;
+    Firewall;
+    Static_router;
+  ]
+
+let of_name n =
+  match List.find_opt (fun s -> name s = n) (defaults ()) with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown NF spec %S (try: %s)" n
+           (String.concat ", " (List.map name (defaults ()))))
+
+let knobs = function
+  | Bridge c ->
+      [
+        Capacity c.Bridge.capacity;
+        Buckets c.Bridge.buckets;
+        Timeout c.Bridge.timeout;
+        Threshold c.Bridge.threshold;
+        Seed c.Bridge.seed;
+      ]
+  | Nat c ->
+      [
+        Capacity c.Nat.capacity;
+        Buckets c.Nat.buckets;
+        Timeout c.Nat.timeout;
+        Ports (c.Nat.port_lo, c.Nat.port_hi);
+        Allocator c.Nat.allocator;
+      ]
+  | Maglev c ->
+      [
+        Capacity c.Maglev.capacity;
+        Buckets c.Maglev.buckets;
+        Timeout c.Maglev.timeout;
+        Backend_count c.Maglev.backend_count;
+        Ring_size c.Maglev.ring_size;
+        Backend_timeout c.Maglev.backend_timeout;
+      ]
+  | Router r -> [ Lpm_backend r.backend; Routes (List.length r.routes) ]
+  | Conntrack c ->
+      [
+        Capacity c.Conntrack.capacity;
+        Buckets c.Conntrack.buckets;
+        Timeout c.Conntrack.timeout;
+      ]
+  | Limiter c -> [ Rows c.Limiter.rows; Width c.Limiter.width ]
+  | Policer c -> [ Rate c.Policer.rate; Burst c.Policer.burst ]
+  | Responder -> []
+  | Firewall -> [ Ruleset "builtin" ]
+  | Static_router -> [ Fib "builtin" ]
+
+(* Which knobs the default setup bakes into a specializable stream —
+   exactly the pre-refactor [Registry.frozen] contents. *)
+let frozen_knobs = function
+  | Bridge _ as s -> Some (knobs s)
+  | Nat _ as s -> Some (knobs s)
+  | Firewall as s -> Some (knobs s)
+  | Static_router as s -> Some (knobs s)
+  | _ -> None
+
+let apply spec knob =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf "Spec.apply: knob %S does not apply to %S"
+         (knob_name knob) (name spec))
+  in
+  match (spec, knob) with
+  | Bridge c, Capacity n -> Bridge { c with Bridge.capacity = n }
+  | Bridge c, Buckets n -> Bridge { c with Bridge.buckets = n }
+  | Bridge c, Timeout n -> Bridge { c with Bridge.timeout = n }
+  | Bridge c, Threshold n -> Bridge { c with Bridge.threshold = n }
+  | Bridge c, Seed n -> Bridge { c with Bridge.seed = n }
+  | Nat c, Capacity n -> Nat { c with Nat.capacity = n }
+  | Nat c, Buckets n -> Nat { c with Nat.buckets = n }
+  | Nat c, Timeout n -> Nat { c with Nat.timeout = n }
+  | Nat c, Granularity n -> Nat { c with Nat.granularity = n }
+  | Nat c, Ports (lo, hi) -> Nat { c with Nat.port_lo = lo; port_hi = hi }
+  | Nat c, Allocator a -> Nat { c with Nat.allocator = a }
+  | Maglev c, Capacity n -> Maglev { c with Maglev.capacity = n }
+  | Maglev c, Buckets n -> Maglev { c with Maglev.buckets = n }
+  | Maglev c, Timeout n -> Maglev { c with Maglev.timeout = n }
+  | Maglev c, Backend_count n -> Maglev { c with Maglev.backend_count = n }
+  | Maglev c, Ring_size n -> Maglev { c with Maglev.ring_size = n }
+  | Maglev c, Backend_timeout n -> Maglev { c with Maglev.backend_timeout = n }
+  | Router r, Lpm_backend b -> Router { r with backend = b }
+  | Conntrack c, Capacity n -> Conntrack { c with Conntrack.capacity = n }
+  | Conntrack c, Buckets n -> Conntrack { c with Conntrack.buckets = n }
+  | Conntrack c, Timeout n -> Conntrack { c with Conntrack.timeout = n }
+  | Limiter c, Rows n -> Limiter { c with Limiter.rows = n }
+  | Limiter c, Width n -> Limiter { c with Limiter.width = n }
+  | Policer c, Rate n -> Policer { c with Policer.rate = n }
+  | Policer c, Burst n -> Policer { c with Policer.burst = n }
+  | _ -> bad ()
+
+let with_routes spec routes =
+  match spec with
+  | Router r -> Router { r with routes }
+  | _ -> invalid_arg "Spec.with_routes: not a router spec"
+
+(* Memory-footprint model, from the same layout constants the charged
+   address arithmetic uses (see Dslib.Backends); stateless NFs occupy no
+   layout space.  Router footprints depend on the installed routes, so we
+   build the (config-time, uncharged) structure and measure it. *)
+let footprint_bytes = function
+  | Bridge c ->
+      Dslib.Backends.Flows.footprint_bytes `Flow ~capacity:c.Bridge.capacity
+        ~buckets:c.Bridge.buckets
+  | Nat c ->
+      Dslib.Backends.nat_footprint_bytes ~alloc:c.Nat.allocator
+        ~capacity:c.Nat.capacity ~buckets:c.Nat.buckets
+        ~ports:(c.Nat.port_hi - c.Nat.port_lo + 1)
+  | Maglev c ->
+      Dslib.Backends.Flows.footprint_bytes `Flow ~capacity:c.Maglev.capacity
+        ~buckets:c.Maglev.buckets
+      + (4 * c.Maglev.ring_size)
+      + (8 * c.Maglev.backend_count)
+  | Router r ->
+      let _, lpm = Router.setup r.backend (Dslib.Layout.allocator ()) ~routes:r.routes in
+      Dslib.Backends.Lpm.footprint_bytes lpm
+  | Conntrack c ->
+      Dslib.Backends.Flows.footprint_bytes `Flow
+        ~capacity:c.Conntrack.capacity ~buckets:c.Conntrack.buckets
+  | Limiter c -> 8 * c.Limiter.rows * c.Limiter.width
+  | Policer _ -> 16
+  | Responder | Firewall | Static_router -> 0
+
+let pp ppf spec =
+  Fmt.pf ppf "%s{%s}" (name spec)
+    (String.concat ", "
+       (List.map
+          (fun k -> knob_name k ^ "=" ^ knob_value k)
+          (knobs spec)))

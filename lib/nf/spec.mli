@@ -1,0 +1,90 @@
+(** Value-level NF variant descriptions.
+
+    A [Spec.t] names one point in the NF design space: which backend
+    implements each abstraction (via {!Dslib.Backends} choices) and the
+    typed capacity/geometry knobs that used to live as stringly
+    [Registry.frozen.knobs].  {!Registry.of_spec} derives a full registry
+    entry from a spec; the tuner enumerates and mutates the same values,
+    so the search space and the construction path cannot drift apart. *)
+
+(** One typed configuration knob.  [to_strings] renders a knob list in
+    the historic [(name, value)] form used by printers and the
+    specialize gate. *)
+type knob =
+  | Capacity of int
+  | Buckets of int
+  | Timeout of int
+  | Threshold of int
+  | Seed of int
+  | Granularity of int
+  | Ports of int * int  (** allocatable port range, inclusive *)
+  | Allocator of Dslib.Backends.alloc
+  | Lpm_backend of Dslib.Backends.lpm
+  | Routes of int  (** route-table size (router display knob) *)
+  | Rows of int
+  | Width of int
+  | Rate of int
+  | Burst of int
+  | Backend_count of int
+  | Ring_size of int
+  | Backend_timeout of int
+  | Ruleset of string
+  | Fib of string
+
+val knob_name : knob -> string
+val knob_value : knob -> string
+
+val to_strings : knob list -> (string * string) list
+(** The historic stringly rendering, [(knob_name k, knob_value k)]. *)
+
+type router = {
+  backend : Dslib.Backends.lpm;
+  routes : (int * int * int) list;  (** [(prefix, len, port)] triples *)
+}
+
+type t =
+  | Bridge of Bridge.config
+  | Nat of Nat.config
+  | Maglev of Maglev.config
+  | Router of router
+  | Conntrack of Conntrack.config
+  | Limiter of Limiter.config
+  | Policer of Policer.config
+  | Responder
+  | Firewall
+  | Static_router
+
+val name : t -> string
+(** Registry name; the two router backends keep their historic names
+    ["lpm_router"] / ["trie_router"]. *)
+
+val default_routes : (int * int * int) list
+
+val defaults : unit -> t list
+(** The 11 registry specs, in presentation order. *)
+
+val of_name : string -> t
+(** Default spec for a registry name; raises [Invalid_argument] with the
+    known names on a miss. *)
+
+val knobs : t -> knob list
+(** Every typed knob the spec carries, in presentation order. *)
+
+val frozen_knobs : t -> knob list option
+(** The knobs the default setup bakes into a specializable stream —
+    present exactly for the NFs whose registry entry is frozen. *)
+
+val apply : t -> knob -> t
+(** Functional update; raises [Invalid_argument] when the knob does not
+    apply to this NF family. *)
+
+val with_routes : t -> (int * int * int) list -> t
+(** Replace a router spec's route table. *)
+
+val footprint_bytes : t -> int
+(** Bytes of {!Dslib.Layout} address space the spec's state occupies,
+    from the same layout constants the charged address arithmetic uses
+    (router specs build the config-time structure and measure it);
+    0 for stateless NFs. *)
+
+val pp : Format.formatter -> t -> unit

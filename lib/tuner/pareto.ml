@@ -1,0 +1,15 @@
+(* Pareto dominance over the tuner's objective vector: predicted p50 and
+   p99 cycles per packet (both minimized) and memory footprint bytes
+   (minimized).  A point dominates another when it is no worse on every
+   objective and strictly better on at least one. *)
+
+type objectives = { p50 : int; p99 : int; mem : int }
+
+let dominates a b =
+  a.p50 <= b.p50 && a.p99 <= b.p99 && a.mem <= b.mem
+  && (a.p50 < b.p50 || a.p99 < b.p99 || a.mem < b.mem)
+
+let front points =
+  List.filter
+    (fun (_, o) -> not (List.exists (fun (_, o') -> dominates o' o) points))
+    points

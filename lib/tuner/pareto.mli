@@ -1,0 +1,10 @@
+(** Pareto dominance over the tuner's objectives: predicted p50/p99
+    cycles per packet and memory footprint bytes, all minimized. *)
+
+type objectives = { p50 : int; p99 : int; mem : int }
+
+val dominates : objectives -> objectives -> bool
+(** [dominates a b]: no worse everywhere, strictly better somewhere. *)
+
+val front : ('a * objectives) list -> ('a * objectives) list
+(** The non-dominated subset, in input order. *)

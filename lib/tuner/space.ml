@@ -1,0 +1,136 @@
+(* The design-space grid: which backends and geometries the tuner
+   explores per NF family, enumerated deterministically (outer loop over
+   backends in registry order, inner loop over capacities in the given
+   order), plus the replayable workload every point of a family is
+   scored against.
+
+   Capacities are interpreted per family: table capacity for the
+   flow-table NFs (buckets track capacity, the default geometry's 1:1
+   ratio), route-table size for the routers. *)
+
+let tunable = [ "bridge"; "nat"; "maglev"; "lpm_router"; "trie_router"; "conntrack" ]
+
+let is_tunable nf = List.mem nf tunable
+
+let backends ~nf =
+  match nf with
+  | "lpm_router" | "trie_router" ->
+      List.map Dslib.Backends.Lpm.name Dslib.Backends.Lpm.all
+  | "nat" -> List.map Dslib.Backends.Alloc.name Dslib.Backends.Alloc.all
+  | "bridge" | "maglev" | "conntrack" ->
+      List.map Dslib.Backends.Flows.name Dslib.Backends.Flows.all
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "NF %S is not tunable (try: %s)" nf
+           (String.concat ", " tunable))
+
+let default_capacities ~nf =
+  match nf with
+  | "lpm_router" | "trie_router" -> [ 64; 256; 1024 ]
+  | _ -> [ 1024; 2048; 4096 ]
+
+(* Deterministic synthetic route table; [synthetic_routes n] is a prefix
+   of [synthetic_routes m] for n <= m, so destinations generated against
+   the smallest table match real routes in every larger grid point.
+   Even slots are /16s (dir-24-8 short path, 16-bit trie walks), odd
+   slots are /28s (dir-24-8 long path, 28-bit walks). *)
+let synthetic_routes n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then
+        let k = i / 2 in
+        (Net.Ipv4.addr_of_parts 10 (k mod 256) 0 0, 16, (i mod 14) + 1)
+      else
+        ( Net.Ipv4.addr_of_parts 10 200 (i mod 256) (i * 16 mod 240),
+          28,
+          (i mod 14) + 1 ))
+
+let backend_of (spec : Nf.Spec.t) =
+  match spec with
+  | Nf.Spec.Router r -> Dslib.Backends.Lpm.name r.Nf.Spec.backend
+  | Nf.Spec.Nat c -> Dslib.Backends.Alloc.name c.Nf.Nat.allocator
+  | _ -> Dslib.Backends.Flows.name `Flow
+
+let point ~nf ~backend ~capacity =
+  match nf with
+  | "lpm_router" | "trie_router" ->
+      Nf.Spec.Router
+        {
+          Nf.Spec.backend = Dslib.Backends.Lpm.of_name backend;
+          routes = synthetic_routes capacity;
+        }
+  | "nat" ->
+      let open Nf.Spec in
+      Nf.Spec.of_name nf
+      |> Fun.flip apply (Allocator (Dslib.Backends.Alloc.of_name backend))
+      |> Fun.flip apply (Capacity capacity)
+      |> Fun.flip apply (Buckets capacity)
+  | "bridge" | "maglev" | "conntrack" ->
+      ignore (Dslib.Backends.Flows.of_name backend);
+      let open Nf.Spec in
+      Nf.Spec.of_name nf
+      |> Fun.flip apply (Capacity capacity)
+      |> Fun.flip apply (Buckets capacity)
+  | _ -> invalid_arg ("Space.point: " ^ nf)
+
+let grid ~nf ?backends:bs ?capacities () =
+  let bs = match bs with Some l -> l | None -> backends ~nf in
+  let caps =
+    match capacities with Some l -> l | None -> default_capacities ~nf
+  in
+  if bs = [] || caps = [] then invalid_arg "Space.grid: empty axis";
+  List.concat_map
+    (fun b -> List.map (fun c -> point ~nf ~backend:b ~capacity:c) caps)
+    bs
+
+(* Streams are replayed several times (harvest per backend, winner
+   validation) and some NFs rewrite headers in place, so every replay
+   gets its own packet copies. *)
+let copy_stream stream =
+  List.map
+    (fun (e : Workload.Stream.entry) ->
+      { e with Workload.Stream.packet = Net.Packet.copy e.Workload.Stream.packet })
+    stream
+
+(* One deterministic workload per family, shared by every grid point.
+   The inter-packet gap is sized against the family's default timeout so
+   a few hundred packets exercise some expiry (the e-term of the
+   contracts), not just the hit path.  Router destinations are drawn
+   from the smallest route table in the grid — synthetic_routes is
+   prefix-closed, so they match installed routes at every point — with a
+   default-route tail. *)
+let workload ~nf ~packets ~seed ~capacities =
+  let rng = Workload.Prng.create ~seed in
+  match nf with
+  | "lpm_router" | "trie_router" ->
+      let min_cap = List.fold_left min (List.hd capacities) capacities in
+      let routes = Array.of_list (synthetic_routes min_cap) in
+      let pkts =
+        List.init packets (fun _ ->
+            let dst =
+              if Workload.Prng.below rng 100 < 85 then
+                let prefix, len, _ =
+                  routes.(Workload.Prng.below rng (Array.length routes))
+                in
+                prefix lor Workload.Prng.below rng (1 lsl (32 - len))
+              else
+                Net.Ipv4.addr_of_parts 192 168
+                  (Workload.Prng.below rng 256)
+                  1
+            in
+            Net.Build.udp
+              ~src_ip:(Net.Ipv4.addr_of_parts 10 9 0 1)
+              ~dst_ip:dst ~src_port:5000 ~dst_port:53 ())
+      in
+      Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:100 pkts
+  | "bridge" ->
+      let macs = List.init 16 (fun _ -> Workload.Gen.mac rng) in
+      let pkts = Workload.Gen.unicast_frames rng ~srcs:macs ~dsts:macs packets in
+      Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:1_000_000
+        pkts
+  | "nat" | "maglev" ->
+      Workload.Gen.churn rng ~pool:64 ~packets ~new_flow_prob:0.1 ~gap:50_000
+        ~start:1_000_000
+  | "conntrack" ->
+      Workload.Gen.churn rng ~pool:64 ~packets ~new_flow_prob:0.1 ~gap:100_000
+        ~start:1_000_000
+  | _ -> invalid_arg ("Space.workload: " ^ nf)

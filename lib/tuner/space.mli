@@ -1,0 +1,43 @@
+(** The tuner's design-space grid and per-family workloads.
+
+    A grid is the cartesian product backends × capacities, enumerated
+    deterministically (backends outer, capacities inner, both in the
+    given order).  "Capacity" is interpreted per family: table capacity
+    (buckets tracking it 1:1, the default geometry's ratio) for the
+    flow-table NFs, route-table size for the routers. *)
+
+val tunable : string list
+(** Registry names the tuner accepts. *)
+
+val is_tunable : string -> bool
+
+val backends : nf:string -> string list
+(** The backend axis for this NF family, in registry order; raises
+    [Invalid_argument] (listing the tunable NFs) otherwise. *)
+
+val default_capacities : nf:string -> int list
+
+val synthetic_routes : int -> (int * int * int) list
+(** Deterministic route table of the given size; prefix-closed (a
+    smaller table is a prefix of a larger one) and split between /16s
+    (dir-24-8 one-lookup tier) and /28s (two-lookup tier). *)
+
+val backend_of : Nf.Spec.t -> string
+(** Which backend-axis value a spec carries. *)
+
+val point : nf:string -> backend:string -> capacity:int -> Nf.Spec.t
+(** One grid point as a value-level spec. *)
+
+val grid :
+  nf:string -> ?backends:string list -> ?capacities:int list -> unit ->
+  Nf.Spec.t list
+
+val copy_stream : Workload.Stream.t -> Workload.Stream.t
+(** Per-entry packet copies, so replays cannot corrupt each other via
+    in-place header rewrites. *)
+
+val workload :
+  nf:string -> packets:int -> seed:int -> capacities:int list ->
+  Workload.Stream.t
+(** The family's deterministic replayable workload; every grid point of
+    one tuning run is scored against the same stream. *)

@@ -22,4 +22,5 @@ let () =
       ("obs", T_obs.suite);
       ("nf", T_nf.suite);
       ("proptest", T_proptest.suite);
+      ("tuner", T_tuner.suite);
     ]
