@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick bench-smoke fuzz-smoke tune-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke soak-smoke fuzz-smoke fuzz-stateful-smoke tune-smoke examples doc clean
 
 all: build
 
@@ -54,6 +54,24 @@ bench-quick:
 bench-smoke:
 	dune exec bench/main.exe -- speedup --quick --jobs 2 --trace bench_trace.json
 	dune exec bench/main.exe -- throughput --quick --json BENCH_throughput.json
+
+# CI smoke for the soak benchmark: six traffic classes (uniform, Zipf,
+# heavy-tailed bursts, flow churn, a NAT hash-collision flood and an
+# LPM tbl8 prefix attack) through the specialized engine, each class
+# also replayed against its contract for soundness.  The JSON artifact
+# records per-class pps + soundness and the collision-vs-uniform
+# slowdown; the full (non-quick) run regenerates the tracked
+# BENCH_soak.json with million-flow churn.
+soak-smoke:
+	dune exec bench/main.exe -- soak --quick --json BENCH_soak_smoke.json
+
+# CI smoke for the soundness fuzzer's stateful mode: deterministic
+# command-sequence campaigns over every dslib structure, each checked
+# against its purely-functional model and its per-command contract
+# bounds (see docs/TESTING.md).  Failures shrink and print a replayable
+# trace.
+fuzz-stateful-smoke:
+	dune exec bin/bolt_cli.exe -- fuzz --stateful --seed 1 --runs 8 --json fuzz_stateful_smoke.json
 
 # CI smoke for the autotuner: a small router grid (two LPM backends x
 # three route-table sizes) priced analytically, winner validated by

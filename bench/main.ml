@@ -13,6 +13,9 @@
      dune exec bench/main.exe -- throughput --json BENCH_throughput.json
                                               — interpreted vs closure-compiled
                                                 packets/sec
+     dune exec bench/main.exe -- soak --json BENCH_soak.json
+                                              — attack-class soak: specialized
+                                                pps + contract soundness
      dune exec bench/main.exe -- bechamel     — micro-benchmarks only *)
 
 let quick = ref false
@@ -481,6 +484,246 @@ let exec_throughput () =
   in
   Fmt.pr "@.  best speedup x%.2f (specialize once, replay millions)@." best
 
+(* ---- Soak: production-shaped attack classes on the specialized path --- *)
+
+(* Each attack class replays a large production-shaped stream (Zipf
+   popularity, heavy-tailed bursts, million-flow churn, a collision
+   flood aimed at one bucket, a prefix flood aimed at one tbl8 slot)
+   through the config-specialized engine and reports two things per
+   class: wall-clock pps (best of several runs, fresh state per run) and
+   the contract-soundness verdict — a slice of the same stream replayed
+   under the conservative meter with every packet checked against the
+   analysed worst case at its own PCVs ([Experiments.Validate]).  The
+   point of the pairing: an attack class may degrade throughput (the
+   collision flood demonstrably does, vs uniform) but must never escape
+   the contract. *)
+let soak () =
+  section "Soak — attack-class throughput + contract soundness";
+  let packets = if !quick then 10_000 else 100_000 in
+  let churn_flows = if !quick then 50_000 else 1_048_576 in
+  let flood_flows = if !quick then 512 else 2_048 in
+  let sound_packets = if !quick then 2_000 else 20_000 in
+  let universe = 65_536 in
+  (* a small NAT, so floods reach full chains and churn cycles the table:
+     1024 entries, timeout = 1024 packets' worth of stream time *)
+  let nat_config =
+    {
+      Nf.Nat.default_config with
+      capacity = 1024;
+      buckets = 1024;
+      timeout = 102_400;
+      granularity = 100;
+      port_lo = 1024;
+      port_hi = 3071;
+    }
+  in
+  let nat_entry = Nf.Registry.of_spec (Nf.Spec.Nat nat_config) in
+  (* an LPM FIB with one >24-bit route, so exactly one /24 slot pays the
+     second tbl8 access — the slot the prefix flood aims at *)
+  let long_slot = Net.Ipv4.addr_of_parts 93 184 216 0 in
+  let lpm_routes = (long_slot, 28, 2) :: Nf.Spec.default_routes in
+  let lpm_entry =
+    Nf.Registry.of_spec
+      (Nf.Spec.with_routes (Nf.Spec.of_name "lpm_router") lpm_routes)
+  in
+  let base_packets name =
+    let rng = Workload.Prng.create ~seed:2025 in
+    match name with
+    | "uniform" ->
+        List.init packets (fun _ ->
+            Workload.Soak.packet_of_index (Workload.Prng.below rng universe))
+    | "zipf" ->
+        let z = Workload.Soak.zipf ~n:universe ~theta:0.99 in
+        Workload.Soak.zipf_packets rng z packets
+    | "heavy_tail" ->
+        let z = Workload.Soak.zipf ~n:universe ~theta:0.99 in
+        Workload.Soak.heavy_tail_packets rng z ~alpha:1.3 ~max_burst:256
+          packets
+    | "churn" -> Workload.Soak.churn_packets ~offset:0 churn_flows
+    | "collision_flood" ->
+        (* every flow chains into bucket 0 of the NAT's geometry; cycle
+           [flood_flows] distinct flows so the chain reaches capacity *)
+        let _, scratch =
+          Nf.Nat.setup ~config:nat_config (Dslib.Layout.allocator ())
+        in
+        let flows =
+          Array.of_list
+            (Workload.Soak.nat_collision_flows scratch rng ~bucket:0
+               flood_flows)
+        in
+        List.init packets (fun i ->
+            Net.Build.udp_of_flow flows.(i mod flood_flows))
+    | "lpm_prefix" ->
+        let _, scratch =
+          Nf.Router_lpm.setup (Dslib.Layout.allocator ()) ~routes:lpm_routes
+        in
+        Workload.Soak.lpm_attack_packets rng scratch ~slot:long_slot packets
+    | _ -> assert false
+  in
+  let classes =
+    [
+      ("uniform", nat_entry); ("zipf", nat_entry); ("heavy_tail", nat_entry);
+      ("churn", nat_entry); ("collision_flood", nat_entry);
+      ("lpm_prefix", lpm_entry);
+    ]
+  in
+  let worst_of =
+    (* one analysis per distinct entry, shared across classes *)
+    let cache = Hashtbl.create 4 in
+    fun (entry : Nf.Registry.entry) ->
+      match Hashtbl.find_opt cache entry.Nf.Registry.name with
+      | Some w -> w
+      | None ->
+          let t =
+            Bolt.Pipeline.analyze
+              ~config:
+                Bolt.Pipeline.Config.(
+                  default |> with_contracts entry.Nf.Registry.contracts)
+              entry.Nf.Registry.program
+          in
+          let w = Bolt.Pipeline.worst_case t in
+          Hashtbl.add cache entry.Nf.Registry.name w;
+          w
+  in
+  let stream_of base n =
+    let rec take acc k = function
+      | p :: rest when k > 0 -> take (Net.Packet.copy p :: acc) (k - 1) rest
+      | _ -> List.rev acc
+    in
+    Workload.Stream.constant_rate ~in_port:0 ~start:1_000_000 ~gap:100
+      (take [] n base)
+  in
+  let parity_check (entry : Nf.Registry.entry) base =
+    (* specialized vs interpreter on the stream head before timing it *)
+    let replay exec =
+      List.map
+        (fun (e : Workload.Stream.entry) ->
+          let r =
+            exec ~in_port:e.Workload.Stream.in_port ~now:e.Workload.Stream.now
+              e.Workload.Stream.packet
+          in
+          (r, Net.Packet.to_bytes e.Workload.Stream.packet))
+        (stream_of base 256)
+    in
+    let interp =
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let dss = entry.Nf.Registry.setup (Dslib.Layout.allocator ()) in
+      replay (fun ~in_port ~now packet ->
+          Exec.Meter.reset_observations meter;
+          let r =
+            Exec.Interp.run ~meter ~mode:(Exec.Interp.Production dss) ~in_port
+              ~now entry.Nf.Registry.program packet
+          in
+          (r, Exec.Meter.observations meter))
+    in
+    let spec =
+      let meter = Exec.Meter.create (Hw.Model.null ()) in
+      let sp, _ = Nf.Registry.specialize entry ~meter in
+      replay (fun ~in_port ~now packet ->
+          Exec.Meter.reset_observations meter;
+          let r = Exec.Specialize.run sp ~in_port ~now packet in
+          (r, Exec.Meter.observations meter))
+    in
+    if interp <> spec then
+      failwith
+        (entry.Nf.Registry.name
+       ^ ": specialized execution diverged from the interpreter")
+  in
+  let time_once (entry : Nf.Registry.entry) base n =
+    let meter = Exec.Meter.create (Hw.Model.null ()) in
+    let sp, _ = Nf.Registry.specialize entry ~meter in
+    let stream = stream_of base n in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (e : Workload.Stream.entry) ->
+        Exec.Meter.reset_observations meter;
+        ignore
+          (Exec.Specialize.exec sp ~in_port:e.Workload.Stream.in_port
+             ~now:e.Workload.Stream.now e.Workload.Stream.packet
+            : int))
+      stream;
+    Unix.gettimeofday () -. t0
+  in
+  let rows =
+    List.map
+      (fun (name, (entry : Nf.Registry.entry)) ->
+        let base = base_packets name in
+        let n = List.length base in
+        parity_check entry base;
+        let reps = if !quick then 2 else 3 in
+        let w =
+          let rec go i best =
+            if i = 0 then best
+            else go (i - 1) (Float.min best (time_once entry base n))
+          in
+          go reps infinity
+        in
+        let report =
+          Experiments.Validate.run ~worst:(worst_of entry)
+            ~dss:(entry.Nf.Registry.setup (Dslib.Layout.allocator ()))
+            entry.Nf.Registry.program
+            (stream_of base (min n sound_packets))
+        in
+        let sound = report.Experiments.Validate.violations = [] in
+        let pps = float_of_int n /. w in
+        Fmt.pr "  %-16s %-10s %9.0f pps   sound %b (headroom %.1f%% over %d pkts)@."
+          name entry.Nf.Registry.name pps sound
+          report.Experiments.Validate.worst_headroom_pct
+          report.Experiments.Validate.packets;
+        (name, entry.Nf.Registry.name, n, pps, sound, report))
+      classes
+  in
+  let pps_of cls =
+    List.filter_map
+      (fun (name, _, _, pps, _, _) -> if name = cls then Some pps else None)
+      rows
+    |> List.hd
+  in
+  let degradation = pps_of "uniform" /. pps_of "collision_flood" in
+  Fmt.pr "@.  collision flood runs x%.1f slower than uniform — and stays \
+          inside the contract@."
+    degradation;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let j =
+        Perf.Json.Obj
+          [
+            ("artifact", Perf.Json.String "soak");
+            ("quick", Perf.Json.Bool !quick);
+            ("seed", Perf.Json.Int 2025);
+            ( "classes",
+              Perf.Json.List
+                (List.map
+                   (fun (name, nf, n, pps, sound, report) ->
+                     Perf.Json.Obj
+                       [
+                         ("class", Perf.Json.String name);
+                         ("nf", Perf.Json.String nf);
+                         ("packets", Perf.Json.Int n);
+                         ("pps", Perf.Json.Int (int_of_float pps));
+                         ("contract_sound", Perf.Json.Bool sound);
+                         ( "soundness_packets",
+                           Perf.Json.Int report.Experiments.Validate.packets );
+                         ( "worst_headroom_pct",
+                           Perf.Json.Int
+                             (int_of_float
+                                report.Experiments.Validate.worst_headroom_pct)
+                         );
+                       ])
+                   rows) );
+            ( "collision_vs_uniform_slowdown_pct",
+              Perf.Json.Int (int_of_float (100. *. degradation)) );
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Perf.Json.to_string ~indent:true j);
+          output_string oc "\n");
+      Fmt.pr "  [wrote %s]@." path)
+
 let chain3 () =
   section "Extension — three-NF chain, jointly analysed";
   Experiments.Extensions.chain3 Fmt.stdout
@@ -664,6 +907,7 @@ let artifacts =
     ("speedup", speedup);
     ("floors", floors);
     ("throughput", exec_throughput);
+    ("soak", soak);
     ("chain3", chain3);
     ("ablations", ablations);
     ("bechamel", bechamel_suite);
@@ -715,6 +959,7 @@ let () =
         speedup ();
         floors ();
         exec_throughput ();
+        soak ();
         chain3 ();
         ablations ();
         bechamel_suite ()

@@ -113,14 +113,17 @@ let validate_cmd nf_name pcap_path in_port =
    --oracle combination always draws the same subjects and shrinks to
    the same counterexamples, so every reported failure comes with a
    replayable command. *)
-let fuzz_cmd seed runs oracle_names list_only json_path =
-  if list_only then
-    List.iter (fun n -> Fmt.pr "%s@." n) (Proptest.Oracle.names ())
+let fuzz_cmd seed runs oracle_names stateful list_only json_path =
+  if list_only then begin
+    List.iter (fun n -> Fmt.pr "%s@." n) (Proptest.Oracle.names ());
+    List.iter (fun n -> Fmt.pr "%s@." n) (Proptest.Oracle.stateful_names ())
+  end
   else begin
     let oracles =
-      match oracle_names with
-      | [] -> Proptest.Oracle.all ()
-      | names -> List.map Proptest.Oracle.find names
+      match (oracle_names, stateful) with
+      | [], false -> Proptest.Oracle.all ()
+      | [], true -> Proptest.Oracle.stateful ()
+      | names, _ -> List.map Proptest.Oracle.find names
     in
     Fmt.pr "fuzzing %d round(s) of [%s] from seed %d@." runs
       (String.concat ", "
@@ -314,6 +317,16 @@ let fuzz_t =
             "Oracle to run (repeatable; default: all).  See --list for \
              names.")
   in
+  let stateful_flag =
+    Arg.(
+      value & flag
+      & info [ "stateful" ]
+          ~doc:
+            "Run the stateful model-based oracles instead of the \
+             stateless set: per-structure command sequences replayed \
+             against purely-functional fakes, with per-command contract \
+             bound checks and shrinking to a minimal replayable trace.")
+  in
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List oracle names and exit.")
   in
@@ -334,9 +347,11 @@ let fuzz_t =
           testing against differential oracles (contract \
           conservativeness, jobs determinism, cache equivalence, obs \
           neutrality), with automatic shrinking; exits 1 on any \
-          counterexample")
+          counterexample.  --stateful switches to the model-based \
+          command-sequence oracles over the dslib structures")
     Term.(
-      const fuzz_cmd $ seed_arg $ runs_arg $ oracle_arg $ list_flag $ json_arg)
+      const fuzz_cmd $ seed_arg $ runs_arg $ oracle_arg $ stateful_flag
+      $ list_flag $ json_arg)
 
 let contract_t =
   Cmd.v

@@ -582,4 +582,35 @@ module Recipe = struct
       ~ic:(Perf_expr.add_const ((2 * k) + 1 + 4) ic)
       ~ma:(Perf_expr.add_const (k + 2) ma)
       ~extra_lines:2
+
+  let remove_miss ~key_len =
+    (* the pred-tracking walk runs to the end of the chain and finds
+       nothing: the probe with its extra move per visit, no unlink *)
+    let ic, ma = probe ~key_len ~per_visit_extra:1 in
+    vec ~ic ~ma ~extra_lines:0
+
+  let contract ~key_len =
+    let open Ds_contract in
+    [
+      make ~ds_kind:"hash_map" ~meth:"get"
+        [
+          branch ~tag:"hit" ~note:"key present (value read included)"
+            (get_hit ~key_len);
+          branch ~tag:"miss" ~note:"key absent" (get_miss ~key_len);
+        ];
+      make ~ds_kind:"hash_map" ~meth:"put"
+        [
+          branch ~tag:"new" ~note:"fresh insert" (put_new ~key_len);
+          branch ~tag:"update" ~note:"key present, value overwritten"
+            (put_update ~key_len);
+          branch ~tag:"full" ~note:"map full, not inserted"
+            (put_full ~key_len);
+        ];
+      make ~ds_kind:"hash_map" ~meth:"remove"
+        [
+          branch ~tag:"found" ~note:"key present, unlinked"
+            (remove_found ~key_len);
+          branch ~tag:"absent" ~note:"key absent" (remove_miss ~key_len);
+        ];
+    ]
 end

@@ -103,4 +103,11 @@ module Recipe : sig
   val put_new : key_len:int -> Perf.Cost_vec.t
   val put_full : key_len:int -> Perf.Cost_vec.t
   val remove_found : key_len:int -> Perf.Cost_vec.t
+  val remove_miss : key_len:int -> Perf.Cost_vec.t
+
+  val contract : key_len:int -> Perf.Ds_contract.t list
+  (** The raw map's own method contracts (get/put/remove, one branch per
+      outcome) — the model the stateful fuzzer checks a command
+      sequence against.  The flow-table and MAC-table contracts remain
+      the composed forms registered in the NF libraries. *)
 end

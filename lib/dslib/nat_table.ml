@@ -232,7 +232,10 @@ module Recipe = struct
                (Cost_vec.add Flow_table.Recipe.refresh
                   (const_vec ~ic:2 ~ma:1 ~lines:1)));
           branch ~tag:"miss" ~note:"port unmapped"
-            (const_vec ~ic:5 ~ma:1 ~lines:1);
+            (* the miss path is branch-heavy (2 of its 4 instructions are
+               worst-case mispredicts), so the uniform per-instruction
+               cycle factor needs extra IC headroom to stay conservative *)
+            (const_vec ~ic:7 ~ma:1 ~lines:1);
         ];
       make ~ds_kind:kind ~meth:"int_field"
         [ branch ~tag:"ok" (const_vec ~ic:2 ~ma:1 ~lines:1) ];

@@ -14,7 +14,12 @@ let create ~base ~rate ~burst ?(now = 0) () =
 
 let refill t now =
   if now > t.last then begin
-    t.level <- min t.burst (t.level + (t.rate * (now - t.last)));
+    let delta = now - t.last in
+    (* Clamp before multiplying: once [delta] alone refills the bucket
+       from empty the exact product is irrelevant, and [rate * delta]
+       would overflow for pathological clock jumps. *)
+    if delta >= (t.burst + t.rate - 1) / t.rate then t.level <- t.burst
+    else t.level <- min t.burst (t.level + (t.rate * delta));
     t.last <- now
   end
 

@@ -692,6 +692,71 @@ let compiled_interp_agreement ?(compile = real_compile)
   in
   { name; run }
 
+(* ---- Stateful oracles (model-based PBT, DESIGN §14) ------------------- *)
+
+(* Replay a case's command list, turning any escaped exception into a
+   double failure — shrinking must never crash the campaign. *)
+let run_case (case : Stateful.t) hooks cmds =
+  try case.Stateful.run hooks cmds
+  with e ->
+    let msg = "exception: " ^ Printexc.to_string e in
+    { Stateful.model_error = Some msg; bounds_error = Some msg }
+
+(* Shrink a failing command list to a minimal one that still fails the
+   [select]ed property, then re-run it for the final detail. *)
+let shrunk_failure name seed (case : Stateful.t) hooks ~select cmds =
+  let still_fails cs = select (run_case case hooks cs) <> None in
+  let cmds, _ =
+    Shrink.minimize ~still_fails
+      ~candidates:(Shrink.sequence ~shrink_cmd:Stateful.shrink_cmd)
+      cmds
+  in
+  let detail =
+    Option.value
+      (select (run_case case hooks cmds))
+      ~default:"(failure did not reproduce after shrinking)"
+  in
+  fail name seed "%s@\nshrunk trace (%d commands):@\n%a" detail
+    (List.length cmds) Stateful.pp_trace cmds
+
+let stateful_oracle ~suffix ~select hooks (case : Stateful.t) =
+  let name = "stateful_" ^ case.Stateful.name ^ "_" ^ suffix in
+  let run ~seed =
+    let rng = P.create ~seed in
+    let cmds = case.Stateful.gen rng in
+    match select (run_case case hooks cmds) with
+    | None -> Pass
+    | Some _ -> shrunk_failure name seed case hooks ~select cmds
+  in
+  { name; run }
+
+let stateful_model ?tamper case =
+  let hooks =
+    match tamper with
+    | None -> Stateful.no_hooks
+    | Some tamper -> { Stateful.no_hooks with tamper }
+  in
+  stateful_oracle ~suffix:"model"
+    ~select:(fun o -> o.Stateful.model_error)
+    hooks case
+
+let stateful_bounds ?weaken case =
+  let hooks =
+    match weaken with
+    | None -> Stateful.no_hooks
+    | Some weaken -> { Stateful.no_hooks with weaken }
+  in
+  stateful_oracle ~suffix:"bounds"
+    ~select:(fun o -> o.Stateful.bounds_error)
+    hooks case
+
+let stateful () =
+  List.concat_map
+    (fun case -> [ stateful_model case; stateful_bounds case ])
+    (Stateful.all ())
+
+let stateful_names () = List.map (fun o -> o.name) (stateful ())
+
 (* ---- Registry -------------------------------------------------------- *)
 
 let all () =
@@ -707,7 +772,11 @@ let all () =
 let names () = List.map (fun o -> o.name) (all ())
 
 let find name =
-  match List.find_opt (fun o -> String.equal o.name name) (all ()) with
+  match
+    List.find_opt
+      (fun o -> String.equal o.name name)
+      (all () @ stateful ())
+  with
   | Some o -> o
   | None ->
       invalid_arg

@@ -107,10 +107,35 @@ val compiled_interp_agreement :
     [specialize] the specializer (default {!Exec.Specialize.bind});
     tests pass ones that compile or bind a tampered program. *)
 
+val stateful_model : ?tamper:(int list -> int list) -> Stateful.t -> t
+(** Model-agreement oracle for one stateful case
+    ([stateful_<case>_model]): generate a command sequence, replay it
+    against the real structure and its {!Fake} side by side, fail on the
+    first observable disagreement, shrinking the sequence to a minimal
+    replayable trace.  [tamper] corrupts the real structure's replies
+    before the comparison (default: identity) — the fault-injection hook
+    the catch tests use. *)
+
+val stateful_bounds : ?weaken:(Perf.Cost_vec.t -> Perf.Cost_vec.t) -> Stateful.t -> t
+(** Contract-bounds oracle for one stateful case
+    ([stateful_<case>_bounds]): the structure's [Perf.Ds_contract]
+    branch for the taken path must upper-bound the metered cost of every
+    command in the sequence — expiry storms, rehash cliffs and allocator
+    exhaustion included.  [weaken] shrinks the branch cost before the
+    check (default: identity) — the fault-injection hook. *)
+
+val stateful : unit -> t list
+(** Both stateful oracles for every {!Stateful.all} case (20 oracles). *)
+
+val stateful_names : unit -> string list
+
 val all : unit -> t list
-(** The six oracles with their real implementations. *)
+(** The six stateless oracles with their real implementations (the
+    default [bolt fuzz] set; stateful oracles are opted into with
+    [--stateful]). *)
 
 val names : unit -> string list
 
 val find : string -> t
-(** Raises [Invalid_argument] listing the known names on a miss. *)
+(** Looks up stateless and stateful oracles by name; raises
+    [Invalid_argument] listing the known names on a miss. *)

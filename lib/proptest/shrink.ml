@@ -33,6 +33,24 @@ let list xs =
     in
     halves @ chunks @ singles
 
+let sequence ?shrink_cmd cmds =
+  let structural = list cmds in
+  let pointwise =
+    match shrink_cmd with
+    | None -> []
+    | Some sc when List.length cmds <= 20 ->
+        List.concat
+          (List.mapi
+             (fun i c ->
+               List.map
+                 (fun c' ->
+                   List.mapi (fun j cj -> if i = j then c' else cj) cmds)
+                 (sc c))
+             cmds)
+    | Some _ -> []
+  in
+  structural @ pointwise
+
 let minimize ?(max_evals = 500) ~still_fails ~candidates x =
   let evals = ref 0 in
   let rec first_failing = function

@@ -17,6 +17,12 @@ val list : 'a list -> 'a list list
     chunk removed at every chunk boundary, then (for short lists) each
     single-element removal. *)
 
+val sequence : ?shrink_cmd:('a -> 'a list) -> 'a list -> 'a list list
+(** Candidate shrinks for a command sequence: the structural {!list}
+    shrinks first (drop halves, chunks, single commands), then — for
+    sequences short enough that it pays — each command replaced by one
+    of its own [shrink_cmd] shrinks, position by position. *)
+
 val minimize :
   ?max_evals:int ->
   still_fails:('a -> bool) ->

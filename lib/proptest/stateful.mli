@@ -1,0 +1,75 @@
+(** Stateful model-based fuzzing of the dslib structures.
+
+    A {!t} packages one structure as a command-sequence generator plus a
+    replay engine that executes the sequence against the real (metered)
+    structure and a purely-functional {!Fake} side by side, reporting
+    the first violation of either property:
+
+    - {e model agreement} — every observable reply matches the fake;
+    - {e contract bounds} — the [Perf.Ds_contract] branch for the taken
+      path upper-bounds the metered cost of every command, at a binding
+      built from the PCVs that command observed (expiry storms and
+      rehash cliffs included).
+
+    {!Oracle.stateful_model} and {!Oracle.stateful_bounds} wrap these as
+    fuzz oracles with shrinking to a minimal replayable trace. *)
+
+(** One command, carrying concrete arguments so a printed trace is
+    replayable verbatim.  The vocabulary is shared across cases; each
+    case's generator emits only its own constructors. *)
+type cmd =
+  | H_get of int array
+  | H_put of int array * int
+  | H_remove of int array
+  | F_get of int array * int
+  | F_put of int array * int * int
+  | F_expire of int
+  | M_learn of { mac : int; port : int; now : int }
+  | M_lookup of int
+  | M_expire of int
+  | N_add of int array * int
+  | N_lookup_int of int array * int
+  | N_lookup_ext of int * int
+  | N_expire of int
+  | T_conform of { bytes : int; now : int }
+  | P_alloc
+  | P_free of int
+  | L_route of { prefix : int; len : int; port : int }
+  | L_lookup of int
+
+val pp_cmd : Format.formatter -> cmd -> unit
+val pp_trace : Format.formatter -> cmd list -> unit
+(** Numbered, one command per line — the replayable counterexample. *)
+
+val shrink_cmd : cmd -> cmd list
+(** Pointwise argument shrinks (values, byte counts); keys and clocks
+    are left alone.  Feed to {!Shrink.sequence}. *)
+
+type hooks = {
+  tamper : int list -> int list;
+      (** Fault-injection: corrupts the real structure's observable
+          reply before the model comparison.  Identity in production. *)
+  weaken : Perf.Cost_vec.t -> Perf.Cost_vec.t;
+      (** Fault-injection: weakens the contract branch before the bound
+          check.  Identity in production. *)
+}
+
+val no_hooks : hooks
+
+type outcome = {
+  model_error : string option;  (** first disagreement with the fake *)
+  bounds_error : string option;  (** first contract-bound violation *)
+}
+
+type t = {
+  name : string;
+  gen : Workload.Prng.t -> cmd list;
+  run : hooks -> cmd list -> outcome;
+}
+
+val all : unit -> t list
+(** The ten cases: [hash_map], [flow_table], [mac_table], [nat_dll],
+    [nat_array], [token_bucket], [port_dll], [port_array], [lpm_trie],
+    [lpm_dir24_8]. *)
+
+val find : string -> t option

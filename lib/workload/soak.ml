@@ -1,0 +1,144 @@
+(* Production-shaped soak workloads (the long-running counterpart of
+   {!Adversarial}'s surgical state synthesis): Zipf-popular flows,
+   heavy-tailed flow sizes, churn over millions of distinct flows, and
+   packet-realizable collision floods.  [bench soak] replays these
+   through the specialized NAT/router paths and records throughput and
+   contract soundness per attack class. *)
+
+(* ---- Zipf flow popularity --------------------------------------------- *)
+
+(* Precomputed CDF over ranks 0..n-1 with P(rank) ∝ 1/(rank+1)^theta;
+   drawing is a binary search, so million-packet streams stay cheap. *)
+type zipf = { cdf : float array }
+
+let zipf ~n ~theta =
+  if n < 1 then invalid_arg "Soak.zipf";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (r + 1) ** theta));
+    cdf.(r) <- !total
+  done;
+  let total = !total in
+  Array.iteri (fun i v -> cdf.(i) <- v /. total) cdf;
+  { cdf }
+
+(* [Prng] yields integers; scale a 30-bit draw into [0, 1). *)
+let uniform rng = float_of_int (Prng.below rng (1 lsl 30)) /. float_of_int (1 lsl 30)
+
+let zipf_draw z rng =
+  let u = uniform rng in
+  let n = Array.length z.cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* ---- Heavy-tailed flow sizes ------------------------------------------ *)
+
+(* Bounded Pareto: P(X > x) ∝ x^-alpha on [lo, hi] — elephant flows are
+   rare but carry most of the packets. *)
+let pareto_size rng ~alpha ~lo ~hi =
+  if lo < 1 || hi < lo then invalid_arg "Soak.pareto_size";
+  let l = float_of_int lo and h = float_of_int hi in
+  let u = uniform rng in
+  (* inverse CDF: x = L · (1 − U·(1 − (L/H)^α))^(−1/α), spanning [L, H] *)
+  let x = l *. ((1.0 -. (u *. (1.0 -. ((l /. h) ** alpha)))) ** (-1.0 /. alpha)) in
+  max lo (min hi (int_of_float x))
+
+(* ---- Deterministic flow universe -------------------------------------- *)
+
+(* Flow [i] of a universe that is distinct for i < 2^24 without any
+   dedup table — the only way to reach millions of flows cheaply.
+   Sources sit in 10.0.0.0/8 (the NAT's internal side). *)
+let flow_of_index i =
+  Net.Flow.make
+    ~src_ip:
+      (Net.Ipv4.addr_of_parts 10
+         ((i lsr 16) land 0xff)
+         ((i lsr 8) land 0xff)
+         (i land 0xff))
+    ~dst_ip:(Net.Ipv4.addr_of_parts 93 0 0 1)
+    ~src_port:(1024 + ((i lsr 24) land 0x3fff))
+    ~dst_port:80 ~proto:Net.Ipv4.proto_udp
+
+let packet_of_index i = Net.Build.udp_of_flow (flow_of_index i)
+
+(* ---- Packet streams --------------------------------------------------- *)
+
+let zipf_packets rng z n =
+  List.init n (fun _ -> packet_of_index (zipf_draw z rng))
+
+let heavy_tail_packets rng z ~alpha ~max_burst n =
+  (* popular flows picked by rank, each sending a Pareto-sized burst *)
+  let rec go acc left =
+    if left <= 0 then List.rev acc
+    else
+      let i = zipf_draw z rng in
+      let burst = min left (pareto_size rng ~alpha ~lo:1 ~hi:max_burst) in
+      let pkt = packet_of_index i in
+      let rec emit acc k =
+        if k = 0 then acc else emit (Net.Packet.copy pkt :: acc) (k - 1)
+      in
+      go (emit acc burst) (left - burst)
+  in
+  go [] n
+
+let churn_packets ~offset n = List.init n (fun k -> packet_of_index (offset + k))
+
+(* ---- Packet-realizable collision floods ------------------------------- *)
+
+(* {!Adversarial.colliding_flows} draws arbitrary 30-bit key words, which
+   no real packet can carry (ports are 16 bits).  For the soak bench the
+   flood must arrive as packets, so rejection-sample over realizable
+   5-tuples until [n] distinct flows chain into [bucket]. *)
+let nat_collision_flows nat rng ~bucket n =
+  let seen = Hashtbl.create n in
+  let rec draw acc k guard =
+    if k = 0 then List.rev acc
+    else if guard > 50_000_000 then
+      invalid_arg "Soak.nat_collision_flows: bucket too selective"
+    else
+      let f =
+        Net.Flow.make
+          ~src_ip:
+            (Net.Ipv4.addr_of_parts 10 (Prng.below rng 256)
+               (Prng.below rng 256) (Prng.below rng 256))
+          ~dst_ip:(Net.Ipv4.addr_of_parts 93 0 0 1)
+          ~src_port:(Prng.range rng ~lo:1024 ~hi:65535)
+          ~dst_port:80 ~proto:Net.Ipv4.proto_udp
+      in
+      let key =
+        [| f.Net.Flow.src_ip; f.Net.Flow.dst_ip; f.Net.Flow.src_port;
+           f.Net.Flow.dst_port; f.Net.Flow.proto |]
+      in
+      if
+        Dslib.Nat_table.hash_of_flow nat key = bucket
+        && not (Hashtbl.mem seen f)
+      then begin
+        Hashtbl.add seen f ();
+        draw (f :: acc) (k - 1) (guard + 1)
+      end
+      else draw acc k (guard + 1)
+  in
+  draw [] n 0
+
+let packets_of_flows flows =
+  List.map (fun f -> Net.Build.udp_of_flow f) flows
+
+(* ---- Prefix patterns aimed at LPM -------------------------------------- *)
+
+(* {!Gen.lpm_destinations} rejection-samples the whole address space,
+   which cannot sustain a large flood when only a few /24 slots are
+   extended.  An attacker knows the FIB: aim every packet inside the one
+   extended slot and every lookup pays the second (tbl8) access. *)
+let lpm_attack_packets rng lpm ~slot n =
+  if not (Dslib.Lpm_dir24_8.uses_tbl8 lpm slot) then
+    invalid_arg "Soak.lpm_attack_packets: slot is not tbl8-extended";
+  List.init n (fun _ ->
+      Net.Build.udp
+        ~src_ip:(Net.Ipv4.addr_of_parts 10 0 0 1)
+        ~dst_ip:((slot land 0xffff_ff00) lor Prng.below rng 256)
+        ~src_port:5000 ~dst_port:80 ())

@@ -1,0 +1,56 @@
+(** Production-shaped soak workloads for [bench soak]: Zipf flow
+    popularity, heavy-tailed flow sizes, churn over millions of distinct
+    flows, and packet-realizable collision floods.  Everything is
+    deterministic under a seeded {!Prng}. *)
+
+type zipf
+(** A precomputed Zipf CDF over flow ranks; drawing is O(log n). *)
+
+val zipf : n:int -> theta:float -> zipf
+(** Popularity over ranks [0..n-1] with P(rank) proportional to
+    1/(rank+1)^theta.  Raises [Invalid_argument] when [n < 1]. *)
+
+val zipf_draw : zipf -> Prng.t -> int
+(** Draw a rank. *)
+
+val pareto_size : Prng.t -> alpha:float -> lo:int -> hi:int -> int
+(** Bounded-Pareto flow size on [lo, hi] — heavy-tailed: most flows are
+    mice, a few elephants dominate the packet count. *)
+
+val flow_of_index : int -> Net.Flow.t
+(** Flow [i] of a deterministic universe, distinct for [i] < 2^24 —
+    internal 10.0.0.0/8 sources towards one external destination, so
+    every flow takes the NAT's internal path. *)
+
+val packet_of_index : int -> Net.Packet.t
+(** [Net.Build.udp_of_flow (flow_of_index i)]. *)
+
+val zipf_packets : Prng.t -> zipf -> int -> Net.Packet.t list
+(** [n] packets whose flows are Zipf-popular ranks of the universe. *)
+
+val heavy_tail_packets :
+  Prng.t -> zipf -> alpha:float -> max_burst:int -> int -> Net.Packet.t list
+(** [n] packets as back-to-back bursts: each burst belongs to one
+    Zipf-drawn flow and has a bounded-Pareto size in [1, max_burst]. *)
+
+val churn_packets : offset:int -> int -> Net.Packet.t list
+(** [n] packets of [n] brand-new distinct flows starting at universe
+    index [offset] — chunked generation for million-flow churn without
+    materialising the whole stream. *)
+
+val nat_collision_flows :
+  Dslib.Nat_table.t -> Prng.t -> bucket:int -> int -> Net.Flow.t list
+(** [n] distinct packet-realizable flows (16-bit ports, 10.x sources)
+    whose NAT flow keys all chain into [bucket] of the given table —
+    rejection-sampled against {!Dslib.Nat_table.hash_of_flow}, unlike
+    {!Adversarial.colliding_flows} whose raw key words no real packet
+    can carry. *)
+
+val packets_of_flows : Net.Flow.t list -> Net.Packet.t list
+
+val lpm_attack_packets :
+  Prng.t -> Dslib.Lpm_dir24_8.t -> slot:int -> int -> Net.Packet.t list
+(** [n] packets whose destinations all land inside the tbl8-extended /24
+    slot covering [slot], so every lookup takes the two-access long
+    path — the prefix-pattern attack.  Raises [Invalid_argument] when the
+    slot is not extended in the given table. *)

@@ -310,6 +310,60 @@ let test_mac_table_contract_rehash () =
   done;
   check_bool "exercised a rehash" true !seen_rehash
 
+let test_mac_table_rehash_cliff_high_occupancy () =
+  (* the Table 4 cliff at its worst reachable state: a table filled to
+     capacity into ONE bucket (adversarial synthesis), then one more
+     learn walks the full chain, trips the defence and rehashes every
+     entry.  The golden contract's rehash branch — the worst-case row —
+     must bound the metered cost of that whole storm. *)
+  let buckets = 4 and capacity = 24 in
+  let t = mac_table ~threshold:2 ~buckets ~capacity () in
+  Workload.Adversarial.fill_mac_table_collided t
+    (Workload.Prng.create ~seed:13)
+    ~port:1 ~stamped_at:0;
+  check_int "synthesized at capacity" capacity (Dslib.Mac_table.size t);
+  let contract_lib =
+    Perf.Ds_contract.library
+      (Dslib.Mac_table.Recipe.contract ~buckets ~capacity)
+  in
+  let learn_contract =
+    Perf.Ds_contract.find_exn contract_lib ~ds_kind:"mac_table" ~meth:"learn"
+  in
+  (* a fresh mac aimed at the synthesized chain's bucket (the fill
+     targets bucket 0): the miss probe walks the whole chain, crosses
+     the threshold and trips the defence even though the table is full *)
+  let m = ref 0 in
+  while
+    Dslib.Mac_table.hash_of_mac t !m <> 0
+    || Dslib.Mac_table.lookup t (quiet ()) ~mac:!m >= 0
+  do
+    incr m
+  done;
+  let before = Dslib.Mac_table.rehash_count t in
+  let (), ic, ma, cy, binding =
+    metered (fun meter -> Dslib.Mac_table.learn t meter ~mac:!m ~port:2 ~now:0)
+  in
+  check_bool "crossed the growth threshold" true
+    (Dslib.Mac_table.rehash_count t > before);
+  let size = Dslib.Mac_table.size t in
+  (* the reseed walks chains the meter does not observe as traversals of
+     this learn, but occupancy bounds any chain it can meet *)
+  let obs_t =
+    Option.value ~default:0 (Perf.Pcv.lookup binding Perf.Pcv.traversals)
+  in
+  let binding =
+    (Perf.Pcv.occupancy, size)
+    :: (Perf.Pcv.traversals, max obs_t size)
+    :: binding
+  in
+  let branch = Perf.Ds_contract.find_branch_exn learn_contract ~tag:"rehash" in
+  dominates_measured ~what:"rehash cliff at capacity"
+    branch.Perf.Ds_contract.cost
+    ~binding:(full_binding binding) ~ic ~ma ~cycles:cy;
+  dominates_measured ~what:"worst-case row at capacity"
+    (Perf.Ds_contract.worst_case learn_contract)
+    ~binding:(full_binding binding) ~ic ~ma ~cycles:cy
+
 (* ---- LPM ---------------------------------------------------------------- *)
 
 let test_lpm_dir24_8 () =
@@ -451,6 +505,59 @@ let test_port_alloc_scan_tracks_occupancy () =
   in
   check_bool "short scan when empty" true (scan_empty <= 1)
 
+let test_port_alloc_exhaustion_edges () =
+  (* the same edge discipline on both backends: exhaustion is a stable
+     -1 (not an exception), frees of unallocated ports raise whether
+     they are out of range or merely not live, and the single freed port
+     is exactly what the next alloc finds *)
+  List.iter
+    (fun make ->
+      let a = make ~base:(fresh_base ()) ~port_lo:200 ~port_hi:207 in
+      for _ = 1 to 8 do
+        check_bool "fills" true (Dslib.Port_alloc.alloc a (quiet ()) >= 0)
+      done;
+      check_int "exhausted" (-1) (Dslib.Port_alloc.alloc a (quiet ()));
+      check_int "exhaustion is stable" (-1)
+        (Dslib.Port_alloc.alloc a (quiet ()));
+      List.iter
+        (fun bad ->
+          match Dslib.Port_alloc.free a (quiet ()) bad with
+          | exception Invalid_argument _ -> ()
+          | () -> Alcotest.fail "out-of-range free accepted")
+        [ 199; 208; -1 ];
+      Dslib.Port_alloc.free a (quiet ()) 203;
+      (match Dslib.Port_alloc.free a (quiet ()) 203 with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "double free accepted");
+      check_int "finds the one free port" 203
+        (Dslib.Port_alloc.alloc a (quiet ()));
+      check_int "exhausted again" (-1) (Dslib.Port_alloc.alloc a (quiet ())))
+    [ Dslib.Port_alloc.dll; Dslib.Port_alloc.array ]
+
+let test_port_alloc_scan_contract_high_occupancy () =
+  (* the array backend's worst case: lowest-free scan with the only
+     hole in the last bitmap word, so the scan skips every full word
+     before it — the observed scan PCV must be the long one and the
+     contract evaluated at it must still dominate the metered cost *)
+  let a =
+    Dslib.Port_alloc.array ~base:(fresh_base ()) ~port_lo:0 ~port_hi:255
+  in
+  for _ = 0 to 255 do
+    ignore (Dslib.Port_alloc.alloc a (quiet ()))
+  done;
+  Dslib.Port_alloc.free a (quiet ()) 250;
+  let p, ic, ma, cy, binding =
+    metered (fun meter -> Dslib.Port_alloc.alloc a meter)
+  in
+  check_int "recovers the hole" 250 p;
+  let s = Option.value ~default:0 (Perf.Pcv.lookup binding Perf.Pcv.scan) in
+  (* 256 ports = 4 bitmap words; words 0-2 are full, so the scan skips
+     all three before landing in the word holding the hole *)
+  check_int "scan skipped every full word" 3 s;
+  dominates_measured ~what:"alloc at 255/256 occupancy"
+    (Dslib.Port_alloc.Recipe.alloc_cost a)
+    ~binding:(full_binding binding) ~ic ~ma ~cycles:cy
+
 let prop_port_alloc_contracts =
   QCheck2.Test.make ~count:40 ~name:"allocator contracts dominate metered cost"
     QCheck2.Gen.(pair bool (list_size (int_range 1 40) bool))
@@ -539,6 +646,8 @@ let suite =
       test_mac_table_rehash_defence;
     Alcotest.test_case "mac_table rehash contract" `Quick
       test_mac_table_contract_rehash;
+    Alcotest.test_case "mac_table rehash cliff at capacity" `Quick
+      test_mac_table_rehash_cliff_high_occupancy;
     Alcotest.test_case "lpm dir24_8 semantics" `Quick test_lpm_dir24_8;
     Alcotest.test_case "lpm differential" `Quick test_lpm_trie_matches_dir24_8;
     Alcotest.test_case "lpm trie exact Table 2 cost" `Quick
@@ -548,6 +657,10 @@ let suite =
     Alcotest.test_case "port alloc semantics" `Quick test_port_alloc_semantics;
     Alcotest.test_case "port alloc scan/occupancy" `Quick
       test_port_alloc_scan_tracks_occupancy;
+    Alcotest.test_case "port alloc exhaustion edges" `Quick
+      test_port_alloc_exhaustion_edges;
+    Alcotest.test_case "port alloc scan contract at high occupancy" `Quick
+      test_port_alloc_scan_contract_high_occupancy;
     Alcotest.test_case "nat table lifecycle" `Quick
       test_nat_table_flow_lifecycle;
     Alcotest.test_case "nat table refresh" `Quick

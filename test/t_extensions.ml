@@ -151,6 +151,52 @@ let test_token_bucket_contract_dominates () =
       (bound Perf.Metric.Cycles >= Exec.Meter.cycles meter)
   done
 
+let test_token_bucket_refill_edges () =
+  (* zero-elapsed clock: same [now] must not refill anything *)
+  let tb =
+    Dslib.Token_bucket.create ~base:0x6200_0000 ~rate:10 ~burst:100 ~now:0 ()
+  in
+  check_int "spend" 1 (Dslib.Token_bucket.conform tb (quiet ()) ~bytes:60 ~now:5);
+  check_int "no refill at same now" 40 (Dslib.Token_bucket.tokens tb ~now:5);
+  check_int "zero-elapsed excess" 0
+    (Dslib.Token_bucket.conform tb (quiet ()) ~bytes:60 ~now:5);
+  (* a clock that goes backwards is ignored, not a negative refill *)
+  check_int "backwards clock ignored" 40 (Dslib.Token_bucket.tokens tb ~now:3);
+  (* burst saturation: the level caps exactly at burst, never beyond *)
+  check_int "saturates at burst" 100 (Dslib.Token_bucket.tokens tb ~now:500);
+  check_int "stays at burst" 100 (Dslib.Token_bucket.tokens tb ~now:501);
+  (* exact conformance boundary: bytes = tokens conforms and empties the
+     bucket; one more byte is out of profile *)
+  let tb2 =
+    Dslib.Token_bucket.create ~base:0x6300_0000 ~rate:1 ~burst:64 ~now:0 ()
+  in
+  check_int "tokens = bytes conforms" 1
+    (Dslib.Token_bucket.conform tb2 (quiet ()) ~bytes:64 ~now:0);
+  check_int "emptied exactly" 0 (Dslib.Token_bucket.tokens tb2 ~now:0);
+  check_int "one byte over is excess" 0
+    (Dslib.Token_bucket.conform tb2 (quiet ()) ~bytes:1 ~now:0);
+  check_int "one token, one byte" 1
+    (Dslib.Token_bucket.conform tb2 (quiet ()) ~bytes:1 ~now:1)
+
+let test_token_bucket_huge_delta_no_overflow () =
+  (* pathological clock jumps: [rate * delta] would overflow 63-bit
+     arithmetic without the refill clamp; the level must land exactly on
+     [burst] and stay usable *)
+  let rate = 1_000_003 and burst = 5_000_000 in
+  let tb =
+    Dslib.Token_bucket.create ~base:0x6400_0000 ~rate ~burst ~now:0 ()
+  in
+  ignore (Dslib.Token_bucket.conform tb (quiet ()) ~bytes:burst ~now:0);
+  check_int "drained" 0 (Dslib.Token_bucket.tokens tb ~now:0);
+  let huge = 1 lsl 45 in
+  check_int "clamped to burst, no overflow" burst
+    (Dslib.Token_bucket.tokens tb ~now:huge);
+  check_int "still conforms after the jump" 1
+    (Dslib.Token_bucket.conform tb (quiet ()) ~bytes:burst ~now:huge);
+  (* a second jump from a non-zero level must clamp identically *)
+  check_int "second jump clamps too" burst
+    (Dslib.Token_bucket.tokens tb ~now:(2 * huge))
+
 let test_policer_pipeline () =
   let t = analyze Nf.Policer.program (Nf.Policer.contracts ()) in
   check_int "all solved" 0 t.Bolt.Pipeline.unsolved;
@@ -290,6 +336,10 @@ let suite =
       test_token_bucket_semantics;
     Alcotest.test_case "token bucket contract" `Quick
       test_token_bucket_contract_dominates;
+    Alcotest.test_case "token bucket refill edges" `Quick
+      test_token_bucket_refill_edges;
+    Alcotest.test_case "token bucket huge clock jumps" `Quick
+      test_token_bucket_huge_delta_no_overflow;
     Alcotest.test_case "policer pipeline" `Quick test_policer_pipeline;
     Alcotest.test_case "policer production" `Quick test_policer_production;
     Alcotest.test_case "throughput bounds" `Quick test_throughput_bounds;

@@ -278,6 +278,123 @@ let test_catches_tampered_specialize () =
       check_bool "the specialized leg (not the compiled one) flagged it" true
         mentions_specialized
 
+(* ---- Stateful model-based oracles ------------------------------------ *)
+
+let contains ~needle haystack =
+  let n = String.length needle and l = String.length haystack in
+  let rec scan i =
+    i + n <= l && (String.equal (String.sub haystack i n) needle || scan (i + 1))
+  in
+  scan 0
+
+let test_stateful_registry_shape () =
+  let names =
+    List.map (fun (o : Proptest.Oracle.t) -> o.Proptest.Oracle.name)
+      (Proptest.Oracle.stateful ())
+  in
+  (* one model + one bounds oracle per structure, and all reachable by
+     name through the same [find] the CLI uses *)
+  check_int "two oracles per structure"
+    (2 * List.length (Proptest.Stateful.all ()))
+    (List.length names);
+  List.iter
+    (fun name ->
+      let o = Proptest.Oracle.find name in
+      Alcotest.(check string) "find resolves stateful names" name
+        o.Proptest.Oracle.name)
+    names;
+  check_bool "stateless set unchanged by the stateful layer" true
+    (not
+       (List.exists
+          (fun (o : Proptest.Oracle.t) ->
+            contains ~needle:"stateful" o.Proptest.Oracle.name)
+          (Proptest.Oracle.all ())))
+
+let test_stateful_model_catches_tampered_fake () =
+  (* every structure's model oracle must notice a +1 on each raw
+     observation — an oracle that cannot fail tests nothing *)
+  List.iter
+    (fun (case : Proptest.Stateful.t) ->
+      let o =
+        Proptest.Oracle.stateful_model ~tamper:(List.map succ) case
+      in
+      match first_failure o with
+      | None ->
+          Alcotest.fail
+            (case.Proptest.Stateful.name ^ ": tampered observations not caught")
+      | Some f ->
+          check_bool
+            (case.Proptest.Stateful.name ^ ": repro is replayable")
+            true
+            (f.Proptest.Oracle.repro
+            = Printf.sprintf "bolt fuzz --oracle %s --seed %d --runs 1"
+                f.Proptest.Oracle.oracle f.Proptest.Oracle.seed);
+          check_bool
+            (case.Proptest.Stateful.name ^ ": counterexample is a trace")
+            true
+            (contains ~needle:"shrunk trace" f.Proptest.Oracle.detail))
+    (Proptest.Stateful.all ())
+
+let test_stateful_bounds_catches_weakened_contract () =
+  (* zeroing every branch cost must break every structure's bound check *)
+  List.iter
+    (fun (case : Proptest.Stateful.t) ->
+      let o =
+        Proptest.Oracle.stateful_bounds
+          ~weaken:(fun _ -> Perf.Cost_vec.zero)
+          case
+      in
+      match first_failure o with
+      | None ->
+          Alcotest.fail
+            (case.Proptest.Stateful.name ^ ": zeroed contract not caught")
+      | Some f ->
+          check_bool
+            (case.Proptest.Stateful.name ^ ": names the metric and bound")
+            true
+            (contains ~needle:"bound" f.Proptest.Oracle.detail))
+    (Proptest.Stateful.all ())
+
+let test_stateful_shrinks_to_minimal_trace () =
+  (* with a zeroed bound any single bounded command fails, so the greedy
+     sequence shrinker must land on a one-command trace *)
+  let case =
+    List.find
+      (fun (c : Proptest.Stateful.t) -> c.Proptest.Stateful.name = "hash_map")
+      (Proptest.Stateful.all ())
+  in
+  let o =
+    Proptest.Oracle.stateful_bounds ~weaken:(fun _ -> Perf.Cost_vec.zero) case
+  in
+  match first_failure o with
+  | None -> Alcotest.fail "zeroed hash_map contract not caught"
+  | Some f ->
+      check_bool "shrunk to a single command" true
+        (contains ~needle:"shrunk trace (1 commands)" f.Proptest.Oracle.detail)
+
+let test_shrink_sequence_pointwise () =
+  (* [Shrink.sequence] offers both structural sublists and per-command
+     rewrites; pointwise candidates change exactly one position *)
+  let cands =
+    Proptest.Shrink.sequence ~shrink_cmd:(fun c -> [ c / 2 ]) [ 8; 9 ]
+  in
+  check_bool "structural sublist offered" true (List.mem [ 8 ] cands);
+  check_bool "pointwise head shrink offered" true (List.mem [ 4; 9 ] cands);
+  check_bool "pointwise tail shrink offered" true (List.mem [ 8; 4 ] cands);
+  check_bool "original not offered" true (not (List.mem [ 8; 9 ] cands))
+
+let test_stateful_campaign_passes () =
+  let outcome =
+    Proptest.Runner.run ~seed:2025 ~runs:10
+      ~oracles:(Proptest.Oracle.stateful ())
+      ()
+  in
+  check_int "checks = runs x oracles"
+    (10 * List.length (Proptest.Oracle.stateful ()))
+    outcome.Proptest.Runner.checks;
+  check_int "real structures agree with fakes and contracts" 0
+    (List.length outcome.Proptest.Runner.failures)
+
 let test_default_oracles_pass () =
   let outcome =
     Proptest.Runner.run ~seed:2025 ~runs:3 ~oracles:(Proptest.Oracle.all ()) ()
@@ -396,6 +513,18 @@ let suite =
       test_catches_tampered_compile;
     Alcotest.test_case "catches a tampered specialization" `Quick
       test_catches_tampered_specialize;
+    Alcotest.test_case "stateful oracle registry shape" `Quick
+      test_stateful_registry_shape;
+    Alcotest.test_case "stateful models catch tampered fakes" `Slow
+      test_stateful_model_catches_tampered_fake;
+    Alcotest.test_case "stateful bounds catch weakened contracts" `Slow
+      test_stateful_bounds_catches_weakened_contract;
+    Alcotest.test_case "stateful counterexamples shrink to one command" `Quick
+      test_stateful_shrinks_to_minimal_trace;
+    Alcotest.test_case "sequence shrinker offers pointwise shrinks" `Quick
+      test_shrink_sequence_pointwise;
+    Alcotest.test_case "stateful campaign passes" `Slow
+      test_stateful_campaign_passes;
     Alcotest.test_case "default oracles pass" `Slow test_default_oracles_pass;
     Alcotest.test_case "divergent witness detected (action)" `Quick
       test_divergent_witness_by_action;

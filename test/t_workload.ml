@@ -128,6 +128,148 @@ let test_fill_collided_then_mass_expiry () =
   let meter = Exec.Meter.create (Hw.Model.null ()) in
   check_int "mass expiry" 32 (Dslib.Flow_table.expire ft meter ~now:10_000)
 
+let test_colliding_flows_arbitrary_bucket () =
+  (* the collision sampler must aim at any bucket, not just 0, and on
+     the NAT's hash as well as the flow table's *)
+  let rng = Workload.Prng.create ~seed:21 in
+  let alloc =
+    Dslib.Port_alloc.dll ~base:0x7a00_0000 ~port_lo:1000 ~port_hi:1063
+  in
+  let nat =
+    Dslib.Nat_table.create ~base:0x7a10_0000 ~capacity:64 ~buckets:16
+      ~timeout:1000 ~alloc ~port_lo:1000 ~port_hi:1063 ()
+  in
+  let keys =
+    Workload.Adversarial.colliding_flows rng
+      ~hash:(Dslib.Nat_table.hash_of_flow nat)
+      ~key_len:5 ~bucket:11 24
+  in
+  check_int "count" 24 (List.length keys);
+  check_int "distinct" 24 (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun key ->
+      check_int "lands in bucket 11" 11 (Dslib.Nat_table.hash_of_flow nat key))
+    keys
+
+let test_fill_collided_reaches_capacity () =
+  let rng = Workload.Prng.create ~seed:22 in
+  let alloc =
+    Dslib.Port_alloc.array ~base:0x7b00_0000 ~port_lo:2000 ~port_hi:2127
+  in
+  let nat =
+    Dslib.Nat_table.create ~base:0x7b10_0000 ~capacity:48 ~buckets:16
+      ~timeout:1000 ~alloc ~port_lo:2000 ~port_hi:2127 ()
+  in
+  Workload.Adversarial.fill_nat_collided nat rng ~stamped_at:500;
+  check_int "nat full" 48 (Dslib.Nat_table.size nat);
+  let meter = Exec.Meter.create (Hw.Model.null ()) in
+  check_int "all expire in one storm" 48
+    (Dslib.Nat_table.expire nat meter ~now:10_000);
+  let mac =
+    Dslib.Mac_table.create ~base:0x7b20_0000 ~capacity:40 ~buckets:8
+      ~timeout:1000 ~threshold:100 ()
+  in
+  Workload.Adversarial.fill_mac_table_collided mac rng ~port:3 ~stamped_at:500;
+  check_int "mac full" 40 (Dslib.Mac_table.size mac)
+
+(* ---- Soak generators ------------------------------------------------------ *)
+
+let test_soak_zipf_popularity () =
+  let z = Workload.Soak.zipf ~n:1024 ~theta:1.0 in
+  let rng = Workload.Prng.create ~seed:23 in
+  let counts = Array.make 1024 0 in
+  for _ = 1 to 20_000 do
+    let r = Workload.Soak.zipf_draw z rng in
+    check_bool "rank in range" true (r >= 0 && r < 1024);
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* rank 0 dominates and the tail is long but thin *)
+  check_bool "head is hot" true (counts.(0) > 10 * counts.(100));
+  check_bool "head share sane" true (counts.(0) < 10_000);
+  (match Workload.Soak.zipf ~n:0 ~theta:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty universe accepted")
+
+let test_soak_pareto_sizes () =
+  let rng = Workload.Prng.create ~seed:24 in
+  let total = ref 0 and mice = ref 0 in
+  let n = 5_000 in
+  for _ = 1 to n do
+    let s = Workload.Soak.pareto_size rng ~alpha:1.3 ~lo:1 ~hi:1000 in
+    check_bool "within bounds" true (s >= 1 && s <= 1000);
+    total := !total + s;
+    if s <= 10 then incr mice
+  done;
+  (* heavy tail: most flows are mice, yet the mean sits well above the
+     median because elephants carry the volume *)
+  check_bool "mostly mice" true (!mice > n / 2);
+  check_bool "mean pulled up by elephants" true (!total / n >= 3)
+
+let test_soak_flow_universe () =
+  let idx = [ 0; 1; 255; 256; 65_535; 65_536; 1_000_000; (1 lsl 24) - 1 ] in
+  let flows = List.map Workload.Soak.flow_of_index idx in
+  check_int "distinct across octet boundaries" (List.length idx)
+    (List.length (List.sort_uniq Net.Flow.compare flows));
+  List.iter2
+    (fun i f ->
+      match Net.Flow.of_packet (Workload.Soak.packet_of_index i) with
+      | Some f' -> check_bool "packet realizes the flow" true (Net.Flow.equal f f')
+      | None -> Alcotest.fail "soak packet unparsable")
+    idx flows;
+  let churn = Workload.Soak.churn_packets ~offset:5_000 200 in
+  check_int "churn chunk size" 200 (List.length churn);
+  check_int "churn flows distinct" 200
+    (List.filter_map Net.Flow.of_packet churn
+    |> List.sort_uniq Net.Flow.compare |> List.length)
+
+let test_soak_nat_collision_packets_realizable () =
+  (* unlike [Adversarial.colliding_flows], these keys must survive the
+     packet round-trip: 16-bit ports, real IPs — and still collide *)
+  let rng = Workload.Prng.create ~seed:25 in
+  let alloc =
+    Dslib.Port_alloc.dll ~base:0x7c00_0000 ~port_lo:1000 ~port_hi:1063
+  in
+  let nat =
+    Dslib.Nat_table.create ~base:0x7c10_0000 ~capacity:64 ~buckets:64
+      ~timeout:1000 ~alloc ~port_lo:1000 ~port_hi:1063 ()
+  in
+  let flows = Workload.Soak.nat_collision_flows nat rng ~bucket:7 16 in
+  check_int "count" 16 (List.length flows);
+  check_int "distinct" 16
+    (List.length (List.sort_uniq Net.Flow.compare flows));
+  List.iter2
+    (fun (f : Net.Flow.t) packet ->
+      (match Net.Flow.of_packet packet with
+      | Some f' -> check_bool "round-trips" true (Net.Flow.equal f f')
+      | None -> Alcotest.fail "collision packet unparsable");
+      let key =
+        [| f.Net.Flow.src_ip; f.Net.Flow.dst_ip; f.Net.Flow.src_port;
+           f.Net.Flow.dst_port; f.Net.Flow.proto |]
+      in
+      check_int "chains into bucket 7" 7 (Dslib.Nat_table.hash_of_flow nat key))
+    flows
+    (Workload.Soak.packets_of_flows flows)
+
+let test_soak_lpm_attack_hits_tbl8 () =
+  let ip = Net.Ipv4.addr_of_parts in
+  let lpm = Dslib.Lpm_dir24_8.create ~base:0x7d00_0000 ~default_port:0 in
+  Dslib.Lpm_dir24_8.add_route lpm ~prefix:(ip 10 0 0 0) ~len:16 ~port:1;
+  Dslib.Lpm_dir24_8.add_route lpm ~prefix:(ip 93 184 216 0) ~len:28 ~port:2;
+  let rng = Workload.Prng.create ~seed:26 in
+  let pkts =
+    Workload.Soak.lpm_attack_packets rng lpm ~slot:(ip 93 184 216 0) 64
+  in
+  check_int "count" 64 (List.length pkts);
+  List.iter
+    (fun p ->
+      check_bool "forced onto the two-lookup path" true
+        (Dslib.Lpm_dir24_8.uses_tbl8 lpm (Net.Ipv4.get_dst p)))
+    pkts;
+  (* aiming at a slot with no >24-bit route is a caller bug *)
+  match Workload.Soak.lpm_attack_packets rng lpm ~slot:(ip 10 0 0 0) 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-extended slot accepted"
+
 (* ---- Contract diff ----------------------------------------------------------- *)
 
 let entry name cost =
@@ -209,6 +351,17 @@ let suite =
       test_adversarial_collisions;
     Alcotest.test_case "synthesized mass expiry" `Quick
       test_fill_collided_then_mass_expiry;
+    Alcotest.test_case "colliding flows hit any bucket" `Quick
+      test_colliding_flows_arbitrary_bucket;
+    Alcotest.test_case "collided fills reach capacity" `Quick
+      test_fill_collided_reaches_capacity;
+    Alcotest.test_case "soak zipf popularity" `Quick test_soak_zipf_popularity;
+    Alcotest.test_case "soak pareto sizes" `Quick test_soak_pareto_sizes;
+    Alcotest.test_case "soak flow universe" `Quick test_soak_flow_universe;
+    Alcotest.test_case "soak collision packets realizable" `Quick
+      test_soak_nat_collision_packets_realizable;
+    Alcotest.test_case "soak lpm attack hits tbl8" `Quick
+      test_soak_lpm_attack_hits_tbl8;
     Alcotest.test_case "contract diff" `Quick test_contract_diff;
     Alcotest.test_case "sensitivity sweep" `Quick test_sensitivity_sweep;
   ]
