@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick bench-smoke soak-smoke fuzz-smoke fuzz-stateful-smoke tune-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke soak-smoke fuzz-smoke fuzz-stateful-smoke tune-smoke topo-smoke examples doc clean
 
 all: build
 
@@ -24,9 +24,10 @@ lint:
 	if [ -n "$$hits" ]; then \
 	  echo "lint: IR walker duplicated outside lib/ir:"; echo "$$hits"; exit 1; \
 	fi
-	@hits=$$(grep -rn "Interp\.run" lib/distiller lib/tuner --include='*.ml' || true); \
+	@hits=$$(grep -rn "Interp\.run" lib/distiller lib/tuner lib/topo --include='*.ml' || true); \
 	if [ -n "$$hits" ]; then \
-	  echo "lint: Distiller and tuner per-packet paths must stay on Exec.Compiled:"; \
+	  echo "lint: Distiller, tuner and topo per-packet paths must stay off"; \
+	  echo "      the interpreter (Exec.Compiled / Exec.Specialize only):"; \
 	  echo "$$hits"; exit 1; \
 	fi
 	@hits=$$(grep -n "Ds\.find\|\.Ds\.call\|Meter\.instr" lib/exec/specialize.ml || true); \
@@ -79,6 +80,17 @@ fuzz-stateful-smoke:
 # predicted-vs-measured error.
 tune-smoke:
 	dune exec bin/bolt_cli.exe -- tune trie_router --packets 128 --json BENCH_tuner.json
+
+# CI smoke for the network-wide contract engine: every built-in
+# topology jointly analysed (route-tuple pruning on), the composed
+# end-to-end bound compared against naive per-NF addition (must never
+# be looser, and must be strictly tighter somewhere — the Figure 3
+# property network-wide), and the built-in workload replayed through
+# the specialized per-node harness with every packet checked against
+# the bound.  Exits non-zero if any property fails; the full
+# (non-quick) run regenerates the tracked BENCH_topo.json.
+topo-smoke:
+	dune exec bench/main.exe -- topo --quick --json BENCH_topo_smoke.json
 
 # CI smoke for the soundness fuzzer: a few deterministic rounds of all
 # six differential oracles (see docs/TESTING.md).  Exits non-zero on a

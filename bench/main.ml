@@ -16,6 +16,10 @@
      dune exec bench/main.exe -- soak --json BENCH_soak.json
                                               — attack-class soak: specialized
                                                 pps + contract soundness
+     dune exec bench/main.exe -- topo --json BENCH_topo.json
+                                              — network-wide contracts: joint
+                                                topology bound vs naive
+                                                addition + replay soundness
      dune exec bench/main.exe -- bechamel     — micro-benchmarks only *)
 
 let quick = ref false
@@ -724,6 +728,147 @@ let soak () =
           output_string oc "\n");
       Fmt.pr "  [wrote %s]@." path)
 
+(* ---- Network-wide contracts over the built-in topologies -------------- *)
+
+(* For every built-in topology: jointly analyse the graph (route-tuple
+   pruning included), compare the composed end-to-end bound against the
+   naive sum of per-node worst cases (the Figure 3 property, network-
+   wide), then replay the topology's deterministic workload through the
+   specialized per-node harness and check every packet against the
+   composed bound at its own observed PCVs.  Both properties gate: a
+   contract violation or a composed bound that beats nothing fails the
+   run. *)
+let topo () =
+  section "Topo — network-wide contracts: composed bound vs naive addition";
+  let packets = if !quick then 256 else 1024 in
+  let eval_all vecs vec metric =
+    (* bind every PCV appearing in any compared vector to the same
+       adversarial value, so const and PCV-bearing bounds compare *)
+    let binding =
+      List.sort_uniq compare (List.concat_map Perf.Cost_vec.pcvs vecs)
+      |> List.map (fun p -> (p, 3))
+    in
+    Perf.Perf_expr.eval_exn binding (Perf.Cost_vec.get vec metric)
+  in
+  let rows =
+    List.map
+      (fun (entry : Topo.Builtin.entry) ->
+        let g = entry.Topo.Builtin.graph in
+        let t = Topo.Analysis.run ?jobs:!jobs g in
+        let joint = Topo.Analysis.worst t in
+        let naive =
+          (* per-node standalone worst cases, added — what an operator
+             without the joint walk would have to provision for *)
+          List.fold_left
+            (fun acc (_, (e : Nf.Registry.entry)) ->
+              let pt =
+                Bolt.Pipeline.analyze
+                  ~config:
+                    Bolt.Pipeline.Config.(
+                      default |> with_contracts e.Nf.Registry.contracts)
+                  e.Nf.Registry.program
+              in
+              Bolt.Compose.naive_add ~up:acc
+                ~down:(Bolt.Pipeline.worst_case pt))
+            Perf.Cost_vec.zero t.Topo.Analysis.entries
+        in
+        let joint_ic = eval_all [ joint; naive ] joint Perf.Metric.Instructions
+        and naive_ic =
+          eval_all [ joint; naive ] naive Perf.Metric.Instructions
+        in
+        if joint_ic > naive_ic then
+          failwith
+            (g.Topo.Graph.name
+           ^ ": composed bound exceeds naive addition — composition bug");
+        let harness = Topo.Harness.create g in
+        let report =
+          Topo.Harness.check harness ~worst:joint
+            (entry.Topo.Builtin.workload ~packets)
+        in
+        if report.Topo.Harness.violations <> [] then begin
+          Fmt.epr "%a@." Topo.Harness.pp_report report;
+          failwith (g.Topo.Graph.name ^ ": measured cost escaped the bound")
+        end;
+        Fmt.pr
+          "  %-14s %2d routes (%2d pruned)  joint IC %4d vs naive %4d \
+           (%2.0f%% tighter)  %d pkts sound, headroom %.1f%%@."
+          g.Topo.Graph.name
+          (List.length t.Topo.Analysis.routes)
+          t.Topo.Analysis.infeasible_routes joint_ic naive_ic
+          (100. *. float_of_int (naive_ic - joint_ic) /. float_of_int naive_ic)
+          report.Topo.Harness.packets report.Topo.Harness.worst_headroom_pct;
+        (g.Topo.Graph.name, t, joint_ic, naive_ic, report))
+      (Topo.Builtin.all ())
+  in
+  (* the headline property: joint analysis strictly beats naive addition
+     on at least one topology (Figure 3, network-wide) *)
+  if not (List.exists (fun (_, _, j, n, _) -> j < n) rows) then
+    failwith "topo: joint bound never beat naive addition";
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let j =
+        Perf.Json.Obj
+          [
+            ("artifact", Perf.Json.String "topo");
+            ("quick", Perf.Json.Bool !quick);
+            ( "topologies",
+              Perf.Json.List
+                (List.map
+                   (fun (name, t, joint_ic, naive_ic, report) ->
+                     Perf.Json.Obj
+                       [
+                         ("name", Perf.Json.String name);
+                         ( "routes",
+                           Perf.Json.Int (List.length t.Topo.Analysis.routes)
+                         );
+                         ( "infeasible_pruned",
+                           Perf.Json.Int t.Topo.Analysis.infeasible_routes );
+                         ("unsolved", Perf.Json.Int t.Topo.Analysis.unsolved);
+                         ("joint_ic", Perf.Json.Int joint_ic);
+                         ("naive_ic", Perf.Json.Int naive_ic);
+                         ( "tighter_pct",
+                           Perf.Json.Int
+                             (100 * (naive_ic - joint_ic) / naive_ic) );
+                         ( "packets",
+                           Perf.Json.Int report.Topo.Harness.packets );
+                         ("contract_sound", Perf.Json.Bool true);
+                         ( "worst_headroom_pct",
+                           Perf.Json.Int
+                             (int_of_float
+                                report.Topo.Harness.worst_headroom_pct) );
+                         ( "egresses",
+                           Perf.Json.List
+                             (List.map
+                                (fun eg ->
+                                  let cost, n =
+                                    Topo.Analysis.egress_cost t eg
+                                  in
+                                  Perf.Json.Obj
+                                    [
+                                      ( "egress",
+                                        Perf.Json.String
+                                          (Fmt.str "%a"
+                                             Topo.Analysis.pp_egress eg) );
+                                      ("routes", Perf.Json.Int n);
+                                      ( "ic",
+                                        Perf.Json.Int
+                                          (eval_all [ cost ] cost
+                                             Perf.Metric.Instructions) );
+                                    ])
+                                (Topo.Analysis.egresses t)) );
+                       ])
+                   rows) );
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Perf.Json.to_string ~indent:true j);
+          output_string oc "\n");
+      Fmt.pr "  [wrote %s]@." path)
+
 let chain3 () =
   section "Extension — three-NF chain, jointly analysed";
   Experiments.Extensions.chain3 Fmt.stdout
@@ -908,6 +1053,7 @@ let artifacts =
     ("floors", floors);
     ("throughput", exec_throughput);
     ("soak", soak);
+    ("topo", topo);
     ("chain3", chain3);
     ("ablations", ablations);
     ("bechamel", bechamel_suite);
@@ -960,6 +1106,7 @@ let () =
         floors ();
         exec_throughput ();
         soak ();
+        topo ();
         chain3 ();
         ablations ();
         bechamel_suite ()

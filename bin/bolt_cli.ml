@@ -188,6 +188,90 @@ let tune_cmd nf_name backends capacities packets jobs seed json_path =
       close_out oc;
       Fmt.pr "wrote %s@." path
 
+(* Network-wide contracts: analyse a built-in topology (ISSUE: topologies
+   as first-class programs).  The graph is validated, walked jointly —
+   every node symbolically executed on its predecessor's symbolic output,
+   infeasible route tuples pruned — and the result printed as
+   per-(ingress-class, egress) end-to-end bounds.  --replay additionally
+   pushes the topology's deterministic workload through the specialized
+   per-node engines and checks every packet against the composed bound
+   (exit 2 on violation). *)
+let topo_cmd name_opt list_only class_name jobs replay metric json_path =
+  if list_only then
+    List.iter (fun n -> Fmt.pr "%s@." n) (Topo.Builtin.names ())
+  else begin
+    let name =
+      match name_opt with
+      | Some n -> n
+      | None ->
+          Fmt.epr "topo: name a topology (or --list); known: %s@."
+            (String.concat ", " (Topo.Builtin.names ()));
+          exit 1
+    in
+    let entry =
+      try Topo.Builtin.find name
+      with Invalid_argument msg ->
+        Fmt.epr "topo: %s@." msg;
+        exit 1
+    in
+    let g = entry.Topo.Builtin.graph in
+    Fmt.pr "%a@." Topo.Graph.pp g;
+    let t = Topo.Analysis.run ?jobs g in
+    Fmt.pr
+      "analysed %d end-to-end routes (%d infeasible route tuples pruned, %d \
+       unsolved)@.@."
+      (List.length t.Topo.Analysis.routes)
+      t.Topo.Analysis.infeasible_routes t.Topo.Analysis.unsolved;
+    let contract = Topo.Analysis.contract t in
+    (match json_path with
+    | Some path ->
+        Perf.Contract_io.write_contract ~path contract;
+        Fmt.pr "wrote %s@." path
+    | None -> ());
+    (match class_name with
+    | None -> (
+        match metric with
+        | None -> Fmt.pr "%a@." Perf.Contract.pp contract
+        | Some m -> Fmt.pr "%a@." (Perf.Contract.pp_metric m) contract)
+    | Some cname ->
+        let cls =
+          match
+            List.find_opt
+              (fun (c : Symbex.Iclass.t) -> c.Symbex.Iclass.name = cname)
+              (Topo.Analysis.ingress_classes t)
+          with
+          | Some c -> c
+          | None ->
+              Fmt.epr "topo: unknown class %S; ingress classes: %s@." cname
+                (String.concat ", "
+                   (List.map
+                      (fun (c : Symbex.Iclass.t) -> c.Symbex.Iclass.name)
+                      (Topo.Analysis.ingress_classes t)));
+              exit 1
+        in
+        let cost, n = Topo.Analysis.class_cost t cls in
+        Fmt.pr "end-to-end bound for class %s (%d compatible routes):@.%a@."
+          cname n Perf.Cost_vec.pp cost;
+        List.iter
+          (fun eg ->
+            let c, k = Topo.Analysis.class_egress_cost t cls eg in
+            if k > 0 then
+              Fmt.pr "@.  via %a (%d routes):  IC <= %a@." Topo.Analysis.pp_egress
+                eg k Perf.Perf_expr.pp
+                (Perf.Cost_vec.get c Perf.Metric.Instructions))
+          (Topo.Analysis.egresses t));
+    if replay > 0 then begin
+      let harness = Topo.Harness.create g in
+      let report =
+        Topo.Harness.check harness ~worst:(Topo.Analysis.worst t)
+          (entry.Topo.Builtin.workload ~packets:replay)
+      in
+      Fmt.pr "@.replay of the built-in workload vs the composed bound:@.%a"
+        Topo.Harness.pp_report report;
+      if report.Topo.Harness.violations <> [] then exit 2
+    end
+  end
+
 open Cmdliner
 
 let nf_arg =
@@ -452,6 +536,49 @@ let tune_t =
       const tune_cmd $ nf_arg $ backends_arg $ capacities_arg $ packets_arg
       $ jobs_arg $ seed_arg $ json_arg)
 
+let topo_t =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TOPOLOGY"
+          ~doc:"Built-in topology to analyse (see --list).")
+  in
+  let list_flag =
+    Arg.(
+      value & flag & info [ "list" ] ~doc:"List built-in topologies and exit.")
+  in
+  let class_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "class"; "c" ] ~docv:"CLASS"
+          ~doc:
+            "Only print the end-to-end bound for this ingress input class, \
+             broken down by egress.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "replay" ] ~docv:"N"
+          ~doc:
+            "Also replay $(docv) packets of the topology's built-in \
+             workload through the specialized per-node engines and check \
+             every packet against the composed bound (exit 2 on a \
+             violation).")
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "Derive a network-wide performance contract for a topology of \
+          NFs: validate the graph, symbolically execute every node on \
+          its predecessor's symbolic output (pruning infeasible route \
+          tuples), and print per-(ingress-class, egress) end-to-end \
+          bounds — tighter than adding per-NF worst cases")
+    Term.(
+      const topo_cmd $ name_arg $ list_flag $ class_arg $ jobs_arg
+      $ replay_arg $ metric_arg $ json_arg)
+
 let paths_t =
   Cmd.v
     (Cmd.info "paths" ~doc:"List the feasible paths and per-path costs")
@@ -493,5 +620,5 @@ let () =
        (Cmd.group info
           [
             contract_t; stats_t; predict_t; diff_t; validate_t; fuzz_t;
-            tune_t; paths_t; report_t; program_t;
+            tune_t; topo_t; paths_t; report_t; program_t;
           ]))

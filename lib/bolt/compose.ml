@@ -1,5 +1,11 @@
 open Perf
 
+(* Both entry points are thin wrappers over the general DAG walk in
+   {!Dag}: a pair is a two-node line, a chain an n-node line, each linked
+   by [Any] edges (no port constraint — exactly the historic semantics).
+   The walk is run serially ([jobs:1]): these are small analyses and the
+   wrappers are pinned bit-identical to the pre-refactor results. *)
+
 type pair = { up : Symbex.Path.t; down : Symbex.Path.t; cost : Cost_vec.t }
 
 type t = {
@@ -11,113 +17,50 @@ type t = {
 
 let engine_up t = t.up_engine
 
-let replay_cost ~contracts ~program ~path ~packet ~stubs ~in_port ~now =
-  let run, events =
-    Pipeline.replay_witness ~path ~stubs ~in_port ~now program packet
+let line_dag nodes =
+  let nodes = Array.of_list nodes in
+  let edges =
+    List.init
+      (Array.length nodes - 1)
+      (fun i -> { Dag.src = i; sel = Dag.Any; target = Dag.To (i + 1) })
   in
-  (Pipeline.analyze_replay ~contracts ~path events, run)
-
-let stub_values model (path : Symbex.Path.t) =
-  List.map
-    (fun c -> Solver.Model.eval model c.Symbex.Path.ret)
-    path.Symbex.Path.calls
-
-let concretize_packet model (input : Symbex.Spacket.input) =
-  let len = Solver.Model.value model (Symbex.Spacket.len_sym input) in
-  let packet = Net.Packet.create len in
-  List.iter
-    (fun (off, sym) ->
-      if off < len then
-        Net.Packet.set_u8 packet off (Solver.Model.value model sym land 0xff))
-    (Symbex.Spacket.known_bytes input);
-  packet
+  { Dag.nodes; ingress = 0; edges }
 
 let analyze ?max_paths ~models ~up:(up_program, up_contracts)
     ~down:(down_program, down_contracts) () =
-  let up_engine = Symbex.Engine.explore ?max_paths ~models up_program in
-  let unsolved = ref 0 in
-  let pairs = ref [] in
-  let up_only = ref [] in
-  List.iter
-    (fun (up_path : Symbex.Path.t) ->
-      match up_path.Symbex.Path.action with
-      | Symbex.Path.Drop | Symbex.Path.Flood -> (
-          match Pipeline.witness up_engine up_path with
-          | None -> incr unsolved
-          | Some (packet, stubs, in_port, now) -> (
-              match
-                replay_cost ~contracts:up_contracts ~program:up_program
-                  ~path:up_path ~packet ~stubs ~in_port ~now
-              with
-              | cost, run
-                when Pipeline.replay_matches up_path.Symbex.Path.action
-                       run.Exec.Interp.outcome ->
-                  up_only := (up_path, cost) :: !up_only
-              | _, _ -> incr unsolved
-              | exception (Pipeline.Replay_divergence _ | Exec.Interp.Stuck _)
-                ->
-                  incr unsolved))
-      | Symbex.Path.Forward _ ->
-          let down_engine =
-            Symbex.Engine.explore ?max_paths
-              ~shared:(up_engine.Symbex.Engine.gen, up_path.Symbex.Path.view)
-              ~initial:up_path.Symbex.Path.constraints ~models down_program
-          in
-          List.iter
-            (fun (down_path : Symbex.Path.t) ->
-              match
-                Solver.Solve.check down_path.Symbex.Path.constraints
-              with
-              | Solver.Solve.Unsat | Solver.Solve.Unknown -> incr unsolved
-              | Solver.Solve.Sat model -> (
-                  let packet =
-                    concretize_packet model up_engine.Symbex.Engine.input
-                  in
-                  let up_cost, _ =
-                    replay_cost ~contracts:up_contracts ~program:up_program
-                      ~path:up_path ~packet
-                      ~stubs:(stub_values model up_path)
-                      ~in_port:
-                        (Solver.Model.value model
-                           up_engine.Symbex.Engine.in_port)
-                      ~now:
-                        (Solver.Model.value model up_engine.Symbex.Engine.now)
-                  in
-                  (* the upstream replay mutated [packet] in place: it is
-                     now the downstream NF's input *)
-                  match
-                    replay_cost ~contracts:down_contracts
-                      ~program:down_program ~path:down_path ~packet
-                      ~stubs:(stub_values model down_path)
-                      ~in_port:
-                        (Solver.Model.value model
-                           down_engine.Symbex.Engine.in_port)
-                      ~now:
-                        (Solver.Model.value model
-                           down_engine.Symbex.Engine.now)
-                  with
-                  | down_cost, _ ->
-                      pairs :=
-                        {
-                          up = up_path;
-                          down = down_path;
-                          cost = Cost_vec.add up_cost down_cost;
-                        }
-                        :: !pairs
-                  | exception
-                      ( Failure _ | Pipeline.Replay_divergence _
-                      | Exec.Interp.Stuck _ ) ->
-                      (* replay diverged (over-approximated rewrite read
-                         back by the downstream NF): drop the pair but
-                         count it *)
-                      incr unsolved))
-            down_engine.Symbex.Engine.paths)
-    up_engine.Symbex.Engine.paths;
+  let dag =
+    line_dag
+      [
+        { Dag.label = "up"; program = up_program; contracts = up_contracts };
+        {
+          Dag.label = "down";
+          program = down_program;
+          contracts = down_contracts;
+        };
+      ]
+  in
+  let r = Dag.analyze ?max_paths ~jobs:1 ~models dag in
+  let pairs, up_only =
+    List.fold_left
+      (fun (pairs, ups) (route : Dag.route) ->
+        match route.Dag.steps with
+        | [ u ] -> (pairs, (u.Dag.step_path, route.Dag.cost) :: ups)
+        | [ u; d ] ->
+            ( {
+                up = u.Dag.step_path;
+                down = d.Dag.step_path;
+                cost = route.Dag.cost;
+              }
+              :: pairs,
+              ups )
+        | _ -> assert false)
+      ([], []) r.Dag.routes
+  in
   {
-    pairs = List.rev !pairs;
-    up_only = List.rev !up_only;
-    unsolved = !unsolved;
-    up_engine;
+    pairs = List.rev pairs;
+    up_only = List.rev up_only;
+    unsolved = r.Dag.unsolved;
+    up_engine = r.Dag.ingress_engine;
   }
 
 let worst_case t =
@@ -137,78 +80,33 @@ type chain = {
   input : Symbex.Spacket.input;
 }
 
-(* One traversed segment: the path plus everything needed to replay it. *)
-type segment = {
-  seg_path : Symbex.Path.t;
-  seg_engine : Symbex.Engine.result;
-  seg_stage : stage;
-}
-
 let analyze_chain ?max_paths ~models stages =
   if stages = [] then invalid_arg "Compose.analyze_chain: empty chain";
-  let gen = Solver.Sym.gen () in
-  let input = Symbex.Spacket.input gen () in
-  let view0 = Symbex.Spacket.view input in
-  let tuples = ref [] in
-  let unsolved = ref 0 in
-  let finalize (segments_rev : segment list) =
-    let segments = List.rev segments_rev in
-    let joint_constraints =
-      match segments_rev with
-      | [] -> assert false
-      | last :: _ -> last.seg_path.Symbex.Path.constraints
-    in
-    match Solver.Solve.check joint_constraints with
-    | Solver.Solve.Unsat | Solver.Solve.Unknown -> incr unsolved
-    | Solver.Solve.Sat model -> (
-        let packet = concretize_packet model input in
-        match
-          List.fold_left
-            (fun acc seg ->
-              let cost, _ =
-                replay_cost ~contracts:seg.seg_stage.contracts
-                  ~program:seg.seg_stage.program ~path:seg.seg_path ~packet
-                  ~stubs:(stub_values model seg.seg_path)
-                  ~in_port:
-                    (Solver.Model.value model
-                       seg.seg_engine.Symbex.Engine.in_port)
-                  ~now:
-                    (Solver.Model.value model
-                       seg.seg_engine.Symbex.Engine.now)
-              in
-              Cost_vec.add acc cost)
-            Cost_vec.zero segments
-        with
-        | cost ->
-            tuples :=
-              { segments = List.map (fun s -> s.seg_path) segments; cost }
-              :: !tuples
-        | exception
-            ( Failure _ | Pipeline.Replay_divergence _ | Exec.Interp.Stuck _ )
-          ->
-            incr unsolved)
+  let dag =
+    line_dag
+      (List.mapi
+         (fun i (s : stage) ->
+           {
+             Dag.label = Fmt.str "stage%d" i;
+             program = s.program;
+             contracts = s.contracts;
+           })
+         stages)
   in
-  let rec descend segments_rev view constraints remaining =
-    match remaining with
-    | [] -> finalize segments_rev
-    | stage :: rest ->
-        let engine =
-          Symbex.Engine.explore ?max_paths ~shared:(gen, view)
-            ~initial:constraints ~models stage.program
-        in
-        List.iter
-          (fun (path : Symbex.Path.t) ->
-            let seg = { seg_path = path; seg_engine = engine; seg_stage = stage } in
-            match path.Symbex.Path.action with
-            | Symbex.Path.Forward _ ->
-                descend (seg :: segments_rev) path.Symbex.Path.view
-                  path.Symbex.Path.constraints rest
-            | Symbex.Path.Drop | Symbex.Path.Flood ->
-                finalize (seg :: segments_rev))
-          engine.Symbex.Engine.paths
-  in
-  descend [] view0 [] stages;
-  { tuples = List.rev !tuples; chain_unsolved = !unsolved; input }
+  let r = Dag.analyze ?max_paths ~jobs:1 ~models dag in
+  {
+    tuples =
+      List.map
+        (fun (route : Dag.route) ->
+          {
+            segments =
+              List.map (fun s -> s.Dag.step_path) route.Dag.steps;
+            cost = route.Dag.cost;
+          })
+        r.Dag.routes;
+    chain_unsolved = r.Dag.unsolved;
+    input = r.Dag.input;
+  }
 
 let chain_worst chain =
   Cost_vec.max_upper_list (List.map (fun t -> t.cost) chain.tuples)
@@ -250,8 +148,7 @@ let class_cost t ~up_result (cls : Symbex.Iclass.t) =
   let member_costs =
     List.filter_map
       (fun p ->
-        if matches_joint p.down.Symbex.Path.constraints p.up then
-          Some p.cost
+        if matches_joint p.down.Symbex.Path.constraints p.up then Some p.cost
         else None)
       t.pairs
     @ List.filter_map

@@ -1,0 +1,93 @@
+(** Network-wide joint analysis: one general DAG walk (paper §3.4,
+    SymNet-style).
+
+    A [t] is a DAG of NF programs.  The walk symbolically executes each
+    node {e on its predecessor's symbolic output packet} under the
+    accumulated path constraints: edges route on the egress outcome —
+    a [Forward p] follows the edge declared for port [p] (adding the
+    [out_port = p] constraint and pinning the downstream [in_port]),
+    [Drop]/[Flood] terminate the route at that node.  Route tuples whose
+    joint constraints are unsatisfiable are pruned by the solver, which
+    is what makes the composed bound tighter than adding per-node worst
+    cases (Figure 3).  Pair composition ({!Compose.analyze}) and linear
+    chains ({!Compose.analyze_chain}) are thin wrappers over this walk.
+
+    Exploration is serial (it threads one shared symbol generator);
+    per-route finalization — witness solving plus measured replay of
+    every traversed node on the concrete witness packet — runs on
+    {!Exec.Pool} and is bit-deterministic at any jobs level. *)
+
+type node = {
+  label : string;
+  program : Ir.Program.t;
+  contracts : Perf.Ds_contract.library;
+}
+
+type sel =
+  | Any  (** follow regardless of the forwarded port (no constraint) *)
+  | Port of int  (** follow only when the packet leaves on this port *)
+
+type target =
+  | To of int  (** index into {!t.nodes} *)
+  | Exit of string  (** the packet leaves the topology, labelled *)
+
+type edge = { src : int; sel : sel; target : target }
+
+type t = { nodes : node array; ingress : int; edges : edge list }
+
+type egress =
+  | Exited of { node : int; label : string }
+      (** forwarded out of the topology: over an [Exit] edge, or on a
+          port with no declared edge (label {!default_exit}) *)
+  | Dropped of int
+  | Flooded of int
+
+val default_exit : string
+(** Label given to forwards that leave on a port without a declared
+    edge (["out"]). *)
+
+type step = {
+  step_node : int;
+  step_path : Symbex.Path.t;
+  step_in_port : Solver.Sym.t;  (** that node's ingress-port symbol *)
+  step_now : Solver.Sym.t;
+}
+
+type route = {
+  steps : step list;  (** ingress first *)
+  egress : egress;
+  constraints : Solver.Constr.t list;
+      (** joint (solvable) constraints of the whole route, including the
+          port-selection constraints of traversed edges *)
+  cost : Perf.Cost_vec.t;  (** sum of per-node replayed costs *)
+}
+
+type result = {
+  routes : route list;
+  unsolved : int;
+      (** feasible-looking routes whose witness could not be solved or
+          replayed — excluded from the bound but counted *)
+  infeasible_routes : int;
+      (** route tuples pruned because the port-selection constraint was
+          unsatisfiable with the accumulated path constraints *)
+  input : Symbex.Spacket.input;  (** shared input-packet symbols *)
+  ingress_engine : Symbex.Engine.result;
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range indices, a cycle, a
+    duplicate [(src, port)] selector, or an [Any] edge mixed with other
+    edges from the same node.  Friendlier, name-level validation lives
+    in [Topo.Graph]. *)
+
+val analyze :
+  ?max_paths:int ->
+  ?jobs:int ->
+  models:Symbex.Model.registry ->
+  t ->
+  result
+(** Walk the DAG from [ingress].  [jobs] bounds the finalization pool
+    (the result is the same at any value). *)
+
+val worst : result -> Perf.Cost_vec.t
+(** Monomial-wise max over all route costs. *)

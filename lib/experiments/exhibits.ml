@@ -50,6 +50,31 @@ type chain = {
 
 let no_contracts = Ds_contract.library []
 
+(* The historic hand-wired firewall→router pair, as a topology: the
+   [Any] edge follows the forward regardless of port, exactly the
+   pre-topology chain semantics, so the analysis below is bit-identical
+   to what [Bolt.Compose.analyze] produced (pinned by test). *)
+let fw_router_graph () =
+  Topo.Graph.validated ~name:"fw_router"
+    ~description:
+      "edge firewall in front of the options-pricing static router \
+       (Table 5c, Figure 3)"
+    ~ingress:"firewall"
+    ~nodes:
+      [
+        Topo.Graph.node "firewall" Nf.Spec.Firewall;
+        Topo.Graph.node "router" Nf.Spec.Static_router;
+      ]
+    ~edges:
+      [ Topo.Graph.edge "firewall" Topo.Graph.Any (Topo.Graph.Node "router") ]
+    ()
+
+let router_only_graph () =
+  Topo.Graph.validated ~name:"router_only"
+    ~description:"the static router measured alone" ~ingress:"router"
+    ~nodes:[ Topo.Graph.node "router" Nf.Spec.Static_router ]
+    ~edges:[] ()
+
 let chain_mix ~packets rng =
   List.init packets (fun i ->
       let src_ip = Net.Ipv4.addr_of_parts 10 0 0 ((i mod 200) + 1) in
@@ -62,90 +87,56 @@ let chain_mix ~packets rng =
         Net.Build.udp ~src_ip ~dst_ip ~src_port:5000 ~dst_port:80 ()
       else Net.Build.ipv4_with_options ~options ~src_ip ~dst_ip ())
 
-(* Run the chain in production: each packet through the firewall, and on
-   through the router when forwarded.  Returns per-packet (fw, router,
-   total) measurements. *)
-let run_chain packets =
-  let hw = Hw.Model.realistic () in
-  let meter = Exec.Meter.create hw in
-  List.map
-    (fun packet ->
-      hw.Hw.Model.boundary [ (Exec.Interp.packet_base, 2048) ];
-      let fw =
-        Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~in_port:0
-          ~now:1_000_000 Nf.Firewall.program packet
-      in
-      match fw.Exec.Interp.outcome with
-      | Exec.Interp.Sent _ ->
-          let rt =
-            Exec.Interp.run ~meter ~mode:(Exec.Interp.Production [])
-              ~in_port:0 ~now:1_000_000 Nf.Static_router.program packet
-          in
-          (fw, Some rt)
-      | Exec.Interp.Dropped | Exec.Interp.Flooded -> (fw, None))
-    packets
-
-let max_measure f runs =
+let max_measure sel transits =
   List.fold_left
-    (fun (acc : Harness.measurement) r ->
-      match f r with
-      | None -> acc
-      | Some (run : Exec.Interp.run) ->
-          {
-            Harness.ic = max acc.Harness.ic run.Exec.Interp.ic;
-            ma = max acc.Harness.ma run.Exec.Interp.ma;
-            cycles = max acc.Harness.cycles run.Exec.Interp.cycles;
-          })
+    (fun (acc : Harness.measurement) tr ->
+      let ic, ma, cycles = sel tr in
+      {
+        Harness.ic = max acc.Harness.ic ic;
+        ma = max acc.Harness.ma ma;
+        cycles = max acc.Harness.cycles cycles;
+      })
     { Harness.ic = 0; ma = 0; cycles = 0 }
-    runs
+    transits
+
+let of_hop (h : Topo.Harness.hop) =
+  (h.Topo.Harness.ic, h.Topo.Harness.ma, h.Topo.Harness.cycles)
+
+let of_transit (tr : Topo.Harness.transit) =
+  (tr.Topo.Harness.ic, tr.Topo.Harness.ma, tr.Topo.Harness.cycles)
 
 let chain_experiment ?(packets = 512) () =
   let fw = analyze Nf.Firewall.program no_contracts in
   let rt = analyze Nf.Static_router.program no_contracts in
-  let composition =
-    Bolt.Compose.analyze ~models:Bolt.Ds_models.default
-      ~up:(Nf.Firewall.program, no_contracts)
-      ~down:(Nf.Static_router.program, no_contracts)
-      ()
-  in
+  let topo = Topo.Analysis.run ~jobs:1 (fw_router_graph ()) in
   let firewall_worst = Bolt.Pipeline.worst_case fw in
   let router_worst = Bolt.Pipeline.worst_case rt in
   let rng = Workload.Prng.create ~seed:11 in
   let mix = chain_mix ~packets rng in
-  let runs = run_chain mix in
+  (* run the chain in production: the harness pushes each packet through
+     the firewall and on through the router when forwarded *)
+  let chain_harness =
+    Topo.Harness.create ~hw:(Hw.Model.realistic ()) (fw_router_graph ())
+  in
+  let runs = List.map (Topo.Harness.transit chain_harness) mix in
   (* the router measured alone sees the raw mix (including options) *)
   let router_alone =
-    let hw = Hw.Model.realistic () in
-    let meter = Exec.Meter.create hw in
-    List.map
-      (fun packet ->
-        hw.Hw.Model.boundary [ (Exec.Interp.packet_base, 2048) ];
-        Exec.Interp.run ~meter ~mode:(Exec.Interp.Production []) ~in_port:0
-          ~now:1_000_000 Nf.Static_router.program packet)
-      mix
+    let h =
+      Topo.Harness.create ~hw:(Hw.Model.realistic ()) (router_only_graph ())
+    in
+    List.map (Topo.Harness.transit h) mix
   in
   {
     firewall_worst;
     router_worst;
     naive_add = Bolt.Compose.naive_add ~up:firewall_worst ~down:router_worst;
-    composite = Bolt.Compose.worst_case composition;
-    measured_firewall = max_measure (fun (fw, _) -> Some fw) runs;
-    measured_router =
-      max_measure (fun r -> Some r) (List.map (fun r -> r) router_alone);
-    measured_chain =
+    composite = Topo.Analysis.worst topo;
+    measured_firewall =
       max_measure
-        (fun (fw, rt) ->
-          match rt with
-          | None -> Some fw
-          | Some rt ->
-              Some
-                {
-                  Exec.Interp.outcome = rt.Exec.Interp.outcome;
-                  ic = fw.Exec.Interp.ic + rt.Exec.Interp.ic;
-                  ma = fw.Exec.Interp.ma + rt.Exec.Interp.ma;
-                  cycles = fw.Exec.Interp.cycles + rt.Exec.Interp.cycles;
-                })
+        (fun tr -> of_hop (List.hd tr.Topo.Harness.hops))
         runs;
+    measured_router = max_measure of_transit router_alone;
+    measured_chain = max_measure of_transit runs;
   }
 
 let table5 ppf =
@@ -159,20 +150,11 @@ let table5 ppf =
   in
   Fmt.pf ppf "(a) %a@." (Contract.pp_metric Metric.Instructions) fw_contract;
   Fmt.pf ppf "(b) %a@." (Contract.pp_metric Metric.Instructions) rt_contract;
-  let composition =
-    Bolt.Compose.analyze ~models:Bolt.Ds_models.default
-      ~up:(Nf.Firewall.program, no_contracts)
-      ~down:(Nf.Static_router.program, no_contracts)
-      ()
-  in
+  let topo = Topo.Analysis.run ~jobs:1 (fw_router_graph ()) in
   Fmt.pf ppf "(c) firewall+router chain — instruction count@.";
   List.iter
     (fun cls ->
-      let cost, n =
-        Bolt.Compose.class_cost composition
-          ~up_result:(Bolt.Compose.engine_up composition)
-          cls
-      in
+      let cost, n = Topo.Analysis.class_cost topo cls in
       Fmt.pf ppf "  %-16s  %a  (%d compatible path pairs)@."
         cls.Symbex.Iclass.name Perf_expr.pp
         (Cost_vec.get cost Metric.Instructions)

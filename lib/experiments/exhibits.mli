@@ -14,6 +14,11 @@ val table4 : Format.formatter -> unit
 val table6 : Format.formatter -> unit
 (** VigNAT contract over the five traffic types. *)
 
+val fw_router_graph : unit -> Topo.Graph.t
+(** The firewall→router chain of Table 5c / Figure 3 as a first-class
+    topology ([Any] edge: follow the forward regardless of port — the
+    historic pair-composition semantics). *)
+
 type chain = {
   firewall_worst : Perf.Cost_vec.t;
   router_worst : Perf.Cost_vec.t;

@@ -44,8 +44,8 @@ type st = {
 
 let decide st b = if st.in_pcv then st else { st with decis = b :: st.decis }
 
-let explore ?(max_paths = 8192) ?(initial = []) ?shared ?concrete ~models
-    (program : Ir.Program.t) =
+let explore ?(max_paths = 8192) ?(initial = []) ?shared ?concrete ?pin_port
+    ~models (program : Ir.Program.t) =
   Obs.Span.with_ ~cat:"symbex" "explore"
     ~args:(fun () -> [ ("program", program.Ir.Program.name) ])
   @@ fun () ->
@@ -62,6 +62,19 @@ let explore ?(max_paths = 8192) ?(initial = []) ?shared ?concrete ~models
   let ctx = Value.ctx gen in
   let in_port = Solver.Sym.fresh gen ~lo:0 ~hi:7 "in_port" in
   let now = Solver.Sym.fresh gen ~lo:1000 ~hi:(1 lsl 40) "now" in
+  (* A topology edge delivers the packet on a known port: the symbol stays
+     symbolic (models and replay read it as usual) but is pinned by an
+     equality, so downstream branches on [in_port] collapse. *)
+  let initial =
+    match pin_port with
+    | None -> initial
+    | Some p ->
+        initial
+        @ [
+            Solver.Constr.eq (Solver.Linexpr.sym in_port)
+              (Solver.Linexpr.const p);
+          ]
+  in
   let paths = ref [] in
   let path_count = ref 0 in
   let pruned = ref 0 in

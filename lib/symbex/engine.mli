@@ -24,6 +24,7 @@ val explore :
   ?initial:Solver.Constr.t list ->
   ?shared:Solver.Sym.gen * Spacket.view ->
   ?concrete:Net.Packet.t * int * int ->
+  ?pin_port:int ->
   models:Model.registry ->
   Ir.Program.t ->
   result
@@ -31,6 +32,10 @@ val explore :
     [shared] reuses an existing generator and packet view — that is how
     chain composition executes the downstream NF on the upstream NF's
     symbolic output (§3.4).  [initial] seeds the path constraints.
+    [pin_port] constrains the (still symbolic) [in_port] to a known value:
+    a topology edge that delivers the packet on port [p] pins the
+    downstream NF's ingress port without changing how models or the
+    fidelity replay read the symbol.
     [concrete] is [(packet, in_port, now)]: the program is explored over
     that fully-concrete input ({!Spacket.concrete_input}), every branch
     condition folds, and exactly one feasible path can complete — the

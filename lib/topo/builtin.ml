@@ -1,0 +1,153 @@
+type entry = {
+  graph : Graph.t;
+  workload : packets:int -> Workload.Stream.t;
+}
+
+let stream ?(start = 1_000_000) ?(gap = 17) packets =
+  Workload.Stream.constant_rate ~in_port:0 ~start ~gap packets
+
+let icmp_echo ~src_ip ~dst_ip =
+  let pkt = Net.Build.eth ~len:64 ~ethertype:Net.Ethernet.ethertype_ipv4 () in
+  Net.Ipv4.init pkt ~proto:Net.Ipv4.proto_icmp ~src:src_ip ~dst:dst_ip ();
+  Net.Packet.set_u8 pkt Net.Icmp.off_type Net.Icmp.type_echo_request;
+  pkt
+
+(* ---- policer → NAT → LB ------------------------------------------------ *)
+
+let service_chain () =
+  let graph =
+    Graph.validated ~name:"service_chain"
+      ~description:
+        "multi-tenant chain: token-bucket policer, NAT to the provider \
+         range, Maglev LB onto the backend pool"
+      ~ingress:"policer"
+      ~nodes:
+        [
+          Graph.node "policer" (Nf.Spec.Policer Nf.Policer.default_config);
+          Graph.node "nat" (Nf.Spec.Nat Nf.Nat.default_config);
+          Graph.node "lb" (Nf.Spec.Maglev Nf.Maglev.default_config);
+        ]
+      ~edges:
+        [
+          Graph.edge "policer" (Graph.Port 0) (Graph.Node "nat");
+          Graph.edge "nat" (Graph.Port 1) (Graph.Node "lb");
+          Graph.edge "lb" (Graph.Port 1) (Graph.Exit "backends");
+        ]
+      ()
+  in
+  let workload ~packets =
+    let rng = Workload.Prng.create ~seed:42 in
+    stream
+      (List.init packets (fun i ->
+           let src_ip = Net.Ipv4.addr_of_parts 10 0 (i mod 16) ((i mod 61) + 1) in
+           let dst_ip = Net.Ipv4.addr_of_parts 203 0 113 ((i mod 7) + 1) in
+           if Workload.Prng.bool rng 0.05 then Net.Build.non_ip ()
+           else if Workload.Prng.bool rng 0.1 then
+             (* backend heartbeats ride the same chain: dst port 9999 *)
+             Net.Build.udp ~src_ip ~dst_ip ~src_port:(40_000 + (i mod 512))
+               ~dst_port:Nf.Maglev.heartbeat_port ()
+           else
+             Net.Build.udp ~src_ip ~dst_ip ~src_port:(40_000 + (i mod 512))
+               ~dst_port:80 ()))
+  in
+  { graph; workload }
+
+(* ---- firewall branching to router / responder -------------------------- *)
+
+let branch () =
+  let graph =
+    Graph.validated ~name:"branch"
+      ~description:
+        "edge firewall, router splitting device-bound (port 0, ICMP \
+         responder) from transit traffic (port 1, uplink)"
+      ~ingress:"firewall"
+      ~nodes:
+        [
+          Graph.node "firewall" Nf.Spec.Firewall;
+          Graph.node "router" Nf.Spec.Static_router;
+          Graph.node "responder" Nf.Spec.Responder;
+        ]
+      ~edges:
+        [
+          Graph.edge "firewall" (Graph.Port 0) (Graph.Node "router");
+          Graph.edge "router" (Graph.Port 0) (Graph.Node "responder");
+          Graph.edge "router" (Graph.Port 1) (Graph.Exit "uplink");
+        ]
+      ()
+  in
+  let workload ~packets =
+    let rng = Workload.Prng.create ~seed:43 in
+    let device_ip = Nf.Responder.device_ip in
+    stream
+      (List.init packets (fun i ->
+           let src_ip = Net.Ipv4.addr_of_parts 10 1 (i mod 32) ((i mod 97) + 1) in
+           if Workload.Prng.bool rng 0.05 then Net.Build.non_ip ()
+           else if Workload.Prng.bool rng 0.2 then
+             (* ping the device itself: firewall → router:0 → responder *)
+             icmp_echo ~src_ip ~dst_ip:device_ip
+           else if Workload.Prng.bool rng 0.25 then
+             (* IP options: the router's expensive loop, both parities *)
+             Net.Build.ipv4_with_options
+               ~options:(1 + Workload.Prng.below rng 3)
+               ~src_ip
+               ~dst_ip:(Net.Ipv4.addr_of_parts 93 184 216 (i mod 256))
+               ()
+           else
+             Net.Build.udp ~src_ip
+               ~dst_ip:(Net.Ipv4.addr_of_parts 93 184 216 (i mod 256))
+               ~src_port:5000 ~dst_port:80 ()))
+  in
+  { graph; workload }
+
+(* ---- failover variant -------------------------------------------------- *)
+
+let failover () =
+  let graph =
+    Graph.validated ~name:"failover"
+      ~description:
+        "service chain with a duplicated LB tier: the router steers even \
+         destinations to the primary Maglev, odd ones to the backup"
+      ~ingress:"policer"
+      ~nodes:
+        [
+          Graph.node "policer" (Nf.Spec.Policer Nf.Policer.default_config);
+          Graph.node "nat" (Nf.Spec.Nat Nf.Nat.default_config);
+          Graph.node "router" Nf.Spec.Static_router;
+          Graph.node "lb_primary" (Nf.Spec.Maglev Nf.Maglev.default_config);
+          Graph.node "lb_backup" (Nf.Spec.Maglev Nf.Maglev.default_config);
+        ]
+      ~edges:
+        [
+          Graph.edge "policer" (Graph.Port 0) (Graph.Node "nat");
+          Graph.edge "nat" (Graph.Port 1) (Graph.Node "router");
+          Graph.edge "router" (Graph.Port 0) (Graph.Node "lb_primary");
+          Graph.edge "router" (Graph.Port 1) (Graph.Node "lb_backup");
+          Graph.edge "lb_primary" (Graph.Port 1) (Graph.Exit "pool_a");
+          Graph.edge "lb_backup" (Graph.Port 1) (Graph.Exit "pool_b");
+        ]
+      ()
+  in
+  let workload ~packets =
+    let rng = Workload.Prng.create ~seed:44 in
+    stream
+      (List.init packets (fun i ->
+           let src_ip = Net.Ipv4.addr_of_parts 10 2 (i mod 16) ((i mod 53) + 1) in
+           (* both destination parities, so both LB tiers see traffic *)
+           let dst_ip = Net.Ipv4.addr_of_parts 203 0 113 ((i mod 14) + 1) in
+           if Workload.Prng.bool rng 0.05 then Net.Build.non_ip ()
+           else
+             Net.Build.udp ~src_ip ~dst_ip ~src_port:(41_000 + (i mod 512))
+               ~dst_port:80 ()))
+  in
+  { graph; workload }
+
+let all () = [ service_chain (); branch (); failover () ]
+let names () = List.map (fun e -> e.graph.Graph.name) (all ())
+
+let find name =
+  match List.find_opt (fun e -> e.graph.Graph.name = name) (all ()) with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Fmt.str "unknown topology %S (known: %s)" name
+           (String.concat ", " (names ())))

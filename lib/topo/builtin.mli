@@ -1,0 +1,30 @@
+(** Built-in topologies: the scenarios `bolt topo` and `bench topo`
+    ship with, each paired with a deterministic replay workload.
+
+    - [service_chain] — multi-tenant north-south chain
+      policer → NAT → Maglev LB, clients on the policer's conform port,
+      translated traffic load-balanced to the backend pool.
+    - [branch] — an edge firewall in front of a router that splits
+      device-bound traffic (even destinations, port 0) to an ICMP
+      responder from transit traffic (odd destinations, port 1) to the
+      uplink.
+    - [failover] — the service chain with the LB duplicated: the router
+      steers even destinations to the primary Maglev and odd ones to the
+      backup, exercising route pruning (the backup-side heartbeat branch
+      is unreachable from this ingress). *)
+
+type entry = {
+  graph : Graph.t;
+  workload : packets:int -> Workload.Stream.t;
+      (** deterministic mix exercising every reachable egress *)
+}
+
+val service_chain : unit -> entry
+val branch : unit -> entry
+val failover : unit -> entry
+
+val all : unit -> entry list
+val names : unit -> string list
+
+val find : string -> entry
+(** Raises [Invalid_argument] listing the known names on a miss. *)

@@ -23,4 +23,5 @@ let () =
       ("nf", T_nf.suite);
       ("proptest", T_proptest.suite);
       ("tuner", T_tuner.suite);
+      ("topo", T_topo.suite);
     ]
