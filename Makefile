@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-quick bench-smoke soak-smoke fuzz-smoke fuzz-stateful-smoke tune-smoke topo-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke soak-smoke scale-smoke fuzz-smoke fuzz-stateful-smoke tune-smoke topo-smoke examples doc clean
 
 all: build
 
@@ -36,6 +36,13 @@ lint:
 	  echo "      and per-event meter charges (use fast paths and batched charging):"; \
 	  echo "$$hits"; exit 1; \
 	fi
+	@hits=$$(grep -rn "Interp\.run\|Ds\.find\|\.Ds\.call" lib/dataplane --include='*.ml' || true); \
+	if [ -n "$$hits" ]; then \
+	  echo "lint: the sharded dataplane's per-packet paths must stay on the"; \
+	  echo "      specialized engine (Exec.Specialize), never the interpreter"; \
+	  echo "      or the generic Ds dispatch:"; \
+	  echo "$$hits"; exit 1; \
+	fi
 
 # Regenerate every table and figure of the paper (plus extensions).
 bench:
@@ -65,6 +72,18 @@ bench-smoke:
 # BENCH_soak.json with million-flow churn.
 soak-smoke:
 	dune exec bench/main.exe -- soak --quick --json BENCH_soak_smoke.json
+
+# CI smoke for the sharded dataplane's scalability contract: firewall,
+# NAT and maglev at 1/2/4 shards, each level gated on bit-level replay
+# parity (parallel == serial, shards-N == shards-1) and the two
+# dispatcher-affinity oracles; the multicore speedup and
+# prediction-error gates arm themselves only when
+# Domain.recommended_domain_count >= 2, so the target is safe on the
+# 1-core CI runner (the artifact's provenance block records what ran
+# where).  The full (non-quick) run regenerates the tracked
+# BENCH_scale.json.
+scale-smoke:
+	dune exec bench/main.exe -- scale --quick --json BENCH_scale_smoke.json
 
 # CI smoke for the soundness fuzzer's stateful mode: deterministic
 # command-sequence campaigns over every dslib structure, each checked

@@ -16,6 +16,13 @@
      dune exec bench/main.exe -- soak --json BENCH_soak.json
                                               — attack-class soak: specialized
                                                 pps + contract soundness
+     dune exec bench/main.exe -- soak --shards 4
+                                              — also replay the soak classes
+                                                through the sharded dataplane
+     dune exec bench/main.exe -- scale --json BENCH_scale.json
+                                              — sharded dataplane: scalability
+                                                contract vs measured pps at
+                                                1/2/4 shards + affinity oracles
      dune exec bench/main.exe -- topo --json BENCH_topo.json
                                               — network-wide contracts: joint
                                                 topology bound vs naive
@@ -27,6 +34,7 @@ let csv_dir : string option ref = ref None
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
+let soak_shards = ref 1
 
 let section title = Fmt.pr "@.==== %s ====@.@." title
 
@@ -43,6 +51,25 @@ let write_csv name header rows =
         (fun () ->
           output_string oc (header ^ "\n");
           List.iter (fun row -> output_string oc (row ^ "\n")) rows);
+      Fmt.pr "  [wrote %s]@." path
+
+(* Every tracked BENCH_*.json carries the environment provenance block,
+   so artifact numbers are self-describing (1-core CI container vs a
+   real multicore host). *)
+let write_json ?packets fields =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let j =
+        Perf.Json.Obj
+          (fields @ [ ("provenance", Perf.Provenance.json ?packets ()) ])
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Perf.Json.to_string ~indent:true j);
+          output_string oc "\n");
       Fmt.pr "  [wrote %s]@." path
 
 (* ---- Artifacts -------------------------------------------------------- *)
@@ -222,38 +249,25 @@ let speedup () =
       "  NOTE: single-core environment — domain fan-out cannot improve \
        wall-clock here;@.  the determinism cross-check above still \
        exercises the parallel path.@.";
-  match !json_path with
-  | None -> ()
-  | Some path ->
-      let ms w = int_of_float (w *. 1000.) in
-      let j =
-        Perf.Json.Obj
-          [
-            ("artifact", Perf.Json.String "pipeline_speedup");
-            ("quick", Perf.Json.Bool !quick);
-            ("cores", Perf.Json.Int cores);
-            ( "levels",
-              Perf.Json.List
-                (List.map
-                   (fun (j, wall, stats, _) ->
-                     Perf.Json.Obj
-                       [
-                         ("jobs", Perf.Json.Int j);
-                         ("wall_ms", Perf.Json.Int (ms wall));
-                         ("cache_hits", Perf.Json.Int stats.Solver.Cache.hits);
-                         ( "cache_misses",
-                           Perf.Json.Int stats.Solver.Cache.misses );
-                       ])
-                   results) );
-          ]
-      in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc (Perf.Json.to_string ~indent:true j);
-          output_string oc "\n");
-      Fmt.pr "  [wrote %s]@." path
+  let ms w = int_of_float (w *. 1000.) in
+  write_json
+    [
+      ("artifact", Perf.Json.String "pipeline_speedup");
+      ("quick", Perf.Json.Bool !quick);
+      ("cores", Perf.Json.Int cores);
+      ( "levels",
+        Perf.Json.List
+          (List.map
+             (fun (j, wall, stats, _) ->
+               Perf.Json.Obj
+                 [
+                   ("jobs", Perf.Json.Int j);
+                   ("wall_ms", Perf.Json.Int (ms wall));
+                   ("cache_hits", Perf.Json.Int stats.Solver.Cache.hits);
+                   ("cache_misses", Perf.Json.Int stats.Solver.Cache.misses);
+                 ])
+             results) );
+    ]
 
 (* ---- Extensions and ablations ------------------------------------------ *)
 
@@ -435,52 +449,35 @@ let exec_throughput () =
         (name, wi, wc, ws, words))
       nf_names
   in
-  (match !json_path with
-  | None -> ()
-  | Some path ->
-      let j =
-        Perf.Json.Obj
-          [
-            ("artifact", Perf.Json.String "exec_throughput");
-            ("quick", Perf.Json.Bool !quick);
-            ("packets", Perf.Json.Int packets);
-            ( "nfs",
-              Perf.Json.List
-                (List.map
-                   (fun (name, wi, wc, ws, words) ->
-                     let pps w =
-                       int_of_float (float_of_int packets /. w)
-                     in
-                     let ns w =
-                       int_of_float (w *. 1e9 /. float_of_int packets)
-                     in
-                     Perf.Json.Obj
-                       [
-                         ("nf", Perf.Json.String name);
-                         ("interp_pps", Perf.Json.Int (pps wi));
-                         ("interp_ns_per_packet", Perf.Json.Int (ns wi));
-                         ("compiled_pps", Perf.Json.Int (pps wc));
-                         ("compiled_ns_per_packet", Perf.Json.Int (ns wc));
-                         ( "speedup_pct",
-                           Perf.Json.Int (int_of_float (100. *. wi /. wc)) );
-                         ("specialized_pps", Perf.Json.Int (pps ws));
-                         ( "specialized_ns_per_packet",
-                           Perf.Json.Int (ns ws) );
-                         ( "specialized_speedup_pct",
-                           Perf.Json.Int (int_of_float (100. *. wi /. ws)) );
-                         ( "alloc_minor_words_per_packet",
-                           Perf.Json.Int (int_of_float (Float.round words)) );
-                       ])
-                   rows) );
-          ]
-      in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc (Perf.Json.to_string ~indent:true j);
-          output_string oc "\n");
-      Fmt.pr "  [wrote %s]@." path);
+  write_json ~packets
+    [
+      ("artifact", Perf.Json.String "exec_throughput");
+      ("quick", Perf.Json.Bool !quick);
+      ("packets", Perf.Json.Int packets);
+      ( "nfs",
+        Perf.Json.List
+          (List.map
+             (fun (name, wi, wc, ws, words) ->
+               let pps w = int_of_float (float_of_int packets /. w) in
+               let ns w = int_of_float (w *. 1e9 /. float_of_int packets) in
+               Perf.Json.Obj
+                 [
+                   ("nf", Perf.Json.String name);
+                   ("interp_pps", Perf.Json.Int (pps wi));
+                   ("interp_ns_per_packet", Perf.Json.Int (ns wi));
+                   ("compiled_pps", Perf.Json.Int (pps wc));
+                   ("compiled_ns_per_packet", Perf.Json.Int (ns wc));
+                   ( "speedup_pct",
+                     Perf.Json.Int (int_of_float (100. *. wi /. wc)) );
+                   ("specialized_pps", Perf.Json.Int (pps ws));
+                   ("specialized_ns_per_packet", Perf.Json.Int (ns ws));
+                   ( "specialized_speedup_pct",
+                     Perf.Json.Int (int_of_float (100. *. wi /. ws)) );
+                   ( "alloc_minor_words_per_packet",
+                     Perf.Json.Int (int_of_float (Float.round words)) );
+                 ])
+             rows) );
+    ];
   let best =
     List.fold_left
       (fun acc (_, wi, _, ws, _) -> Float.max acc (wi /. ws))
@@ -521,15 +518,14 @@ let soak () =
       port_hi = 3071;
     }
   in
-  let nat_entry = Nf.Registry.of_spec (Nf.Spec.Nat nat_config) in
+  let nat_spec = Nf.Spec.Nat nat_config in
+  let nat_entry = Nf.Registry.of_spec nat_spec in
   (* an LPM FIB with one >24-bit route, so exactly one /24 slot pays the
      second tbl8 access — the slot the prefix flood aims at *)
   let long_slot = Net.Ipv4.addr_of_parts 93 184 216 0 in
   let lpm_routes = (long_slot, 28, 2) :: Nf.Spec.default_routes in
-  let lpm_entry =
-    Nf.Registry.of_spec
-      (Nf.Spec.with_routes (Nf.Spec.of_name "lpm_router") lpm_routes)
-  in
+  let lpm_spec = Nf.Spec.with_routes (Nf.Spec.of_name "lpm_router") lpm_routes in
+  let lpm_entry = Nf.Registry.of_spec lpm_spec in
   let base_packets name =
     let rng = Workload.Prng.create ~seed:2025 in
     match name with
@@ -687,46 +683,207 @@ let soak () =
   Fmt.pr "@.  collision flood runs x%.1f slower than uniform — and stays \
           inside the contract@."
     degradation;
-  (match !json_path with
-  | None -> ()
-  | Some path ->
-      let j =
-        Perf.Json.Obj
-          [
-            ("artifact", Perf.Json.String "soak");
-            ("quick", Perf.Json.Bool !quick);
-            ("seed", Perf.Json.Int 2025);
-            ( "classes",
-              Perf.Json.List
-                (List.map
-                   (fun (name, nf, n, pps, sound, report) ->
-                     Perf.Json.Obj
-                       [
-                         ("class", Perf.Json.String name);
-                         ("nf", Perf.Json.String nf);
-                         ("packets", Perf.Json.Int n);
-                         ("pps", Perf.Json.Int (int_of_float pps));
-                         ("contract_sound", Perf.Json.Bool sound);
-                         ( "soundness_packets",
-                           Perf.Json.Int report.Experiments.Validate.packets );
-                         ( "worst_headroom_pct",
-                           Perf.Json.Int
-                             (int_of_float
-                                report.Experiments.Validate.worst_headroom_pct)
-                         );
-                       ])
-                   rows) );
-            ( "collision_vs_uniform_slowdown_pct",
-              Perf.Json.Int (int_of_float (100. *. degradation)) );
-          ]
-      in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc (Perf.Json.to_string ~indent:true j);
-          output_string oc "\n");
-      Fmt.pr "  [wrote %s]@." path)
+  (* --shards N: replay the same attack classes through the sharded
+     dataplane.  The dispatcher hash is independent of the NAT's table
+     hash, so a collision flood that chains one bucket still spreads
+     across shards — the skew column shows the steering histogram the
+     scalability contract consumes (zipf/heavy-tail skew it, floods do
+     not). *)
+  let sharded =
+    if !soak_shards <= 1 then []
+    else begin
+      let shards = !soak_shards in
+      let spec_of = function "lpm_prefix" -> lpm_spec | _ -> nat_spec in
+      Fmt.pr "@.  sharded replay (x%d shards):@." shards;
+      List.map
+        (fun (name, _) ->
+          let spec = spec_of name in
+          let base = base_packets name in
+          let n = List.length base in
+          let stream = stream_of base n in
+          let plan = Dataplane.Plan.make ~shards spec in
+          let hist = Dataplane.Shard.load_histogram plan stream in
+          let skew_pct =
+            let m = Array.fold_left max 0 hist in
+            100 * shards * m / max 1 (Array.fold_left ( + ) 0 hist)
+          in
+          let head = stream_of base (min n 2048) in
+          let serial =
+            Dataplane.Shard.with_engine plan (fun e ->
+                Dataplane.Shard.replay e head)
+          in
+          let parallel =
+            Dataplane.Shard.with_engine plan (fun e ->
+                Dataplane.Shard.replay ~parallel:true e head)
+          in
+          let parity =
+            Dataplane.Oracle.equivalence ~strict_bytes:true
+              ~nf:(Nf.Spec.name spec) serial parallel
+            = []
+          in
+          if not parity then
+            failwith (name ^ ": sharded replay diverged from serial");
+          let reps = if !quick then 2 else 3 in
+          let w =
+            let rec go i best =
+              if i = 0 then best
+              else
+                go (i - 1)
+                  (Float.min best
+                     (Dataplane.Shard.with_engine plan (fun e ->
+                          Dataplane.Shard.drain ~parallel:true e stream)))
+            in
+            go reps infinity
+          in
+          let pps = float_of_int n /. w in
+          Fmt.pr "  %-16s %9.0f pps   skew %d%%   parity %b@." name pps
+            skew_pct parity;
+          (name, pps, skew_pct, parity))
+        classes
+    end
+  in
+  write_json ~packets
+    ([
+       ("artifact", Perf.Json.String "soak");
+       ("quick", Perf.Json.Bool !quick);
+       ("seed", Perf.Json.Int 2025);
+       ( "classes",
+         Perf.Json.List
+           (List.map
+              (fun (name, nf, n, pps, sound, report) ->
+                Perf.Json.Obj
+                  [
+                    ("class", Perf.Json.String name);
+                    ("nf", Perf.Json.String nf);
+                    ("packets", Perf.Json.Int n);
+                    ("pps", Perf.Json.Int (int_of_float pps));
+                    ("contract_sound", Perf.Json.Bool sound);
+                    ( "soundness_packets",
+                      Perf.Json.Int report.Experiments.Validate.packets );
+                    ( "worst_headroom_pct",
+                      Perf.Json.Int
+                        (int_of_float
+                           report.Experiments.Validate.worst_headroom_pct) );
+                  ])
+              rows) );
+       ( "collision_vs_uniform_slowdown_pct",
+         Perf.Json.Int (int_of_float (100. *. degradation)) );
+     ]
+    @
+    if sharded = [] then []
+    else
+      [
+        ("shards", Perf.Json.Int !soak_shards);
+        ( "sharded",
+          Perf.Json.List
+            (List.map
+               (fun (name, pps, skew_pct, parity) ->
+                 Perf.Json.Obj
+                   [
+                     ("class", Perf.Json.String name);
+                     ("pps", Perf.Json.Int (int_of_float pps));
+                     ("skew_pct", Perf.Json.Int skew_pct);
+                     ("parity_ok", Perf.Json.Bool parity);
+                   ])
+               sharded) );
+      ])
+
+(* ---- Sharded dataplane: scalability contract vs measurement ----------- *)
+
+(* For firewall, nat and maglev: derive the NFork-style scalability
+   contract at 1/2/4 shards (per-packet worst-case cycles from the NF's
+   own BOLT analysis, dispatch term from Dispatch.cost_vec, skew term
+   from the workload's steering histogram), measure the parallel drain,
+   and gate on the dataplane's correctness invariants.  Parity and the
+   affinity oracles gate everywhere; the speedup and prediction-error
+   gates only fire on multicore hosts — on a 1-core container the
+   contract itself predicts no speedup (the 1/cores floor), so those
+   assertions would be vacuous there. *)
+let scale () =
+  section "Scale — sharded dataplane: scalability contract vs measured pps";
+  let packets = if !quick then 1024 else 4096 in
+  let reps = if !quick then 2 else 3 in
+  let cores = Domain.recommended_domain_count () in
+  let results =
+    List.map
+      (fun nf -> Dataplane.Scale.run ~packets ~reps nf)
+      Dataplane.Scale.default_nfs
+  in
+  List.iter (fun r -> Fmt.pr "%a@." Dataplane.Scale.pp r) results;
+  let oracles =
+    [
+      Dataplane.Oracle.conntrack_affinity ~shards:4 ();
+      Dataplane.Oracle.nat_affinity ~shards:4 ();
+    ]
+  in
+  Fmt.pr "@.";
+  List.iter (fun r -> Fmt.pr "  %a@." Dataplane.Oracle.pp r) oracles;
+  (* gates: always — parity and affinity *)
+  List.iter
+    (fun (r : Dataplane.Scale.result) ->
+      List.iter
+        (fun (l : Dataplane.Scale.level) ->
+          if not l.Dataplane.Scale.parity_ok then
+            failwith
+              (Printf.sprintf "scale: %s diverged at %d shards" r.nf
+                 l.Dataplane.Scale.shards))
+        r.Dataplane.Scale.levels)
+    results;
+  if not (List.for_all Dataplane.Oracle.ok oracles) then
+    failwith "scale: dispatcher affinity oracle found violations";
+  (* gates: multicore only — speedup materialises and the prediction
+     lands within the stated bound (50% at 2 shards; beyond that the
+     unmodelled cross-domain effects grow with the shard count) *)
+  if cores >= 2 then
+    List.iter
+      (fun (r : Dataplane.Scale.result) ->
+        match
+          List.find_opt
+            (fun (l : Dataplane.Scale.level) -> l.Dataplane.Scale.shards = 2)
+            r.Dataplane.Scale.levels
+        with
+        | None -> ()
+        | Some l ->
+            if l.Dataplane.Scale.measured_pps <= r.Dataplane.Scale.baseline_pps
+            then
+              failwith
+                (Printf.sprintf
+                   "scale: %s shows no speedup at 2 shards on a %d-core host"
+                   r.nf cores);
+            if Float.abs l.Dataplane.Scale.error_pct > 50. then
+              failwith
+                (Printf.sprintf
+                   "scale: %s prediction off by %.0f%% at 2 shards (bound \
+                    50%%)"
+                   r.nf l.Dataplane.Scale.error_pct))
+      results
+  else
+    Fmt.pr
+      "@.  NOTE: single-core environment — the contract predicts no \
+       speedup here@.  (1/cores floor); speedup and error-bound gates \
+       require a multicore host.@.";
+  write_json ~packets
+    [
+      ("artifact", Perf.Json.String "scale");
+      ("quick", Perf.Json.Bool !quick);
+      ("cores", Perf.Json.Int cores);
+      ("error_bound_pct_at_2_shards", Perf.Json.Int 50);
+      ("nfs", Perf.Json.List (List.map Dataplane.Scale.to_json results));
+      ( "affinity",
+        Perf.Json.List
+          (List.map
+             (fun (r : Dataplane.Oracle.report) ->
+               Perf.Json.Obj
+                 [
+                   ("nf", Perf.Json.String r.Dataplane.Oracle.nf);
+                   ("shards", Perf.Json.Int r.Dataplane.Oracle.shards);
+                   ("checked", Perf.Json.Int r.Dataplane.Oracle.checked);
+                   ( "violations",
+                     Perf.Json.Int
+                       (List.length r.Dataplane.Oracle.violations) );
+                 ])
+             oracles) );
+    ]
 
 (* ---- Network-wide contracts over the built-in topologies -------------- *)
 
@@ -804,18 +961,14 @@ let topo () =
      on at least one topology (Figure 3, network-wide) *)
   if not (List.exists (fun (_, _, j, n, _) -> j < n) rows) then
     failwith "topo: joint bound never beat naive addition";
-  (match !json_path with
-  | None -> ()
-  | Some path ->
-      let j =
-        Perf.Json.Obj
-          [
-            ("artifact", Perf.Json.String "topo");
-            ("quick", Perf.Json.Bool !quick);
-            ( "topologies",
-              Perf.Json.List
-                (List.map
-                   (fun (name, t, joint_ic, naive_ic, report) ->
+  write_json ~packets
+    [
+      ("artifact", Perf.Json.String "topo");
+      ("quick", Perf.Json.Bool !quick);
+      ( "topologies",
+        Perf.Json.List
+          (List.map
+             (fun (name, t, joint_ic, naive_ic, report) ->
                      Perf.Json.Obj
                        [
                          ("name", Perf.Json.String name);
@@ -858,16 +1011,8 @@ let topo () =
                                     ])
                                 (Topo.Analysis.egresses t)) );
                        ])
-                   rows) );
-          ]
-      in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc (Perf.Json.to_string ~indent:true j);
-          output_string oc "\n");
-      Fmt.pr "  [wrote %s]@." path)
+             rows) );
+    ]
 
 let chain3 () =
   section "Extension — three-NF chain, jointly analysed";
@@ -1053,6 +1198,7 @@ let artifacts =
     ("floors", floors);
     ("throughput", exec_throughput);
     ("soak", soak);
+    ("scale", scale);
     ("topo", topo);
     ("chain3", chain3);
     ("ablations", ablations);
@@ -1077,6 +1223,13 @@ let () =
         absorb rest
     | "--json" :: path :: rest ->
         json_path := Some path;
+        absorb rest
+    | "--shards" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> soak_shards := n
+        | _ ->
+            Fmt.epr "--shards expects a positive integer, got %S@." n;
+            exit 1);
         absorb rest
     | "--trace" :: path :: rest ->
         trace_path := Some path;
@@ -1106,6 +1259,7 @@ let () =
         floors ();
         exec_throughput ();
         soak ();
+        scale ();
         topo ();
         chain3 ();
         ablations ();

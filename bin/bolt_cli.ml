@@ -362,6 +362,86 @@ let predict_cmd nf_name json_path bindings_raw metric_name =
                 Perf.Pcv.pp pcv)
         (Perf.Contract.class_names contract)
 
+(* Sharded dataplane: derive the scalability contract at each shard
+   count, measure the parallel drain against it, and run the
+   dispatcher-affinity oracles.  Parity or affinity violations exit 2 —
+   they are correctness failures, not performance misses. *)
+let scale_cmd nf_opt shard_levels packets reps seed affinity json_path =
+  let nfs =
+    match nf_opt with None -> Dataplane.Scale.default_nfs | Some n -> [ n ]
+  in
+  let levels = match shard_levels with [] -> [ 1; 2; 4 ] | l -> l in
+  let results =
+    List.map
+      (fun nf ->
+        try Dataplane.Scale.run ~levels ~packets ~reps ~seed nf
+        with Invalid_argument msg ->
+          Fmt.epr "scale: %s@." msg;
+          exit 1)
+      nfs
+  in
+  List.iter (fun r -> Fmt.pr "%a@." Dataplane.Scale.pp r) results;
+  let oracles =
+    if not affinity then []
+    else begin
+      let shards = max 2 (List.fold_left max 1 levels) in
+      let os =
+        [
+          Dataplane.Oracle.conntrack_affinity ~shards ();
+          Dataplane.Oracle.nat_affinity ~shards ();
+        ]
+      in
+      Fmt.pr "@.";
+      List.iter (fun r -> Fmt.pr "%a@." Dataplane.Oracle.pp r) os;
+      os
+    end
+  in
+  if Domain.recommended_domain_count () = 1 then
+    Fmt.pr
+      "@.note: 1-core environment — the contract's 1/cores floor \
+       predicts no speedup here.@.";
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let j =
+        Perf.Json.Obj
+          [
+            ("artifact", Perf.Json.String "scale");
+            ("nfs", Perf.Json.List (List.map Dataplane.Scale.to_json results));
+            ( "affinity",
+              Perf.Json.List
+                (List.map
+                   (fun (r : Dataplane.Oracle.report) ->
+                     Perf.Json.Obj
+                       [
+                         ("nf", Perf.Json.String r.Dataplane.Oracle.nf);
+                         ("shards", Perf.Json.Int r.Dataplane.Oracle.shards);
+                         ("checked", Perf.Json.Int r.Dataplane.Oracle.checked);
+                         ( "violations",
+                           Perf.Json.Int
+                             (List.length r.Dataplane.Oracle.violations) );
+                       ])
+                   oracles) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Perf.Json.to_string ~indent:true j);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  let parity_broken =
+    List.exists
+      (fun (r : Dataplane.Scale.result) ->
+        List.exists
+          (fun (l : Dataplane.Scale.level) -> not l.Dataplane.Scale.parity_ok)
+          r.Dataplane.Scale.levels)
+      results
+  in
+  if parity_broken || not (List.for_all Dataplane.Oracle.ok oracles) then begin
+    Fmt.epr "scale: sharded execution violated a correctness gate@.";
+    exit 2
+  end
+
 let diff_cmd before_path after_path =
   match
     ( Perf.Contract_io.read_contract ~path:before_path,
@@ -536,6 +616,67 @@ let tune_t =
       const tune_cmd $ nf_arg $ backends_arg $ capacities_arg $ packets_arg
       $ jobs_arg $ seed_arg $ json_arg)
 
+let scale_t =
+  let nf_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NF"
+          ~doc:
+            "NF to shard (default: the scale set — firewall, nat, \
+             maglev).")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "shards" ] ~docv:"N1,N2"
+          ~doc:"Shard counts to evaluate (default: 1,2,4).")
+  in
+  let packets_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "packets" ] ~docv:"N" ~doc:"Workload length in packets.")
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Timing repetitions per level (best-of, fresh engine each).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+  in
+  let no_affinity_flag =
+    Arg.(
+      value & flag
+      & info [ "no-affinity" ]
+          ~doc:"Skip the conntrack/NAT dispatcher-affinity oracles.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write contracts, measurements and oracle results as JSON to \
+             $(docv) (e.g. BENCH_scale.json).")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Sharded multicore dataplane: steer a workload across \
+          shard-local NF replicas (RSS-style flow hashing, symmetric \
+          and NAT-port-slice policies), derive the NFork-style \
+          scalability contract at each shard count, and validate \
+          prediction, bit-level parity and dispatcher affinity; exits \
+          2 on any correctness violation")
+    Term.(
+      const scale_cmd $ nf_arg $ shards_arg $ packets_arg $ reps_arg
+      $ seed_arg $ Term.app (Term.const not) no_affinity_flag $ json_arg)
+
 let topo_t =
   let name_arg =
     Arg.(
@@ -620,5 +761,5 @@ let () =
        (Cmd.group info
           [
             contract_t; stats_t; predict_t; diff_t; validate_t; fuzz_t;
-            tune_t; topo_t; paths_t; report_t; program_t;
+            tune_t; scale_t; topo_t; paths_t; report_t; program_t;
           ]))

@@ -1,0 +1,130 @@
+type steer = Shard of int | Broadcast
+
+type policy =
+  | Flow_hash
+  | Symmetric
+  | Src_hash
+  | Nat_ports of { port_lo : int; port_hi : int }
+  | Lb of { heartbeat_port : int }
+
+(* Offset of the L4 header when the packet is hashable IPv4 TCP/UDP, -1
+   otherwise — the same validity ladder as [Net.Flow.of_packet], but
+   allocation-free so the dispatcher can sit on the hot path. *)
+let l4_off pkt =
+  let open Net in
+  if Packet.length pkt < Ethernet.header_len + Ipv4.min_header_len + 4 then -1
+  else if Ethernet.get_ethertype pkt <> Ethernet.ethertype_ipv4 then -1
+  else
+    let proto = Ipv4.get_proto pkt in
+    if proto <> Ipv4.proto_tcp && proto <> Ipv4.proto_udp then -1
+    else
+      let l4 = Ipv4.l4_offset pkt in
+      if Packet.length pkt < l4 + 4 then -1 else l4
+
+(* Same digest as [Net.Flow.hash_key], so steering agrees with every
+   flow-keyed map in the toolkit. *)
+let mix acc v = (((acc lsl 13) lxor (acc lsr 7)) lxor v) * 0x9e3779b1
+
+let hash_flow ~symmetric pkt =
+  let l4 = l4_off pkt in
+  if l4 < 0 then -1
+  else
+    let open Net in
+    let src_ip = Ipv4.get_src pkt and dst_ip = Ipv4.get_dst pkt in
+    let src_port = L4.get_src_port_at pkt ~l4
+    and dst_port = L4.get_dst_port_at pkt ~l4 in
+    let src_ip, dst_ip, src_port, dst_port =
+      if
+        symmetric
+        && (src_ip > dst_ip || (src_ip = dst_ip && src_port > dst_port))
+      then (dst_ip, src_ip, dst_port, src_port)
+      else (src_ip, dst_ip, src_port, dst_port)
+    in
+    mix (mix (mix (mix (mix 0 src_ip) dst_ip) src_port) dst_port)
+      (Ipv4.get_proto pkt)
+    land max_int
+
+let check_shards shards =
+  if shards < 1 then invalid_arg "Dispatch: shards < 1"
+
+let nat_slice ~port_lo ~port_hi ~shards i =
+  check_shards shards;
+  if i < 0 || i >= shards then
+    invalid_arg
+      (Printf.sprintf "Dispatch.nat_slice: shard %d of %d" i shards);
+  let len = port_hi - port_lo + 1 in
+  if len < shards then
+    invalid_arg
+      (Printf.sprintf
+         "Dispatch.nat_slice: port range %d-%d has %d ports, fewer than %d \
+          shards"
+         port_lo port_hi len shards);
+  let base = len / shards and rem = len mod shards in
+  let lo = port_lo + (i * base) + min i rem in
+  let width = base + if i < rem then 1 else 0 in
+  (lo, lo + width - 1)
+
+let nat_owner ~port_lo ~port_hi ~shards port =
+  check_shards shards;
+  if port < port_lo || port > port_hi then 0
+  else
+    let len = port_hi - port_lo + 1 in
+    let base = len / shards and rem = len mod shards in
+    let off = port - port_lo in
+    (* the first [rem] slices are one port wider *)
+    let cut = (base + 1) * rem in
+    if off < cut then off / (base + 1) else rem + ((off - cut) / base)
+
+let shard_of_hash ~shards h = if h < 0 then Shard 0 else Shard (h mod shards)
+
+let steer policy ~shards ~in_port pkt =
+  check_shards shards;
+  if shards = 1 then Shard 0
+  else
+    match policy with
+    | Flow_hash -> shard_of_hash ~shards (hash_flow ~symmetric:false pkt)
+    | Symmetric -> shard_of_hash ~shards (hash_flow ~symmetric:true pkt)
+    | Src_hash ->
+        let l4 = l4_off pkt in
+        if l4 < 0 then Shard 0
+        else
+          shard_of_hash ~shards (mix 0 (Net.Ipv4.get_src pkt) land max_int)
+    | Nat_ports { port_lo; port_hi } ->
+        if in_port = 1 then
+          (* a reply to some shard's translation: only the slice owner can
+             hold the mapping, so route by the destination port *)
+          let l4 = l4_off pkt in
+          if l4 < 0 then Shard 0
+          else
+            Shard
+              (nat_owner ~port_lo ~port_hi ~shards
+                 (Net.L4.get_dst_port_at pkt ~l4))
+        else shard_of_hash ~shards (hash_flow ~symmetric:false pkt)
+    | Lb { heartbeat_port } ->
+        let l4 = l4_off pkt in
+        if
+          in_port = 1 && l4 >= 0
+          && Net.Ipv4.get_proto pkt = Net.Ipv4.proto_udp
+          && Net.L4.get_dst_port_at pkt ~l4 = heartbeat_port
+        then Broadcast
+        else shard_of_hash ~shards (hash_flow ~symmetric:false pkt)
+
+let cost_vec =
+  (* the steering ladder above: ethertype + proto + 2 addresses + ports
+     read from a header that the NF is about to touch anyway (L1 hits),
+     five hash-mix rounds, and the validity/modulo control flow *)
+  let loads = 5 and alus = 16 and branches = 4 in
+  let cycles =
+    (loads * Hw.Cost.l1_hit_cycles)
+    + (alus * Hw.Cost.worst_case_cycles Hw.Cost.Alu)
+    + (branches * Hw.Cost.worst_case_cycles Hw.Cost.Branch)
+  in
+  Perf.Cost_vec.of_consts ~ic:(loads + alus + branches) ~ma:loads ~cycles
+
+let pp_policy ppf = function
+  | Flow_hash -> Fmt.string ppf "flow-hash"
+  | Symmetric -> Fmt.string ppf "symmetric-hash"
+  | Src_hash -> Fmt.string ppf "src-hash"
+  | Nat_ports { port_lo; port_hi } ->
+      Fmt.pf ppf "nat-ports[%d-%d]" port_lo port_hi
+  | Lb { heartbeat_port } -> Fmt.pf ppf "lb[hb=%d]" heartbeat_port

@@ -1,0 +1,70 @@
+(** RSS-style flow-hash steering — the dispatch stage in front of the
+    shards.
+
+    A steering [policy] names the invariant the NF's state layout needs
+    from the dispatcher (the shared-state vs sharded-state catalogue of
+    the parallelization literature, per NF class):
+
+    - [Flow_hash] — stateless NFs, and stateful NFs whose only state is
+      keyed by the forward 5-tuple (Maglev's affinity table): any
+      per-flow-stable spread is correct.
+    - [Symmetric] — state looked up in both directions under the {e
+      same} shard (conntrack): the tuple is normalized before hashing,
+      so a flow and its reverse land together.
+    - [Src_hash] — state keyed by source address alone (the heavy-hitter
+      limiter's per-source sketch): hashing the full 5-tuple would split
+      one source's flows across shards and undercount it.
+    - [Nat_ports] — the NAT cannot use a symmetric hash: the reply's
+      tuple is the {e translated} one, unknowable at dispatch time.
+      Instead the external port range is statically sliced across
+      shards; internal packets flow-hash, and external packets are
+      steered by the shard that owns their destination port — exactly
+      the shard whose allocator issued it.
+    - [Lb] — [Flow_hash] for client traffic plus a broadcast class for
+      backend heartbeats, which update per-shard liveness replicas.
+
+    Steering must be a pure function of the packet (plus arrival port),
+    so the serial reference and the parallel dataplane partition
+    identically. *)
+
+type steer =
+  | Shard of int
+  | Broadcast  (** control traffic every shard must see (heartbeats) *)
+
+type policy =
+  | Flow_hash
+  | Symmetric
+  | Src_hash
+  | Nat_ports of { port_lo : int; port_hi : int }
+      (** the NF's {e global} external port range, sliced evenly *)
+  | Lb of { heartbeat_port : int }
+
+val hash_flow : symmetric:bool -> Net.Packet.t -> int
+(** The 5-tuple digest ({!Net.Flow.hash_key}), computed in place with no
+    allocation; with [symmetric] the tuple is normalized first so
+    [hash (reverse f) = hash f].  [-1] when the packet carries no
+    hashable flow (non-IPv4, non-TCP/UDP, truncated) — such packets are
+    pinned to shard 0 by {!steer}. *)
+
+val nat_slice : port_lo:int -> port_hi:int -> shards:int -> int -> int * int
+(** [nat_slice ~port_lo ~port_hi ~shards i] is shard [i]'s inclusive
+    sub-range of the external port space: contiguous, disjoint, covering
+    — the static partition that makes reply steering a division instead
+    of shared state.  Raises [Invalid_argument] when the range is
+    smaller than the shard count. *)
+
+val nat_owner : port_lo:int -> port_hi:int -> shards:int -> int -> int
+(** The shard whose {!nat_slice} contains the given port; ports outside
+    [port_lo, port_hi] (no mapping can exist anywhere) go to shard 0. *)
+
+val steer : policy -> shards:int -> in_port:int -> Net.Packet.t -> steer
+(** Steer one arrival.  Total and pure: every packet gets a
+    deterministic verdict, unsteerable ones land on shard 0. *)
+
+val cost_vec : Perf.Cost_vec.t
+(** The modelled per-packet cost of {!steer} — the scalability
+    contract's dispatch term: five header loads priced at L1 plus the
+    mix/reduce ALU work, from the same {!Hw.Cost} constants the
+    per-packet contracts use. *)
+
+val pp_policy : Format.formatter -> policy -> unit

@@ -1,0 +1,236 @@
+type report = {
+  nf : string;
+  shards : int;
+  checked : int;
+  violations : string list;
+}
+
+let ok r = r.violations = []
+
+let pp_outcome ppf = function
+  | Exec.Interp.Sent p -> Fmt.pf ppf "sent(%d)" p
+  | Dropped -> Fmt.string ppf "dropped"
+  | Flooded -> Fmt.string ppf "flooded"
+
+let equivalence ?(strict_bytes = true) ~nf
+    (ref_run : Shard.result array) (sharded : Shard.result array) =
+  if Array.length ref_run <> Array.length sharded then
+    [
+      Printf.sprintf "%s: replay lengths differ (%d vs %d)" nf
+        (Array.length ref_run) (Array.length sharded);
+    ]
+  else begin
+    let bad = ref [] in
+    Array.iteri
+      (fun i (a : Shard.result) ->
+        let b = sharded.(i) in
+        if a.Shard.outcome <> b.Shard.outcome then
+          bad :=
+            Fmt.str "%s: packet %d outcome %a (shards-1) vs %a (shard %d)"
+              nf i pp_outcome a.outcome pp_outcome b.outcome b.shard
+            :: !bad
+        else if strict_bytes && not (String.equal a.bytes b.bytes) then
+          bad :=
+            Printf.sprintf "%s: packet %d bytes diverge on shard %d" nf i
+              b.shard
+            :: !bad)
+      ref_run;
+    List.rev !bad
+  end
+
+(* ---- conntrack: both directions of every flow on one shard ---- *)
+
+let conntrack_affinity ?(seed = 7) ?(flows = 64) ~shards () =
+  let rng = Workload.Prng.create ~seed in
+  let spec = Nf.Spec.of_name "conntrack" in
+  let plan = Plan.make ~shards spec in
+  let fs = Workload.Gen.distinct_flows rng flows in
+  (* bidirectional churn: opener, reply, plus a reply nobody opened *)
+  let orphans = Workload.Gen.distinct_flows rng (max 1 (flows / 8)) in
+  let now = ref 1_000_000 in
+  let tick () =
+    now := !now + 1_000;
+    !now
+  in
+  let stream =
+    List.concat_map
+      (fun f ->
+        [
+          Workload.Stream.entry ~in_port:0 ~now:(tick ())
+            (Net.Build.udp_of_flow f);
+          Workload.Stream.entry ~in_port:1 ~now:(tick ())
+            (Net.Build.udp_of_flow (Net.Flow.reverse f));
+        ])
+      fs
+    @ List.map
+        (fun f ->
+          Workload.Stream.entry ~in_port:1 ~now:(tick ())
+            (Net.Build.udp_of_flow (Net.Flow.reverse f)))
+        orphans
+  in
+  let violations = ref [] in
+  let note fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  (* pure steering invariant: a flow and its reverse share a shard *)
+  List.iter
+    (fun f ->
+      let fwd =
+        Plan.steer plan ~in_port:0 (Net.Build.udp_of_flow f)
+      and rev =
+        Plan.steer plan ~in_port:1
+          (Net.Build.udp_of_flow (Net.Flow.reverse f))
+      in
+      if fwd <> rev then
+        note "conntrack: %a steers fwd/rev to different shards" Net.Flow.pp
+          f)
+    fs;
+  (* replay both ways: serial shards-1 reference vs parallel shards-N *)
+  let ref_run = Shard.replay (Shard.create (Plan.make ~shards:1 spec)) stream in
+  let sharded =
+    Shard.with_engine plan (fun e -> Shard.replay ~parallel:true e stream)
+  in
+  violations :=
+    List.rev_append
+      (equivalence ~strict_bytes:true ~nf:"conntrack" ref_run sharded)
+      !violations;
+  (* semantic gates on the reference outcomes *)
+  List.iteri
+    (fun i f ->
+      match (ref_run.(2 * i).Shard.outcome, ref_run.((2 * i) + 1).outcome) with
+      | Exec.Interp.Sent _, Exec.Interp.Sent 0 -> ()
+      | o1, o2 ->
+          note "conntrack: %a expected pass/pass, got %a/%a" Net.Flow.pp f
+            pp_outcome o1 pp_outcome o2)
+    fs;
+  List.iteri
+    (fun i _ ->
+      let r = ref_run.((2 * List.length fs) + i) in
+      if r.Shard.outcome <> Exec.Interp.Dropped then
+        note "conntrack: orphan reply %d passed (%a)" i pp_outcome r.outcome)
+    orphans;
+  {
+    nf = "conntrack";
+    shards;
+    checked = List.length stream;
+    violations = List.rev !violations;
+  }
+
+(* ---- NAT: replies route to the shard whose allocator owns the port ---- *)
+
+let nat_affinity ?(seed = 11) ?(flows = 64) ~shards () =
+  let rng = Workload.Prng.create ~seed in
+  let spec = Nf.Spec.of_name "nat" in
+  let plan = Plan.make ~shards spec in
+  let port_lo, port_hi =
+    match spec with
+    | Nf.Spec.Nat c -> (c.Nf.Nat.port_lo, c.port_hi)
+    | _ -> assert false
+  in
+  let engine = Shard.create plan in
+  let reference = Shard.create (Plan.make ~shards:1 spec) in
+  let fs = Workload.Gen.distinct_flows rng flows in
+  let violations = ref [] in
+  let note fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  let checked = ref 0 in
+  let now = ref 1_000_000 in
+  let tick () =
+    now := !now + 1_000;
+    !now
+  in
+  let allocated = Hashtbl.create 64 in
+  let outcome_code = function
+    | Exec.Interp.Sent p -> Fmt.str "sent(%d)" p
+    | Dropped -> "dropped"
+    | Flooded -> "flooded"
+  in
+  (* one shards-1 step mirroring every shards-N step: outcome codes and
+     egress ports must agree even though the translated ports differ *)
+  let mirrored label ~in_port ~now pkt (run : Exec.Concrete.run) =
+    let _, ref_run, ref_copy = Shard.step reference ~in_port ~now pkt in
+    if
+      outcome_code run.Exec.Interp.outcome
+      <> outcome_code ref_run.Exec.Interp.outcome
+    then
+      note "nat: %s outcome %a diverges from shards-1 %a" label pp_outcome
+        run.outcome pp_outcome ref_run.outcome;
+    ref_copy
+  in
+  List.iter
+    (fun (f : Net.Flow.t) ->
+      (* forward: internal flow out through the NAT *)
+      let fwd = Net.Build.udp_of_flow f in
+      let t = tick () in
+      let s, run, copy = Shard.step engine ~in_port:0 ~now:t fwd in
+      incr checked;
+      let ref_copy = mirrored "forward" ~in_port:0 ~now:t fwd run in
+      (match run.Exec.Interp.outcome with
+      | Exec.Interp.Sent 1 ->
+          let xport = Net.L4.get_src_port copy in
+          let lo, hi = Dispatch.nat_slice ~port_lo ~port_hi ~shards s in
+          if xport < lo || xport > hi then
+            note "nat: %a translated to port %d outside shard %d's slice \
+                  %d-%d"
+              Net.Flow.pp f xport s lo hi;
+          if Net.Ipv4.get_src copy <> Nf.Nat.external_ip then
+            note "nat: %a source not rewritten to the external ip"
+              Net.Flow.pp f;
+          Hashtbl.replace allocated xport ();
+          (* reply: crafted online from the translated bytes *)
+          let reply =
+            Net.Build.udp ~src_ip:f.dst_ip ~src_port:f.dst_port
+              ~dst_ip:Nf.Nat.external_ip ~dst_port:xport ()
+          in
+          let t = tick () in
+          let s2, run2, copy2 = Shard.step engine ~in_port:1 ~now:t reply in
+          incr checked;
+          (* the shards-1 mirror needs its own translated port *)
+          let ref_reply =
+            Net.Build.udp ~src_ip:f.dst_ip ~src_port:f.dst_port
+              ~dst_ip:Nf.Nat.external_ip
+              ~dst_port:(Net.L4.get_src_port ref_copy)
+              ()
+          in
+          ignore (mirrored "reply" ~in_port:1 ~now:t ref_reply run2);
+          if s2 <> s then
+            note "nat: %a reply steered to shard %d, entry lives on %d"
+              Net.Flow.pp f s2 s;
+          (match run2.Exec.Interp.outcome with
+          | Exec.Interp.Sent 0 ->
+              if
+                Net.Ipv4.get_dst copy2 <> f.src_ip
+                || Net.L4.get_dst_port copy2 <> f.src_port
+              then
+                note "nat: %a reply not rewritten back to the internal \
+                      endpoint"
+                  Net.Flow.pp f
+          | o -> note "nat: %a reply %a" Net.Flow.pp f pp_outcome o)
+      | o -> note "nat: %a forward %a" Net.Flow.pp f pp_outcome o))
+    fs;
+  (* a reply to a port nobody allocated must drop, wherever it lands *)
+  let rec free_port p =
+    if p > port_hi then None
+    else if Hashtbl.mem allocated p then free_port (p + 1)
+    else Some p
+  in
+  (match free_port port_lo with
+  | None -> ()
+  | Some p ->
+      let stray =
+        Net.Build.udp
+          ~src_ip:(Net.Ipv4.addr_of_parts 203 0 113 7)
+          ~src_port:443 ~dst_ip:Nf.Nat.external_ip ~dst_port:p ()
+      in
+      let _, run, _ = Shard.step engine ~in_port:1 ~now:(tick ()) stray in
+      incr checked;
+      if run.Exec.Interp.outcome <> Exec.Interp.Dropped then
+        note "nat: stray reply to unallocated port %d passed (%a)" p
+          pp_outcome run.outcome);
+  { nf = "nat"; shards; checked = !checked; violations = List.rev !violations }
+
+let pp ppf r =
+  if ok r then
+    Fmt.pf ppf "%s x%d affinity: ok (%d packets)" r.nf r.shards r.checked
+  else
+    Fmt.pf ppf "%s x%d affinity: %d violation(s)@,%a" r.nf r.shards
+      (List.length r.violations)
+      Fmt.(list ~sep:cut string)
+      r.violations

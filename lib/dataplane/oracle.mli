@@ -1,0 +1,53 @@
+(** Dispatcher-affinity oracles: external checks that steering really
+    keeps every stateful lookup on the shard that owns the entry.
+
+    The sharded engine's correctness rests on one invariant per NF
+    class — a conntrack reply must land on the shard holding the
+    forward entry, a NAT reply on the shard whose allocator issued the
+    translated port, a shards-N replay must agree packet-for-packet
+    with the shards-1 reference.  These oracles drive real packets
+    through {!Shard.step}/{!Shard.replay} and collect violations as
+    human-readable strings; an empty list is a pass.
+
+    The NAT oracle is necessarily {e online}: the reply tuple depends
+    on which external port the owning shard's allocator handed out, so
+    each reply is crafted from the translated bytes of the forward
+    packet that just exited the engine. *)
+
+type report = {
+  nf : string;
+  shards : int;
+  checked : int;  (** packets the oracle examined *)
+  violations : string list;
+}
+
+val ok : report -> bool
+
+val equivalence :
+  ?strict_bytes:bool ->
+  nf:string ->
+  Shard.result array ->
+  Shard.result array ->
+  string list
+(** Per-packet comparison of two replays of the same stream (reference
+    first).  Always gates outcome code and egress port; with
+    [strict_bytes] (default [true]) the full packet bytes too — turn it
+    off only for the NAT, whose shards rewrite from disjoint port
+    slices. *)
+
+val conntrack_affinity :
+  ?seed:int -> ?flows:int -> shards:int -> unit -> report
+(** Bidirectional churn through a sharded conntrack: every flow's
+    outbound opener must pass, its reply must steer to the same shard
+    and pass, and a reply for a flow that was never opened must drop —
+    on whichever shard it lands.  Also replays the whole stream at
+    shards-1 and demands bit-identical outcomes. *)
+
+val nat_affinity : ?seed:int -> ?flows:int -> shards:int -> unit -> report
+(** Online NAT check: for each internal flow, the translated source
+    port read from the forward packet's bytes must lie inside the
+    steering shard's port slice; the crafted reply must steer back to
+    that shard, pass, and be rewritten to the original internal
+    endpoint.  Replies to unallocated ports must drop. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,56 @@
+type t = {
+  base : Nf.Spec.t;
+  shards : int;
+  policy : Dispatch.policy;
+  specs : Nf.Spec.t array;
+}
+
+let policy_of (spec : Nf.Spec.t) : Dispatch.policy option =
+  match spec with
+  | Firewall | Responder | Static_router | Router _ -> Some Flow_hash
+  | Conntrack _ -> Some Symmetric
+  | Limiter _ -> Some Src_hash
+  | Nat c -> Some (Nat_ports { port_lo = c.Nf.Nat.port_lo; port_hi = c.port_hi })
+  | Maglev _ -> Some (Lb { heartbeat_port = Nf.Maglev.heartbeat_port })
+  | Policer _ | Bridge _ -> None
+
+let shardable spec = Option.is_some (policy_of spec)
+
+let unshardable_reason (spec : Nf.Spec.t) =
+  match spec with
+  | Policer _ ->
+      "its single token bucket is global state (sharding it would \
+       multiply the permitted rate)"
+  | Bridge _ ->
+      "MAC learning reads and writes entries keyed by both packet \
+       endpoints, so no per-packet hash keeps a station on one shard"
+  | _ -> "it has no steering policy"
+
+let shard_specs ~shards (spec : Nf.Spec.t) =
+  match spec with
+  | Nat c ->
+      (* disjoint external-port slices; everything else is replicated *)
+      Array.init shards (fun i ->
+          let lo, hi =
+            Dispatch.nat_slice ~port_lo:c.Nf.Nat.port_lo
+              ~port_hi:c.port_hi ~shards i
+          in
+          Nf.Spec.apply spec (Nf.Spec.Ports (lo, hi)))
+  | _ -> Array.make shards spec
+
+let make ~shards spec =
+  if shards < 1 then invalid_arg "Plan.make: shards < 1";
+  match policy_of spec with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Plan.make: %S is not shardable: %s"
+           (Nf.Spec.name spec) (unshardable_reason spec))
+  | Some policy ->
+      { base = spec; shards; policy; specs = shard_specs ~shards spec }
+
+let steer t ~in_port pkt =
+  Dispatch.steer t.policy ~shards:t.shards ~in_port pkt
+
+let pp ppf t =
+  Fmt.pf ppf "%s x%d via %a" (Nf.Spec.name t.base) t.shards
+    Dispatch.pp_policy t.policy

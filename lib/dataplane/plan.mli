@@ -1,0 +1,39 @@
+(** A sharding plan: how one NF spec becomes [shards] shard-local
+    replicas plus the steering policy that keeps every lookup on the
+    shard that owns its state.
+
+    The plan is derived statically from the spec — {!policy_of} is the
+    per-NF shardability catalogue.  Two registry NFs are {e not}
+    shardable under shared-nothing replication and are rejected by
+    {!make}: the policer (one global token bucket — splitting it would
+    multiply the permitted rate) and the bridge (MAC learning binds
+    state to L2 addresses on both lookup and learn sides, so no
+    per-packet hash keeps a station's entry on one shard).
+
+    Each replica keeps the base spec's full table geometry (aggregate
+    capacity grows with the shard count, the usual shared-nothing
+    deployment choice).  The one knob that {e must} differ per shard is
+    the NAT's external port range: ports are a global namespace, so the
+    plan slices the base range into disjoint contiguous sub-ranges via
+    {!Dispatch.nat_slice}, making the reply direction steerable by
+    arithmetic. *)
+
+type t = private {
+  base : Nf.Spec.t;
+  shards : int;
+  policy : Dispatch.policy;
+  specs : Nf.Spec.t array;  (** one per shard, length [shards] *)
+}
+
+val policy_of : Nf.Spec.t -> Dispatch.policy option
+(** [None] when the NF's state cannot be sharded (policer, bridge). *)
+
+val shardable : Nf.Spec.t -> bool
+
+val make : shards:int -> Nf.Spec.t -> t
+(** Raises [Invalid_argument] for [shards < 1] or an unshardable spec
+    (the message names the NF and the state that forces sharing). *)
+
+val steer : t -> in_port:int -> Net.Packet.t -> Dispatch.steer
+
+val pp : Format.formatter -> t -> unit

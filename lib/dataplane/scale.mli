@@ -1,0 +1,64 @@
+(** Scalability-contract validation: predict aggregate throughput at N
+    shards from the per-packet contract, then measure it.
+
+    For each shard count the runner derives a {!Perf.Scale.t} — the
+    per-packet worst-case cycles from the NF's own BOLT analysis (every
+    PCV bound to the bench convention's adversarial value), the
+    dispatcher's modelled cost ({!Dispatch.cost_vec}), and the skew term
+    from the workload's real steering histogram — and validates it three
+    ways: the parallel replay must be bit-identical to the serial one,
+    the shards-N outcomes must match the shards-1 reference, and the
+    predicted aggregate pps (anchored at the measured single-shard rate)
+    is compared against the measured parallel drain.
+
+    Speedup assertions are the caller's job, gated on
+    [Domain.recommended_domain_count ()]: on a 1-core container the
+    contract itself predicts {e no} speedup (the [1/cores] floor), so
+    only the parity and soundness gates are meaningful there. *)
+
+type level = {
+  shards : int;
+  contract : Perf.Scale.t;
+  predicted_pps : float;
+  measured_pps : float;
+  parity_ok : bool;
+      (** parallel ≡ serial replay, and shards-N ≡ shards-1 outcomes *)
+  error_pct : float;  (** [(predicted - measured) / measured * 100] *)
+}
+
+type result = {
+  nf : string;
+  packets : int;
+  cores : int;  (** [Domain.recommended_domain_count ()] at run time *)
+  baseline_pps : float;  (** measured single-shard drain rate *)
+  per_packet_cycles : int;
+  dispatch_cycles : int;
+  levels : level list;
+}
+
+val default_nfs : string list
+(** The NFs the scale bench exercises: firewall (stateless), nat
+    (sliced port namespace), maglev (flow affinity + heartbeat
+    broadcast). *)
+
+val workload : nf:string -> seed:int -> packets:int -> Workload.Stream.t
+(** The per-NF steering workload: distinct flows for the firewall,
+    internal flows for the NAT, backend heartbeats followed by client
+    flows for maglev. *)
+
+val run :
+  ?levels:int list ->
+  ?packets:int ->
+  ?reps:int ->
+  ?seed:int ->
+  string ->
+  result
+(** [run nf] with [levels] defaulting to [[1; 2; 4]], [packets] to
+    [4096], [reps] to [3] (each level's drain is best-of-[reps] on a
+    fresh engine, so no rep inherits another's table state). *)
+
+val to_json : result -> Perf.Json.t
+(** Includes the {!Perf.Provenance} block — scale numbers from a 1-core
+    container must be self-describing. *)
+
+val pp : Format.formatter -> result -> unit

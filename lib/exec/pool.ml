@@ -24,6 +24,173 @@ type 'a slot = Empty | Value of 'a | Error of exn * Printexc.raw_backtrace
 let c_queued = Obs.Metrics.counter "pool.tasks_queued"
 let c_completed = Obs.Metrics.counter "pool.tasks_completed"
 let g_jobs = Obs.Metrics.gauge "pool.max_jobs"
+let g_workers = Obs.Metrics.gauge "pool.max_workers"
+
+(* collect a slot array, surfacing the lowest-indexed failure as a
+   serial run would *)
+let harvest slots =
+  Array.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Empty | Value _ -> ())
+    slots;
+  Array.to_list
+    (Array.map (function Value v -> v | Empty | Error _ -> assert false)
+       slots)
+
+(* One worker per index for the worker's whole lifetime: the dataplane's
+   shard loops, where each domain drains its own queue rather than
+   stealing items.  Unlike [map] there is no clamp to the hardware
+   thread count — a 4-shard plan on a 1-core host still runs 4 domains
+   (timesharing), which is exactly what the scalability contract's
+   [max(f, 1/cores)] bottleneck term models. *)
+let run_each ~n f =
+  if n <= 0 then []
+  else begin
+    Obs.Metrics.set_max g_workers n;
+    if n = 1 then [ f 0 ]
+    else begin
+      let slots = Array.make n Empty in
+      let parent_span = Obs.Span.current () in
+      let worker i () =
+        Obs.Span.adopt parent_span @@ fun () ->
+        Obs.Span.with_ ~cat:"pool" "pool.shard_worker"
+          ~args:(fun () -> [ ("worker", string_of_int i) ])
+        @@ fun () ->
+        slots.(i) <-
+          (match f i with
+          | v -> Value v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      in
+      let helpers =
+        List.init (n - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join helpers;
+      harvest slots
+    end
+  end
+
+module Workers = struct
+  (* One long-lived domain per worker index, parked on a condition
+     variable between jobs.  This is the steady-state shape of a sharded
+     dataplane: spawning is paid once at [create], so a timed drain sees
+     only dispatch + execution, never domain start-up. *)
+
+  type state = Idle | Job of (unit -> unit) | Stop
+
+  type cell = {
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable state : state;
+    mutable finished : bool;
+    mutable failure : (exn * Printexc.raw_backtrace) option;
+  }
+
+  type t = {
+    cells : cell array;
+    doms : unit Domain.t array;
+    mutable stopped : bool;
+  }
+
+  let rec serve c =
+    Mutex.lock c.m;
+    while c.state = Idle do
+      Condition.wait c.cv c.m
+    done;
+    match c.state with
+    | Idle -> assert false
+    | Stop -> Mutex.unlock c.m
+    | Job f ->
+        c.state <- Idle;
+        Mutex.unlock c.m;
+        (try f ()
+         with e -> c.failure <- Some (e, Printexc.get_raw_backtrace ()));
+        Mutex.lock c.m;
+        c.finished <- true;
+        Condition.broadcast c.cv;
+        Mutex.unlock c.m;
+        serve c
+
+  let create extra =
+    let extra = max 0 extra in
+    Obs.Metrics.set_max g_workers (extra + 1);
+    let cells =
+      Array.init extra (fun _ ->
+          {
+            m = Mutex.create ();
+            cv = Condition.create ();
+            state = Idle;
+            finished = true;
+            failure = None;
+          })
+    in
+    let parent_span = Obs.Span.current () in
+    let doms =
+      Array.mapi
+        (fun i c ->
+          Domain.spawn (fun () ->
+              Obs.Span.adopt parent_span @@ fun () ->
+              Obs.Span.with_ ~cat:"pool" "pool.shard_worker"
+                ~args:(fun () -> [ ("worker", string_of_int (i + 1)) ])
+              @@ fun () -> serve c))
+        cells
+    in
+    { cells; doms; stopped = false }
+
+  let size t = Array.length t.cells + 1
+
+  let run t f =
+    if t.stopped then invalid_arg "Pool.Workers.run: workers stopped";
+    Array.iteri
+      (fun i c ->
+        Mutex.lock c.m;
+        c.finished <- false;
+        c.failure <- None;
+        c.state <- Job (fun () -> f (i + 1));
+        Condition.broadcast c.cv;
+        Mutex.unlock c.m)
+      t.cells;
+    (* index 0 runs here, like [run_each] *)
+    let own =
+      match f 0 with
+      | () -> None
+      | exception e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Array.iter
+      (fun c ->
+        Mutex.lock c.m;
+        while not c.finished do
+          Condition.wait c.cv c.m
+        done;
+        Mutex.unlock c.m)
+      t.cells;
+    (* lowest-index failure wins, and the caller is index 0 *)
+    (match own with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.iter
+      (fun c ->
+        match c.failure with
+        | Some (e, bt) ->
+            c.failure <- None;
+            Printexc.raise_with_backtrace e bt
+        | None -> ())
+      t.cells
+
+  let stop t =
+    if not t.stopped then begin
+      t.stopped <- true;
+      Array.iter
+        (fun c ->
+          Mutex.lock c.m;
+          c.state <- Stop;
+          Condition.broadcast c.cv;
+          Mutex.unlock c.m)
+        t.cells;
+      Array.iter Domain.join t.doms
+    end
+end
 
 let map ?jobs f items =
   let items = Array.of_list items in
@@ -67,13 +234,5 @@ let map ?jobs f items =
     in
     worker ~index:0 ();
     List.iter Domain.join helpers;
-    (* surface the lowest-indexed failure, as a serial run would *)
-    Array.iter
-      (function
-        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
-        | Empty | Value _ -> ())
-      slots;
-    Array.to_list
-      (Array.map (function Value v -> v | Empty | Error _ -> assert false)
-         slots)
+    harvest slots
   end

@@ -1,0 +1,12 @@
+let json ?packets () =
+  let fields =
+    [
+      ("ocaml_version", Json.String Sys.ocaml_version);
+      ("word_size", Json.Int Sys.word_size);
+      ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+    ]
+  in
+  Json.Obj
+    (match packets with
+    | None -> fields
+    | Some n -> fields @ [ ("packets", Json.Int n) ])

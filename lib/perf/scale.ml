@@ -1,0 +1,70 @@
+type t = {
+  nf : string;
+  shards : int;
+  cores : int;
+  per_packet_cycles : int;
+  dispatch_cycles : int;
+  max_shard_fraction_ppm : int;
+  skew_pct : int;
+  predicted_speedup_pct : int;
+}
+
+let derive ~nf ~shards ~cores ~per_packet_cycles ~dispatch_cycles ~shard_loads
+    =
+  if shards < 1 then invalid_arg "Scale.derive: shards < 1";
+  if cores < 1 then invalid_arg "Scale.derive: cores < 1";
+  if Array.length shard_loads <> shards then
+    invalid_arg
+      (Printf.sprintf "Scale.derive: %d loads for %d shards"
+         (Array.length shard_loads) shards);
+  if per_packet_cycles <= 0 then
+    invalid_arg "Scale.derive: per_packet_cycles <= 0";
+  if dispatch_cycles < 0 then invalid_arg "Scale.derive: dispatch_cycles < 0";
+  let total = Array.fold_left ( + ) 0 shard_loads in
+  let max_load = Array.fold_left max 0 shard_loads in
+  (* an empty histogram says nothing about the workload: assume balance *)
+  let max_f =
+    if total = 0 then 1.0 /. float_of_int shards
+    else float_of_int max_load /. float_of_int total
+  in
+  let bottleneck = Float.max max_f (1.0 /. float_of_int cores) in
+  let t = float_of_int per_packet_cycles
+  and d = float_of_int dispatch_cycles in
+  let speedup = t /. (d +. (bottleneck *. t)) in
+  {
+    nf;
+    shards;
+    cores;
+    per_packet_cycles;
+    dispatch_cycles;
+    max_shard_fraction_ppm = int_of_float (Float.round (max_f *. 1e6));
+    skew_pct =
+      int_of_float (Float.round (float_of_int shards *. max_f *. 100.));
+    predicted_speedup_pct = int_of_float (Float.round (speedup *. 100.));
+  }
+
+let predicted_speedup t = float_of_int t.predicted_speedup_pct /. 100.
+let predicted_pps t ~baseline_pps = baseline_pps *. predicted_speedup t
+
+let to_json t =
+  Json.Obj
+    [
+      ("nf", Json.String t.nf);
+      ("shards", Json.Int t.shards);
+      ("cores", Json.Int t.cores);
+      ("per_packet_cycles", Json.Int t.per_packet_cycles);
+      ("dispatch_cycles", Json.Int t.dispatch_cycles);
+      ("max_shard_fraction_ppm", Json.Int t.max_shard_fraction_ppm);
+      ("skew_pct", Json.Int t.skew_pct);
+      ("predicted_speedup_pct", Json.Int t.predicted_speedup_pct);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s @@ %d shard%s (%d core%s): service %d cyc + dispatch %d cyc, skew \
+     %d%% -> predicted speedup x%.2f"
+    t.nf t.shards
+    (if t.shards = 1 then "" else "s")
+    t.cores
+    (if t.cores = 1 then "" else "s")
+    t.per_packet_cycles t.dispatch_cycles t.skew_pct (predicted_speedup t)

@@ -1,0 +1,61 @@
+(** Scalability contracts for a sharded dataplane.
+
+    The per-packet contract prices one packet on one core; a scalability
+    contract extends it across N shared-nothing shards the way NFork
+    does: predicted aggregate throughput at N shards is the single-shard
+    service rate divided by the bottleneck term — the most-loaded
+    shard's share of the traffic (never better than a perfectly balanced
+    [1/N], never better than one shard per available core) — plus an
+    explicitly modelled steering cost paid serially by the dispatch
+    stage.  With [t] the per-packet service time, [d] the per-packet
+    dispatch time and [f] the bottleneck shard's traffic fraction:
+
+    {v speedup(N) = t / (d + max(f, 1/cores) * t) v}
+
+    Everything here is a pure record over integers (cycles from the
+    per-packet {!Contract}, a traffic histogram from the workload);
+    measuring and validating the prediction is the dataplane's job. *)
+
+type t = {
+  nf : string;
+  shards : int;
+  cores : int;  (** hardware threads available to the process *)
+  per_packet_cycles : int;
+      (** contract-derived service cost of one packet on its shard *)
+  dispatch_cycles : int;
+      (** modelled steering cost per packet (0 at one shard — the
+          dataplane bypasses the dispatcher entirely) *)
+  max_shard_fraction_ppm : int;
+      (** the bottleneck shard's share of the packets, in parts per
+          million (1_000_000 at one shard) *)
+  skew_pct : int;
+      (** [shards * max fraction * 100]: 100 = perfectly balanced, 200 =
+          the hottest shard carries twice its fair share *)
+  predicted_speedup_pct : int;
+      (** predicted aggregate-throughput gain over one shard, *100 *)
+}
+
+val derive :
+  nf:string ->
+  shards:int ->
+  cores:int ->
+  per_packet_cycles:int ->
+  dispatch_cycles:int ->
+  shard_loads:int array ->
+  t
+(** [shard_loads] is the per-shard packet histogram of the workload
+    under the plan's steering (broadcast packets counted once per
+    receiving shard).  An all-zero histogram is treated as balanced.
+    Raises [Invalid_argument] on [shards < 1], [cores < 1], a histogram
+    whose length differs from [shards], or a non-positive
+    [per_packet_cycles]. *)
+
+val predicted_speedup : t -> float
+(** The speedup as a float, [predicted_speedup_pct / 100.]. *)
+
+val predicted_pps : t -> baseline_pps:float -> float
+(** Aggregate packets/sec predicted at [t.shards], anchored at the
+    measured single-shard rate. *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

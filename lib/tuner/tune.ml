@@ -218,6 +218,8 @@ let to_json r =
   Perf.Json.Obj
     [
       ("nf", Perf.Json.String r.nf);
+      ( "provenance",
+        Perf.Provenance.json ~packets:r.validation.packets () );
       ("seed", Perf.Json.Int r.seed);
       ("jobs", Perf.Json.Int r.jobs);
       ("grid", Perf.Json.List (List.map json_of_point r.points));

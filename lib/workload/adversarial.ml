@@ -1,11 +1,17 @@
 let quiet_meter () = Exec.Meter.create (Hw.Model.null ())
 
-let colliding_flows rng ~hash ~key_len ~bucket n =
+let colliding_flows ?(budget = 100_000_000) rng ~hash ~key_len ~bucket n =
+  if budget < 1 then invalid_arg "Adversarial.colliding_flows: budget < 1";
   let seen = Hashtbl.create n in
   let rec draw acc k guard =
     if k = 0 then List.rev acc
     else if guard = 0 then
-      failwith "Adversarial.colliding_flows: search budget exhausted"
+      invalid_arg
+        (Printf.sprintf
+           "Adversarial.colliding_flows: search budget exhausted after %d \
+            draws — found %d of %d distinct %d-word keys hashing to bucket \
+            %d (is the bucket reachable under this hash?)"
+           budget (n - k) n key_len bucket)
     else
       let key =
         Array.init key_len (fun i ->
@@ -18,7 +24,7 @@ let colliding_flows rng ~hash ~key_len ~bucket n =
       end
       else draw acc k (guard - 1)
   in
-  draw [] n 100_000_000
+  draw [] n budget
 
 let fill_nat_collided nat rng ~stamped_at =
   let meter = quiet_meter () in

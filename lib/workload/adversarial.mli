@@ -8,9 +8,13 @@
     expiry the Br1/NAT1/LB1 contracts bound. *)
 
 val colliding_flows :
-  Prng.t -> hash:(int array -> int) -> key_len:int -> bucket:int -> int ->
-  int array list
-(** [n] distinct keys that all hash to [bucket]. *)
+  ?budget:int -> Prng.t -> hash:(int array -> int) -> key_len:int ->
+  bucket:int -> int -> int array list
+(** [n] distinct keys that all hash to [bucket], rejection-sampled.
+    Raises [Invalid_argument] — naming the hash's bucket, the key width,
+    how many keys were found and the draw budget — when [budget]
+    (default 10^8) draws cannot produce them, e.g. because the bucket is
+    unreachable under the table's hash seed. *)
 
 val fill_nat_collided :
   Dslib.Nat_table.t -> Prng.t -> stamped_at:int -> unit

@@ -24,4 +24,5 @@ let () =
       ("proptest", T_proptest.suite);
       ("tuner", T_tuner.suite);
       ("topo", T_topo.suite);
+      ("dataplane", T_dataplane.suite);
     ]

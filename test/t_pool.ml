@@ -52,6 +52,45 @@ let test_default_jobs_env () =
       Unix.putenv "BOLT_JOBS" "many";
       check_bool "garbage ignored" true (Exec.Pool.default_jobs () >= 1))
 
+let test_run_each_order_and_exceptions () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "run_each n:%d index order" n)
+        (List.init n (fun i -> i * i))
+        (Exec.Pool.run_each ~n (fun i -> i * i)))
+    [ 0; 1; 2; 5 ];
+  match Exec.Pool.run_each ~n:4 (fun i -> if i >= 2 then raise (Boom i)) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n -> check_int "lowest index wins" 2 n
+
+let test_workers_reuse_and_stop () =
+  let w = Exec.Pool.Workers.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.Workers.stop w)
+    (fun () ->
+      check_int "size counts the caller" 4 (Exec.Pool.Workers.size w);
+      (* persistent workers serve many jobs without respawning *)
+      let acc = Array.make 4 0 in
+      for _ = 1 to 5 do
+        Exec.Pool.Workers.run w (fun i -> acc.(i) <- acc.(i) + i)
+      done;
+      Alcotest.(check (array int))
+        "every index ran every job" [| 0; 5; 10; 15 |] acc;
+      (match Exec.Pool.Workers.run w (fun i -> if i > 0 then raise (Boom i))
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n -> check_int "lowest failing index wins" 1 n);
+      (* the pool survives a failing job *)
+      Exec.Pool.Workers.run w (fun i -> acc.(i) <- -i);
+      Alcotest.(check (array int))
+        "usable after an exception" [| 0; -1; -2; -3 |] acc);
+  Exec.Pool.Workers.stop w;
+  (* stop is idempotent; run after stop is a programming error *)
+  match Exec.Pool.Workers.run w (fun _ -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument after stop"
+  | exception Invalid_argument _ -> ()
+
 (* The engine's feasibility queries go through the shared solver cache;
    re-exploring the same program must be answered entirely from cache. *)
 let test_explore_populates_solver_cache () =
@@ -77,6 +116,10 @@ let suite =
     Alcotest.test_case "exception propagation" `Quick
       test_map_exception_propagation;
     Alcotest.test_case "BOLT_JOBS env" `Quick test_default_jobs_env;
+    Alcotest.test_case "run_each order and exceptions" `Quick
+      test_run_each_order_and_exceptions;
+    Alcotest.test_case "persistent workers reuse and stop" `Quick
+      test_workers_reuse_and_stop;
     Alcotest.test_case "explore populates solver cache" `Quick
       test_explore_populates_solver_cache;
   ]

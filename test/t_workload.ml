@@ -151,6 +151,39 @@ let test_colliding_flows_arbitrary_bucket () =
       check_int "lands in bucket 11" 11 (Dslib.Nat_table.hash_of_flow nat key))
     keys
 
+let test_colliding_flows_exhaustion () =
+  (* an unreachable bucket must fail loudly — a descriptive
+     Invalid_argument naming the budget, not a silent hang or a short
+     list *)
+  let rng = Workload.Prng.create ~seed:23 in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
+  (match
+     Workload.Adversarial.colliding_flows rng ~budget:1000
+       ~hash:(fun _ -> 1) (* every key hashes to 1; bucket 0 unreachable *)
+       ~key_len:5 ~bucket:0 4
+   with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "message names the budget" true
+        (contains ~sub:"budget exhausted after 1000 draws" msg);
+      Alcotest.(check bool)
+        "message names the bucket" true
+        (contains ~sub:"bucket 0" msg));
+  match
+    Workload.Adversarial.colliding_flows rng ~budget:0 ~hash:(fun _ -> 0)
+      ~key_len:5 ~bucket:0 1
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument for budget < 1"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "non-positive budget rejected up front" true
+        (contains ~sub:"budget < 1" msg)
+
 let test_fill_collided_reaches_capacity () =
   let rng = Workload.Prng.create ~seed:22 in
   let alloc =
@@ -353,6 +386,8 @@ let suite =
       test_fill_collided_then_mass_expiry;
     Alcotest.test_case "colliding flows hit any bucket" `Quick
       test_colliding_flows_arbitrary_bucket;
+    Alcotest.test_case "colliding flows exhaustion is descriptive" `Quick
+      test_colliding_flows_exhaustion;
     Alcotest.test_case "collided fills reach capacity" `Quick
       test_fill_collided_reaches_capacity;
     Alcotest.test_case "soak zipf popularity" `Quick test_soak_zipf_popularity;
